@@ -1,0 +1,177 @@
+// Shared infrastructure for the table/figure reproduction harnesses: CLI
+// scale flags, the five-method model factory (TST / Vanilla / Performer /
+// Linformer / Group Attn.), and table formatting. Every binary prints the
+// paper's rows next to the measured values and drops a CSV beside stdout.
+#ifndef RITA_BENCH_BENCH_COMMON_H_
+#define RITA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/registry.h"
+#include "model/rita_model.h"
+#include "model/tst_model.h"
+#include "train/trainer.h"
+#include "util/logging.h"
+
+namespace rita {
+namespace bench {
+
+/// The five methods of the paper's comparison, in its column order.
+enum class Method { kTst = 0, kVanilla, kPerformer, kLinformer, kGroup };
+
+inline const char* MethodName(Method m) {
+  switch (m) {
+    case Method::kTst:
+      return "TST";
+    case Method::kVanilla:
+      return "Vanilla";
+    case Method::kPerformer:
+      return "Performer";
+    case Method::kLinformer:
+      return "Linformer";
+    case Method::kGroup:
+      return "GroupAttn";
+  }
+  return "?";
+}
+
+inline std::vector<Method> AllMethods() {
+  return {Method::kTst, Method::kVanilla, Method::kPerformer, Method::kLinformer,
+          Method::kGroup};
+}
+
+/// Scale knobs. Defaults target a 2-core laptop; --paper-scale restores the
+/// paper's dataset dimensions and model size (hours of CPU time).
+struct BenchScale {
+  double size = 0.012;     // fraction of the paper's sample counts
+  double length = 0.32;    // fraction of the paper's series lengths
+  int64_t epochs = 3;      // training epochs per cell
+  int64_t dim = 32;        // model width  (paper: 64)
+  int64_t layers = 2;      // encoder depth (paper: 8)
+  int64_t heads = 2;       // attention heads (paper: 2)
+  bool paper_scale = false;
+  bool quick = false;  // further shrink for smoke runs
+};
+
+inline BenchScale ParseScale(int argc, char** argv) {
+  BenchScale scale;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper-scale") == 0) {
+      scale = BenchScale{1.0, 1.0, 100, 64, 8, 2, true, false};
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      scale.quick = true;
+      scale.size *= 0.5;
+      scale.length *= 0.5;
+      scale.epochs = 2;
+    }
+  }
+  SetLogLevel(LogLevel::kWarning);
+  return scale;
+}
+
+/// Per-dataset frontend geometry: keeps ~paper-proportional token counts.
+struct Frontend {
+  int64_t window = 5;
+  int64_t stride = 5;
+};
+
+inline Frontend FrontendFor(data::PaperDataset which) {
+  switch (which) {
+    case data::PaperDataset::kEcg:
+      return {8, 8};
+    case data::PaperDataset::kMgh:
+      return {10, 10};
+    default:
+      return {5, 5};
+  }
+}
+
+/// Builds a method's model for a dataset (TST is its own architecture; the
+/// other four share the RITA trunk and differ only in the attention kernel).
+inline std::unique_ptr<model::SequenceModel> MakeModel(
+    Method method, const data::TimeseriesDataset& train, const Frontend& frontend,
+    const BenchScale& scale, int64_t initial_groups, Rng* rng) {
+  model::EncoderConfig encoder;
+  encoder.dim = scale.dim;
+  encoder.num_layers = scale.layers;
+  encoder.num_heads = scale.heads;
+  encoder.ffn_hidden = 2 * scale.dim;
+  encoder.dropout = 0.1f;
+
+  if (method == Method::kTst) {
+    model::TstConfig config;
+    config.input_channels = train.channels();
+    config.input_length = train.length();
+    config.num_classes = std::max<int64_t>(1, train.num_classes);
+    config.encoder = encoder;
+    return std::make_unique<model::TstModel>(config, rng);
+  }
+
+  model::RitaConfig config;
+  config.input_channels = train.channels();
+  config.input_length = train.length();
+  config.window = frontend.window;
+  config.stride = frontend.stride;
+  config.num_classes = std::max<int64_t>(1, train.num_classes);
+  config.encoder = encoder;
+  switch (method) {
+    case Method::kVanilla:
+      config.encoder.attention.kind = attn::AttentionKind::kVanilla;
+      break;
+    case Method::kPerformer:
+      config.encoder.attention.kind = attn::AttentionKind::kPerformer;
+      config.encoder.attention.performer_features = scale.paper_scale ? 64 : 16;
+      break;
+    case Method::kLinformer:
+      config.encoder.attention.kind = attn::AttentionKind::kLinformer;
+      config.encoder.attention.linformer_k =
+          std::min<int64_t>(scale.paper_scale ? 128 : 16, config.NumTokens());
+      config.encoder.attention.seq_len = config.NumTokens();
+      break;
+    case Method::kGroup:
+    default:
+      config.encoder.attention.kind = attn::AttentionKind::kGroup;
+      config.encoder.attention.group.num_groups = initial_groups;
+      break;
+  }
+  return std::make_unique<model::RitaModel>(config, rng);
+}
+
+/// Default training options per the paper (AdamW 1e-4/1e-4), with a bench-
+/// friendly learning rate at reduced scale.
+inline train::TrainOptions BenchTrainOptions(const BenchScale& scale, uint64_t seed) {
+  train::TrainOptions opts;
+  opts.epochs = scale.epochs;
+  opts.batch_size = 16;
+  opts.adamw.lr = scale.paper_scale ? 1e-4f : 2e-3f;
+  opts.adamw.weight_decay = 1e-4f;
+  opts.seed = seed;
+  return opts;
+}
+
+/// Group-count default: ~quarter of the token count, floored.
+inline int64_t DefaultGroups(int64_t tokens) {
+  return std::max<int64_t>(4, tokens / 4);
+}
+
+/// "n/r": the paper shows this cell only as a bar chart, no number in text.
+inline std::string PaperNum(double v) {
+  if (v < 0) return "n/r";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace bench
+}  // namespace rita
+
+#endif  // RITA_BENCH_BENCH_COMMON_H_

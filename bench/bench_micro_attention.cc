@@ -1,0 +1,88 @@
+// Micro-benchmark (google-benchmark): one multi-head attention layer,
+// forward + backward, as a function of sequence length for all four kernels —
+// the mechanism behind the paper's headline 63X claim (Sec. 6.3.2). Also
+// sweeps the group count N and the number of k-means iterations (the paper's
+// "a few iterations suffice" observation, Sec. 4.4).
+#include <benchmark/benchmark.h>
+
+#include "attention/multi_head.h"
+#include "core/attention_factory.h"
+
+namespace rita {
+namespace bench {
+namespace {
+
+constexpr int64_t kDim = 32;
+constexpr int64_t kHeads = 2;
+constexpr int64_t kBatch = 2;
+
+void RunLayer(benchmark::State& state, attn::AttentionKind kind, int64_t n,
+              int64_t groups, int kmeans_iters) {
+  Rng rng(1);
+  core::AttentionOptions options;
+  options.kind = kind;
+  options.dropout = 0.0f;
+  options.group.num_groups = groups;
+  options.group.kmeans_iters = kmeans_iters;
+  options.group.collect_snapshots = false;
+  options.performer_features = 16;
+  options.linformer_k = std::min<int64_t>(32, n);
+  options.seq_len = n;
+  auto mech = core::CreateAttentionMechanism(kDim / kHeads, options, &rng);
+  attn::MultiHeadAttention mha(kDim, kHeads, std::move(mech), &rng);
+
+  Tensor x = Tensor::RandNormal({kBatch, n, kDim}, &rng);
+  for (auto _ : state) {
+    ag::Variable input(x, /*requires_grad=*/true);
+    ag::Variable out = mha.Forward(input);
+    ag::SumAll(out).Backward();
+    mha.ZeroGrad();
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch * n);
+}
+
+void BM_VanillaAttention(benchmark::State& state) {
+  RunLayer(state, attn::AttentionKind::kVanilla, state.range(0), 0, 0);
+}
+void BM_GroupAttention(benchmark::State& state) {
+  // N fixed at 16: the memory/time win comes from N << n.
+  RunLayer(state, attn::AttentionKind::kGroup, state.range(0), 16, 2);
+}
+void BM_PerformerAttention(benchmark::State& state) {
+  RunLayer(state, attn::AttentionKind::kPerformer, state.range(0), 0, 0);
+}
+void BM_LinformerAttention(benchmark::State& state) {
+  RunLayer(state, attn::AttentionKind::kLinformer, state.range(0), 0, 0);
+}
+
+// Sequence-length sweep: vanilla is O(n^2), the others ~O(n).
+BENCHMARK(BM_VanillaAttention)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GroupAttention)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PerformerAttention)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LinformerAttention)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// Group-count sweep at fixed n = 512: cost grows with N toward vanilla.
+void BM_GroupAttentionByN(benchmark::State& state) {
+  RunLayer(state, attn::AttentionKind::kGroup, 512, state.range(0), 2);
+}
+BENCHMARK(BM_GroupAttentionByN)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// k-means iteration sweep at n = 512, N = 16 (grouping overhead ablation).
+void BM_GroupAttentionByKmeansIters(benchmark::State& state) {
+  RunLayer(state, attn::AttentionKind::kGroup, 512, 16,
+           static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_GroupAttentionByKmeansIters)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace rita
+
+BENCHMARK_MAIN();

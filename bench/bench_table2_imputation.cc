@@ -1,0 +1,141 @@
+// Table 2: multivariate imputation — MSE and training time per epoch for the
+// five methods on WISDM, HHAR, RWHAR, ECG and MGH (mask rate 0.2).
+//
+// Expected shape (paper): all RITA-trunk methods reach low MSE; Group Attn.
+// is the fastest everywhere; on MGH (length 10,000 at paper scale) TST and
+// Vanilla exhaust the 16 GB device and report OOM — reproduced here through
+// the analytic memory model at paper dimensions.
+#include "bench_common.h"
+#include "core/memory_model.h"
+#include "util/csv.h"
+
+namespace rita {
+namespace bench {
+namespace {
+
+struct PaperRow {
+  data::PaperDataset dataset;
+  double mse[5];     // paper Table 2 MSE per method; -1 = N/A (OOM)
+  double time[5];    // paper Table 2 time/s per method; -1 = N/A
+};
+
+const PaperRow kPaperRows[] = {
+    {data::PaperDataset::kWisdm,
+     {13.30, 3.240, 3.449, 3.852, 3.277},
+     {150.3, 178.1, 162.6, 141.9, 136.7}},
+    {data::PaperDataset::kHhar,
+     {1.085, 0.2968, 0.2980, 0.3198, 0.2974},
+     {78.2, 97.4, 82.6, 81.1, 73.3}},
+    {data::PaperDataset::kRwhar,
+     {0.0882, 0.0478, 0.0489, 0.0572, 0.0478},
+     {83.9, 108.1, 89.1, 98.4, 81.3}},
+    {data::PaperDataset::kEcg,
+     {0.0905, 0.0037, 0.0033, 0.0035, 0.0038},
+     {696.3, 857.9, 270.2, 291.38, 164.36}},
+    {data::PaperDataset::kMgh,
+     {-1, -1, 0.00014, 0.00088, 0.00042},
+     {-1, -1, 356.2, 404.9, 54.4}},
+};
+
+// Does this method fit a 16 GB device at the *paper's* dimensions? Reproduces
+// Table 2's N/A cells.
+bool OomAtPaperScale(Method method, const data::PaperDatasetSpec& spec) {
+  if (method == Method::kGroup || method == Method::kPerformer ||
+      method == Method::kLinformer) {
+    return false;
+  }
+  core::EncoderShape shape;
+  shape.layers = 8;
+  shape.dim = 64;
+  shape.heads = 2;
+  shape.ffn_hidden = 256;
+  shape.channels = spec.channels;
+  shape.kind = attn::AttentionKind::kVanilla;
+  if (method == Method::kTst) {
+    // TST tokenises every timestamp: window = stride = 1.
+    shape.window = 1;
+    shape.stride = 1;
+  } else {
+    shape.window = 5;
+    shape.stride = 1;  // the paper's frontend emits one window per timestamp
+  }
+  core::MemoryModelOptions options;
+  options.backward_multiplier = 1.6;  // calibrated: vanilla fits 8000, not 10000
+  core::MemoryModel model(shape, options);
+  return !model.Fits(1, spec.length, 0, 0.9);
+}
+
+void Run(const BenchScale& scale) {
+  std::printf("=== Table 2: imputation, MSE + training time (multi-variate) ===\n");
+  std::printf("mask rate 0.2; OOM cells decided by the 16 GB memory model at the\n"
+              "paper's dimensions (len 10000, 8 layers, one window per timestamp)\n\n");
+  auto csv_open = CsvWriter::Open("bench_table2_imputation.csv");
+  RITA_CHECK(csv_open.ok());
+  CsvWriter csv = csv_open.MoveValueOrDie();
+  csv.WriteRow({"dataset", "method", "mse", "paper_mse", "sec_per_epoch",
+                "paper_sec_per_epoch", "oom"});
+
+  for (const PaperRow& row : kPaperRows) {
+    const data::PaperDatasetSpec spec = data::GetPaperSpec(row.dataset);
+    data::DatasetScale ds_scale;
+    ds_scale.size = scale.size;
+    switch (row.dataset) {
+      case data::PaperDataset::kEcg:
+        ds_scale.length = scale.length * 0.3;
+        break;
+      case data::PaperDataset::kMgh:
+        ds_scale.length = scale.length * 0.2;  // 10000 -> 640 at defaults
+        ds_scale.size = scale.size * 0.6;
+        break;
+      default:
+        ds_scale.length = scale.length;
+    }
+    data::SplitDataset split = data::MakePaperDataset(row.dataset, ds_scale, 500);
+    const Frontend frontend = FrontendFor(row.dataset);
+    std::printf("%s: %lld train / %lld valid, length %lld, %lld channels\n",
+                spec.name.c_str(), static_cast<long long>(split.train.size()),
+                static_cast<long long>(split.valid.size()),
+                static_cast<long long>(split.train.length()),
+                static_cast<long long>(split.train.channels()));
+    std::printf("%-10s %12s %12s %10s %10s\n", "method", "MSE", "paperMSE",
+                "s/epoch", "paper-s");
+
+    for (Method method : AllMethods()) {
+      const int mi = static_cast<int>(method);
+      if (OomAtPaperScale(method, spec)) {
+        std::printf("%-10s %12s %12s %10s %10s   (OOM at paper scale)\n",
+                    MethodName(method), "N/A", "N/A", "N/A", "N/A");
+        csv.WriteValues(spec.name, MethodName(method), "N/A", "N/A", "N/A", "N/A", 1);
+        continue;
+      }
+      Rng rng(3000 + static_cast<uint64_t>(method));
+      const int64_t tokens =
+          (split.train.length() - frontend.window) / frontend.stride + 2;
+      auto model = MakeModel(method, split.train, frontend, scale,
+                             DefaultGroups(tokens), &rng);
+      train::TrainOptions topts = BenchTrainOptions(scale, 4000);
+      topts.adaptive_groups = (method == Method::kGroup);
+      train::Trainer trainer(model.get(), topts);
+      train::TrainResult result = trainer.TrainImputation(split.train);
+      const train::ImputationError err = trainer.EvalImputation(split.valid);
+      const double sec = result.AvgEpochSeconds();
+
+      std::printf("%-10s %12.5f %12s %10.2f %10s\n", MethodName(method), err.mse,
+                  PaperNum(row.mse[mi]).c_str(), sec, PaperNum(row.time[mi]).c_str());
+      csv.WriteValues(spec.name, MethodName(method), err.mse, PaperNum(row.mse[mi]),
+                      sec, PaperNum(row.time[mi]), 0);
+    }
+    std::printf("\n");
+  }
+  RITA_CHECK(csv.Close().ok());
+  std::printf("series written to bench_table2_imputation.csv\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rita
+
+int main(int argc, char** argv) {
+  rita::bench::Run(rita::bench::ParseScale(argc, argv));
+  return 0;
+}

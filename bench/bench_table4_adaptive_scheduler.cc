@@ -1,0 +1,147 @@
+// Table 4: the adaptive scheduler (dynamic N under an error bound epsilon)
+// against fixed group counts — ECG classification and MGH imputation.
+//
+// Expected shape (paper): dynamic scheduling matches the accuracy of the best
+// fixed N while running as fast as small fixed N, and it is robust across
+// epsilon in {1.5, 2, 3}; fixed N needs tuning (large N = slow, small N can
+// lose accuracy). We also print the per-epoch group-count trajectory, which
+// the paper only narrates.
+#include "bench_common.h"
+#include "util/csv.h"
+
+namespace rita {
+namespace bench {
+namespace {
+
+struct PaperCell {
+  const char* parameter;
+  double metric;  // accuracy % (ECG) or MSE (MGH)
+  double seconds;
+};
+
+const PaperCell kPaperEcg[] = {
+    {"eps=1.5", 88.34, 292.5}, {"eps=2", 88.48, 236.8},  {"eps=3", 87.83, 216.8},
+    {"N=64", 87.50, 255.2},    {"N=128", 88.96, 297.2},  {"N=256", 88.82, 414.1},
+    {"N=512", 90.03, 662.6},   {"N=1024", 88.65, 873.7},
+};
+const PaperCell kPaperMgh[] = {
+    {"eps=1.5", 0.00041, 60.7},  {"eps=2", 0.00040, 57.9},  {"eps=3", 0.00042, 54.4},
+    {"N=128", 0.00054, 128.6},   {"N=256", 0.00053, 190.2}, {"N=512", 0.00049, 240.8},
+    {"N=1024", 0.00046, 323.3},
+};
+
+struct RunResult {
+  double metric = 0.0;
+  double seconds = 0.0;
+  double final_groups = 0.0;
+  std::string trajectory;
+};
+
+RunResult RunOne(const data::SplitDataset& split, const Frontend& frontend,
+                 const BenchScale& scale, bool classification, bool dynamic,
+                 float epsilon, int64_t fixed_n, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t tokens = (split.train.length() - frontend.window) / frontend.stride + 2;
+  const int64_t n0 = dynamic ? std::max<int64_t>(4, tokens / 2) : fixed_n;
+  auto model = MakeModel(Method::kGroup, split.train, frontend, scale, n0, &rng);
+  train::TrainOptions topts = BenchTrainOptions(scale, seed + 1);
+  // Classification needs convergence for accuracy comparisons to carry signal;
+  // imputation converges quickly.
+  topts.epochs = classification ? scale.epochs * 4 : scale.epochs * 2 + 2;
+  topts.adaptive_groups = dynamic;
+  topts.scheduler.epsilon = epsilon;
+  topts.scheduler.momentum = 1.0f;
+  train::Trainer trainer(model.get(), topts);
+
+  RunResult out;
+  train::TrainResult result = classification ? trainer.TrainClassifier(split.train)
+                                             : trainer.TrainImputation(split.train);
+  out.seconds = result.AvgEpochSeconds();
+  for (const auto& e : result.epochs) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.0f ", e.avg_groups);
+    out.trajectory += buf;
+  }
+  out.final_groups = result.epochs.back().avg_groups;
+  if (classification) {
+    out.metric = 100.0 * trainer.EvalAccuracy(split.valid);
+  } else {
+    out.metric = trainer.EvalImputation(split.valid).mse;
+  }
+  return out;
+}
+
+void RunTask(const BenchScale& scale, bool classification, CsvWriter* csv) {
+  const data::PaperDataset which =
+      classification ? data::PaperDataset::kEcg : data::PaperDataset::kMgh;
+  const data::PaperDatasetSpec spec = data::GetPaperSpec(which);
+  data::DatasetScale ds_scale;
+  ds_scale.size = scale.size * (classification ? 2.0 : 0.6);
+  ds_scale.length = scale.length * (classification ? 0.3 : 0.15);
+  data::SplitDataset split = data::MakePaperDataset(which, ds_scale, 1300);
+  const Frontend frontend = FrontendFor(which);
+  const int64_t tokens = (split.train.length() - frontend.window) / frontend.stride + 2;
+
+  std::printf("--- %s %s (length %lld, %lld tokens) ---\n", spec.name.c_str(),
+              classification ? "classification" : "imputation",
+              static_cast<long long>(split.train.length()),
+              static_cast<long long>(tokens));
+  std::printf("%-10s %12s %10s %8s  %s\n", "setting",
+              classification ? "accuracy" : "MSE", "s/epoch", "finalN",
+              "N trajectory");
+
+  const auto* paper = classification ? kPaperEcg : kPaperMgh;
+  const size_t paper_count = classification ? std::size(kPaperEcg) : std::size(kPaperMgh);
+  size_t paper_idx = 0;
+
+  // Dynamic scheduler at the paper's three epsilon settings.
+  for (float eps : {1.5f, 2.0f, 3.0f}) {
+    RunResult r = RunOne(split, frontend, scale, classification, /*dynamic=*/true, eps,
+                         0, 1400 + static_cast<uint64_t>(eps * 10));
+    char setting[32];
+    std::snprintf(setting, sizeof(setting), "eps=%.1f", eps);
+    std::printf("%-10s %12.4f %10.2f %8.1f  %s\n", setting, r.metric, r.seconds,
+                r.final_groups, r.trajectory.c_str());
+    const PaperCell& pc = paper[paper_idx < paper_count ? paper_idx : paper_count - 1];
+    csv->WriteValues(spec.name, setting, r.metric, r.seconds, r.final_groups,
+                     pc.metric, pc.seconds);
+    ++paper_idx;
+  }
+  // Fixed N sweep (scaled analog of the paper's {64..1024} at 2000-token ECG).
+  for (int64_t frac : {8, 4, 2, 1}) {
+    const int64_t fixed_n = std::max<int64_t>(2, tokens / frac);
+    RunResult r = RunOne(split, frontend, scale, classification, /*dynamic=*/false,
+                         2.0f, fixed_n, 1500 + frac);
+    char setting[32];
+    std::snprintf(setting, sizeof(setting), "N=%lld", static_cast<long long>(fixed_n));
+    std::printf("%-10s %12.4f %10.2f %8.1f  (fixed)\n", setting, r.metric, r.seconds,
+                r.final_groups);
+    const PaperCell& pc = paper[paper_idx < paper_count ? paper_idx : paper_count - 1];
+    csv->WriteValues(spec.name, setting, r.metric, r.seconds, r.final_groups,
+                     pc.metric, pc.seconds);
+    ++paper_idx;
+  }
+  std::printf("\n");
+}
+
+void Run(const BenchScale& scale) {
+  std::printf("=== Table 4: adaptive scheduler vs fixed N ===\n\n");
+  auto csv_open = CsvWriter::Open("bench_table4_adaptive_scheduler.csv");
+  RITA_CHECK(csv_open.ok());
+  CsvWriter csv = csv_open.MoveValueOrDie();
+  csv.WriteRow({"dataset", "setting", "metric", "sec_per_epoch", "final_groups",
+                "paper_metric", "paper_seconds"});
+  RunTask(scale, /*classification=*/true, &csv);
+  RunTask(scale, /*classification=*/false, &csv);
+  RITA_CHECK(csv.Close().ok());
+  std::printf("series written to bench_table4_adaptive_scheduler.csv\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rita
+
+int main(int argc, char** argv) {
+  rita::bench::Run(rita::bench::ParseScale(argc, argv));
+  return 0;
+}

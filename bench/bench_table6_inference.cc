@@ -1,0 +1,130 @@
+// Tables 6 & 7: inference time over the validation set — classification
+// (Table 6: WISDM/HHAR/RWHAR/ECG) and imputation (Table 7: + MGH, where only
+// the sub-quadratic methods survive at paper scale).
+//
+// Expected shape (paper): all methods are close on short series; on the long
+// ECG/MGH series Group Attn. is the fastest and TST/Vanilla fall behind (or
+// OOM on MGH).
+#include "bench_common.h"
+#include "core/memory_model.h"
+#include "util/csv.h"
+
+namespace rita {
+namespace bench {
+namespace {
+
+struct PaperRow {
+  data::PaperDataset dataset;
+  double cls[5];   // Table 6 seconds; -1 = N/A
+  double imp[5];   // Table 7 seconds; -1 = N/A
+};
+
+const PaperRow kPaperRows[] = {
+    {data::PaperDataset::kWisdm,
+     {2.18, 2.26, 2.35, 2.22, 2.17},
+     {2.03, 2.11, 2.19, 2.07, 2.02}},
+    {data::PaperDataset::kHhar,
+     {1.19, 1.23, 1.28, 1.21, 1.18},
+     {1.11, 1.14, 1.19, 1.12, 1.10}},
+    {data::PaperDataset::kRwhar,
+     {1.32, 1.37, 1.42, 1.34, 1.31},
+     {1.23, 1.27, 1.32, 1.25, 1.22}},
+    {data::PaperDataset::kEcg,
+     {18.44, 15.26, 5.80, 6.08, 5.16},
+     {17.22, 14.32, 4.73, 4.99, 4.11}},
+    {data::PaperDataset::kMgh,
+     {-1, -1, -1, -1, -1},  // no classification on MGH (unlabeled)
+     {-1, -1, 6.58, 6.88, 1.35}},
+};
+
+bool OomAtPaperScale(Method method, const data::PaperDatasetSpec& spec) {
+  if (spec.length < 10000) return false;
+  return method == Method::kTst || method == Method::kVanilla;
+}
+
+void Run(const BenchScale& scale) {
+  std::printf("=== Tables 6 & 7: inference time (seconds per validation pass) ===\n\n");
+  auto csv_open = CsvWriter::Open("bench_table6_inference.csv");
+  RITA_CHECK(csv_open.ok());
+  CsvWriter csv = csv_open.MoveValueOrDie();
+  csv.WriteRow({"dataset", "method", "task", "seconds", "paper_seconds"});
+
+  for (const PaperRow& row : kPaperRows) {
+    const data::PaperDatasetSpec spec = data::GetPaperSpec(row.dataset);
+    const bool has_labels = spec.num_classes > 0;
+    data::DatasetScale ds_scale;
+    ds_scale.size = scale.size;
+    switch (row.dataset) {
+      case data::PaperDataset::kEcg:
+        ds_scale.length = scale.length * 0.3;
+        break;
+      case data::PaperDataset::kMgh:
+        ds_scale.length = scale.length * 0.2;
+        ds_scale.size = scale.size * 0.6;
+        break;
+      default:
+        ds_scale.length = scale.length;
+    }
+    data::SplitDataset split = data::MakePaperDataset(row.dataset, ds_scale, 2100);
+    const Frontend frontend = FrontendFor(row.dataset);
+    std::printf("%s (valid %lld, length %lld)\n", spec.name.c_str(),
+                static_cast<long long>(split.valid.size()),
+                static_cast<long long>(split.valid.length()));
+    std::printf("%-10s %12s %10s %12s %10s\n", "method", "classify-s", "paper",
+                "impute-s", "paper");
+
+    for (Method method : AllMethods()) {
+      const int mi = static_cast<int>(method);
+      if (OomAtPaperScale(method, spec)) {
+        std::printf("%-10s %12s %10s %12s %10s   (OOM at paper scale)\n",
+                    MethodName(method), "N/A", "N/A", "N/A", "N/A");
+        csv.WriteValues(spec.name, MethodName(method), "both", "N/A", "N/A");
+        continue;
+      }
+      Rng rng(2200 + static_cast<uint64_t>(method));
+      const int64_t tokens =
+          (split.train.length() - frontend.window) / frontend.stride + 2;
+      auto model = MakeModel(method, split.train, frontend, scale,
+                             DefaultGroups(tokens), &rng);
+      train::TrainOptions topts = BenchTrainOptions(scale, 2300);
+      train::Trainer trainer(model.get(), topts);
+
+      double cls_sec = -1.0;
+      if (has_labels) {
+        cls_sec = trainer.TimeInference(split.valid, /*classification=*/true);
+      }
+      const double imp_sec = trainer.TimeInference(split.valid, false);
+
+      auto fmt = [](double v) {
+        char buf[32];
+        if (v < 0) {
+          std::snprintf(buf, sizeof(buf), "n/a");
+        } else {
+          std::snprintf(buf, sizeof(buf), "%.3f", v);
+        }
+        return std::string(buf);
+      };
+      std::printf("%-10s %12s %10s %12s %10s\n", MethodName(method),
+                  fmt(cls_sec).c_str(), PaperNum(row.cls[mi]).c_str(),
+                  fmt(imp_sec).c_str(), PaperNum(row.imp[mi]).c_str());
+      if (has_labels) {
+        csv.WriteValues(spec.name, MethodName(method), "classification", cls_sec,
+                        PaperNum(row.cls[mi]));
+      }
+      csv.WriteValues(spec.name, MethodName(method), "imputation", imp_sec,
+                      PaperNum(row.imp[mi]));
+    }
+    std::printf("\n");
+  }
+  RITA_CHECK(csv.Close().ok());
+  std::printf("series written to bench_table6_inference.csv\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rita
+
+int main(int argc, char** argv) {
+  rita::bench::Run(rita::bench::ParseScale(argc, argv));
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Batch-planner ablation (beyond the paper's tables; supports Sec. 5.2 and
+// Appendix A.3): prediction quality of (a) a single global curve fit vs
+// (b) the DP plane division, against ground-truth Alg. 2 probes on a held-out
+// grid, plus the speedup of predicting over probing.
+//
+// Expected shape: the DP division's SSE is never worse than the global fit's
+// (the paper proves the DP optimal over guillotine divisions) and held-out
+// relative error stays in single-digit percents.
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/batch_planner.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+
+namespace rita {
+namespace bench {
+namespace {
+
+void Run(const BenchScale& scale) {
+  (void)scale;
+  std::printf("=== Batch planner ablation (Sec. 5.2 / Appendix A.3) ===\n\n");
+  auto csv_open = CsvWriter::Open("bench_table8_batch_planner.csv");
+  RITA_CHECK(csv_open.ok());
+  CsvWriter csv = csv_open.MoveValueOrDie();
+  csv.WriteRow({"attention", "fit", "total_sse", "regions", "heldout_mean_rel_err"});
+
+  for (attn::AttentionKind kind :
+       {attn::AttentionKind::kGroup, attn::AttentionKind::kVanilla}) {
+    core::EncoderShape shape;  // paper-sized encoder on the 16 GB device
+    shape.kind = kind;
+    core::MemoryModel model(shape);
+    core::BatchPlannerOptions options;
+    options.max_length = 10000;
+    options.num_samples = 64;
+    core::BatchPlanner planner(model, options);
+    Rng rng(31);
+    planner.Calibrate(&rng);
+
+    // Single global fit vs the DP division on the same calibration samples.
+    const core::FittedFunction global = core::FitBest(planner.calibration_samples());
+    const core::PlaneDivision& division = planner.division();
+
+    // Held-out grid evaluation.
+    Rng heldout(77);
+    double err_global = 0.0, err_dp = 0.0;
+    const int kHeldout = 60;
+    for (int i = 0; i < kHeldout; ++i) {
+      const int64_t length = 5 + heldout.UniformInt(options.max_length - 5 + 1);
+      const int64_t tokens = model.shape().Tokens(length);
+      const int64_t groups = 1 + heldout.UniformInt(tokens);
+      const double truth = static_cast<double>(planner.ProbeBatchSize(length, groups));
+      const double pg = global.Predict(length, groups);
+      const double pd = division.Predict(length, groups);
+      err_global += std::fabs(pg - truth) / truth;
+      err_dp += std::fabs(pd - truth) / truth;
+    }
+    err_global /= kHeldout;
+    err_dp /= kHeldout;
+
+    std::printf("%s attention:\n", attn::AttentionKindName(kind));
+    std::printf("  %-18s sse %12.1f  regions %2d  held-out rel err %6.2f%%\n",
+                "global fit", global.sse, 1, 100.0 * err_global);
+    std::printf("  %-18s sse %12.1f  regions %2zu  held-out rel err %6.2f%%\n",
+                "DP plane division", division.total_sse, division.regions.size(),
+                100.0 * err_dp);
+    RITA_CHECK(division.total_sse <= global.sse + 1e-6)
+        << "DP must not lose to the single fit";
+    csv.WriteValues(attn::AttentionKindName(kind), "global", global.sse, 1,
+                    err_global);
+    csv.WriteValues(attn::AttentionKindName(kind), "dp_division", division.total_sse,
+                    division.regions.size(), err_dp);
+
+    // Probe vs predict latency (why the learned function exists at all).
+    Stopwatch probe_watch;
+    for (int i = 0; i < 200; ++i) planner.ProbeBatchSize(8000, 64);
+    const double probe_us = probe_watch.ElapsedSeconds() / 200.0 * 1e6;
+    Stopwatch predict_watch;
+    for (int i = 0; i < 200; ++i) planner.PredictBatchSize(8000, 64);
+    const double predict_us = predict_watch.ElapsedSeconds() / 200.0 * 1e6;
+    std::printf("  probe %.1fus vs predict %.1fus per query\n\n", probe_us, predict_us);
+  }
+  RITA_CHECK(csv.Close().ok());
+  std::printf("series written to bench_table8_batch_planner.csv\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rita
+
+int main(int argc, char** argv) {
+  rita::bench::Run(rita::bench::ParseScale(argc, argv));
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Similarity search & clustering over RITA embeddings (Appendix A.7.4):
+// pretrain an encoder without any labels, embed every series via the [CLS]
+// output, then (a) answer nearest-neighbour queries and (b) cluster the
+// embedding space with k-means — showing the label structure emerges from
+// self-supervision alone.
+//
+//   ./build/examples/similarity_search
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "data/generators.h"
+#include "util/logging.h"
+#include "train/pipeline.h"
+
+using namespace rita;  // NOLINT: example brevity
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+
+  data::HarOptions data_options;
+  data_options.num_samples = 360;
+  data_options.length = 80;
+  data_options.num_classes = 4;
+  data_options.noise = 0.1f;
+  data_options.seed = 9;
+  data::TimeseriesDataset dataset = data::GenerateHar(data_options);
+
+  train::PipelineOptions options;
+  options.model.input_channels = 3;
+  options.model.input_length = 80;
+  options.model.window = 5;
+  options.model.stride = 5;
+  options.model.num_classes = 0;  // no labels anywhere in this example
+  options.model.encoder.dim = 32;
+  options.model.encoder.num_layers = 2;
+  options.model.encoder.num_heads = 2;
+  options.model.encoder.ffn_hidden = 64;
+  options.model.encoder.attention.kind = attn::AttentionKind::kGroup;
+  options.model.encoder.attention.group.num_groups = 8;
+  options.train.epochs = 10;
+  options.train.batch_size = 32;
+  options.train.adamw.lr = 2e-3f;
+  options.seed = 3;
+  train::RitaPipeline pipeline(options);
+
+  std::printf("pretraining on %lld unlabeled series...\n",
+              static_cast<long long>(dataset.size()));
+  pipeline.Pretrain(dataset);
+  Tensor emb = pipeline.Embed(dataset.series);  // [n, dim]
+  const int64_t n = emb.size(0), d = emb.size(1);
+
+  // (a) Nearest-neighbour queries: does the top hit share the query's class?
+  int64_t hits = 0;
+  const int64_t num_queries = 50;
+  for (int64_t q = 0; q < num_queries; ++q) {
+    double best = 1e300;
+    int64_t best_j = -1;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == q) continue;
+      double dist = 0.0;
+      for (int64_t k = 0; k < d; ++k) {
+        const double diff = emb.At({q, k}) - emb.At({j, k});
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_j = j;
+      }
+    }
+    if (dataset.labels[best_j] == dataset.labels[q]) ++hits;
+  }
+  std::printf("1-NN in embedding space: %.0f%% of top hits share the query class "
+              "(chance %.0f%%)\n",
+              100.0 * hits / num_queries, 100.0 / data_options.num_classes);
+
+  // (b) k-means clustering of the embeddings; score cluster purity.
+  cluster::KMeansOptions km;
+  km.num_clusters = data_options.num_classes;
+  km.max_iters = 20;
+  km.kmeanspp_init = true;
+  Rng rng(4);
+  cluster::KMeansResult clusters = cluster::RunKMeans(emb, km, &rng);
+
+  double purity = 0.0;
+  for (int64_t c = 0; c < clusters.num_clusters(); ++c) {
+    std::map<int64_t, int64_t> votes;
+    for (int64_t i = 0; i < n; ++i) {
+      if (clusters.assignment[i] == c) ++votes[dataset.labels[i]];
+    }
+    int64_t top = 0;
+    for (auto& [label, count] : votes) top = std::max(top, count);
+    purity += static_cast<double>(top);
+  }
+  purity /= static_cast<double>(n);
+  std::printf("k-means purity over embeddings: %.0f%% (chance %.0f%%)\n",
+              100.0 * purity, 100.0 / data_options.num_classes);
+  return 0;
+}

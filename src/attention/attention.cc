@@ -1,0 +1,126 @@
+#include "attention/attention.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace rita {
+namespace attn {
+
+const char* AttentionKindName(AttentionKind kind) {
+  switch (kind) {
+    case AttentionKind::kVanilla:
+      return "Vanilla";
+    case AttentionKind::kGroup:
+      return "GroupAttn";
+    case AttentionKind::kPerformer:
+      return "Performer";
+    case AttentionKind::kLinformer:
+      return "Linformer";
+  }
+  return "Unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Vanilla
+// ---------------------------------------------------------------------------
+
+VanillaAttention::VanillaAttention(int64_t head_dim, float dropout, Rng* rng)
+    : scale_(1.0f / std::sqrt(static_cast<float>(head_dim))),
+      dropout_(dropout),
+      rng_(rng) {}
+
+ag::Variable VanillaAttention::Forward(const ag::Variable& q, const ag::Variable& k,
+                                       const ag::Variable& v) {
+  // scores [BH, n, n] -- the O(n^2) object group attention avoids.
+  ag::Variable scores = ag::MulScalar(ag::Bmm(q, k, false, true), scale_);
+  ag::Variable probs = ag::SoftmaxLastDim(scores);
+  probs = ag::Dropout(probs, dropout_, training(), rng_);
+  return ag::Bmm(probs, v);
+}
+
+// ---------------------------------------------------------------------------
+// Performer (FAVOR+)
+// ---------------------------------------------------------------------------
+
+PerformerAttention::PerformerAttention(int64_t head_dim, int64_t num_features, Rng* rng)
+    : head_dim_(head_dim), num_features_(num_features), rng_(rng) {
+  RedrawFeatures();
+}
+
+void PerformerAttention::RedrawFeatures() {
+  omega_ = Tensor::RandNormal({head_dim_, num_features_}, rng_);
+}
+
+ag::Variable PerformerAttention::Forward(const ag::Variable& q, const ag::Variable& k,
+                                         const ag::Variable& v) {
+  // exp(q.k / sqrt(d)) is the softmax kernel on q' = q / d^{1/4}, k' = k / d^{1/4}.
+  const float scale = 1.0f / std::pow(static_cast<float>(head_dim_), 0.25f);
+  ag::Variable qs = ag::MulScalar(q, scale);
+  ag::Variable ks = ag::MulScalar(k, scale);
+  const float inv_sqrt_m = 1.0f / std::sqrt(static_cast<float>(num_features_));
+  ag::Variable omega(omega_);  // constant projection
+
+  auto features = [&](const ag::Variable& x, bool per_row_shift) {
+    // phi(x) = exp(x W - |x|^2/2) / sqrt(m), FAVOR+ stabilised. A per-row
+    // shift multiplies the whole feature row by a constant, which cancels for
+    // queries (numerator and denominator scale together) but NOT for keys —
+    // keys must share one global shift or the kernel weights are distorted.
+    ag::Variable proj = ag::Bmm(x, omega);                                // [BH, n, m]
+    ag::Variable sq = ag::MulScalar(ag::Sum(ag::Square(x), -1, true), 0.5f);  // [BH,n,1]
+    ag::Variable shifted = ag::Sub(proj, sq);
+    Tensor shift;
+    if (per_row_shift) {
+      shift = ops::MaxLastDim(shifted.data());  // [BH, n, 1], constant
+    } else {
+      const float* p = shifted.data().data();
+      float mx = p[0];
+      for (int64_t i = 1; i < shifted.numel(); ++i) mx = std::max(mx, p[i]);
+      shift = Tensor::Scalar(mx);
+    }
+    ag::Variable stable = ag::Sub(shifted, ag::Variable(shift));
+    return ag::MulScalar(ag::Exp(stable), inv_sqrt_m);
+  };
+
+  ag::Variable phi_q = features(qs, /*per_row_shift=*/true);   // [BH, n, m]
+  ag::Variable phi_k = features(ks, /*per_row_shift=*/false);  // [BH, n, m]
+
+  // Linear attention: numerator = phi_q (phi_k^T V); denominator = phi_q (phi_k^T 1).
+  ag::Variable kv = ag::Bmm(phi_k, v, /*trans_a=*/true, /*trans_b=*/false);  // [BH,m,dv]
+  ag::Variable numer = ag::Bmm(phi_q, kv);                                   // [BH,n,dv]
+  ag::Variable k_sum = ag::Sum(phi_k, 1, true);                              // [BH,1,m]
+  ag::Variable denom = ag::Bmm(phi_q, ag::TransposeLast2(k_sum));            // [BH,n,1]
+  return ag::Div(numer, ag::AddScalar(denom, 1e-6f));
+}
+
+// ---------------------------------------------------------------------------
+// Linformer
+// ---------------------------------------------------------------------------
+
+LinformerAttention::LinformerAttention(int64_t head_dim, int64_t seq_len,
+                                       int64_t proj_dim, Rng* rng)
+    : scale_(1.0f / std::sqrt(static_cast<float>(head_dim))),
+      seq_len_(seq_len),
+      proj_dim_(proj_dim) {
+  // N(0, 1/k) init per the Linformer paper.
+  const float std = 1.0f / std::sqrt(static_cast<float>(proj_dim));
+  e_ = RegisterParameter("e", Tensor::RandNormal({proj_dim, seq_len}, rng, 0.0f, std));
+  f_ = RegisterParameter("f", Tensor::RandNormal({proj_dim, seq_len}, rng, 0.0f, std));
+}
+
+ag::Variable LinformerAttention::Forward(const ag::Variable& q, const ag::Variable& k,
+                                         const ag::Variable& v) {
+  RITA_CHECK_EQ(k.size(1), seq_len_)
+      << "Linformer requires the configured sequence length";
+  // K' = E K: project along the sequence axis via K^T E^T, then transpose.
+  ag::Variable k_proj =
+      ag::TransposeLast2(ag::Bmm(ag::TransposeLast2(k), e_, false, true));  // [BH,kp,d]
+  ag::Variable v_proj =
+      ag::TransposeLast2(ag::Bmm(ag::TransposeLast2(v), f_, false, true));  // [BH,kp,d]
+  ag::Variable scores = ag::MulScalar(ag::Bmm(q, k_proj, false, true), scale_);
+  ag::Variable probs = ag::SoftmaxLastDim(scores);  // [BH, n, kp]
+  return ag::Bmm(probs, v_proj);
+}
+
+}  // namespace attn
+}  // namespace rita

@@ -1,0 +1,106 @@
+// Attention mechanism interface and the baseline implementations compared in
+// the paper: canonical (vanilla) scaled-dot-product attention, Performer
+// (FAVOR+ random features) and Linformer (low-rank length projection).
+// RITA's group attention implements the same interface in src/core.
+#ifndef RITA_ATTENTION_ATTENTION_H_
+#define RITA_ATTENTION_ATTENTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace rita {
+namespace attn {
+
+/// Which attention kernel a RITA encoder layer uses.
+enum class AttentionKind {
+  kVanilla = 0,
+  kGroup = 1,
+  kPerformer = 2,
+  kLinformer = 3,
+};
+
+const char* AttentionKindName(AttentionKind kind);
+
+/// Per-head attention computation: Q, K, V are [BH, n, d_head]; returns the
+/// attended values [BH, n, d_head]. Implementations may own parameters (e.g.
+/// Linformer projections), so the interface extends nn::Module.
+class AttentionMechanism : public nn::Module {
+ public:
+  ~AttentionMechanism() override = default;
+
+  virtual ag::Variable Forward(const ag::Variable& q, const ag::Variable& k,
+                               const ag::Variable& v) = 0;
+
+  virtual AttentionKind kind() const = 0;
+
+  /// Informational: attention-matrix memory footprint in floats for a length-n
+  /// sequence (n^2 for vanilla, n*N for group attention, ...). Used by the
+  /// analytic memory model of the batch planner.
+  virtual int64_t ScoreMatrixElements(int64_t n) const = 0;
+};
+
+/// Canonical softmax(QK^T / sqrt(d)) V. O(n^2) time and space.
+class VanillaAttention : public AttentionMechanism {
+ public:
+  VanillaAttention(int64_t head_dim, float dropout, Rng* rng);
+
+  ag::Variable Forward(const ag::Variable& q, const ag::Variable& k,
+                       const ag::Variable& v) override;
+  AttentionKind kind() const override { return AttentionKind::kVanilla; }
+  int64_t ScoreMatrixElements(int64_t n) const override { return n * n; }
+
+ private:
+  float scale_;
+  float dropout_;
+  Rng* rng_;
+};
+
+/// Performer / FAVOR+ with positive softmax-kernel features
+/// phi(x) = exp(w.x - |x|^2 / 2) / sqrt(m). Bidirectional (non-causal).
+class PerformerAttention : public AttentionMechanism {
+ public:
+  /// `num_features` is m, the random-feature count; features are redrawn with
+  /// RedrawFeatures() (the trainer does this once per epoch).
+  PerformerAttention(int64_t head_dim, int64_t num_features, Rng* rng);
+
+  ag::Variable Forward(const ag::Variable& q, const ag::Variable& k,
+                       const ag::Variable& v) override;
+  AttentionKind kind() const override { return AttentionKind::kPerformer; }
+  int64_t ScoreMatrixElements(int64_t n) const override { return n * num_features_; }
+
+  void RedrawFeatures();
+
+ private:
+  int64_t head_dim_;
+  int64_t num_features_;
+  Rng* rng_;
+  Tensor omega_;  // [head_dim, m] random projection (not trained)
+};
+
+/// Linformer: projects K and V along the sequence axis with learnable E, F in
+/// R^{k x n}; attention cost becomes O(n k). Requires a fixed sequence length.
+class LinformerAttention : public AttentionMechanism {
+ public:
+  LinformerAttention(int64_t head_dim, int64_t seq_len, int64_t proj_dim, Rng* rng);
+
+  ag::Variable Forward(const ag::Variable& q, const ag::Variable& k,
+                       const ag::Variable& v) override;
+  AttentionKind kind() const override { return AttentionKind::kLinformer; }
+  int64_t ScoreMatrixElements(int64_t n) const override { return n * proj_dim_; }
+
+  int64_t seq_len() const { return seq_len_; }
+
+ private:
+  float scale_;
+  int64_t seq_len_, proj_dim_;
+  ag::Variable e_, f_;  // [proj_dim, seq_len]
+};
+
+}  // namespace attn
+}  // namespace rita
+
+#endif  // RITA_ATTENTION_ATTENTION_H_

@@ -1,0 +1,52 @@
+#include "attention/multi_head.h"
+
+namespace rita {
+namespace attn {
+
+MultiHeadAttention::MultiHeadAttention(int64_t dim, int64_t num_heads,
+                                       std::unique_ptr<AttentionMechanism> mechanism,
+                                       Rng* rng)
+    : dim_(dim),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads),
+      mechanism_(std::move(mechanism)),
+      wq_(dim, dim, rng),
+      wk_(dim, dim, rng),
+      wv_(dim, dim, rng),
+      wo_(dim, dim, rng) {
+  RITA_CHECK_EQ(dim % num_heads, 0) << "dim must be divisible by num_heads";
+  RITA_CHECK(mechanism_ != nullptr);
+  RegisterModule("wq", &wq_);
+  RegisterModule("wk", &wk_);
+  RegisterModule("wv", &wv_);
+  RegisterModule("wo", &wo_);
+  RegisterModule("mech", mechanism_.get());
+}
+
+ag::Variable MultiHeadAttention::Forward(const ag::Variable& x) {
+  RITA_CHECK_EQ(x.dim(), 3);
+  RITA_CHECK_EQ(x.size(2), dim_);
+  const int64_t b = x.size(0), n = x.size(1);
+
+  // [B, n, d] -> [B*H, n, d_head]
+  auto split_heads = [&](const ag::Variable& t) {
+    ag::Variable r = ag::Reshape(t, {b, n, num_heads_, head_dim_});
+    r = ag::Permute(r, {0, 2, 1, 3});
+    return ag::Reshape(r, {b * num_heads_, n, head_dim_});
+  };
+
+  ag::Variable q = split_heads(wq_.Forward(x));
+  ag::Variable k = split_heads(wk_.Forward(x));
+  ag::Variable v = split_heads(wv_.Forward(x));
+
+  ag::Variable o = mechanism_->Forward(q, k, v);  // [B*H, n, d_head]
+
+  // Merge heads back: [B*H, n, d_head] -> [B, n, d]
+  o = ag::Reshape(o, {b, num_heads_, n, head_dim_});
+  o = ag::Permute(o, {0, 2, 1, 3});
+  o = ag::Reshape(o, {b, n, dim_});
+  return wo_.Forward(o);
+}
+
+}  // namespace attn
+}  // namespace rita

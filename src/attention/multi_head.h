@@ -1,0 +1,37 @@
+// Multi-head wrapper: projects the model dim into heads, runs any
+// AttentionMechanism per head, and projects back.
+#ifndef RITA_ATTENTION_MULTI_HEAD_H_
+#define RITA_ATTENTION_MULTI_HEAD_H_
+
+#include <memory>
+
+#include "attention/attention.h"
+#include "nn/layers.h"
+
+namespace rita {
+namespace attn {
+
+/// Standard multi-head attention block with a pluggable score kernel.
+class MultiHeadAttention : public nn::Module {
+ public:
+  /// Takes ownership of `mechanism`. `dim` must be divisible by `num_heads`.
+  MultiHeadAttention(int64_t dim, int64_t num_heads,
+                     std::unique_ptr<AttentionMechanism> mechanism, Rng* rng);
+
+  /// x: [B, n, dim] -> [B, n, dim].
+  ag::Variable Forward(const ag::Variable& x);
+
+  AttentionMechanism* mechanism() { return mechanism_.get(); }
+  int64_t num_heads() const { return num_heads_; }
+  int64_t head_dim() const { return head_dim_; }
+
+ private:
+  int64_t dim_, num_heads_, head_dim_;
+  std::unique_ptr<AttentionMechanism> mechanism_;
+  nn::Linear wq_, wk_, wv_, wo_;
+};
+
+}  // namespace attn
+}  // namespace rita
+
+#endif  // RITA_ATTENTION_MULTI_HEAD_H_

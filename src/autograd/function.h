@@ -1,0 +1,46 @@
+// Base class for differentiable operations. Concrete ops store whatever
+// forward-pass state their backward needs (saved tensors, masks, shapes).
+#ifndef RITA_AUTOGRAD_FUNCTION_H_
+#define RITA_AUTOGRAD_FUNCTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace rita {
+namespace ag {
+
+/// A node of the backward graph: one per forward op application.
+class Function {
+ public:
+  virtual ~Function() = default;
+
+  /// Op name for debugging ("MatMul", "GroupAttention", ...).
+  virtual std::string name() const = 0;
+
+  /// Given dL/d(output), returns dL/d(input_i) for every input, in order.
+  /// Entries for inputs with requires_grad == false may be undefined tensors.
+  virtual std::vector<Tensor> Backward(const Tensor& grad_output) = 0;
+
+  const std::vector<Variable>& inputs() const { return inputs_; }
+
+  /// Wires `out` as the output of `fn` applied to `inputs` (records the edge
+  /// only when grad mode is on and some input requires grad).
+  static void Connect(std::shared_ptr<Function> fn, std::vector<Variable> inputs,
+                      Variable* out);
+
+  internal::VariableImpl* output_id() const { return output_id_; }
+
+ protected:
+  std::vector<Variable> inputs_;
+  // Raw pointer is safe: the output impl is kept alive by whichever downstream
+  // consumer (or the backward root) reaches this function.
+  internal::VariableImpl* output_id_ = nullptr;
+};
+
+}  // namespace ag
+}  // namespace rita
+
+#endif  // RITA_AUTOGRAD_FUNCTION_H_

@@ -1,0 +1,61 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace rita {
+namespace ag {
+
+GradCheckResult GradCheck(
+    const std::function<Variable(const std::vector<Variable>&)>& f,
+    std::vector<Variable> inputs, const GradCheckOptions& options) {
+  GradCheckResult result;
+
+  // Analytic gradients.
+  for (Variable& v : inputs) v.ZeroGrad();
+  Variable out = f(inputs);
+  RITA_CHECK_EQ(out.numel(), 1) << "GradCheck requires scalar objective";
+  out.Backward();
+
+  std::vector<Tensor> analytic;
+  analytic.reserve(inputs.size());
+  for (Variable& v : inputs) {
+    RITA_CHECK(v.requires_grad());
+    analytic.push_back(v.has_grad() ? v.grad().Clone() : Tensor::Zeros(v.shape()));
+  }
+
+  // Numeric gradients via central differences (graph construction disabled).
+  NoGradGuard guard;
+  for (size_t vi = 0; vi < inputs.size(); ++vi) {
+    Variable& v = inputs[vi];
+    float* p = v.mutable_data().data();
+    const int64_t n = v.numel();
+    const int64_t checks =
+        options.max_checks > 0 ? std::min<int64_t>(n, options.max_checks) : n;
+    const int64_t step = std::max<int64_t>(1, n / checks);
+    for (int64_t i = 0; i < n; i += step) {
+      const float orig = p[i];
+      p[i] = orig + static_cast<float>(options.eps);
+      const double f_plus = f(inputs).data().Item();
+      p[i] = orig - static_cast<float>(options.eps);
+      const double f_minus = f(inputs).data().Item();
+      p[i] = orig;
+      const double numeric = (f_plus - f_minus) / (2.0 * options.eps);
+      const double exact = analytic[vi].data()[i];
+      const double err = std::fabs(numeric - exact);
+      const double bound = options.atol + options.rtol * std::fabs(numeric);
+      if (err > bound) {
+        std::ostringstream os;
+        os << "input " << vi << " elem " << i << ": analytic " << exact << " numeric "
+           << numeric << " |err| " << err << " > " << bound;
+        result.ok = false;
+        result.message = os.str();
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ag
+}  // namespace rita

@@ -1,0 +1,35 @@
+// Finite-difference gradient verification used throughout the test suite.
+#ifndef RITA_AUTOGRAD_GRADCHECK_H_
+#define RITA_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace rita {
+namespace ag {
+
+struct GradCheckOptions {
+  double eps = 1e-2;        // central-difference step (float32 -> fairly large)
+  double rtol = 5e-2;       // relative tolerance
+  double atol = 1e-2;       // absolute tolerance
+  int64_t max_checks = 0;   // 0 = check every element
+};
+
+struct GradCheckResult {
+  bool ok = true;
+  std::string message;  // first failure description
+};
+
+/// Checks the analytic gradient of scalar-valued `f` against central
+/// differences at `inputs`. Every input must require grad.
+GradCheckResult GradCheck(
+    const std::function<Variable(const std::vector<Variable>&)>& f,
+    std::vector<Variable> inputs, const GradCheckOptions& options = {});
+
+}  // namespace ag
+}  // namespace rita
+
+#endif  // RITA_AUTOGRAD_GRADCHECK_H_

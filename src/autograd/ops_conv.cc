@@ -1,0 +1,100 @@
+// Unfold / Fold: the adjoint pair from which Conv1d and ConvTranspose1d are
+// assembled (unfold + matmul, matmul + fold).
+#include "autograd/function.h"
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace rita {
+namespace ag {
+
+namespace {
+
+// Raw kernels shared by forward and backward.
+
+// x [B, T, C] -> out [B, n_win, w*C]
+Tensor UnfoldKernel(const Tensor& x, int64_t window, int64_t stride) {
+  const int64_t b = x.size(0), t = x.size(1), c = x.size(2);
+  RITA_CHECK_GE(t, window);
+  const int64_t n_win = (t - window) / stride + 1;
+  Tensor out({b, n_win, window * c});
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const float* xb = px + bi * t * c;
+    float* ob = po + bi * n_win * window * c;
+    for (int64_t i = 0; i < n_win; ++i) {
+      const float* src = xb + (i * stride) * c;
+      std::copy(src, src + window * c, ob + i * window * c);
+    }
+  }
+  return out;
+}
+
+// x [B, n_win, w*C] -> out [B, T, C], overlapping windows summed.
+Tensor FoldKernel(const Tensor& x, int64_t out_len, int64_t channels, int64_t window,
+                  int64_t stride) {
+  const int64_t b = x.size(0), n_win = x.size(1);
+  RITA_CHECK_EQ(x.size(2), window * channels);
+  RITA_CHECK_GE(out_len, (n_win - 1) * stride + window);
+  Tensor out({b, out_len, channels});
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const float* xb = px + bi * n_win * window * channels;
+    float* ob = po + bi * out_len * channels;
+    for (int64_t i = 0; i < n_win; ++i) {
+      const float* src = xb + i * window * channels;
+      float* dst = ob + (i * stride) * channels;
+      for (int64_t j = 0; j < window * channels; ++j) dst[j] += src[j];
+    }
+  }
+  return out;
+}
+
+class Unfold1dFunction : public Function {
+ public:
+  Unfold1dFunction(int64_t t, int64_t c, int64_t window, int64_t stride)
+      : t_(t), c_(c), window_(window), stride_(stride) {}
+  std::string name() const override { return "Unfold1d"; }
+  std::vector<Tensor> Backward(const Tensor& g) override {
+    return {FoldKernel(g, t_, c_, window_, stride_)};
+  }
+
+ private:
+  int64_t t_, c_, window_, stride_;
+};
+
+class Fold1dFunction : public Function {
+ public:
+  Fold1dFunction(int64_t window, int64_t stride) : window_(window), stride_(stride) {}
+  std::string name() const override { return "Fold1d"; }
+  std::vector<Tensor> Backward(const Tensor& g) override {
+    return {UnfoldKernel(g, window_, stride_)};
+  }
+
+ private:
+  int64_t window_, stride_;
+};
+
+}  // namespace
+
+Variable Unfold1d(const Variable& x, int64_t window, int64_t stride) {
+  RITA_CHECK_EQ(x.dim(), 3) << "Unfold1d expects [B, T, C]";
+  RITA_CHECK_GT(stride, 0);
+  Variable out(UnfoldKernel(x.data(), window, stride));
+  Function::Connect(
+      std::make_shared<Unfold1dFunction>(x.size(1), x.size(2), window, stride), {x}, &out);
+  return out;
+}
+
+Variable Fold1d(const Variable& x, int64_t out_len, int64_t channels, int64_t window,
+                int64_t stride) {
+  RITA_CHECK_EQ(x.dim(), 3) << "Fold1d expects [B, n_win, w*C]";
+  RITA_CHECK_GT(stride, 0);
+  Variable out(FoldKernel(x.data(), out_len, channels, window, stride));
+  Function::Connect(std::make_shared<Fold1dFunction>(window, stride), {x}, &out);
+  return out;
+}
+
+}  // namespace ag
+}  // namespace rita

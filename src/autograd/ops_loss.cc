@@ -1,0 +1,102 @@
+// Fused loss functions: cross-entropy from logits and masked MSE.
+#include <cmath>
+
+#include "autograd/function.h"
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace rita {
+namespace ag {
+
+namespace {
+
+class CrossEntropyFunction : public Function {
+ public:
+  CrossEntropyFunction(Tensor probs, std::vector<int64_t> labels)
+      : probs_(std::move(probs)), labels_(std::move(labels)) {}
+  std::string name() const override { return "CrossEntropy"; }
+
+  std::vector<Tensor> Backward(const Tensor& g) override {
+    const int64_t b = probs_.size(0), c = probs_.size(1);
+    Tensor dx = probs_.Clone();
+    float* p = dx.data();
+    const float scale = g.Item() / static_cast<float>(b);
+    for (int64_t i = 0; i < b; ++i) {
+      p[i * c + labels_[i]] -= 1.0f;
+    }
+    ops::ScaleInPlace(&dx, scale);
+    return {dx};
+  }
+
+ private:
+  Tensor probs_;
+  std::vector<int64_t> labels_;
+};
+
+class MaskedMseFunction : public Function {
+ public:
+  MaskedMseFunction(Tensor diff, Tensor mask, float inv_denom)
+      : diff_(std::move(diff)), mask_(std::move(mask)), inv_denom_(inv_denom) {}
+  std::string name() const override { return "MaskedMse"; }
+
+  std::vector<Tensor> Backward(const Tensor& g) override {
+    Tensor dx = ops::Mul(diff_, mask_);
+    ops::ScaleInPlace(&dx, 2.0f * inv_denom_ * g.Item());
+    return {dx};
+  }
+
+ private:
+  Tensor diff_;
+  Tensor mask_;
+  float inv_denom_;
+};
+
+}  // namespace
+
+Variable CrossEntropy(const Variable& logits, const std::vector<int64_t>& labels) {
+  RITA_CHECK_EQ(logits.dim(), 2);
+  const int64_t b = logits.size(0), c = logits.size(1);
+  RITA_CHECK_EQ(static_cast<int64_t>(labels.size()), b);
+
+  const float* px = logits.data().data();
+  Tensor probs({b, c});
+  float* pp = probs.data();
+  double loss = 0.0;
+  for (int64_t i = 0; i < b; ++i) {
+    RITA_CHECK_GE(labels[i], 0);
+    RITA_CHECK_LT(labels[i], c);
+    const float* row = px + i * c;
+    float mx = row[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < c; ++j) denom += std::exp(row[j] - mx);
+    const float lse = mx + std::log(denom);
+    float* prow = pp + i * c;
+    for (int64_t j = 0; j < c; ++j) prow[j] = std::exp(row[j] - lse);
+    loss += lse - row[labels[i]];
+  }
+  Variable out(Tensor::Scalar(static_cast<float>(loss / b)));
+  Function::Connect(std::make_shared<CrossEntropyFunction>(probs, labels), {logits}, &out);
+  return out;
+}
+
+Variable MaskedMse(const Variable& pred, const Tensor& target, const Tensor& mask) {
+  RITA_CHECK(pred.shape() == target.shape());
+  RITA_CHECK(pred.shape() == mask.shape());
+  Tensor diff = ops::Sub(pred.data(), target);
+  const float* pd = diff.data();
+  const float* pm = mask.data();
+  double sq = 0.0, count = 0.0;
+  for (int64_t i = 0; i < diff.numel(); ++i) {
+    sq += static_cast<double>(pm[i]) * pd[i] * pd[i];
+    count += pm[i];
+  }
+  const float inv_denom = 1.0f / static_cast<float>(std::max(1.0, count));
+  Variable out(Tensor::Scalar(static_cast<float>(sq * inv_denom)));
+  Function::Connect(std::make_shared<MaskedMseFunction>(diff, mask, inv_denom), {pred},
+                    &out);
+  return out;
+}
+
+}  // namespace ag
+}  // namespace rita

@@ -1,0 +1,80 @@
+// Softmax family with fused backward rules.
+#include <cmath>
+
+#include "autograd/function.h"
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace rita {
+namespace ag {
+
+namespace {
+
+class SoftmaxFunction : public Function {
+ public:
+  explicit SoftmaxFunction(Tensor y) : y_(std::move(y)) {}
+  std::string name() const override { return "SoftmaxLastDim"; }
+
+  std::vector<Tensor> Backward(const Tensor& g) override {
+    // dx = y * (g - sum(g * y, last))
+    Tensor gy = ops::Mul(g, y_);
+    Tensor s = ops::Sum(gy, -1, /*keepdim=*/true);
+    Tensor dx = ops::Mul(y_, ops::Sub(g, s));
+    return {dx};
+  }
+
+ private:
+  Tensor y_;
+};
+
+class LogSoftmaxFunction : public Function {
+ public:
+  explicit LogSoftmaxFunction(Tensor log_y) : log_y_(std::move(log_y)) {}
+  std::string name() const override { return "LogSoftmaxLastDim"; }
+
+  std::vector<Tensor> Backward(const Tensor& g) override {
+    // dx = g - softmax(x) * sum(g, last)
+    Tensor probs = ops::Exp(log_y_);
+    Tensor s = ops::Sum(g, -1, /*keepdim=*/true);
+    Tensor dx = ops::Sub(g, ops::Mul(probs, s));
+    return {dx};
+  }
+
+ private:
+  Tensor log_y_;
+};
+
+}  // namespace
+
+Variable SoftmaxLastDim(const Variable& a) {
+  Tensor y = ops::SoftmaxLastDim(a.data());
+  Variable out(y);
+  Function::Connect(std::make_shared<SoftmaxFunction>(y), {a}, &out);
+  return out;
+}
+
+Variable LogSoftmaxLastDim(const Variable& a) {
+  // log_softmax(x) = x - max - log(sum(exp(x - max)))
+  const Tensor& x = a.data();
+  const int64_t last = x.size(-1);
+  const int64_t rows = x.numel() / last;
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = px + r * last;
+    float* orow = py + r * last;
+    float mx = row[0];
+    for (int64_t i = 1; i < last; ++i) mx = std::max(mx, row[i]);
+    float denom = 0.0f;
+    for (int64_t i = 0; i < last; ++i) denom += std::exp(row[i] - mx);
+    const float lse = mx + std::log(denom);
+    for (int64_t i = 0; i < last; ++i) orow[i] = row[i] - lse;
+  }
+  Variable out(y);
+  Function::Connect(std::make_shared<LogSoftmaxFunction>(y), {a}, &out);
+  return out;
+}
+
+}  // namespace ag
+}  // namespace rita

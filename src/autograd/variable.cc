@@ -1,0 +1,118 @@
+#include "autograd/variable.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "autograd/function.h"
+#include "tensor/tensor_ops.h"
+
+namespace rita {
+namespace ag {
+
+namespace {
+thread_local bool g_grad_mode = true;
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_mode; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_mode) { g_grad_mode = false; }
+NoGradGuard::~NoGradGuard() { g_grad_mode = prev_; }
+
+Variable::Variable(Tensor data, bool requires_grad)
+    : impl_(std::make_shared<internal::VariableImpl>()) {
+  impl_->data = std::move(data);
+  impl_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::grad() const {
+  RITA_CHECK(has_grad()) << "grad accessed before backward";
+  return impl_->grad;
+}
+
+void Variable::AccumulateGrad(const Tensor& g) {
+  RITA_CHECK(defined());
+  RITA_CHECK_EQ(g.numel(), impl_->data.numel())
+      << "grad shape mismatch for " << ShapeToString(impl_->data.shape());
+  if (!impl_->grad.defined()) {
+    impl_->grad = g.Clone();
+  } else {
+    ops::AddInPlace(&impl_->grad, g);
+  }
+}
+
+void Variable::ZeroGrad() {
+  if (impl_) impl_->grad = Tensor();
+}
+
+void Variable::Backward() {
+  RITA_CHECK_EQ(numel(), 1) << "Backward() without gradient requires scalar output";
+  Backward(Tensor::Scalar(1.0f));
+}
+
+void Variable::Backward(const Tensor& grad_output) {
+  RITA_CHECK(defined());
+  AccumulateGrad(grad_output);
+  if (!impl_->grad_fn) return;
+
+  // Iterative DFS post-order over the function graph.
+  std::vector<Function*> post_order;
+  std::unordered_set<Function*> visited;
+  struct Frame {
+    Function* fn;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_->grad_fn.get(), 0});
+  visited.insert(impl_->grad_fn.get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_input < frame.fn->inputs().size()) {
+      const Variable& input = frame.fn->inputs()[frame.next_input++];
+      Function* producer = input.grad_fn().get();
+      if (producer != nullptr && !visited.count(producer)) {
+        visited.insert(producer);
+        stack.push_back({producer, 0});
+      }
+    } else {
+      post_order.push_back(frame.fn);
+      stack.pop_back();
+    }
+  }
+
+  // Reverse post-order = consumers before producers.
+  for (auto it = post_order.rbegin(); it != post_order.rend(); ++it) {
+    Function* fn = *it;
+    internal::VariableImpl* out = fn->output_id();
+    RITA_CHECK(out != nullptr);
+    if (!out->grad.defined()) continue;  // no gradient flowed to this subgraph
+    std::vector<Tensor> input_grads = fn->Backward(out->grad);
+    RITA_CHECK_EQ(input_grads.size(), fn->inputs().size()) << "in " << fn->name();
+    for (size_t i = 0; i < input_grads.size(); ++i) {
+      Variable input = fn->inputs()[i];
+      if (!input.requires_grad() && input.grad_fn() == nullptr) continue;
+      if (!input_grads[i].defined()) continue;
+      input.AccumulateGrad(input_grads[i]);
+    }
+    // Free the intermediate gradient: only leaves and the root keep grads.
+    if (out != impl_.get()) out->grad = Tensor();
+  }
+}
+
+void Function::Connect(std::shared_ptr<Function> fn, std::vector<Variable> inputs,
+                       Variable* out) {
+  if (!GradModeEnabled()) return;
+  bool any = false;
+  for (const Variable& v : inputs) {
+    if (v.requires_grad() || v.grad_fn() != nullptr) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+  fn->inputs_ = std::move(inputs);
+  fn->output_id_ = out->id();
+  out->set_grad_fn(std::move(fn));
+}
+
+}  // namespace ag
+}  // namespace rita

@@ -1,0 +1,89 @@
+// Reverse-mode automatic differentiation. A Variable wraps a Tensor plus an
+// optional grad and a pointer to the Function that produced it; Backward()
+// topologically sorts the function graph and accumulates gradients into leaves.
+#ifndef RITA_AUTOGRAD_VARIABLE_H_
+#define RITA_AUTOGRAD_VARIABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rita {
+namespace ag {
+
+class Function;
+
+namespace internal {
+struct VariableImpl {
+  Tensor data;
+  Tensor grad;  // undefined until the first accumulation
+  bool requires_grad = false;
+  std::shared_ptr<Function> grad_fn;  // null for leaves
+};
+}  // namespace internal
+
+/// Handle to a node of the autograd graph. Copies share the underlying node.
+class Variable {
+ public:
+  /// Undefined variable (placeholder).
+  Variable() = default;
+
+  /// Wraps `data` as a leaf.
+  explicit Variable(Tensor data, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+
+  const Tensor& data() const { return impl_->data; }
+  Tensor& mutable_data() { return impl_->data; }
+
+  const Shape& shape() const { return impl_->data.shape(); }
+  int64_t size(int64_t d) const { return impl_->data.size(d); }
+  int64_t dim() const { return impl_->data.dim(); }
+  int64_t numel() const { return impl_->data.numel(); }
+
+  bool requires_grad() const { return impl_ && impl_->requires_grad; }
+  void set_requires_grad(bool v) { impl_->requires_grad = v; }
+
+  bool has_grad() const { return impl_ && impl_->grad.defined(); }
+  const Tensor& grad() const;
+  /// Adds `g` into this variable's grad buffer (allocating on first use).
+  void AccumulateGrad(const Tensor& g);
+  /// Drops the grad buffer.
+  void ZeroGrad();
+
+  std::shared_ptr<Function> grad_fn() const { return impl_ ? impl_->grad_fn : nullptr; }
+  void set_grad_fn(std::shared_ptr<Function> fn) { impl_->grad_fn = std::move(fn); }
+
+  /// Runs backward from this scalar (numel must be 1, seed gradient 1.0).
+  void Backward();
+  /// Runs backward with an explicit output gradient.
+  void Backward(const Tensor& grad_output);
+
+  /// Node identity (used as the key during the topological sort).
+  internal::VariableImpl* id() const { return impl_.get(); }
+
+ private:
+  std::shared_ptr<internal::VariableImpl> impl_;
+};
+
+/// RAII guard that disables graph construction (inference mode).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// True when ops should record the graph.
+bool GradModeEnabled();
+
+}  // namespace ag
+}  // namespace rita
+
+#endif  // RITA_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,150 @@
+#include "baselines/grail.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "cluster/kmeans.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/sink_kernel.h"
+#include "util/stopwatch.h"
+
+namespace rita {
+namespace baselines {
+
+Grail::Grail(const GrailOptions& options) : options_(options) {
+  RITA_CHECK_GT(options_.num_landmarks, 0);
+  RITA_CHECK_GE(options_.knn_k, 1);
+}
+
+std::vector<double> Grail::SeriesAt(const Tensor& series, int64_t index) const {
+  RITA_CHECK_EQ(series.dim(), 3);
+  RITA_CHECK_EQ(series.size(2), 1) << "GRAIL supports uni-variate series only";
+  const int64_t t = series.size(1);
+  std::vector<double> out(t);
+  const float* p = series.data() + index * t;
+  for (int64_t i = 0; i < t; ++i) out[i] = p[i];
+  linalg::ZNormalize(&out);
+  return out;
+}
+
+double Grail::Fit(const data::TimeseriesDataset& train) {
+  RITA_CHECK(train.labeled());
+  RITA_CHECK_EQ(train.channels(), 1) << "GRAIL supports uni-variate series only";
+  Stopwatch watch;
+  const int64_t n = train.size(), t = train.length();
+
+  // 1. Landmark selection: k-means over z-normalized series.
+  Tensor znorm({n, t});
+  for (int64_t i = 0; i < n; ++i) {
+    const std::vector<double> s = SeriesAt(train.series, i);
+    for (int64_t j = 0; j < t; ++j) znorm.At({i, j}) = static_cast<float>(s[j]);
+  }
+  cluster::KMeansOptions km;
+  km.num_clusters = std::min<int64_t>(options_.num_landmarks, n);
+  km.max_iters = options_.kmeans_iters;
+  km.kmeanspp_init = true;
+  Rng rng(options_.seed);
+  cluster::KMeansResult grouping = cluster::RunKMeans(znorm, km, &rng);
+  landmarks_ = grouping.centroids;  // [k, T]
+  const int64_t k = landmarks_.size(0);
+
+  // Landmarks as double rows.
+  std::vector<std::vector<double>> lm(k, std::vector<double>(t));
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < t; ++j) lm[i][j] = landmarks_.At({i, j});
+    linalg::ZNormalize(&lm[i]);
+  }
+
+  // 2 & 3. Nystrom: W = K(L, L); basis = W^{-1/2}.
+  linalg::Matrix w(k, std::vector<double>(k, 0.0));
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = i; j < k; ++j) {
+      const double v = linalg::SinkSimilarity(lm[i], lm[j], options_.gamma);
+      w[i][j] = v;
+      w[j][i] = v;
+    }
+  }
+  w_inv_sqrt_ = linalg::InverseSqrtPsd(w);
+
+  // Train representations for k-NN.
+  train_reps_ = Transform(train.series);
+  train_labels_ = train.labels;
+  return watch.ElapsedSeconds();
+}
+
+Tensor Grail::Transform(const Tensor& series) const {
+  RITA_CHECK(landmarks_.defined()) << "Fit() before Transform()";
+  const int64_t n = series.size(0), t = series.size(1);
+  const int64_t k = landmarks_.size(0);
+  RITA_CHECK_EQ(t, landmarks_.size(1)) << "series length differs from landmarks";
+
+  std::vector<std::vector<double>> lm(k, std::vector<double>(t));
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < t; ++j) lm[i][j] = landmarks_.At({i, j});
+    linalg::ZNormalize(&lm[i]);
+  }
+
+  Tensor reps({n, k});
+  for (int64_t i = 0; i < n; ++i) {
+    const std::vector<double> s = SeriesAt(series, i);
+    std::vector<double> krow(k);
+    for (int64_t j = 0; j < k; ++j) {
+      krow[j] = linalg::SinkSimilarity(s, lm[j], options_.gamma);
+    }
+    // Z_i = K(x_i, L) W^{-1/2}
+    for (int64_t j = 0; j < k; ++j) {
+      double acc = 0.0;
+      for (int64_t l = 0; l < k; ++l) acc += krow[l] * w_inv_sqrt_[l][j];
+      reps.At({i, j}) = static_cast<float>(acc);
+    }
+  }
+  return reps;
+}
+
+std::vector<int64_t> Grail::Predict(const Tensor& series) const {
+  RITA_CHECK(train_reps_.defined()) << "Fit() before Predict()";
+  const Tensor reps = Transform(series);
+  const int64_t n = reps.size(0), k = reps.size(1);
+  const int64_t n_train = train_reps_.size(0);
+
+  std::vector<int64_t> out(n);
+  for (int64_t i = 0; i < n; ++i) {
+    // k-NN by Euclidean distance in representation space.
+    std::vector<std::pair<double, int64_t>> dist(n_train);
+    for (int64_t j = 0; j < n_train; ++j) {
+      double d = 0.0;
+      for (int64_t l = 0; l < k; ++l) {
+        const double diff = reps.At({i, l}) - train_reps_.At({j, l});
+        d += diff * diff;
+      }
+      dist[j] = {d, train_labels_[j]};
+    }
+    const int64_t kk = std::min<int64_t>(options_.knn_k, n_train);
+    std::partial_sort(dist.begin(), dist.begin() + kk, dist.end());
+    std::map<int64_t, int64_t> votes;
+    for (int64_t j = 0; j < kk; ++j) ++votes[dist[j].second];
+    int64_t best_label = dist[0].second, best_votes = 0;
+    for (auto& [label, count] : votes) {
+      if (count > best_votes) {
+        best_votes = count;
+        best_label = label;
+      }
+    }
+    out[i] = best_label;
+  }
+  return out;
+}
+
+double Grail::Score(const data::TimeseriesDataset& valid) const {
+  RITA_CHECK(valid.labeled());
+  const std::vector<int64_t> pred = Predict(valid.series);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < valid.size(); ++i) {
+    if (pred[i] == valid.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(valid.size());
+}
+
+}  // namespace baselines
+}  // namespace rita

@@ -1,0 +1,62 @@
+// GRAIL baseline (Paparrizos & Franklin, VLDB'19) — the non-deep-learning
+// SOTA for timeseries representation learning the paper compares against in
+// Sec. 6.4. Pipeline (reimplemented from the paper's description):
+//   1. landmark selection: k-means over the z-normalized series,
+//   2. kernel: SINK similarity (all-shift NCC softmax) against the landmarks,
+//   3. representation: Nystrom projection Z = K(X, L) * K(L, L)^{-1/2},
+//   4. classification: 1-NN (optionally k-NN) in representation space.
+// GRAIL only supports uni-variate series and only classification (no
+// imputation), matching its treatment in the paper.
+#ifndef RITA_BASELINES_GRAIL_H_
+#define RITA_BASELINES_GRAIL_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace rita {
+namespace baselines {
+
+struct GrailOptions {
+  int64_t num_landmarks = 16;
+  double gamma = 5.0;      // SINK temperature
+  int64_t knn_k = 1;       // neighbours for classification
+  int kmeans_iters = 10;   // landmark selection
+  uint64_t seed = 7;
+};
+
+class Grail {
+ public:
+  explicit Grail(const GrailOptions& options);
+
+  /// Learns landmarks and the Nystrom basis from a labeled uni-variate set
+  /// ([num, T, 1]); stores train representations for k-NN. Returns the
+  /// training wall-clock seconds (the paper's efficiency comparison).
+  double Fit(const data::TimeseriesDataset& train);
+
+  /// Representations [num, num_landmarks] for a [num, T, 1] batch.
+  Tensor Transform(const Tensor& series) const;
+
+  /// k-NN class predictions for a [num, T, 1] batch.
+  std::vector<int64_t> Predict(const Tensor& series) const;
+
+  /// Top-1 accuracy on a labeled set.
+  double Score(const data::TimeseriesDataset& valid) const;
+
+  const Tensor& landmarks() const { return landmarks_; }
+
+ private:
+  std::vector<double> SeriesAt(const Tensor& series, int64_t index) const;
+
+  GrailOptions options_;
+  Tensor landmarks_;           // [k, T]
+  std::vector<std::vector<double>> w_inv_sqrt_;  // [k, k]
+  Tensor train_reps_;          // [n_train, k]
+  std::vector<int64_t> train_labels_;
+};
+
+}  // namespace baselines
+}  // namespace rita
+
+#endif  // RITA_BASELINES_GRAIL_H_

@@ -1,0 +1,214 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/tensor_ops.h"
+
+namespace rita {
+namespace cluster {
+
+Tensor PairwiseSqDistMatmul(const Tensor& a, const Tensor& b) {
+  RITA_CHECK_EQ(a.dim(), 2);
+  RITA_CHECK_EQ(b.dim(), 2);
+  RITA_CHECK_EQ(a.size(1), b.size(1));
+  const int64_t n = a.size(0), m = b.size(0), d = a.size(1);
+  // -2 a.b via GEMM (the bottleneck, matmul-friendly), then rank-1 corrections.
+  Tensor dist = ops::MatMul(a, b, false, true);  // [n, m]
+  float* pd = dist.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  std::vector<float> a2(n), b2(m);
+  for (int64_t i = 0; i < n; ++i) {
+    float s = 0.0f;
+    const float* row = pa + i * d;
+    for (int64_t k = 0; k < d; ++k) s += row[k] * row[k];
+    a2[i] = s;
+  }
+  for (int64_t j = 0; j < m; ++j) {
+    float s = 0.0f;
+    const float* row = pb + j * d;
+    for (int64_t k = 0; k < d; ++k) s += row[k] * row[k];
+    b2[j] = s;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = pd + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      // Clamp: floating-point cancellation can produce tiny negatives.
+      row[j] = std::max(0.0f, a2[i] + b2[j] - 2.0f * row[j]);
+    }
+  }
+  return dist;
+}
+
+Tensor PairwiseSqDistNaive(const Tensor& a, const Tensor& b) {
+  RITA_CHECK_EQ(a.size(1), b.size(1));
+  const int64_t n = a.size(0), m = b.size(0), d = a.size(1);
+  Tensor dist({n, m});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pd = dist.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      float s = 0.0f;
+      for (int64_t k = 0; k < d; ++k) {
+        const float diff = pa[i * d + k] - pb[j * d + k];
+        s += diff * diff;
+      }
+      pd[i * m + j] = s;
+    }
+  }
+  return dist;
+}
+
+namespace {
+
+Tensor InitCentroids(const Tensor& points, int64_t k, bool plus_plus, Rng* rng) {
+  const int64_t n = points.size(0), d = points.size(1);
+  if (!plus_plus) {
+    const auto rows = rng->SampleWithoutReplacement(n, k);
+    return ops::GatherRows(points, rows);
+  }
+  // k-means++: iteratively sample proportional to squared distance.
+  std::vector<int64_t> chosen;
+  chosen.push_back(rng->UniformInt(n));
+  std::vector<float> min_d2(n, std::numeric_limits<float>::max());
+  const float* pp = points.data();
+  while (static_cast<int64_t>(chosen.size()) < k) {
+    const float* c = pp + chosen.back() * d;
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      float s = 0.0f;
+      const float* row = pp + i * d;
+      for (int64_t j = 0; j < d; ++j) {
+        const float diff = row[j] - c[j];
+        s += diff * diff;
+      }
+      min_d2[i] = std::min(min_d2[i], s);
+      total += min_d2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids; fall back.
+      chosen.push_back(rng->UniformInt(n));
+      continue;
+    }
+    double target = rng->Uniform() * total;
+    int64_t pick = n - 1;
+    for (int64_t i = 0; i < n; ++i) {
+      target -= min_d2[i];
+      if (target <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    chosen.push_back(pick);
+  }
+  return ops::GatherRows(points, chosen);
+}
+
+}  // namespace
+
+KMeansResult RunKMeans(const Tensor& points, const KMeansOptions& options, Rng* rng) {
+  RITA_CHECK_EQ(points.dim(), 2);
+  const int64_t n = points.size(0), d = points.size(1);
+  const int64_t k = std::min<int64_t>(options.num_clusters, n);
+  RITA_CHECK_GT(k, 0);
+
+  Tensor centroids = InitCentroids(points, k, options.kmeanspp_init, rng);
+  std::vector<int64_t> assignment(n, 0);
+
+  auto assign = [&](const Tensor& cents) -> double {
+    const Tensor dist = options.matmul_distance ? PairwiseSqDistMatmul(points, cents)
+                                                : PairwiseSqDistNaive(points, cents);
+    const int64_t m = cents.size(0);
+    const float* pd = dist.data();
+    double inertia = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* row = pd + i * m;
+      int64_t best = 0;
+      for (int64_t j = 1; j < m; ++j) {
+        if (row[j] < row[best]) best = j;
+      }
+      assignment[i] = best;
+      inertia += row[best];
+    }
+    return inertia;
+  };
+
+  double inertia = assign(centroids);
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    // Update step: centroid = mean of members; empty clusters keep position.
+    Tensor sums = Tensor::Zeros(centroids.shape());
+    std::vector<int64_t> counts(centroids.size(0), 0);
+    const float* pp = points.data();
+    float* ps = sums.data();
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t c = assignment[i];
+      ++counts[c];
+      const float* row = pp + i * d;
+      float* dst = ps + c * d;
+      for (int64_t j = 0; j < d; ++j) dst[j] += row[j];
+    }
+    float* pc = centroids.data();
+    for (int64_t c = 0; c < centroids.size(0); ++c) {
+      if (counts[c] == 0) continue;
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      for (int64_t j = 0; j < d; ++j) pc[c * d + j] = ps[c * d + j] * inv;
+    }
+    inertia = assign(centroids);
+  }
+
+  // Compact empty clusters so downstream invariants hold (counts > 0).
+  std::vector<int64_t> counts(centroids.size(0), 0);
+  for (int64_t i = 0; i < n; ++i) ++counts[assignment[i]];
+  std::vector<int64_t> remap(centroids.size(0), -1);
+  std::vector<int64_t> kept;
+  for (int64_t c = 0; c < centroids.size(0); ++c) {
+    if (counts[c] > 0) {
+      remap[c] = static_cast<int64_t>(kept.size());
+      kept.push_back(c);
+    }
+  }
+  KMeansResult result;
+  result.centroids = ops::GatherRows(centroids, kept);
+  result.assignment.resize(n);
+  for (int64_t i = 0; i < n; ++i) result.assignment[i] = remap[assignment[i]];
+  result.counts.resize(kept.size());
+  for (size_t c = 0; c < kept.size(); ++c) result.counts[c] = counts[kept[c]];
+  result.inertia = inertia;
+  return result;
+}
+
+std::vector<float> ClusterRadii(const Tensor& points, const KMeansResult& result) {
+  const int64_t n = points.size(0), d = points.size(1);
+  std::vector<float> radii(result.num_clusters(), 0.0f);
+  const float* pp = points.data();
+  const float* pc = result.centroids.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t c = result.assignment[i];
+    float s = 0.0f;
+    for (int64_t j = 0; j < d; ++j) {
+      const float diff = pp[i * d + j] - pc[c * d + j];
+      s += diff * diff;
+    }
+    radii[c] = std::max(radii[c], std::sqrt(s));
+  }
+  return radii;
+}
+
+float PointBallRadius(const Tensor& points) {
+  const int64_t n = points.size(0), d = points.size(1);
+  const float* pp = points.data();
+  float best = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    float s = 0.0f;
+    const float* row = pp + i * d;
+    for (int64_t j = 0; j < d; ++j) s += row[j] * row[j];
+    best = std::max(best, s);
+  }
+  return std::sqrt(best);
+}
+
+}  // namespace cluster
+}  // namespace rita

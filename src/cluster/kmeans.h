@@ -1,0 +1,61 @@
+// GPU-friendly k-means (Sec. 4.4 of the paper). The distance computation is
+// reformulated as |v|^2 + |c|^2 - 2 v.c so the bottleneck becomes a matrix
+// product; on this CPU substrate the same reformulation routes the work
+// through the blocked parallel GEMM. A handful of Lloyd iterations suffice
+// for grouping quality (the paper's observation), so max_iters defaults low.
+#ifndef RITA_CLUSTER_KMEANS_H_
+#define RITA_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace rita {
+namespace cluster {
+
+struct KMeansOptions {
+  /// Requested number of clusters; the result may have fewer (empty clusters
+  /// are compacted away).
+  int64_t num_clusters = 8;
+  /// Lloyd iterations. The paper observes a few iterations give a good
+  /// grouping because group attention is robust to imperfect clustering.
+  int max_iters = 3;
+  /// k-means++ seeding (better quality, costs an extra pass per cluster);
+  /// plain random distinct points otherwise.
+  bool kmeanspp_init = false;
+  /// Route distance computation through the matmul formulation (the paper's
+  /// GPU-friendly path). The naive pairwise path exists for tests/ablation.
+  bool matmul_distance = true;
+};
+
+struct KMeansResult {
+  Tensor centroids;                 // [N, d], N = final (compacted) cluster count
+  std::vector<int64_t> assignment;  // [n] cluster id per point
+  std::vector<int64_t> counts;      // [N], all > 0
+  double inertia = 0.0;             // sum of squared point-to-centroid distances
+
+  int64_t num_clusters() const { return centroids.size(0); }
+};
+
+/// Squared Euclidean distance matrix [n, m] via |a|^2 + |b|^2 - 2 a.b (matmul).
+Tensor PairwiseSqDistMatmul(const Tensor& a, const Tensor& b);
+
+/// Reference implementation via explicit pairwise differences.
+Tensor PairwiseSqDistNaive(const Tensor& a, const Tensor& b);
+
+/// Lloyd's k-means over the rows of `points` [n, d].
+KMeansResult RunKMeans(const Tensor& points, const KMeansOptions& options, Rng* rng);
+
+/// Per-cluster radius: max_{x in cluster_k} |x - c_k|. Needed by the adaptive
+/// scheduler's merge test (Lemma 2).
+std::vector<float> ClusterRadii(const Tensor& points, const KMeansResult& result);
+
+/// Radius of the ball containing all rows: max_i |points_i| (the R of Lemma 1).
+float PointBallRadius(const Tensor& points);
+
+}  // namespace cluster
+}  // namespace rita
+
+#endif  // RITA_CLUSTER_KMEANS_H_

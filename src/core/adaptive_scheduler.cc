@@ -1,0 +1,87 @@
+#include "core/adaptive_scheduler.h"
+
+#include <cmath>
+#include <limits>
+
+namespace rita {
+namespace core {
+
+AdaptiveScheduler::AdaptiveScheduler(const AdaptiveSchedulerOptions& options)
+    : options_(options) {
+  RITA_CHECK_GT(options_.epsilon, 1.0f) << "Lemma 1 requires epsilon > 1";
+  RITA_CHECK_GT(options_.momentum, 0.0f);
+  RITA_CHECK_LE(options_.momentum, 1.0f);
+}
+
+float AdaptiveScheduler::DistanceThreshold(float epsilon, float ball_radius) {
+  RITA_CHECK_GT(epsilon, 1.0f);
+  if (ball_radius <= 0.0f) return std::numeric_limits<float>::max();
+  return std::log(epsilon) / (2.0f * ball_radius);
+}
+
+int64_t AdaptiveScheduler::CountMergeable(const GroupingSnapshot& snapshot) const {
+  const int64_t ng = snapshot.centroids.size(0);
+  if (ng < 2) return 0;
+  const int64_t dim = snapshot.centroids.size(1);
+  // Lemma 1's exponent is q . (k~ - k); our scores carry the 1/sqrt(d_head)
+  // scaling, so the effective ball radius is |q|_max / sqrt(d_head). Fall
+  // back to the paper-literal key radius when query stats are absent.
+  const float ball = snapshot.query_ball_radius > 0.0f
+                         ? snapshot.query_ball_radius /
+                               std::sqrt(static_cast<float>(dim))
+                         : snapshot.key_ball_radius;
+  const float d = DistanceThreshold(options_.epsilon, ball);
+  const int64_t half = ng / 2;
+  const float* c = snapshot.centroids.data();
+
+  auto center_dist = [&](int64_t i, int64_t j) {
+    float s = 0.0f;
+    for (int64_t k = 0; k < dim; ++k) {
+      const float diff = c[i * dim + k] - c[j * dim + k];
+      s += diff * diff;
+    }
+    return std::sqrt(s);
+  };
+
+  // S1 = clusters [0, half), S2 = [half, ng). A cluster j in S2 is marked when
+  // some transfer node i in S1 satisfies Eq. 5:
+  //   |c_i - c_j| + radius_i <= d   and   |c_i - c_j| + radius_j <= d / 2.
+  int64_t marked = 0;
+  for (int64_t j = half; j < ng; ++j) {
+    for (int64_t i = 0; i < half; ++i) {
+      const float cd = center_dist(i, j);
+      if (cd + snapshot.radii[i] <= d && cd + snapshot.radii[j] <= d / 2.0f) {
+        ++marked;
+        break;
+      }
+    }
+  }
+  return marked;
+}
+
+int64_t AdaptiveScheduler::ProposeGroupCount(
+    const std::vector<GroupingSnapshot>& snapshots, int64_t current_groups) const {
+  if (snapshots.empty()) return current_groups;
+  double total_mergeable = 0.0;
+  for (const auto& snap : snapshots) {
+    total_mergeable += static_cast<double>(CountMergeable(snap));
+  }
+  const double avg_d = total_mergeable / static_cast<double>(snapshots.size());
+  // Momentum update: N <- alpha (N - D) + (1 - alpha) N = N - alpha D.
+  const double updated =
+      options_.momentum * (current_groups - avg_d) +
+      (1.0 - options_.momentum) * static_cast<double>(current_groups);
+  const int64_t rounded = static_cast<int64_t>(std::llround(updated));
+  return std::max<int64_t>(options_.min_groups, std::min(rounded, current_groups));
+}
+
+int64_t AdaptiveScheduler::Update(GroupAttentionMechanism* mechanism) const {
+  RITA_CHECK(mechanism != nullptr);
+  const int64_t next =
+      ProposeGroupCount(mechanism->last_snapshots(), mechanism->num_groups());
+  mechanism->set_num_groups(next);
+  return next;
+}
+
+}  // namespace core
+}  // namespace rita

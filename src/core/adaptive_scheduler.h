@@ -1,0 +1,55 @@
+// Adaptive scheduler (Sec. 5.1): translates a user error bound epsilon into a
+// key-space distance threshold d = ln(epsilon) / (2R) (Lemma 1), counts
+// clusters that can be merged without violating the bound via the S1/S2
+// halving test (Eq. 5, a greedy relaxation of minimum clique cover), and
+// shrinks the group count N with a momentum update.
+#ifndef RITA_CORE_ADAPTIVE_SCHEDULER_H_
+#define RITA_CORE_ADAPTIVE_SCHEDULER_H_
+
+#include <vector>
+
+#include "core/group_attention.h"
+
+namespace rita {
+namespace core {
+
+struct AdaptiveSchedulerOptions {
+  /// Error bound epsilon > 1 from Lemma 1; the paper's default is 2.
+  float epsilon = 2.0f;
+  /// Momentum alpha of the group-count update N <- a (N - D) + (1 - a) N.
+  float momentum = 0.5f;
+  /// Floor for N.
+  int64_t min_groups = 2;
+};
+
+/// Stateless decision logic; per-layer state (the current N) lives in the
+/// GroupAttentionMechanism itself.
+class AdaptiveScheduler {
+ public:
+  explicit AdaptiveScheduler(const AdaptiveSchedulerOptions& options);
+
+  /// d = ln(epsilon) / (2 R): the Lemma 1 bound on the key-to-representative
+  /// distance that keeps every attention ratio within [1/eps, eps].
+  static float DistanceThreshold(float epsilon, float ball_radius);
+
+  /// Number of clusters (D) in snapshot that the Eq. 5 test marks mergeable.
+  int64_t CountMergeable(const GroupingSnapshot& snapshot) const;
+
+  /// Momentum-smoothed new group count given the last forward's snapshots
+  /// (D is averaged over batch*head slices).
+  int64_t ProposeGroupCount(const std::vector<GroupingSnapshot>& snapshots,
+                            int64_t current_groups) const;
+
+  /// Applies ProposeGroupCount to a mechanism in place; returns the new N.
+  int64_t Update(GroupAttentionMechanism* mechanism) const;
+
+  const AdaptiveSchedulerOptions& options() const { return options_; }
+
+ private:
+  AdaptiveSchedulerOptions options_;
+};
+
+}  // namespace core
+}  // namespace rita
+
+#endif  // RITA_CORE_ADAPTIVE_SCHEDULER_H_

@@ -1,0 +1,27 @@
+#include "core/attention_factory.h"
+
+namespace rita {
+namespace core {
+
+std::unique_ptr<attn::AttentionMechanism> CreateAttentionMechanism(
+    int64_t head_dim, const AttentionOptions& options, Rng* rng) {
+  switch (options.kind) {
+    case attn::AttentionKind::kVanilla:
+      return std::make_unique<attn::VanillaAttention>(head_dim, options.dropout, rng);
+    case attn::AttentionKind::kGroup:
+      return std::make_unique<GroupAttentionMechanism>(head_dim, options.group, rng);
+    case attn::AttentionKind::kPerformer:
+      return std::make_unique<attn::PerformerAttention>(head_dim,
+                                                        options.performer_features, rng);
+    case attn::AttentionKind::kLinformer:
+      RITA_CHECK_GT(options.seq_len, 0) << "Linformer needs the sequence length";
+      return std::make_unique<attn::LinformerAttention>(
+          head_dim, options.seq_len, std::min(options.linformer_k, options.seq_len),
+          rng);
+  }
+  RITA_CHECK(false) << "unknown attention kind";
+  return nullptr;
+}
+
+}  // namespace core
+}  // namespace rita

@@ -1,0 +1,30 @@
+// Factory assembling any of the four attention mechanisms from a single
+// config — the switch point the benchmarks use to compare methods.
+#ifndef RITA_CORE_ATTENTION_FACTORY_H_
+#define RITA_CORE_ATTENTION_FACTORY_H_
+
+#include <memory>
+
+#include "attention/attention.h"
+#include "core/group_attention.h"
+
+namespace rita {
+namespace core {
+
+/// Everything needed to build one per-head attention mechanism.
+struct AttentionOptions {
+  attn::AttentionKind kind = attn::AttentionKind::kGroup;
+  float dropout = 0.1f;             // vanilla only (probs dropout)
+  GroupAttentionOptions group;      // group attention
+  int64_t performer_features = 32;  // performer
+  int64_t linformer_k = 128;        // linformer projection dim
+  int64_t seq_len = 0;              // required by linformer (tokens incl. CLS)
+};
+
+std::unique_ptr<attn::AttentionMechanism> CreateAttentionMechanism(
+    int64_t head_dim, const AttentionOptions& options, Rng* rng);
+
+}  // namespace core
+}  // namespace rita
+
+#endif  // RITA_CORE_ATTENTION_FACTORY_H_

@@ -1,0 +1,146 @@
+#include "core/curve_fit.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace rita {
+namespace core {
+
+std::vector<FitFamily> AllFitFamilies() {
+  return {FitFamily::kInverseAffine, FitFamily::kInverseLength,
+          FitFamily::kInverseQuadratic, FitFamily::kReciprocalAffine};
+}
+
+const char* FitFamilyName(FitFamily family) {
+  switch (family) {
+    case FitFamily::kInverseAffine:
+      return "a + b/L + c/N + d/(LN)";
+    case FitFamily::kInverseLength:
+      return "a + b/L + c/(LN)";
+    case FitFamily::kInverseQuadratic:
+      return "a + b/(LN) + c/(LN^2)";
+    case FitFamily::kReciprocalAffine:
+      return "1/(a + bL + cN + dLN)";
+  }
+  return "?";
+}
+
+namespace {
+// Families fit against a transformed target; kReciprocalAffine fits 1/B.
+bool IsReciprocalFamily(FitFamily family) {
+  return family == FitFamily::kReciprocalAffine;
+}
+}  // namespace
+
+std::vector<double> FitBasis(FitFamily family, double length, double groups) {
+  const double l = std::max(1.0, length);
+  const double n = std::max(1.0, groups);
+  switch (family) {
+    case FitFamily::kInverseAffine:
+      return {1.0, 1.0 / l, 1.0 / n, 1.0 / (l * n)};
+    case FitFamily::kInverseLength:
+      return {1.0, 1.0 / l, 1.0 / (l * n)};
+    case FitFamily::kInverseQuadratic:
+      return {1.0, 1.0 / (l * n), 1.0 / (l * n * n)};
+    case FitFamily::kReciprocalAffine:
+      return {1.0, l, n, l * n};
+  }
+  return {1.0};
+}
+
+double FittedFunction::Predict(double length, double groups) const {
+  const std::vector<double> basis = FitBasis(family, length, groups);
+  RITA_CHECK_EQ(basis.size(), coeffs.size());
+  double out = 0.0;
+  for (size_t i = 0; i < basis.size(); ++i) out += coeffs[i] * basis[i];
+  if (family == FitFamily::kReciprocalAffine) {
+    // Fitted in 1/B space; guard against non-positive denominators when
+    // extrapolating far outside the calibration region.
+    return out > 1e-12 ? 1.0 / out : 0.0;
+  }
+  return out;
+}
+
+bool SolveLinearSystem(std::vector<std::vector<double>> a, std::vector<double> b,
+                       std::vector<double>* x) {
+  const size_t n = a.size();
+  RITA_CHECK_EQ(b.size(), n);
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    // Eliminate below.
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] / a[col][col];
+      for (size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  x->assign(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) acc -= a[ri][c] * (*x)[c];
+    (*x)[ri] = acc / a[ri][ri];
+  }
+  return true;
+}
+
+FittedFunction FitFamilyLeastSquares(FitFamily family,
+                                     const std::vector<BatchSample>& samples) {
+  RITA_CHECK(!samples.empty());
+  const size_t k = FitBasis(family, 1.0, 1.0).size();
+
+  // Normal equations: (Phi^T Phi) w = Phi^T y, with y transformed for
+  // reciprocal families.
+  const bool reciprocal = IsReciprocalFamily(family);
+  std::vector<std::vector<double>> ata(k, std::vector<double>(k, 0.0));
+  std::vector<double> atb(k, 0.0);
+  for (const BatchSample& s : samples) {
+    const std::vector<double> phi = FitBasis(family, s.length, s.groups);
+    const double target = reciprocal ? 1.0 / std::max(1.0, s.batch) : s.batch;
+    for (size_t i = 0; i < k; ++i) {
+      atb[i] += phi[i] * target;
+      for (size_t j = 0; j < k; ++j) ata[i][j] += phi[i] * phi[j];
+    }
+  }
+  // Relative Tikhonov ridge keeps near-collinear bases solvable without
+  // drowning small-magnitude basis columns (1/(LN) entries are ~1e-6).
+  for (size_t i = 0; i < k; ++i) ata[i][i] *= 1.0 + 1e-10;
+
+  FittedFunction fit;
+  fit.family = family;
+  if (!SolveLinearSystem(ata, atb, &fit.coeffs)) {
+    fit.coeffs.assign(k, 0.0);
+    fit.sse = std::numeric_limits<double>::max();
+    return fit;
+  }
+  fit.sse = 0.0;
+  for (const BatchSample& s : samples) {
+    const double err = fit.Predict(s.length, s.groups) - s.batch;
+    fit.sse += err * err;
+  }
+  return fit;
+}
+
+FittedFunction FitBest(const std::vector<BatchSample>& samples) {
+  FittedFunction best;
+  bool first = true;
+  for (FitFamily family : AllFitFamilies()) {
+    FittedFunction fit = FitFamilyLeastSquares(family, samples);
+    if (first || fit.sse < best.sse) {
+      best = fit;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace core
+}  // namespace rita

@@ -1,0 +1,66 @@
+// Least-squares curve fitting for the batch-size prediction function
+// B = f(L, N) (Sec. 5.2). Plays the role SciPy's curve_fit plays in the
+// paper: each candidate family is linear in its coefficients, so fitting is a
+// normal-equations solve; the family with the lowest SSE wins.
+#ifndef RITA_CORE_CURVE_FIT_H_
+#define RITA_CORE_CURVE_FIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rita {
+namespace core {
+
+/// One observation: length L, average group count N, feasible batch size B.
+struct BatchSample {
+  double length = 0.0;
+  double groups = 0.0;
+  double batch = 0.0;
+};
+
+/// Candidate basis families for f(L, N). Activation memory per sample is
+/// roughly affine in {1, L, N, LN}, so feasible B behaves like
+/// c / (a + b L + c L N + d N): kReciprocalAffine fits 1/B linearly in that
+/// basis (usually the winner); the direct reciprocal bases remain as simpler
+/// fallbacks for regimes where B saturates.
+enum class FitFamily {
+  kInverseAffine = 0,     // B ~ a + b/L + c/N + d/(L N)
+  kInverseLength = 1,     // B ~ a + b/L + c/(L N)
+  kInverseQuadratic = 2,  // B ~ a + b/(L N) + c/(L N^2)
+  kReciprocalAffine = 3,  // 1/B ~ a + b L + c N + d L N
+};
+
+std::vector<FitFamily> AllFitFamilies();
+const char* FitFamilyName(FitFamily family);
+
+/// A fitted function from one family.
+struct FittedFunction {
+  FitFamily family = FitFamily::kInverseAffine;
+  std::vector<double> coeffs;
+  double sse = 0.0;
+
+  /// Evaluates the fitted f at (L, N).
+  double Predict(double length, double groups) const;
+};
+
+/// Basis evaluation phi(L, N) for a family.
+std::vector<double> FitBasis(FitFamily family, double length, double groups);
+
+/// Fits one family by linear least squares (normal equations with partial
+/// pivoting). Returns coefficients and SSE over the samples.
+FittedFunction FitFamilyLeastSquares(FitFamily family,
+                                     const std::vector<BatchSample>& samples);
+
+/// Fits every family and returns the one with minimal SSE.
+FittedFunction FitBest(const std::vector<BatchSample>& samples);
+
+/// Solves the square system A x = b by Gaussian elimination with partial
+/// pivoting; returns false when A is (numerically) singular.
+bool SolveLinearSystem(std::vector<std::vector<double>> a, std::vector<double> b,
+                       std::vector<double>* x);
+
+}  // namespace core
+}  // namespace rita
+
+#endif  // RITA_CORE_CURVE_FIT_H_

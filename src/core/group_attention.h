@@ -1,0 +1,78 @@
+// Group attention (Sec. 4 of the paper): keys are clustered per head with the
+// GPU-friendly k-means; attention scores are computed once per *group*
+// (an n x N matrix instead of n x n); the group softmax (Eq. 3) weights each
+// group by its member count and the embedding-aggregation step sums V inside
+// each group, so the produced embeddings are *identical* to restoring the full
+// attention matrix first (Lemma 3 / Appendix A.4) while using O(nN) memory and
+// O(nNd) time (Alg. 1).
+#ifndef RITA_CORE_GROUP_ATTENTION_H_
+#define RITA_CORE_GROUP_ATTENTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "attention/attention.h"
+#include "cluster/kmeans.h"
+
+namespace rita {
+namespace core {
+
+struct GroupAttentionOptions {
+  /// Initial number of groups N. The adaptive scheduler shrinks this during
+  /// training; set_num_groups() applies the update.
+  int64_t num_groups = 64;
+  /// Lloyd iterations per forward (the paper: a few suffice).
+  int kmeans_iters = 2;
+  /// k-means++ seeding (slower, better grouping; off by default).
+  bool kmeanspp_init = false;
+  /// Collect centroid/radius snapshots for the adaptive scheduler. Costs one
+  /// O(n d) pass per head; disable for pure inference.
+  bool collect_snapshots = true;
+};
+
+/// Grouping statistics of one (batch, head) slice from the latest forward
+/// pass; consumed by the adaptive scheduler's merge test.
+struct GroupingSnapshot {
+  Tensor centroids;             // [N, d_head]
+  std::vector<int64_t> counts;  // [N]
+  std::vector<float> radii;     // max_{x in cluster} |x - c| per cluster
+  float key_ball_radius = 0.0f;   // max_i |k_i| (the paper's literal R)
+  // max_i |q_i|: the radius the Lemma 1 proof actually bounds with (the
+  // exponent is q_i . (k~ - k)); with the scaled dot product the effective
+  // radius becomes |q|_max / sqrt(d_head), which the scheduler uses.
+  float query_ball_radius = 0.0f;
+};
+
+/// Group attention mechanism (drop-in replacement for VanillaAttention).
+class GroupAttentionMechanism : public attn::AttentionMechanism {
+ public:
+  GroupAttentionMechanism(int64_t head_dim, const GroupAttentionOptions& options,
+                          Rng* rng);
+
+  ag::Variable Forward(const ag::Variable& q, const ag::Variable& k,
+                       const ag::Variable& v) override;
+
+  attn::AttentionKind kind() const override { return attn::AttentionKind::kGroup; }
+  int64_t ScoreMatrixElements(int64_t n) const override { return n * num_groups_; }
+
+  int64_t num_groups() const { return num_groups_; }
+  /// Applies a scheduler decision (clamped to >= 1).
+  void set_num_groups(int64_t n);
+
+  /// Snapshots from the most recent Forward (one per batch*head slice).
+  const std::vector<GroupingSnapshot>& last_snapshots() const { return snapshots_; }
+
+  const GroupAttentionOptions& options() const { return options_; }
+
+ private:
+  int64_t head_dim_;
+  GroupAttentionOptions options_;
+  int64_t num_groups_;
+  Rng rng_;
+  std::vector<GroupingSnapshot> snapshots_;
+};
+
+}  // namespace core
+}  // namespace rita
+
+#endif  // RITA_CORE_GROUP_ATTENTION_H_

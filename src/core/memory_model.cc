@@ -1,0 +1,65 @@
+#include "core/memory_model.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rita {
+namespace core {
+
+int64_t EncoderShape::Tokens(int64_t raw_length) const {
+  RITA_CHECK_GE(raw_length, window);
+  return (raw_length - window) / stride + 1 + 1;  // + [CLS]
+}
+
+MemoryModel::MemoryModel(const EncoderShape& shape, const MemoryModelOptions& options)
+    : shape_(shape), options_(options) {}
+
+double MemoryModel::PeakBytes(int64_t b, int64_t l, int64_t n_groups) const {
+  const double n = static_cast<double>(shape_.Tokens(l));
+  const double d = static_cast<double>(shape_.dim);
+  const double h = static_cast<double>(shape_.heads);
+  const double dh = d / h;
+
+  // Score-matrix footprint per layer (floats), by attention kind.
+  double score_elems = 0.0;
+  switch (shape_.kind) {
+    case attn::AttentionKind::kVanilla:
+      score_elems = h * n * n * 2.0;  // scores + probs
+      break;
+    case attn::AttentionKind::kGroup: {
+      const double ng = static_cast<double>(std::max<int64_t>(1, n_groups));
+      // A~ [n, N] + V~/R [N, dh] per head.
+      score_elems = h * (n * ng * 2.0 + 2.0 * ng * dh);
+      break;
+    }
+    case attn::AttentionKind::kPerformer: {
+      const double m = static_cast<double>(shape_.performer_features);
+      score_elems = h * (2.0 * n * m + m * dh);
+      break;
+    }
+    case attn::AttentionKind::kLinformer: {
+      const double k = static_cast<double>(shape_.linformer_k);
+      score_elems = h * (n * k * 2.0 + 2.0 * k * dh);
+      break;
+    }
+  }
+
+  // Per-layer activations (floats): q/k/v/attn-out/residuals + FFN.
+  const double per_layer =
+      6.0 * n * d + 2.0 * n * static_cast<double>(shape_.ffn_hidden) + score_elems;
+  // Frontend unfold + embedding + reconstruction head.
+  const double frontend =
+      n * static_cast<double>(shape_.window * shape_.channels) + 2.0 * n * d;
+  const double per_sample =
+      frontend + per_layer * static_cast<double>(shape_.layers);
+  return static_cast<double>(b) * per_sample * options_.bytes_per_float *
+         options_.backward_multiplier;
+}
+
+bool MemoryModel::Fits(int64_t b, int64_t l, int64_t n_groups, double fraction) const {
+  return PeakBytes(b, l, n_groups) < fraction * options_.capacity_bytes;
+}
+
+}  // namespace core
+}  // namespace rita

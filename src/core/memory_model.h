@@ -1,0 +1,66 @@
+// Analytic activation-memory model of the RITA encoder. Substitutes for the
+// paper's empirical GPU probing (Alg. 2 feeds a batch and watches
+// PeakMemoryUsage): on this CPU-only substrate the oracle is an analytic
+// count of forward+backward activation bytes, monotone in batch size, length
+// and group count, over a simulated 16 GB device. The planner's algorithms
+// (binary search, sampling, curve fitting, DP plane division) are unchanged.
+#ifndef RITA_CORE_MEMORY_MODEL_H_
+#define RITA_CORE_MEMORY_MODEL_H_
+
+#include <cstdint>
+
+#include "attention/attention.h"
+
+namespace rita {
+namespace core {
+
+/// Architecture facts the memory model needs.
+struct EncoderShape {
+  int64_t layers = 8;
+  int64_t dim = 64;
+  int64_t heads = 2;
+  int64_t ffn_hidden = 256;
+  int64_t window = 5;        // conv frontend window
+  int64_t stride = 5;        // conv frontend stride
+  int64_t channels = 3;      // input channels
+  attn::AttentionKind kind = attn::AttentionKind::kGroup;
+  int64_t performer_features = 32;
+  int64_t linformer_k = 128;
+
+  /// Number of windows (tokens) the conv frontend emits for raw length L,
+  /// including the [CLS] token.
+  int64_t Tokens(int64_t raw_length) const;
+};
+
+struct MemoryModelOptions {
+  /// Simulated device capacity; the paper's V100 has 16 GB.
+  double capacity_bytes = 16.0 * (1ull << 30);
+  /// Accounts for grads + optimiser state per activation in backward.
+  double backward_multiplier = 2.0;
+  double bytes_per_float = 4.0;
+};
+
+/// Estimates peak training memory as a function of (B, L, N).
+class MemoryModel {
+ public:
+  MemoryModel(const EncoderShape& shape, const MemoryModelOptions& options = {});
+
+  /// Peak bytes for a training step of batch `b`, raw timeseries length `l`
+  /// and group count `n_groups` (ignored for non-group attention kinds).
+  double PeakBytes(int64_t b, int64_t l, int64_t n_groups) const;
+
+  /// Whether the step fits below `fraction` of capacity (Alg. 2's 0.9).
+  bool Fits(int64_t b, int64_t l, int64_t n_groups, double fraction) const;
+
+  double capacity_bytes() const { return options_.capacity_bytes; }
+  const EncoderShape& shape() const { return shape_; }
+
+ private:
+  EncoderShape shape_;
+  MemoryModelOptions options_;
+};
+
+}  // namespace core
+}  // namespace rita
+
+#endif  // RITA_CORE_MEMORY_MODEL_H_

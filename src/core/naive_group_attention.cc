@@ -1,0 +1,158 @@
+#include "core/naive_group_attention.h"
+
+#include <cmath>
+
+#include "autograd/function.h"
+#include "tensor/tensor_ops.h"
+
+namespace rita {
+namespace core {
+
+namespace {
+
+// Backward of softmax(Q K~^T / sqrt(d)) V where K~_x = centroid(g(x)):
+// standard vanilla-attention backward over the *restored* matrices, with
+// dK routed through the centroid mean. Quadratic in n by construction.
+class NaiveGroupAttentionFunction : public ag::Function {
+ public:
+  NaiveGroupAttentionFunction(Tensor probs, Tensor q, Tensor k_restored, Tensor v,
+                              std::vector<std::vector<int64_t>> assignments,
+                              std::vector<std::vector<int64_t>> counts, float scale)
+      : probs_(std::move(probs)),
+        q_(std::move(q)),
+        k_restored_(std::move(k_restored)),
+        v_(std::move(v)),
+        assignments_(std::move(assignments)),
+        counts_(std::move(counts)),
+        scale_(scale) {}
+
+  std::string name() const override { return "NaiveGroupAttention"; }
+
+  std::vector<Tensor> Backward(const Tensor& g) override {
+    const int64_t bh = q_.size(0), n = q_.size(1), d = q_.size(2);
+    Tensor dq(q_.shape());
+    Tensor dk(q_.shape());
+    Tensor dv(q_.shape());
+    for (int64_t s = 0; s < bh; ++s) {
+      const float* g_s = g.data() + s * n * d;
+      const float* p_s = probs_.data() + s * n * n;
+      const float* q_s = q_.data() + s * n * d;
+      const float* kr_s = k_restored_.data() + s * n * d;
+      const float* v_s = v_.data() + s * n * d;
+
+      // dV = P^T dO
+      ops::Gemm2D(p_s, g_s, dv.data() + s * n * d, n, d, n, true, false);
+      // dP = dO V^T ; dS = P * (dP - rowsum(dP * P)) ; S = scaled scores.
+      Tensor dp({n, n});
+      ops::Gemm2D(g_s, v_s, dp.data(), n, n, d, false, true);
+      Tensor ds({n, n});
+      for (int64_t i = 0; i < n; ++i) {
+        const float* prow = p_s + i * n;
+        const float* dprow = dp.data() + i * n;
+        float* dsrow = ds.data() + i * n;
+        float t = 0.0f;
+        for (int64_t j = 0; j < n; ++j) t += prow[j] * dprow[j];
+        for (int64_t j = 0; j < n; ++j) dsrow[j] = prow[j] * (dprow[j] - t);
+      }
+      // dQ = scale * dS K~ ; dK~ = scale * dS^T Q ; dK_x = dK~ mean-routed.
+      float* dq_s = dq.data() + s * n * d;
+      ops::Gemm2D(ds.data(), kr_s, dq_s, n, d, n, false, false);
+      for (int64_t i = 0; i < n * d; ++i) dq_s[i] *= scale_;
+
+      Tensor dkr({n, d});
+      ops::Gemm2D(ds.data(), q_s, dkr.data(), n, d, n, true, false);
+      // Sum the restored-key grads per group, then distribute /count.
+      const auto& assign = assignments_[s];
+      const auto& count = counts_[s];
+      const int64_t ng = static_cast<int64_t>(count.size());
+      Tensor group_grad = Tensor::Zeros({ng, d});
+      for (int64_t x = 0; x < n; ++x) {
+        float* dst = group_grad.data() + assign[x] * d;
+        const float* src = dkr.data() + x * d;
+        for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+      }
+      float* dk_s = dk.data() + s * n * d;
+      for (int64_t x = 0; x < n; ++x) {
+        const int64_t c = assign[x];
+        const float inv = scale_ / static_cast<float>(count[c]);
+        const float* src = group_grad.data() + c * d;
+        float* dst = dk_s + x * d;
+        for (int64_t j = 0; j < d; ++j) dst[j] = src[j] * inv;
+      }
+    }
+    return {dq, dk, dv};
+  }
+
+ private:
+  Tensor probs_;       // [BH, n, n] -- the restored quadratic object
+  Tensor q_, k_restored_, v_;
+  std::vector<std::vector<int64_t>> assignments_;
+  std::vector<std::vector<int64_t>> counts_;
+  float scale_;
+};
+
+}  // namespace
+
+NaiveGroupAttention::NaiveGroupAttention(int64_t head_dim,
+                                         const GroupAttentionOptions& options, Rng* rng)
+    : head_dim_(head_dim),
+      options_(options),
+      num_groups_(options.num_groups),
+      rng_(rng->Fork()) {}
+
+ag::Variable NaiveGroupAttention::Forward(const ag::Variable& q, const ag::Variable& k,
+                                          const ag::Variable& v) {
+  RITA_CHECK_EQ(q.size(2), head_dim_);
+  const int64_t bh = q.size(0), n = q.size(1), d = q.size(2);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+  cluster::KMeansOptions km;
+  km.num_clusters = std::min<int64_t>(num_groups_, n);
+  km.max_iters = options_.kmeans_iters;
+  km.kmeanspp_init = options_.kmeanspp_init;
+
+  Tensor out({bh, n, d});
+  Tensor probs({bh, n, n});      // quadratic: the object Alg. 1 avoids
+  Tensor k_restored({bh, n, d});
+  std::vector<std::vector<int64_t>> assignments(bh);
+  std::vector<std::vector<int64_t>> counts(bh);
+
+  const float* pq = q.data().data();
+  const float* pk = k.data().data();
+  const float* pv = v.data().data();
+
+  for (int64_t s = 0; s < bh; ++s) {
+    Tensor keys({n, d});
+    std::copy(pk + s * n * d, pk + (s + 1) * n * d, keys.data());
+    cluster::KMeansResult grouping = cluster::RunKMeans(keys, km, &rng_);
+
+    // Restore the effective keys: K~_x = centroid(g(x)).
+    float* kr_s = k_restored.data() + s * n * d;
+    for (int64_t x = 0; x < n; ++x) {
+      const float* c = grouping.centroids.data() + grouping.assignment[x] * d;
+      std::copy(c, c + d, kr_s + x * d);
+    }
+
+    // Full scores + softmax + value mix: exactly vanilla attention on K~.
+    Tensor scores({n, n});
+    ops::Gemm2D(pq + s * n * d, kr_s, scores.data(), n, n, d, false, true);
+    ops::ScaleInPlace(&scores, scale);
+    Tensor p = ops::SoftmaxLastDim(scores);
+    std::copy(p.data(), p.data() + n * n, probs.data() + s * n * n);
+    ops::Gemm2D(p.data(), pv + s * n * d, out.data() + s * n * d, n, d, n, false,
+                false);
+
+    assignments[s] = std::move(grouping.assignment);
+    counts[s] = std::move(grouping.counts);
+  }
+
+  ag::Variable result(out);
+  ag::Function::Connect(std::make_shared<NaiveGroupAttentionFunction>(
+                            probs, q.data(), k_restored, v.data(),
+                            std::move(assignments), std::move(counts), scale),
+                        {q, k, v}, &result);
+  return result;
+}
+
+}  // namespace core
+}  // namespace rita

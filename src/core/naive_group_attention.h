@@ -1,0 +1,40 @@
+// The naive solution of Sec. 4.2.1: after grouping, *restore* the full n x n
+// attention matrix from the n x N group matrix and proceed like vanilla
+// attention. Mathematically identical to the fused group attention (that is
+// Lemma 3), but it pays the quadratic memory the fused Alg. 1 eliminates.
+// Kept as (a) an executable correctness oracle for the fused path and (b) the
+// ablation baseline quantifying what embedding aggregation + group softmax
+// buy (bench_micro_attention).
+#ifndef RITA_CORE_NAIVE_GROUP_ATTENTION_H_
+#define RITA_CORE_NAIVE_GROUP_ATTENTION_H_
+
+#include "core/group_attention.h"
+
+namespace rita {
+namespace core {
+
+/// Restore-then-softmax group attention: O(n^2) space like vanilla.
+class NaiveGroupAttention : public attn::AttentionMechanism {
+ public:
+  NaiveGroupAttention(int64_t head_dim, const GroupAttentionOptions& options, Rng* rng);
+
+  ag::Variable Forward(const ag::Variable& q, const ag::Variable& k,
+                       const ag::Variable& v) override;
+
+  attn::AttentionKind kind() const override { return attn::AttentionKind::kGroup; }
+  /// The whole point of the fused path: the naive one is quadratic again.
+  int64_t ScoreMatrixElements(int64_t n) const override { return n * n; }
+
+  int64_t num_groups() const { return num_groups_; }
+
+ private:
+  int64_t head_dim_;
+  GroupAttentionOptions options_;
+  int64_t num_groups_;
+  Rng rng_;
+};
+
+}  // namespace core
+}  // namespace rita
+
+#endif  // RITA_CORE_NAIVE_GROUP_ATTENTION_H_

@@ -1,0 +1,185 @@
+#include "core/plane_division.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace rita {
+namespace core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::max() / 4;
+
+// Cost of fitting one region, Alg. 3's COST(S): infinite when S is too small
+// to fit responsibly, else the best family's SSE.
+double RegionCost(const std::vector<BatchSample>& samples,
+                  const std::vector<int>& member, int64_t min_points,
+                  FittedFunction* fit_out) {
+  std::vector<BatchSample> subset;
+  for (int idx : member) subset.push_back(samples[idx]);
+  if (static_cast<int64_t>(subset.size()) < min_points) return kInf;
+  FittedFunction fit = FitBest(subset);
+  if (fit_out != nullptr) *fit_out = fit;
+  return fit.sse;
+}
+
+// Optimal horizontal (N-axis) division of one vertical strip; returns the
+// regions appended to `out`. Implements the inner DP of Alg. 3 (g(n)).
+double DivideStrip(const std::vector<BatchSample>& samples,
+                   const std::vector<int>& strip_members, double length_lo,
+                   double length_hi, int64_t min_points,
+                   std::vector<PlaneRegion>* out) {
+  // Distinct N cut positions inside the strip.
+  std::vector<double> ncuts;
+  for (int idx : strip_members) ncuts.push_back(samples[idx].groups);
+  std::sort(ncuts.begin(), ncuts.end());
+  ncuts.erase(std::unique(ncuts.begin(), ncuts.end()), ncuts.end());
+  const size_t r = ncuts.size();
+  if (r == 0) return 0.0;
+
+  // g[m]: best cost covering N in (0, ncuts[m-1]]; parent for reconstruction.
+  std::vector<double> g(r + 1, kInf);
+  std::vector<size_t> parent(r + 1, 0);
+  std::vector<FittedFunction> fit_of(r + 1);
+  g[0] = 0.0;
+  for (size_t m = 1; m <= r; ++m) {
+    for (size_t q = 0; q < m; ++q) {
+      if (g[q] >= kInf) continue;
+      const double n_lo = (q == 0) ? 0.0 : ncuts[q - 1];
+      const double n_hi = ncuts[m - 1];
+      std::vector<int> band;
+      for (int idx : strip_members) {
+        const double nv = samples[idx].groups;
+        if (nv > n_lo && nv <= n_hi) band.push_back(idx);
+      }
+      FittedFunction fit;
+      const double cost = RegionCost(samples, band, min_points, &fit);
+      if (cost >= kInf) continue;
+      if (g[q] + cost < g[m]) {
+        g[m] = g[q] + cost;
+        parent[m] = q;
+        fit_of[m] = fit;
+      }
+    }
+  }
+  if (g[r] >= kInf) return kInf;
+
+  // Reconstruct bands.
+  std::vector<size_t> cuts;
+  for (size_t m = r; m > 0; m = parent[m]) cuts.push_back(m);
+  std::reverse(cuts.begin(), cuts.end());
+  size_t prev = 0;
+  for (size_t m : cuts) {
+    PlaneRegion region;
+    region.length_lo = length_lo;
+    region.length_hi = length_hi;
+    region.groups_lo = (prev == 0) ? 0.0 : ncuts[prev - 1];
+    region.groups_hi = ncuts[m - 1];
+    region.fit = fit_of[m];
+    out->push_back(region);
+    prev = m;
+  }
+  return g[r];
+}
+
+}  // namespace
+
+double PlaneDivision::Predict(double length, double groups) const {
+  RITA_CHECK(!regions.empty());
+  // Containing region first.
+  for (const PlaneRegion& r : regions) {
+    if (length > r.length_lo && length <= r.length_hi && groups > r.groups_lo &&
+        groups <= r.groups_hi) {
+      return r.fit.Predict(length, groups);
+    }
+  }
+  // Extrapolate from the nearest region (rectangle distance).
+  const PlaneRegion* best = &regions[0];
+  double best_d = std::numeric_limits<double>::max();
+  for (const PlaneRegion& r : regions) {
+    const double dl = std::max({r.length_lo - length, 0.0, length - r.length_hi});
+    const double dn = std::max({r.groups_lo - groups, 0.0, groups - r.groups_hi});
+    const double d = dl * dl + dn * dn;
+    if (d < best_d) {
+      best_d = d;
+      best = &r;
+    }
+  }
+  return best->fit.Predict(length, groups);
+}
+
+PlaneDivision DividePlane(const std::vector<BatchSample>& samples,
+                          const PlaneDivisionOptions& options) {
+  RITA_CHECK(!samples.empty());
+  int64_t min_points = std::max<int64_t>(1, options.min_points_per_region);
+
+  for (;;) {
+    PlaneDivision division;
+
+    // Distinct L cut positions.
+    std::vector<double> lcuts;
+    for (const BatchSample& s : samples) lcuts.push_back(s.length);
+    std::sort(lcuts.begin(), lcuts.end());
+    lcuts.erase(std::unique(lcuts.begin(), lcuts.end()), lcuts.end());
+    const size_t p = lcuts.size();
+
+    // dp[i]: best cost covering L in (0, lcuts[i-1]] (outer DP of Alg. 3).
+    std::vector<double> dp(p + 1, kInf);
+    std::vector<size_t> parent(p + 1, 0);
+    // Regions produced by the best strip division ending at i from parent j.
+    std::vector<std::vector<PlaneRegion>> strip_regions(p + 1);
+    dp[0] = 0.0;
+    for (size_t i = 1; i <= p; ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        if (dp[j] >= kInf) continue;
+        const double l_lo = (j == 0) ? 0.0 : lcuts[j - 1];
+        const double l_hi = lcuts[i - 1];
+        std::vector<int> strip;
+        for (size_t s = 0; s < samples.size(); ++s) {
+          if (samples[s].length > l_lo && samples[s].length <= l_hi) {
+            strip.push_back(static_cast<int>(s));
+          }
+        }
+        std::vector<PlaneRegion> regions;
+        const double cost =
+            DivideStrip(samples, strip, l_lo, l_hi, min_points, &regions);
+        if (cost >= kInf) continue;
+        if (dp[j] + cost < dp[i]) {
+          dp[i] = dp[j] + cost;
+          parent[i] = j;
+          strip_regions[i] = std::move(regions);
+        }
+      }
+    }
+
+    if (dp[p] < kInf) {
+      for (size_t i = p; i > 0; i = parent[i]) {
+        for (const PlaneRegion& r : strip_regions[i]) division.regions.push_back(r);
+      }
+      division.total_sse = dp[p];
+      if (static_cast<int64_t>(division.regions.size()) <= options.max_regions) {
+        return division;
+      }
+      // Too fragmented: coarsen and retry.
+      min_points *= 2;
+      continue;
+    }
+
+    // Not enough samples anywhere: single global fit.
+    PlaneRegion global;
+    global.length_lo = 0.0;
+    global.length_hi = std::numeric_limits<double>::max();
+    global.groups_lo = 0.0;
+    global.groups_hi = std::numeric_limits<double>::max();
+    global.fit = FitBest(samples);
+    division.regions = {global};
+    division.total_sse = global.fit.sse;
+    return division;
+  }
+}
+
+}  // namespace core
+}  // namespace rita

@@ -1,0 +1,51 @@
+// Dynamic-programming plane division (Appendix A.3, Alg. 3): splits the
+// {1 <= L <= Lmax, 1 <= N <= L} plane into rectangular sub-planes, fits a
+// separate function per sub-plane, and provably minimises the total fitting
+// error over all guillotine cuts of the considered grid (vertical cuts in L,
+// then horizontal cuts in N inside each strip). Coordinates are compressed to
+// the sampled L/N values, which preserves optimality over the samples.
+#ifndef RITA_CORE_PLANE_DIVISION_H_
+#define RITA_CORE_PLANE_DIVISION_H_
+
+#include <vector>
+
+#include "core/curve_fit.h"
+
+namespace rita {
+namespace core {
+
+struct PlaneDivisionOptions {
+  /// Sub-planes holding fewer samples are rejected (infinite cost in Alg. 3)
+  /// so that no region is fit from a degenerate sample set.
+  int64_t min_points_per_region = 6;
+  /// Cap on the number of regions (keeps lookup cheap); the DP naturally
+  /// stops splitting when fits no longer improve, this is a safety bound.
+  int64_t max_regions = 16;
+};
+
+/// One rectangular sub-plane and its fitted function.
+struct PlaneRegion {
+  double length_lo = 0.0, length_hi = 0.0;  // (lo, hi] in L
+  double groups_lo = 0.0, groups_hi = 0.0;  // (lo, hi] in N
+  FittedFunction fit;
+};
+
+/// Result of the DP: regions tile the sampled plane.
+struct PlaneDivision {
+  std::vector<PlaneRegion> regions;
+  double total_sse = 0.0;
+
+  /// Predicts B at (L, N): the containing region's fit, or the nearest region
+  /// when (L, N) falls outside every rectangle (extrapolation).
+  double Predict(double length, double groups) const;
+};
+
+/// Runs Alg. 3 over the samples. Falls back to a single global fit when there
+/// are too few samples to split.
+PlaneDivision DividePlane(const std::vector<BatchSample>& samples,
+                          const PlaneDivisionOptions& options = {});
+
+}  // namespace core
+}  // namespace rita
+
+#endif  // RITA_CORE_PLANE_DIVISION_H_

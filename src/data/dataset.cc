@@ -1,0 +1,124 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace rita {
+namespace data {
+
+Tensor TimeseriesDataset::Sample(int64_t index) const {
+  RITA_CHECK_GE(index, 0);
+  RITA_CHECK_LT(index, size());
+  const int64_t t = length(), c = channels();
+  Tensor out({1, t, c});
+  const float* src = series.data() + index * t * c;
+  std::copy(src, src + t * c, out.data());
+  return out;
+}
+
+void MinMaxScaleInPlace(TimeseriesDataset* dataset) {
+  const int64_t num = dataset->size();
+  const int64_t per = dataset->length() * dataset->channels();
+  float* p = dataset->series.data();
+  for (int64_t i = 0; i < num; ++i) {
+    float* s = p + i * per;
+    float lo = s[0], hi = s[0];
+    for (int64_t j = 1; j < per; ++j) {
+      lo = std::min(lo, s[j]);
+      hi = std::max(hi, s[j]);
+    }
+    const float range = hi - lo;
+    if (range <= 0.0f) {
+      std::fill(s, s + per, 0.0f);
+      continue;
+    }
+    const float inv = 1.0f / range;
+    for (int64_t j = 0; j < per; ++j) s[j] = (s[j] - lo) * inv;
+  }
+}
+
+TimeseriesDataset Subset(const TimeseriesDataset& dataset,
+                         const std::vector<int64_t>& indices) {
+  TimeseriesDataset out;
+  out.name = dataset.name;
+  out.num_classes = dataset.num_classes;
+  const int64_t t = dataset.length(), c = dataset.channels();
+  out.series = Tensor({static_cast<int64_t>(indices.size()), t, c});
+  float* dst = out.series.data();
+  const float* src = dataset.series.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    RITA_CHECK_GE(indices[i], 0);
+    RITA_CHECK_LT(indices[i], dataset.size());
+    std::copy(src + indices[i] * t * c, src + (indices[i] + 1) * t * c,
+              dst + static_cast<int64_t>(i) * t * c);
+    if (dataset.labeled()) out.labels.push_back(dataset.labels[indices[i]]);
+  }
+  return out;
+}
+
+SplitDataset TrainValSplit(const TimeseriesDataset& dataset, double train_fraction,
+                           Rng* rng) {
+  RITA_CHECK_GT(train_fraction, 0.0);
+  RITA_CHECK_LT(train_fraction, 1.0);
+  std::vector<int64_t> order(dataset.size());
+  for (int64_t i = 0; i < dataset.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  const int64_t n_train = std::max<int64_t>(
+      1, static_cast<int64_t>(train_fraction * static_cast<double>(dataset.size())));
+  std::vector<int64_t> train_idx(order.begin(), order.begin() + n_train);
+  std::vector<int64_t> valid_idx(order.begin() + n_train, order.end());
+  SplitDataset split;
+  split.train = Subset(dataset, train_idx);
+  split.valid = Subset(dataset, valid_idx);
+  split.train.name = dataset.name + "/train";
+  split.valid.name = dataset.name + "/valid";
+  return split;
+}
+
+TimeseriesDataset FewLabelSubset(const TimeseriesDataset& dataset, int64_t per_class,
+                                 Rng* rng) {
+  RITA_CHECK(dataset.labeled());
+  std::map<int64_t, std::vector<int64_t>> by_class;
+  for (int64_t i = 0; i < dataset.size(); ++i) by_class[dataset.labels[i]].push_back(i);
+  std::vector<int64_t> chosen;
+  for (auto& [label, indices] : by_class) {
+    rng->Shuffle(&indices);
+    const int64_t take = std::min<int64_t>(per_class, indices.size());
+    chosen.insert(chosen.end(), indices.begin(), indices.begin() + take);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  TimeseriesDataset out = Subset(dataset, chosen);
+  out.name = dataset.name + "/few";
+  return out;
+}
+
+TimeseriesDataset SelectChannel(const TimeseriesDataset& dataset, int64_t channel) {
+  RITA_CHECK_GE(channel, 0);
+  RITA_CHECK_LT(channel, dataset.channels());
+  TimeseriesDataset out;
+  out.name = dataset.name + "*";
+  out.labels = dataset.labels;
+  out.num_classes = dataset.num_classes;
+  const int64_t num = dataset.size(), t = dataset.length(), c = dataset.channels();
+  out.series = Tensor({num, t, 1});
+  const float* src = dataset.series.data();
+  float* dst = out.series.data();
+  for (int64_t i = 0; i < num; ++i) {
+    for (int64_t j = 0; j < t; ++j) dst[i * t + j] = src[(i * t + j) * c + channel];
+  }
+  return out;
+}
+
+double MajorityClassFraction(const TimeseriesDataset& dataset) {
+  RITA_CHECK(dataset.labeled());
+  std::map<int64_t, int64_t> counts;
+  for (int64_t label : dataset.labels) ++counts[label];
+  int64_t best = 0;
+  for (auto& [label, count] : counts) best = std::max(best, count);
+  return static_cast<double>(best) / static_cast<double>(dataset.size());
+}
+
+}  // namespace data
+}  // namespace rita

@@ -1,0 +1,65 @@
+// Timeseries dataset container and transforms: per-sample min-max scaling to
+// [0, 1] (the paper scales series non-negative so -1 can mark masked values),
+// train/val splitting, few-label subsets and uni-variate channel selection.
+#ifndef RITA_DATA_DATASET_H_
+#define RITA_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace rita {
+namespace data {
+
+/// A set of equally-long multivariate timeseries with optional labels.
+struct TimeseriesDataset {
+  std::string name;
+  Tensor series;                // [num, T, C]
+  std::vector<int64_t> labels;  // empty when unlabeled
+  int64_t num_classes = 0;
+
+  int64_t size() const { return series.defined() ? series.size(0) : 0; }
+  int64_t length() const { return series.size(1); }
+  int64_t channels() const { return series.size(2); }
+  bool labeled() const { return !labels.empty(); }
+
+  /// One sample as a [1, T, C] tensor (copy).
+  Tensor Sample(int64_t index) const;
+};
+
+/// Train/validation pair.
+struct SplitDataset {
+  TimeseriesDataset train;
+  TimeseriesDataset valid;
+};
+
+/// Scales every sample into [0, 1] independently (per-sample min-max over all
+/// timestamps and channels). Constant samples map to 0.
+void MinMaxScaleInPlace(TimeseriesDataset* dataset);
+
+/// Returns the subset at `indices` (copies rows).
+TimeseriesDataset Subset(const TimeseriesDataset& dataset,
+                         const std::vector<int64_t>& indices);
+
+/// Random split into train/valid with the given train fraction.
+SplitDataset TrainValSplit(const TimeseriesDataset& dataset, double train_fraction,
+                           Rng* rng);
+
+/// At most `per_class` labeled samples per class (the paper's 100-label
+/// finetuning protocol).
+TimeseriesDataset FewLabelSubset(const TimeseriesDataset& dataset, int64_t per_class,
+                                 Rng* rng);
+
+/// Keeps a single channel: [num, T, C] -> [num, T, 1] (the WISDM*/HHAR*/RWHAR*
+/// uni-variate derivatives).
+TimeseriesDataset SelectChannel(const TimeseriesDataset& dataset, int64_t channel);
+
+/// Fraction of the majority class; random-guess baseline for accuracy checks.
+double MajorityClassFraction(const TimeseriesDataset& dataset);
+
+}  // namespace data
+}  // namespace rita
+
+#endif  // RITA_DATA_DATASET_H_

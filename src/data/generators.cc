@@ -1,0 +1,303 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rita {
+namespace data {
+
+namespace {
+constexpr double kTwoPi = 2.0 * M_PI;
+
+// Deterministic per-class pseudo-random parameter in [lo, hi): classes get
+// distinct but reproducible signatures independent of the sample rng.
+double ClassParam(int64_t cls, int64_t salt, double lo, double hi) {
+  uint64_t h = static_cast<uint64_t>(cls) * 0x9e3779b97f4a7c15ULL +
+               static_cast<uint64_t>(salt) * 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 31;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 29;
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return lo + (hi - lo) * unit;
+}
+}  // namespace
+
+TimeseriesDataset GenerateHar(const HarOptions& options) {
+  RITA_CHECK_GT(options.num_samples, 0);
+  RITA_CHECK_GT(options.num_classes, 0);
+  Rng rng(options.seed);
+  TimeseriesDataset ds;
+  ds.name = options.device_heterogeneity ? "hhar-sim" : "har-sim";
+  ds.num_classes = options.num_classes;
+  ds.series = Tensor({options.num_samples, options.length, options.channels});
+  ds.labels.resize(options.num_samples);
+
+  float* p = ds.series.data();
+  for (int64_t i = 0; i < options.num_samples; ++i) {
+    const int64_t cls = rng.UniformInt(options.num_classes);
+    ds.labels[i] = cls;
+
+    // Class signature. Real activities overlap in pace (people walk at
+    // different speeds), so the fundamental frequency alone must NOT identify
+    // the class: classes share three overlapping bands with per-sample pace
+    // jitter, and identity is carried by the harmonic mix, a class-specific
+    // amplitude-modulation envelope, and (multivariate only) the per-channel
+    // amplitude profile.
+    const double band = 4.0 + 2.0 * static_cast<double>(cls % 3);
+    const double cycles = band + rng.Uniform(-1.2, 1.2);  // per-sample pace
+    const double harmonic = ClassParam(cls, 1, 0.1, 0.9);
+    const double tri_weight = ClassParam(cls, 2, 0.0, 0.6);
+    const double env_rate = 1.0 + ClassParam(cls, 3, 0.0, 3.0);
+    const double env_depth = 0.2 + ClassParam(cls, 4, 0.0, 0.6);
+    const double env_phase = rng.Uniform(0.0, kTwoPi);
+
+    // HHAR heterogeneity: smartphones sample at different effective rates and
+    // sit at different biases on the body.
+    const double rate_warp =
+        options.device_heterogeneity ? rng.Uniform(0.75, 1.3) : 1.0;
+    const double device_bias =
+        options.device_heterogeneity ? rng.Normal(0.0, 0.4) : 0.0;
+
+    const double phase0 = rng.Uniform(0.0, kTwoPi);  // random gait phase
+    // Per-sample relative phases of the harmonics: the *spectral* signature
+    // (frequencies + harmonic weights) stays class-defining, but the waveform
+    // shape varies sample to sample — real gait does this, and it is what
+    // breaks waveform-matching methods (NCC/SINK) while learned features cope.
+    const double hphase2 = rng.Uniform(0.0, kTwoPi);
+    const double hphase3 = rng.Uniform(0.0, kTwoPi);
+    // Within-recording pace drift (nonlinear time warp): global alignment
+    // cannot absorb it, local features can.
+    const double warp_rate = rng.Uniform(0.5, 1.5);
+    const double warp_amp = rng.Uniform(0.1, 0.45);
+    const double warp_phase = rng.Uniform(0.0, kTwoPi);
+    for (int64_t ch = 0; ch < options.channels; ++ch) {
+      const double amp = 0.6 + ClassParam(cls, 10 + ch, 0.0, 1.0);
+      const double chphase = ClassParam(cls, 20 + ch, 0.0, kTwoPi);
+      float* s = p + (i * options.length) * options.channels + ch;
+      double drift = 0.0;
+      for (int64_t t = 0; t < options.length; ++t) {
+        const double tau = static_cast<double>(t) / options.length;
+        const double u = rate_warp * cycles *
+                         (tau + warp_amp / cycles *
+                                    std::sin(kTwoPi * warp_rate * tau + warp_phase));
+        double value = amp * std::sin(kTwoPi * u + phase0 + chphase);
+        value += amp * harmonic * std::sin(2.0 * kTwoPi * u + chphase + hphase2);
+        // Triangular-ish third harmonic gives classes sharper signatures.
+        value +=
+            amp * tri_weight * std::sin(3.0 * kTwoPi * u + 2.0 * chphase + hphase3);
+        // Class-specific amplitude modulation (e.g. stair cadence vs jogging).
+        const double envelope =
+            1.0 + env_depth * std::sin(kTwoPi * env_rate * t / options.length +
+                                       env_phase);
+        value *= envelope;
+        drift += rng.Normal(0.0, 0.01);  // slow sensor drift
+        value += drift + device_bias + rng.Normal(0.0, options.noise);
+        s[t * options.channels] = static_cast<float>(value);
+      }
+    }
+  }
+  MinMaxScaleInPlace(&ds);
+  return ds;
+}
+
+namespace {
+
+// PQRST beat morphology: five Gaussian bumps at relative positions within one
+// beat. `u` is the position in [0, 1) within the beat.
+double BeatValue(double u, double pr_stretch, double r_amp, double st_shift,
+                 bool wide_qrs, bool drop_p) {
+  struct Bump {
+    double center, width, amp;
+  };
+  const double qrs_w = wide_qrs ? 2.2 : 1.0;
+  const Bump bumps[] = {
+      {0.15 * pr_stretch, 0.025, drop_p ? 0.0 : 0.12},  // P
+      {0.28, 0.010 * qrs_w, -0.18},                     // Q
+      {0.31, 0.014 * qrs_w, r_amp},                     // R
+      {0.34, 0.010 * qrs_w, -0.25},                     // S
+      {0.50, 0.045, 0.32 + st_shift},                   // T
+  };
+  double v = st_shift * 0.5;  // ST segment elevation
+  for (const Bump& b : bumps) {
+    const double d = (u - b.center) / b.width;
+    v += b.amp * std::exp(-0.5 * d * d);
+  }
+  return v;
+}
+
+}  // namespace
+
+TimeseriesDataset GenerateEcg(const EcgOptions& options) {
+  RITA_CHECK_GT(options.num_samples, 0);
+  Rng rng(options.seed);
+  TimeseriesDataset ds;
+  ds.name = "ecg-sim";
+  ds.num_classes = options.num_classes;
+  ds.series = Tensor({options.num_samples, options.length, options.leads});
+  ds.labels.resize(options.num_samples);
+
+  float* p = ds.series.data();
+  for (int64_t i = 0; i < options.num_samples; ++i) {
+    const int64_t cls = rng.UniformInt(options.num_classes);
+    ds.labels[i] = cls;
+
+    // Rhythm/morphology disorder per class (0 = normal sinus).
+    double rr_scale = 1.0, rr_jitter = 0.04, premature_prob = 0.0, drop_prob = 0.0;
+    double pr_stretch = 1.0, st_shift = 0.0, r_amp = 1.0;
+    bool wide_qrs = false, drop_p = false;
+    switch (cls % 9) {
+      case 0:
+        break;  // normal
+      case 1:   // atrial fibrillation: irregular RR, absent P
+        rr_jitter = 0.35;
+        drop_p = true;
+        break;
+      case 2:  // premature atrial contractions
+        premature_prob = 0.25;
+        break;
+      case 3:  // premature ventricular contractions: wide QRS ectopics
+        premature_prob = 0.2;
+        wide_qrs = true;
+        break;
+      case 4:  // tachycardia
+        rr_scale = 0.6;
+        break;
+      case 5:  // bradycardia
+        rr_scale = 1.6;
+        break;
+      case 6:  // ST elevation
+        st_shift = 0.25;
+        break;
+      case 7:  // first-degree block: long PR interval
+        pr_stretch = 1.7;
+        break;
+      case 8:  // low-voltage + dropped beats
+        r_amp = 0.45;
+        drop_prob = 0.15;
+        break;
+    }
+
+    // Per-lead projection profile (fixed physiology, not class dependent).
+    std::vector<double> lead_gain(options.leads), lead_off(options.leads);
+    for (int64_t l = 0; l < options.leads; ++l) {
+      lead_gain[l] = 0.4 + 1.2 * std::fabs(std::sin(0.7 * (l + 1)));
+      lead_off[l] = 0.05 * std::cos(1.3 * (l + 1));
+    }
+
+    // Generate the beat train on a reference channel, then project to leads.
+    std::vector<double> reference(options.length, 0.0);
+    double t_cursor = -rng.Uniform(0.0, 1.0) * options.beat_period;
+    while (t_cursor < options.length) {
+      double period = options.beat_period * rr_scale *
+                      (1.0 + rng.Normal(0.0, rr_jitter));
+      bool this_wide = false, this_drop_p = drop_p;
+      if (premature_prob > 0.0 && rng.Bernoulli(premature_prob)) {
+        period *= 0.55;  // early ectopic beat
+        this_wide = wide_qrs;
+        this_drop_p = true;
+      }
+      period = std::max(period, 0.25 * options.beat_period);
+      const bool dropped = drop_prob > 0.0 && rng.Bernoulli(drop_prob);
+      if (!dropped) {
+        const int64_t start = static_cast<int64_t>(std::floor(t_cursor));
+        const int64_t span = static_cast<int64_t>(period);
+        for (int64_t t = std::max<int64_t>(0, start);
+             t < std::min<int64_t>(options.length, start + span); ++t) {
+          const double u = static_cast<double>(t - start) / period;
+          reference[t] += BeatValue(u, pr_stretch, r_amp, st_shift,
+                                    this_wide || wide_qrs, this_drop_p);
+        }
+      }
+      t_cursor += period;
+    }
+
+    // Baseline wander + lead projection + noise.
+    const double wander_f = rng.Uniform(0.5, 1.5);
+    const double wander_phase = rng.Uniform(0.0, kTwoPi);
+    for (int64_t l = 0; l < options.leads; ++l) {
+      float* s = p + (i * options.length) * options.leads + l;
+      for (int64_t t = 0; t < options.length; ++t) {
+        const double wander =
+            0.08 * std::sin(kTwoPi * wander_f * t / options.length + wander_phase);
+        const double value = lead_gain[l] * reference[t] + lead_off[l] + wander +
+                             rng.Normal(0.0, options.noise);
+        s[t * options.leads] = static_cast<float>(value);
+      }
+    }
+  }
+  MinMaxScaleInPlace(&ds);
+  return ds;
+}
+
+TimeseriesDataset GenerateEeg(const EegOptions& options) {
+  RITA_CHECK_GT(options.num_samples, 0);
+  Rng rng(options.seed);
+  TimeseriesDataset ds;
+  ds.name = "mgh-eeg-sim";
+  ds.num_classes = options.labeled ? 2 : 0;
+  ds.series = Tensor({options.num_samples, options.length, options.channels});
+  if (options.labeled) ds.labels.resize(options.num_samples);
+
+  // Band definitions in cycles per 1000 samples ("200 Hz" scaled): delta,
+  // theta, alpha, beta. 1/f amplitude weighting.
+  const double band_freq[4] = {10.0, 30.0, 55.0, 100.0};
+  const double band_amp[4] = {1.0, 0.55, 0.35, 0.18};
+
+  float* p = ds.series.data();
+  for (int64_t i = 0; i < options.num_samples; ++i) {
+    // Per-recording band sources with slowly-varying amplitude envelopes.
+    std::vector<std::vector<double>> sources(4, std::vector<double>(options.length));
+    for (int b = 0; b < 4; ++b) {
+      const double f = band_freq[b] * rng.Uniform(0.85, 1.15) / 1000.0;
+      const double phase = rng.Uniform(0.0, kTwoPi);
+      double env = 1.0;
+      for (int64_t t = 0; t < options.length; ++t) {
+        env = std::max(0.2, std::min(2.0, env + rng.Normal(0.0, 0.01)));
+        sources[b][t] = band_amp[b] * env * std::sin(kTwoPi * f * t + phase);
+      }
+    }
+
+    // Optional seizure episode: high-amplitude ~3 Hz spike-wave burst.
+    const bool has_seizure = rng.Bernoulli(options.seizure_probability);
+    if (options.labeled) ds.labels[i] = has_seizure ? 1 : 0;
+    int64_t sz_start = 0, sz_end = 0;
+    double sz_freq = 0.0;
+    if (has_seizure) {
+      const int64_t span = options.length / 4 + rng.UniformInt(options.length / 4);
+      sz_start = rng.UniformInt(std::max<int64_t>(1, options.length - span));
+      sz_end = std::min(options.length, sz_start + span);
+      sz_freq = rng.Uniform(12.0, 18.0) / 1000.0;  // ~3 Hz at 200 Hz sampling
+    }
+
+    // Spatial mixing onto channels + spindle bursts + pink-ish noise.
+    for (int64_t ch = 0; ch < options.channels; ++ch) {
+      double mix[4];
+      for (int b = 0; b < 4; ++b) {
+        mix[b] = 0.3 + 0.7 * std::fabs(std::sin(0.9 * (ch + 1) + 1.7 * b));
+      }
+      const double sz_gain =
+          has_seizure ? 1.2 + 1.8 * std::fabs(std::sin(0.5 * (ch + 1))) : 0.0;
+      float* s = p + (i * options.length) * options.channels + ch;
+      double slow = 0.0;
+      for (int64_t t = 0; t < options.length; ++t) {
+        double value = 0.0;
+        for (int b = 0; b < 4; ++b) value += mix[b] * sources[b][t];
+        if (has_seizure && t >= sz_start && t < sz_end) {
+          const double u = kTwoPi * sz_freq * (t - sz_start);
+          // Spike-wave: sharp positive spike followed by a slow wave.
+          value += sz_gain * (1.6 * std::exp(-8.0 * std::pow(std::sin(u / 2.0), 2)) -
+                              0.6 * std::cos(u));
+        }
+        slow = 0.995 * slow + rng.Normal(0.0, 0.03);  // random-walk low freq
+        value += slow + rng.Normal(0.0, options.noise);
+        s[t * options.channels] = static_cast<float>(value);
+      }
+    }
+  }
+  MinMaxScaleInPlace(&ds);
+  return ds;
+}
+
+}  // namespace data
+}  // namespace rita

@@ -1,0 +1,68 @@
+// Synthetic timeseries simulators standing in for the paper's datasets (the
+// originals are proprietary / clinical). Each generator produces
+// class-conditional *periodic* structure — periodicity is the property group
+// attention exploits — with controlled noise, and min-max scales every sample
+// to [0, 1] (the paper's non-negative scaling, enabling the -1 mask marker).
+//
+// * HAR (WISDM / HHAR / RWHAR): class-specific multi-harmonic gait
+//   oscillations on 3 accelerometer channels; HHAR mode adds per-device
+//   sampling-rate and bias heterogeneity.
+// * ECG: Gaussian-bump PQRST beats, 12 leads via a lead-mixing profile,
+//   9 rhythm/morphology classes (AF jitter, premature beats, blocks, ...).
+// * EEG (MGH): band-limited oscillator mixtures (delta/theta/alpha/beta) with
+//   1/f weighting, spindle bursts and optional seizure-like 3 Hz episodes on
+//   20 channels; unlabeled by default (pretraining / imputation corpus).
+#ifndef RITA_DATA_GENERATORS_H_
+#define RITA_DATA_GENERATORS_H_
+
+#include "data/dataset.h"
+
+namespace rita {
+namespace data {
+
+struct HarOptions {
+  int64_t num_samples = 1000;
+  int64_t length = 200;
+  int64_t channels = 3;
+  int64_t num_classes = 18;
+  float noise = 0.15f;
+  /// HHAR-style device heterogeneity: per-sample rate warp and offset bias.
+  bool device_heterogeneity = false;
+  uint64_t seed = 1;
+};
+
+TimeseriesDataset GenerateHar(const HarOptions& options);
+
+struct EcgOptions {
+  int64_t num_samples = 1000;
+  int64_t length = 2000;
+  int64_t leads = 12;
+  int64_t num_classes = 9;
+  /// Samples per beat at the nominal heart rate (500 Hz * 0.8 s in the paper's
+  /// data; scaled lengths keep ~beats-per-series constant).
+  int64_t beat_period = 400;
+  float noise = 0.05f;
+  uint64_t seed = 2;
+};
+
+TimeseriesDataset GenerateEcg(const EcgOptions& options);
+
+struct EegOptions {
+  int64_t num_samples = 500;
+  int64_t length = 10000;
+  int64_t channels = 20;
+  /// Probability a recording contains a seizure-like episode; with
+  /// `labeled = true` that flag becomes a binary label (seizure detection,
+  /// the paper's motivating MGH use case).
+  float seizure_probability = 0.3f;
+  bool labeled = false;
+  float noise = 0.1f;
+  uint64_t seed = 3;
+};
+
+TimeseriesDataset GenerateEeg(const EegOptions& options);
+
+}  // namespace data
+}  // namespace rita
+
+#endif  // RITA_DATA_GENERATORS_H_

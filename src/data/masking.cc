@@ -1,0 +1,76 @@
+#include "data/masking.h"
+
+#include "util/check.h"
+
+namespace rita {
+namespace data {
+
+MaskedBatch ApplyTimestampMask(const Tensor& batch, float mask_rate, Rng* rng,
+                               float mask_value) {
+  RITA_CHECK_EQ(batch.dim(), 3);
+  RITA_CHECK_GT(mask_rate, 0.0f);
+  RITA_CHECK_LT(mask_rate, 1.0f);
+  const int64_t b = batch.size(0), t = batch.size(1), c = batch.size(2);
+
+  MaskedBatch out;
+  out.target = batch.Clone();
+  out.corrupted = batch.Clone();
+  out.mask = Tensor::Zeros(batch.shape());
+
+  float* corrupted = out.corrupted.data();
+  float* mask = out.mask.data();
+  for (int64_t i = 0; i < b; ++i) {
+    int64_t masked_here = 0;
+    for (int64_t j = 0; j < t; ++j) {
+      if (!rng->Bernoulli(mask_rate)) continue;
+      ++masked_here;
+      float* crow = corrupted + (i * t + j) * c;
+      float* mrow = mask + (i * t + j) * c;
+      for (int64_t k = 0; k < c; ++k) {
+        crow[k] = mask_value;
+        mrow[k] = 1.0f;
+      }
+    }
+    if (masked_here == 0) {  // guarantee a defined loss
+      const int64_t j = rng->UniformInt(t);
+      float* crow = corrupted + (i * t + j) * c;
+      float* mrow = mask + (i * t + j) * c;
+      for (int64_t k = 0; k < c; ++k) {
+        crow[k] = mask_value;
+        mrow[k] = 1.0f;
+      }
+      masked_here = 1;
+    }
+    out.masked_timestamps += masked_here;
+  }
+  return out;
+}
+
+MaskedBatch ApplyForecastMask(const Tensor& batch, int64_t horizon, float mask_value) {
+  RITA_CHECK_EQ(batch.dim(), 3);
+  const int64_t b = batch.size(0), t = batch.size(1), c = batch.size(2);
+  RITA_CHECK_GT(horizon, 0);
+  RITA_CHECK_LT(horizon, t);
+
+  MaskedBatch out;
+  out.target = batch.Clone();
+  out.corrupted = batch.Clone();
+  out.mask = Tensor::Zeros(batch.shape());
+  float* corrupted = out.corrupted.data();
+  float* mask = out.mask.data();
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t j = t - horizon; j < t; ++j) {
+      float* crow = corrupted + (i * t + j) * c;
+      float* mrow = mask + (i * t + j) * c;
+      for (int64_t k = 0; k < c; ++k) {
+        crow[k] = mask_value;
+        mrow[k] = 1.0f;
+      }
+    }
+  }
+  out.masked_timestamps = b * horizon;
+  return out;
+}
+
+}  // namespace data
+}  // namespace rita

@@ -1,0 +1,36 @@
+// Cloze masking for the self-supervised pretraining task (Sec. 3) and the
+// imputation experiments: random timestamps are masked at rate p and all
+// channel values at those timestamps are set to -1 (impossible after the
+// non-negative scaling), the model reconstructs them, and the loss is the MSE
+// over masked positions only.
+#ifndef RITA_DATA_MASKING_H_
+#define RITA_DATA_MASKING_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace rita {
+namespace data {
+
+struct MaskedBatch {
+  Tensor corrupted;  // [B, T, C] with masked timestamps set to the mask value
+  Tensor target;     // original values
+  Tensor mask;       // [B, T, C]: 1 where masked (loss positions), else 0
+  int64_t masked_timestamps = 0;
+};
+
+/// Masks each timestamp independently with probability `mask_rate` (all
+/// channels of a masked timestamp are replaced by `mask_value`). Guarantees at
+/// least one masked timestamp per sample so the loss is always defined.
+MaskedBatch ApplyTimestampMask(const Tensor& batch, float mask_rate, Rng* rng,
+                               float mask_value = -1.0f);
+
+/// Masks the final `horizon` timestamps of every sample — forecasting as the
+/// special case of imputation described in Appendix A.7.3.
+MaskedBatch ApplyForecastMask(const Tensor& batch, int64_t horizon,
+                              float mask_value = -1.0f);
+
+}  // namespace data
+}  // namespace rita
+
+#endif  // RITA_DATA_MASKING_H_

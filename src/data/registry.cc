@@ -1,0 +1,121 @@
+#include "data/registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rita {
+namespace data {
+
+PaperDatasetSpec GetPaperSpec(PaperDataset dataset) {
+  switch (dataset) {
+    case PaperDataset::kWisdm:
+      return {"WISDM", 28280, 3112, 200, 3, 18};
+    case PaperDataset::kHhar:
+      return {"HHAR", 20484, 2296, 200, 3, 5};
+    case PaperDataset::kRwhar:
+      return {"RWHAR", 27253, 3059, 200, 3, 8};
+    case PaperDataset::kEcg:
+      return {"ECG", 31091, 3551, 2000, 12, 9};
+    case PaperDataset::kMgh:
+      return {"MGH", 8550, 950, 10000, 21, 0};
+    case PaperDataset::kWisdmUni:
+      return {"WISDM*", 28280, 3112, 200, 1, 18};
+    case PaperDataset::kHharUni:
+      return {"HHAR*", 20484, 2296, 200, 1, 5};
+    case PaperDataset::kRwharUni:
+      return {"RWHAR*", 27253, 3059, 200, 1, 8};
+  }
+  RITA_CHECK(false) << "unknown dataset";
+  return {};
+}
+
+namespace {
+int64_t Scaled(int64_t value, double factor, int64_t floor_value) {
+  return std::max<int64_t>(floor_value,
+                           static_cast<int64_t>(std::llround(value * factor)));
+}
+}  // namespace
+
+SplitDataset MakePaperDataset(PaperDataset dataset, const DatasetScale& scale,
+                              uint64_t seed) {
+  const PaperDatasetSpec spec = GetPaperSpec(dataset);
+  const int64_t total = Scaled(spec.train_size + spec.valid_size, scale.size,
+                               scale.min_samples);
+  const int64_t length = Scaled(spec.length, scale.length, scale.min_length);
+  const double train_fraction =
+      static_cast<double>(spec.train_size) /
+      static_cast<double>(spec.train_size + spec.valid_size);
+
+  TimeseriesDataset full;
+  switch (dataset) {
+    case PaperDataset::kWisdm:
+    case PaperDataset::kWisdmUni: {
+      HarOptions opts;
+      opts.num_samples = total;
+      opts.length = length;
+      opts.num_classes = 18;
+      opts.seed = seed;
+      full = GenerateHar(opts);
+      break;
+    }
+    case PaperDataset::kHhar:
+    case PaperDataset::kHharUni: {
+      HarOptions opts;
+      opts.num_samples = total;
+      opts.length = length;
+      opts.num_classes = 5;
+      opts.device_heterogeneity = true;  // 12 different smartphones
+      opts.seed = seed;
+      full = GenerateHar(opts);
+      break;
+    }
+    case PaperDataset::kRwhar:
+    case PaperDataset::kRwharUni: {
+      HarOptions opts;
+      opts.num_samples = total;
+      opts.length = length;
+      opts.num_classes = 8;
+      opts.noise = 0.1f;
+      opts.seed = seed;
+      full = GenerateHar(opts);
+      break;
+    }
+    case PaperDataset::kEcg: {
+      EcgOptions opts;
+      opts.num_samples = total;
+      opts.length = length;
+      // Keep ~5 beats per series when the length shrinks.
+      opts.beat_period = std::max<int64_t>(8, length / 5);
+      opts.seed = seed;
+      full = GenerateEcg(opts);
+      break;
+    }
+    case PaperDataset::kMgh: {
+      EegOptions opts;
+      opts.num_samples = total;
+      opts.length = length;
+      opts.channels = 21;
+      opts.seed = seed;
+      full = GenerateEeg(opts);
+      break;
+    }
+  }
+  full.name = spec.name;
+
+  const bool univariate = dataset == PaperDataset::kWisdmUni ||
+                          dataset == PaperDataset::kHharUni ||
+                          dataset == PaperDataset::kRwharUni;
+  if (univariate) full = SelectChannel(full, 0);
+  full.name = spec.name;
+
+  Rng split_rng(seed ^ 0xabcdef12345ULL);
+  SplitDataset split = TrainValSplit(full, train_fraction, &split_rng);
+  split.train.name = spec.name;
+  split.valid.name = spec.name;
+  return split;
+}
+
+}  // namespace data
+}  // namespace rita

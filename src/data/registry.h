@@ -1,0 +1,55 @@
+// Paper-dataset registry: Table 1's five datasets (plus the uni-variate
+// derivatives of Sec. 6.4) with their published sizes, lengths, channel and
+// class counts, producible at any size/length scale so the benchmark suite
+// runs on laptop-class hardware while `--paper-scale` reproduces the original
+// dimensions.
+#ifndef RITA_DATA_REGISTRY_H_
+#define RITA_DATA_REGISTRY_H_
+
+#include <string>
+
+#include "data/generators.h"
+
+namespace rita {
+namespace data {
+
+enum class PaperDataset {
+  kWisdm = 0,   // 28,280 / 3,112 samples, len 200,   3 ch, 18 classes
+  kHhar,        // 20,484 / 2,296,        len 200,   3 ch,  5 classes
+  kRwhar,       // 27,253 / 3,059,        len 200,   3 ch,  8 classes
+  kEcg,         // 31,091 / 3,551,        len 2000, 12 ch,  9 classes
+  kMgh,         //  8,550 /   950,        len 10000, 21 ch, unlabeled
+  kWisdmUni,    // WISDM* single channel
+  kHharUni,     // HHAR*
+  kRwharUni,    // RWHAR*
+};
+
+/// Table 1 row for a dataset.
+struct PaperDatasetSpec {
+  std::string name;
+  int64_t train_size = 0;
+  int64_t valid_size = 0;
+  int64_t length = 0;
+  int64_t channels = 0;
+  int64_t num_classes = 0;  // 0 = unlabeled
+};
+
+PaperDatasetSpec GetPaperSpec(PaperDataset dataset);
+
+/// Shrink factors applied to the paper dimensions (1.0 = paper scale).
+struct DatasetScale {
+  double size = 1.0;    // multiplies train/valid sample counts
+  double length = 1.0;  // multiplies series length
+  int64_t min_samples = 48;
+  int64_t min_length = 40;
+};
+
+/// Generates the train/valid pair for a paper dataset at the given scale.
+/// Deterministic in (dataset, scale, seed).
+SplitDataset MakePaperDataset(PaperDataset dataset, const DatasetScale& scale,
+                              uint64_t seed);
+
+}  // namespace data
+}  // namespace rita
+
+#endif  // RITA_DATA_REGISTRY_H_

@@ -1,0 +1,117 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rita {
+namespace linalg {
+
+EigenDecomposition JacobiEigenSym(Matrix a, int max_sweeps, double tol) {
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) {
+    RITA_CHECK_EQ(a[i].size(), n);
+    for (size_t j = i + 1; j < n; ++j) {
+      RITA_CHECK(std::fabs(a[i][j] - a[j][i]) < 1e-6) << "matrix not symmetric";
+    }
+  }
+
+  // V accumulates the rotations; columns become eigenvectors.
+  Matrix v(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) v[i][i] = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += a[i][j] * a[i][j];
+    }
+    if (off < tol) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(a[p][q]) < 1e-300) continue;
+        // Classical Jacobi rotation annihilating a[p][q].
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a[k][p], akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a[p][k], aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v[k][p], vkq = v[k][q];
+          v[k][p] = c * vkp - s * vkq;
+          v[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort ascending.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return a[x][x] < a[y][y]; });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors.assign(n, std::vector<double>(n, 0.0));
+  for (size_t r = 0; r < n; ++r) {
+    out.values[r] = a[order[r]][order[r]];
+    for (size_t k = 0; k < n; ++k) out.vectors[r][k] = v[k][order[r]];
+  }
+  return out;
+}
+
+Matrix MatrixMultiply(const Matrix& a, const Matrix& b) {
+  const size_t n = a.size(), k = b.size(), m = b.empty() ? 0 : b[0].size();
+  Matrix c(n, std::vector<double>(m, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    RITA_CHECK_EQ(a[i].size(), k);
+    for (size_t t = 0; t < k; ++t) {
+      const double av = a[i][t];
+      if (av == 0.0) continue;
+      for (size_t j = 0; j < m; ++j) c[i][j] += av * b[t][j];
+    }
+  }
+  return c;
+}
+
+Matrix MatrixTranspose(const Matrix& a) {
+  const size_t n = a.size(), m = a.empty() ? 0 : a[0].size();
+  Matrix t(m, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) t[j][i] = a[i][j];
+  }
+  return t;
+}
+
+Matrix InverseSqrtPsd(const Matrix& a, double clip) {
+  const size_t n = a.size();
+  EigenDecomposition eig = JacobiEigenSym(a);
+  // A^{-1/2} = V diag(lambda^{-1/2}) V^T, rank-deficient modes dropped.
+  Matrix out(n, std::vector<double>(n, 0.0));
+  for (size_t r = 0; r < n; ++r) {
+    if (eig.values[r] <= clip) continue;
+    const double w = 1.0 / std::sqrt(eig.values[r]);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        out[i][j] += w * eig.vectors[r][i] * eig.vectors[r][j];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace linalg
+}  // namespace rita

@@ -1,0 +1,34 @@
+// Cyclic Jacobi eigendecomposition for small dense symmetric matrices.
+// GRAIL's Nystrom representation needs W^{-1/2} of the landmark kernel
+// matrix, which this provides via eigenvalue clipping.
+#ifndef RITA_LINALG_EIGEN_SYM_H_
+#define RITA_LINALG_EIGEN_SYM_H_
+
+#include <vector>
+
+namespace rita {
+namespace linalg {
+
+using Matrix = std::vector<std::vector<double>>;
+
+struct EigenDecomposition {
+  std::vector<double> values;  // ascending
+  Matrix vectors;              // vectors[i] is the eigenvector of values[i]
+};
+
+/// Jacobi rotations until off-diagonal mass falls below `tol` (or max_sweeps).
+/// Input must be symmetric (checked).
+EigenDecomposition JacobiEigenSym(Matrix a, int max_sweeps = 64, double tol = 1e-12);
+
+/// A^{-1/2} for a symmetric PSD matrix via eigendecomposition; eigenvalues
+/// below `clip` are dropped (pseudo-inverse behaviour on rank deficiency).
+Matrix InverseSqrtPsd(const Matrix& a, double clip = 1e-8);
+
+/// Dense product helpers for small matrices.
+Matrix MatrixMultiply(const Matrix& a, const Matrix& b);
+Matrix MatrixTranspose(const Matrix& a);
+
+}  // namespace linalg
+}  // namespace rita
+
+#endif  // RITA_LINALG_EIGEN_SYM_H_

@@ -1,0 +1,114 @@
+#include "linalg/fft.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rita {
+namespace linalg {
+
+int64_t NextPow2(int64_t n) {
+  int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<std::complex<double>>* data, bool inverse) {
+  auto& a = *data;
+  const size_t n = a.size();
+  RITA_CHECK((n & (n - 1)) == 0) << "FFT size must be a power of two, got " << n;
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * M_PI / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<std::complex<double>> NaiveDft(const std::vector<std::complex<double>>& data,
+                                           bool inverse) {
+  const size_t n = data.size();
+  std::vector<std::complex<double>> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (size_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0.0, 0.0);
+    for (size_t t = 0; t < n; ++t) {
+      const double angle = sign * 2.0 * M_PI * static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      acc += data[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+std::vector<double> CrossCorrelationFft(const std::vector<double>& x,
+                                        const std::vector<double>& y) {
+  const int64_t n = static_cast<int64_t>(x.size());
+  const int64_t m = static_cast<int64_t>(y.size());
+  RITA_CHECK_GT(n, 0);
+  RITA_CHECK_GT(m, 0);
+  const int64_t out_len = n + m - 1;
+  const int64_t size = NextPow2(out_len);
+
+  // Cross-correlation = convolution with the reversed kernel: FFT(x) * conj(FFT(y))
+  // once y is aligned; padding in the time domain gives the linear result.
+  std::vector<std::complex<double>> fx(size), fy(size);
+  for (int64_t i = 0; i < n; ++i) fx[i] = x[i];
+  for (int64_t i = 0; i < m; ++i) fy[i] = y[i];
+  Fft(&fx, false);
+  Fft(&fy, false);
+  for (int64_t i = 0; i < size; ++i) fx[i] *= std::conj(fy[i]);
+  Fft(&fx, true);
+
+  // fx now holds the circular correlation with lags 0..-(m-1) wrapped to the
+  // tail; unwrap into "full" ordering with zero shift at index m - 1.
+  std::vector<double> out(out_len);
+  for (int64_t k = 0; k < out_len; ++k) {
+    const int64_t lag = k - (m - 1);  // shift applied to y
+    const int64_t idx = lag >= 0 ? lag : size + lag;
+    out[k] = fx[idx].real();
+  }
+  return out;
+}
+
+std::vector<double> CrossCorrelationNaive(const std::vector<double>& x,
+                                          const std::vector<double>& y) {
+  const int64_t n = static_cast<int64_t>(x.size());
+  const int64_t m = static_cast<int64_t>(y.size());
+  std::vector<double> out(n + m - 1, 0.0);
+  for (int64_t k = 0; k < n + m - 1; ++k) {
+    const int64_t lag = k - (m - 1);
+    double acc = 0.0;
+    for (int64_t t = 0; t < n; ++t) {
+      const int64_t j = t - lag;
+      if (j >= 0 && j < m) acc += x[t] * y[j];
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+}  // namespace linalg
+}  // namespace rita

@@ -1,0 +1,38 @@
+// Radix-2 iterative FFT and FFT-based cross-correlation. Built for the GRAIL
+// baseline's shift-invariant kernel (all-shift normalized cross-correlations
+// in O(T log T)), and generally useful for spectral feature work.
+#ifndef RITA_LINALG_FFT_H_
+#define RITA_LINALG_FFT_H_
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace rita {
+namespace linalg {
+
+/// Smallest power of two >= n.
+int64_t NextPow2(int64_t n);
+
+/// In-place radix-2 Cooley-Tukey FFT; size must be a power of two. Inverse
+/// transform includes the 1/n normalisation.
+void Fft(std::vector<std::complex<double>>* data, bool inverse);
+
+/// O(n^2) reference DFT for testing.
+std::vector<std::complex<double>> NaiveDft(const std::vector<std::complex<double>>& data,
+                                           bool inverse);
+
+/// Full linear cross-correlation r of x and y:
+///   r[k] = sum_t x[t] * y[t - (k - (m - 1))],  k in [0, n + m - 2]
+/// i.e. index k = m - 1 is the zero-shift alignment. Computed via FFT.
+std::vector<double> CrossCorrelationFft(const std::vector<double>& x,
+                                        const std::vector<double>& y);
+
+/// O(n m) reference cross-correlation for testing.
+std::vector<double> CrossCorrelationNaive(const std::vector<double>& x,
+                                          const std::vector<double>& y);
+
+}  // namespace linalg
+}  // namespace rita
+
+#endif  // RITA_LINALG_FFT_H_

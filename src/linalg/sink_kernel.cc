@@ -1,0 +1,68 @@
+#include "linalg/sink_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/fft.h"
+#include "util/check.h"
+
+namespace rita {
+namespace linalg {
+
+void ZNormalize(std::vector<double>* series) {
+  const size_t n = series->size();
+  RITA_CHECK_GT(n, 0u);
+  double mean = 0.0;
+  for (double v : *series) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : *series) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(n);
+  if (var <= 1e-12) {
+    std::fill(series->begin(), series->end(), 0.0);
+    return;
+  }
+  const double inv = 1.0 / std::sqrt(var);
+  for (double& v : *series) v = (v - mean) * inv;
+}
+
+std::vector<double> NccAllShifts(const std::vector<double>& x,
+                                 const std::vector<double>& y) {
+  double nx = 0.0, ny = 0.0;
+  for (double v : x) nx += v * v;
+  for (double v : y) ny += v * v;
+  const double denom = std::sqrt(nx * ny);
+  std::vector<double> cc = CrossCorrelationFft(x, y);
+  if (denom <= 1e-12) {
+    std::fill(cc.begin(), cc.end(), 0.0);
+    return cc;
+  }
+  for (double& v : cc) v /= denom;
+  return cc;
+}
+
+double MaxNcc(const std::vector<double>& x, const std::vector<double>& y) {
+  const std::vector<double> ncc = NccAllShifts(x, y);
+  double best = -1.0;
+  for (double v : ncc) best = std::max(best, v);
+  return best;
+}
+
+double SinkUnnormalized(const std::vector<double>& x, const std::vector<double>& y,
+                        double gamma) {
+  const std::vector<double> ncc = NccAllShifts(x, y);
+  double acc = 0.0;
+  for (double v : ncc) acc += std::exp(gamma * v);
+  return acc;
+}
+
+double SinkSimilarity(const std::vector<double>& x, const std::vector<double>& y,
+                      double gamma) {
+  const double kxy = SinkUnnormalized(x, y, gamma);
+  const double kxx = SinkUnnormalized(x, x, gamma);
+  const double kyy = SinkUnnormalized(y, y, gamma);
+  return kxy / std::sqrt(kxx * kyy);
+}
+
+}  // namespace linalg
+}  // namespace rita

@@ -1,0 +1,34 @@
+// SINK: the Shift-INvariant Kernel GRAIL builds on — a softmax-weighted sum
+// of normalized cross-correlations over every alignment, computed in
+// O(T log T) with the FFT, and self-normalized so K(x, x) = 1.
+#ifndef RITA_LINALG_SINK_KERNEL_H_
+#define RITA_LINALG_SINK_KERNEL_H_
+
+#include <vector>
+
+namespace rita {
+namespace linalg {
+
+/// z-normalizes in place (mean 0, std 1; constant series become zeros).
+void ZNormalize(std::vector<double>* series);
+
+/// All-shift normalized cross-correlation coefficients (NCCc): the full
+/// cross-correlation divided by |x||y|; length |x| + |y| - 1.
+std::vector<double> NccAllShifts(const std::vector<double>& x,
+                                 const std::vector<double>& y);
+
+/// max_s NCCc_s(x, y) — the SBD/k-Shape similarity.
+double MaxNcc(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Unnormalized SINK: sum_s exp(gamma * NCCc_s(x, y)).
+double SinkUnnormalized(const std::vector<double>& x, const std::vector<double>& y,
+                        double gamma);
+
+/// Normalized SINK: k(x,y) / sqrt(k(x,x) k(y,y)) in [0, 1], equals 1 at x = y.
+double SinkSimilarity(const std::vector<double>& x, const std::vector<double>& y,
+                      double gamma);
+
+}  // namespace linalg
+}  // namespace rita
+
+#endif  // RITA_LINALG_SINK_KERNEL_H_

@@ -1,0 +1,79 @@
+#include "model/rita_model.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace rita {
+namespace model {
+
+RitaModel::RitaModel(const RitaConfig& config, Rng* rng)
+    : config_(config),
+      frontend_(config.input_channels, config.encoder.dim, config.window, config.stride,
+                rng),
+      pos_(config.NumTokens(), config.encoder.dim, rng),
+      encoder_(config.encoder, rng),
+      // The classifier reads [CLS] concatenated with the mean-pooled window
+      // embeddings. The paper's head reads [CLS] alone (A.7.1); the pooled
+      // half lets features shaped by cloze pretraining (which never trains
+      // the [CLS] stream) transfer to classification without long finetunes.
+      cls_head_(2 * config.encoder.dim, std::max<int64_t>(1, config.num_classes), rng),
+      recon_head_(config.encoder.dim, config.input_channels, config.window,
+                  config.stride, rng) {
+  RITA_CHECK_GE(config.input_length, config.window);
+  cls_token_ = RegisterParameter(
+      "cls_token", Tensor::RandNormal({1, config.encoder.dim}, rng, 0.0f, 0.02f));
+  RegisterModule("frontend", &frontend_);
+  RegisterModule("pos", &pos_);
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("cls_head", &cls_head_);
+  RegisterModule("recon_head", &recon_head_);
+}
+
+ag::Variable RitaModel::Encode(const Tensor& batch) {
+  RITA_CHECK_EQ(batch.dim(), 3);
+  RITA_CHECK_EQ(batch.size(1), config_.input_length);
+  RITA_CHECK_EQ(batch.size(2), config_.input_channels);
+  const int64_t b = batch.size(0);
+  const int64_t d = config_.encoder.dim;
+
+  ag::Variable windows = frontend_.Forward(ag::Variable(batch));  // [B, n_win, d]
+  // Tile the [CLS] parameter across the batch (broadcast-add against zeros so
+  // gradients reduce back onto the single shared token).
+  ag::Variable cls = ag::Add(ag::Variable(Tensor::Zeros({b, 1, d})),
+                             ag::Reshape(cls_token_, {1, 1, d}));
+  ag::Variable tokens = ag::Concat({cls, windows}, 1);  // [B, 1 + n_win, d]
+  tokens = ag::Add(tokens, pos_.Forward(tokens.size(1)));
+  return encoder_.Forward(tokens);
+}
+
+ag::Variable RitaModel::ClassLogits(const Tensor& batch) {
+  RITA_CHECK_GT(config_.num_classes, 0) << "model built without a classification head";
+  ag::Variable encoded = Encode(batch);
+  ag::Variable cls = ag::Reshape(ag::Slice(encoded, 1, 0, 1),
+                                 {batch.size(0), config_.encoder.dim});
+  ag::Variable windows = ag::Slice(encoded, 1, 1, config_.NumWindows());
+  ag::Variable pooled = ag::Reshape(ag::Mean(windows, 1, /*keepdim=*/false),
+                                    {batch.size(0), config_.encoder.dim});
+  return cls_head_.Forward(ag::Concat({cls, pooled}, 1));
+}
+
+ag::Variable RitaModel::Reconstruct(const Tensor& batch) {
+  ag::Variable encoded = Encode(batch);
+  ag::Variable windows = ag::Slice(encoded, 1, 1, config_.NumWindows());
+  // Fold back to the full input length; when the length is not a stride
+  // multiple the uncovered tail (< stride timestamps) is zero-filled.
+  return recon_head_.Forward(windows, config_.input_length);  // [B, T, C]
+}
+
+Tensor RitaModel::Embed(const Tensor& batch) {
+  ag::NoGradGuard guard;
+  const bool was_training = training();
+  SetTraining(false);
+  ag::Variable encoded = Encode(batch);
+  Tensor cls = ops::Slice(encoded.data(), 1, 0, 1)
+                   .Reshape({batch.size(0), config_.encoder.dim});
+  SetTraining(was_training);
+  return cls;
+}
+
+}  // namespace model
+}  // namespace rita

@@ -1,0 +1,70 @@
+// The RITA model (Fig. 1): time-aware convolution chunks the raw multivariate
+// timeseries into window embeddings, a [CLS] token and positional embeddings
+// are added, the RITA encoder (group attention by default) contextualises
+// them, and task heads consume the outputs: a linear classifier on [CLS], a
+// transpose-convolution reconstruction head for the cloze pretraining /
+// imputation / forecasting tasks, and the [CLS] embedding itself for
+// similarity search and clustering.
+#ifndef RITA_MODEL_RITA_MODEL_H_
+#define RITA_MODEL_RITA_MODEL_H_
+
+#include "model/sequence_model.h"
+#include "model/transformer_encoder.h"
+#include "nn/layers.h"
+
+namespace rita {
+namespace model {
+
+struct RitaConfig {
+  int64_t input_channels = 3;
+  int64_t input_length = 200;  // raw timeseries length T
+  int64_t window = 5;          // conv kernel width w
+  int64_t stride = 5;          // conv stride (w = non-overlapping; 1 = paper's
+                               // one-window-per-timestamp)
+  int64_t num_classes = 0;     // 0 = no classification head
+  EncoderConfig encoder;
+
+  /// Windows emitted by the frontend (excluding [CLS]).
+  int64_t NumWindows() const { return (input_length - window) / stride + 1; }
+  /// Encoder sequence length (windows + [CLS]).
+  int64_t NumTokens() const { return NumWindows() + 1; }
+};
+
+class RitaModel : public SequenceModel {
+ public:
+  RitaModel(const RitaConfig& config, Rng* rng);
+
+  /// Contextual embeddings [B, 1 + n_win, dim]; row 0 is [CLS].
+  ag::Variable Encode(const Tensor& batch);
+
+  ag::Variable ClassLogits(const Tensor& batch) override;
+  ag::Variable Reconstruct(const Tensor& batch) override;
+
+  /// Whole-series embedding (the [CLS] output), no graph: [B, dim].
+  Tensor Embed(const Tensor& batch);
+
+  int64_t num_classes() const override { return config_.num_classes; }
+  int64_t input_length() const override { return config_.input_length; }
+  const RitaConfig& config() const { return config_; }
+
+  std::vector<core::GroupAttentionMechanism*> GroupMechanisms() override {
+    return encoder_.GroupMechanisms();
+  }
+  std::vector<attn::PerformerAttention*> PerformerMechanisms() override {
+    return encoder_.PerformerMechanisms();
+  }
+
+ private:
+  RitaConfig config_;
+  nn::Conv1d frontend_;
+  nn::PositionalEmbedding pos_;
+  ag::Variable cls_token_;  // [1, dim]
+  TransformerEncoder encoder_;
+  nn::Linear cls_head_;
+  nn::ConvTranspose1d recon_head_;
+};
+
+}  // namespace model
+}  // namespace rita
+
+#endif  // RITA_MODEL_RITA_MODEL_H_

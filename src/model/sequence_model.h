@@ -1,0 +1,39 @@
+// Task-facing model interface shared by RITA and the TST baseline so the
+// trainer and the benchmark harnesses treat them uniformly.
+#ifndef RITA_MODEL_SEQUENCE_MODEL_H_
+#define RITA_MODEL_SEQUENCE_MODEL_H_
+
+#include <vector>
+
+#include "attention/attention.h"
+#include "core/group_attention.h"
+#include "nn/module.h"
+
+namespace rita {
+namespace model {
+
+/// A trainable timeseries model supporting classification and reconstruction
+/// (imputation / forecasting / cloze pretraining all reduce to reconstruction).
+class SequenceModel : public nn::Module {
+ public:
+  ~SequenceModel() override = default;
+
+  /// Class logits [B, C] for a batch [B, T, C_in].
+  virtual ag::Variable ClassLogits(const Tensor& batch) = 0;
+
+  /// Reconstructed timeseries [B, T, C_in] for a (possibly masked) batch.
+  virtual ag::Variable Reconstruct(const Tensor& batch) = 0;
+
+  virtual int64_t num_classes() const = 0;
+  virtual int64_t input_length() const = 0;
+
+  /// Group-attention layers, if any (adaptive scheduler hooks).
+  virtual std::vector<core::GroupAttentionMechanism*> GroupMechanisms() { return {}; }
+  /// Performer layers, if any (per-epoch feature redraw).
+  virtual std::vector<attn::PerformerAttention*> PerformerMechanisms() { return {}; }
+};
+
+}  // namespace model
+}  // namespace rita
+
+#endif  // RITA_MODEL_SEQUENCE_MODEL_H_

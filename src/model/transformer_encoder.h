@@ -1,0 +1,76 @@
+// Transformer encoder with a pluggable attention kernel: the shared trunk of
+// RITA (group/performer/linformer/vanilla) and TST (vanilla + BatchNorm).
+#ifndef RITA_MODEL_TRANSFORMER_ENCODER_H_
+#define RITA_MODEL_TRANSFORMER_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "attention/multi_head.h"
+#include "core/attention_factory.h"
+#include "core/group_attention.h"
+#include "nn/layers.h"
+
+namespace rita {
+namespace model {
+
+/// Normalisation used inside encoder layers. The vanilla Transformer (and
+/// RITA) uses LayerNorm; TST substitutes BatchNorm, which the paper blames for
+/// TST's degradation on long timeseries (small batches -> biased stats).
+enum class NormKind { kLayerNorm = 0, kBatchNorm = 1 };
+
+struct EncoderConfig {
+  int64_t dim = 64;
+  int64_t num_layers = 8;
+  int64_t num_heads = 2;
+  int64_t ffn_hidden = 256;
+  float dropout = 0.1f;
+  NormKind norm = NormKind::kLayerNorm;
+  core::AttentionOptions attention;
+};
+
+/// One post-norm encoder layer: x + MHA -> norm -> x + FFN -> norm.
+class TransformerEncoderLayer : public nn::Module {
+ public:
+  TransformerEncoderLayer(const EncoderConfig& config, Rng* rng);
+
+  ag::Variable Forward(const ag::Variable& x);
+
+  attn::MultiHeadAttention* attention() { return &mha_; }
+
+ private:
+  ag::Variable Normalize(int which, const ag::Variable& x);
+
+  NormKind norm_kind_;
+  attn::MultiHeadAttention mha_;
+  nn::FeedForward ffn_;
+  nn::Dropout drop_;
+  nn::LayerNorm ln1_, ln2_;
+  nn::BatchNorm1d bn1_, bn2_;
+};
+
+/// Stack of encoder layers.
+class TransformerEncoder : public nn::Module {
+ public:
+  TransformerEncoder(const EncoderConfig& config, Rng* rng);
+
+  ag::Variable Forward(const ag::Variable& x);
+
+  /// Group-attention mechanisms per layer (empty for other kinds); the
+  /// adaptive scheduler adjusts their group counts between epochs.
+  std::vector<core::GroupAttentionMechanism*> GroupMechanisms();
+
+  /// Performer mechanisms (for per-epoch feature redraws).
+  std::vector<attn::PerformerAttention*> PerformerMechanisms();
+
+  const EncoderConfig& config() const { return config_; }
+
+ private:
+  EncoderConfig config_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+};
+
+}  // namespace model
+}  // namespace rita
+
+#endif  // RITA_MODEL_TRANSFORMER_ENCODER_H_

@@ -1,0 +1,54 @@
+#include "model/tst_model.h"
+
+namespace rita {
+namespace model {
+
+namespace {
+EncoderConfig TstEncoderConfig(EncoderConfig config) {
+  // TST is locked to vanilla attention + BatchNorm (the properties the paper's
+  // analysis attributes its long-series failures to).
+  config.norm = NormKind::kBatchNorm;
+  config.attention.kind = attn::AttentionKind::kVanilla;
+  return config;
+}
+}  // namespace
+
+TstModel::TstModel(const TstConfig& config, Rng* rng)
+    : config_(config),
+      input_proj_(config.input_channels, config.encoder.dim, rng),
+      pos_(config.input_length, config.encoder.dim, rng),
+      encoder_(TstEncoderConfig(config.encoder), rng),
+      cls_head_(config.input_length * config.encoder.dim,
+                std::max<int64_t>(1, config.num_classes), rng),
+      recon_head_(config.encoder.dim, config.input_channels, rng) {
+  RegisterModule("input_proj", &input_proj_);
+  RegisterModule("pos", &pos_);
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("cls_head", &cls_head_);
+  RegisterModule("recon_head", &recon_head_);
+}
+
+ag::Variable TstModel::Encode(const Tensor& batch) {
+  RITA_CHECK_EQ(batch.size(1), config_.input_length);
+  RITA_CHECK_EQ(batch.size(2), config_.input_channels);
+  // One token per timestamp: [B, T, C] -> [B, T, dim].
+  ag::Variable tokens = input_proj_.Forward(ag::Variable(batch));
+  tokens = ag::Add(tokens, pos_.Forward(config_.input_length));
+  return encoder_.Forward(tokens);
+}
+
+ag::Variable TstModel::ClassLogits(const Tensor& batch) {
+  RITA_CHECK_GT(config_.num_classes, 0);
+  ag::Variable encoded = Encode(batch);
+  // Concatenate every timestep's output and classify: T * dim inputs.
+  ag::Variable flat = ag::Reshape(
+      encoded, {batch.size(0), config_.input_length * config_.encoder.dim});
+  return cls_head_.Forward(flat);
+}
+
+ag::Variable TstModel::Reconstruct(const Tensor& batch) {
+  return recon_head_.Forward(Encode(batch));
+}
+
+}  // namespace model
+}  // namespace rita

@@ -1,0 +1,47 @@
+// TST baseline (Zerveas et al., KDD'21) as characterised in the paper:
+// per-timestep linear input projection (no convolutional chunking), learnable
+// positional embeddings, vanilla-attention Transformer with *BatchNorm*, a
+// concat-all-timesteps linear classifier (parameter-heavy, overfits long
+// series) and a per-timestep linear reconstruction head.
+#ifndef RITA_MODEL_TST_MODEL_H_
+#define RITA_MODEL_TST_MODEL_H_
+
+#include "model/sequence_model.h"
+#include "model/transformer_encoder.h"
+#include "nn/layers.h"
+
+namespace rita {
+namespace model {
+
+struct TstConfig {
+  int64_t input_channels = 3;
+  int64_t input_length = 200;
+  int64_t num_classes = 0;
+  EncoderConfig encoder;  // norm is forced to BatchNorm, attention to vanilla
+};
+
+class TstModel : public SequenceModel {
+ public:
+  TstModel(const TstConfig& config, Rng* rng);
+
+  ag::Variable ClassLogits(const Tensor& batch) override;
+  ag::Variable Reconstruct(const Tensor& batch) override;
+
+  int64_t num_classes() const override { return config_.num_classes; }
+  int64_t input_length() const override { return config_.input_length; }
+
+ private:
+  ag::Variable Encode(const Tensor& batch);
+
+  TstConfig config_;
+  nn::Linear input_proj_;
+  nn::PositionalEmbedding pos_;
+  TransformerEncoder encoder_;
+  nn::Linear cls_head_;   // (T * dim) -> C: the concat classifier
+  nn::Linear recon_head_; // dim -> channels, per timestep
+};
+
+}  // namespace model
+}  // namespace rita
+
+#endif  // RITA_MODEL_TST_MODEL_H_

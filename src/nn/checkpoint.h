@@ -1,0 +1,27 @@
+// Model checkpointing: saves/loads every named parameter and buffer of a
+// Module tree to a binary file, keyed by name with shape validation.
+#ifndef RITA_NN_CHECKPOINT_H_
+#define RITA_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace rita {
+namespace nn {
+
+/// Writes all parameters and buffers of `module` to `path`.
+Status SaveCheckpoint(const Module& module, const std::string& path);
+
+/// Loads a checkpoint into `module`. Every entry in the file must match a
+/// parameter/buffer of the same name and shape; missing-in-file module
+/// entries are an error unless `allow_partial` (used for head swaps during
+/// pretrain -> finetune transfers).
+Status LoadCheckpoint(Module* module, const std::string& path,
+                      bool allow_partial = false);
+
+}  // namespace nn
+}  // namespace rita
+
+#endif  // RITA_NN_CHECKPOINT_H_

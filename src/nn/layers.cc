@@ -1,0 +1,118 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace rita {
+namespace nn {
+
+namespace {
+// Xavier/Glorot uniform initialisation.
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Shape shape, Rng* rng) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandUniform(std::move(shape), rng, -limit, limit);
+}
+}  // namespace
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features), has_bias_(bias) {
+  weight_ = RegisterParameter(
+      "weight", XavierUniform(in_features, out_features, {in_features, out_features}, rng));
+  if (has_bias_) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+ag::Variable Linear::Forward(const ag::Variable& x) {
+  RITA_CHECK_EQ(x.size(-1), in_features_);
+  ag::Variable out;
+  if (x.dim() == 2) {
+    out = ag::MatMul(x, weight_);
+  } else {
+    // Flatten leading dims, multiply, restore.
+    Shape out_shape = x.shape();
+    out_shape.back() = out_features_;
+    ag::Variable flat = ag::Reshape(x, {-1, in_features_});
+    out = ag::Reshape(ag::MatMul(flat, weight_), std::move(out_shape));
+  }
+  if (has_bias_) out = ag::Add(out, bias_);
+  return out;
+}
+
+LayerNorm::LayerNorm(int64_t dim, float eps) : eps_(eps) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({dim}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({dim}));
+}
+
+ag::Variable LayerNorm::Forward(const ag::Variable& x) {
+  return ag::LayerNorm(x, gamma_, beta_, eps_);
+}
+
+BatchNorm1d::BatchNorm1d(int64_t features, float momentum, float eps)
+    : momentum_(momentum), eps_(eps) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({features}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({features}));
+  running_mean_ = Tensor::Zeros({features});
+  running_var_ = Tensor::Ones({features});
+  RegisterBuffer("running_mean", &running_mean_);
+  RegisterBuffer("running_var", &running_var_);
+}
+
+ag::Variable BatchNorm1d::Forward(const ag::Variable& x) {
+  return ag::BatchNorm(x, gamma_, beta_, &running_mean_, &running_var_, training(),
+                       momentum_, eps_);
+}
+
+Conv1d::Conv1d(int64_t in_channels, int64_t out_channels, int64_t window, int64_t stride,
+               Rng* rng)
+    : window_(window), stride_(stride), proj_(window * in_channels, out_channels, rng) {
+  RITA_CHECK_GT(window, 0);
+  RITA_CHECK_GT(stride, 0);
+  RegisterModule("proj", &proj_);
+}
+
+ag::Variable Conv1d::Forward(const ag::Variable& x) {
+  RITA_CHECK_EQ(x.dim(), 3) << "Conv1d expects [B, T, C]";
+  return proj_.Forward(ag::Unfold1d(x, window_, stride_));
+}
+
+ConvTranspose1d::ConvTranspose1d(int64_t in_channels, int64_t out_channels, int64_t window,
+                                 int64_t stride, Rng* rng)
+    : out_channels_(out_channels),
+      window_(window),
+      stride_(stride),
+      proj_(in_channels, window * out_channels, rng) {
+  RegisterModule("proj", &proj_);
+}
+
+ag::Variable ConvTranspose1d::Forward(const ag::Variable& x, int64_t out_len) {
+  RITA_CHECK_EQ(x.dim(), 3) << "ConvTranspose1d expects [B, n_win, C]";
+  if (out_len < 0) out_len = OutputLength(x.size(1));
+  RITA_CHECK_GE(out_len, OutputLength(x.size(1)));
+  ag::Variable patches = proj_.Forward(x);  // [B, n_win, w*out]
+  return ag::Fold1d(patches, out_len, out_channels_, window_, stride_);
+}
+
+PositionalEmbedding::PositionalEmbedding(int64_t max_len, int64_t dim, Rng* rng)
+    : max_len_(max_len) {
+  table_ = RegisterParameter("table",
+                             Tensor::RandNormal({max_len, dim}, rng, 0.0f, 0.02f));
+}
+
+ag::Variable PositionalEmbedding::Forward(int64_t n) {
+  RITA_CHECK_LE(n, max_len_) << "sequence longer than positional table";
+  return ag::Slice(table_, 0, 0, n);
+}
+
+FeedForward::FeedForward(int64_t dim, int64_t hidden_dim, float dropout, Rng* rng)
+    : fc1_(dim, hidden_dim, rng), fc2_(hidden_dim, dim, rng), drop_(dropout, rng) {
+  RegisterModule("fc1", &fc1_);
+  RegisterModule("fc2", &fc2_);
+  RegisterModule("drop", &drop_);
+}
+
+ag::Variable FeedForward::Forward(const ag::Variable& x) {
+  return fc2_.Forward(drop_.Forward(ag::Gelu(fc1_.Forward(x))));
+}
+
+}  // namespace nn
+}  // namespace rita

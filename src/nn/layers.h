@@ -1,0 +1,137 @@
+// Core trainable layers: Linear, LayerNorm, BatchNorm1d, Dropout, Conv1d,
+// ConvTranspose1d, learnable positional embedding, feed-forward block.
+#ifndef RITA_NN_LAYERS_H_
+#define RITA_NN_LAYERS_H_
+
+#include <memory>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace rita {
+namespace nn {
+
+/// Affine map y = x W + b over the last dim; accepts [*, in_features].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias = true);
+
+  ag::Variable Forward(const ag::Variable& x);
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  ag::Variable weight() { return weight_; }
+
+ private:
+  int64_t in_features_, out_features_;
+  bool has_bias_;
+  ag::Variable weight_;  // [in, out]
+  ag::Variable bias_;    // [out]
+};
+
+/// LayerNorm over the last dim with learnable gamma/beta.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-5f);
+  ag::Variable Forward(const ag::Variable& x);
+
+ private:
+  float eps_;
+  ag::Variable gamma_, beta_;
+};
+
+/// BatchNorm over all dims but the last (TST-style: stats pooled across batch
+/// and time). Tracks running statistics for eval mode.
+class BatchNorm1d : public Module {
+ public:
+  explicit BatchNorm1d(int64_t features, float momentum = 0.1f, float eps = 1e-5f);
+  ag::Variable Forward(const ag::Variable& x);
+
+ private:
+  float momentum_, eps_;
+  ag::Variable gamma_, beta_;
+  Tensor running_mean_, running_var_;
+};
+
+/// Inverted dropout driven by the module's training flag.
+class Dropout : public Module {
+ public:
+  Dropout(float p, Rng* rng) : p_(p), rng_(rng) {}
+  ag::Variable Forward(const ag::Variable& x) {
+    return ag::Dropout(x, p_, training(), rng_);
+  }
+
+ private:
+  float p_;
+  Rng* rng_;
+};
+
+/// 1-D convolution over [B, T, C] -> [B, n_win, out_channels] implemented as
+/// unfold + linear; kernel covers `window` timestamps of all C channels
+/// (the paper's "time-aware convolution": one embedding per window, cross-
+/// channel correlations learned by the kernel).
+class Conv1d : public Module {
+ public:
+  Conv1d(int64_t in_channels, int64_t out_channels, int64_t window, int64_t stride,
+         Rng* rng);
+
+  ag::Variable Forward(const ag::Variable& x);
+
+  /// Number of output windows for an input of length `t`.
+  int64_t OutputLength(int64_t t) const { return (t - window_) / stride_ + 1; }
+  int64_t window() const { return window_; }
+  int64_t stride() const { return stride_; }
+
+ private:
+  int64_t window_, stride_;
+  Linear proj_;
+};
+
+/// Transpose of Conv1d: [B, n_win, in_channels] -> [B, T, out_channels] with
+/// T = (n_win - 1) * stride + window by default; overlapping contributions are
+/// summed (standard transposed-convolution semantics). An explicit `out_len`
+/// >= that value zero-fills the uncovered tail (used when the raw length is
+/// not a multiple of the stride).
+class ConvTranspose1d : public Module {
+ public:
+  ConvTranspose1d(int64_t in_channels, int64_t out_channels, int64_t window,
+                  int64_t stride, Rng* rng);
+
+  ag::Variable Forward(const ag::Variable& x, int64_t out_len = -1);
+
+  int64_t OutputLength(int64_t n_win) const { return (n_win - 1) * stride_ + window_; }
+
+ private:
+  int64_t out_channels_, window_, stride_;
+  Linear proj_;
+};
+
+/// Learnable positional embedding table [max_len, dim]; Forward(n) returns the
+/// first n rows, broadcast-addable to [B, n, dim].
+class PositionalEmbedding : public Module {
+ public:
+  PositionalEmbedding(int64_t max_len, int64_t dim, Rng* rng);
+  ag::Variable Forward(int64_t n);
+  int64_t max_len() const { return max_len_; }
+
+ private:
+  int64_t max_len_;
+  ag::Variable table_;
+};
+
+/// Transformer position-wise feed-forward: Linear -> GELU -> Dropout -> Linear.
+class FeedForward : public Module {
+ public:
+  FeedForward(int64_t dim, int64_t hidden_dim, float dropout, Rng* rng);
+  ag::Variable Forward(const ag::Variable& x);
+
+ private:
+  Linear fc1_, fc2_;
+  Dropout drop_;
+};
+
+}  // namespace nn
+}  // namespace rita
+
+#endif  // RITA_NN_LAYERS_H_

@@ -1,0 +1,77 @@
+#include "nn/module.h"
+
+#include "util/check.h"
+
+namespace rita {
+namespace nn {
+
+ag::Variable Module::RegisterParameter(const std::string& name, Tensor init) {
+  for (const auto& [n, v] : params_) RITA_CHECK_NE(n, name) << "duplicate parameter";
+  ag::Variable v(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(name, v);
+  return v;
+}
+
+void Module::RegisterBuffer(const std::string& name, Tensor* buffer) {
+  RITA_CHECK(buffer != nullptr);
+  buffers_.emplace_back(name, buffer);
+}
+
+void Module::RegisterModule(const std::string& name, Module* child) {
+  RITA_CHECK(child != nullptr);
+  RITA_CHECK(child != this);
+  children_.emplace_back(name, child);
+}
+
+void Module::CollectParameters(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, ag::Variable>>* out) const {
+  for (const auto& [name, v] : params_) out->emplace_back(prefix + name, v);
+  for (const auto& [name, child] : children_) {
+    child->CollectParameters(prefix + name + ".", out);
+  }
+}
+
+void Module::CollectBuffers(const std::string& prefix,
+                            std::vector<std::pair<std::string, Tensor*>>* out) const {
+  for (const auto& [name, t] : buffers_) out->emplace_back(prefix + name, t);
+  for (const auto& [name, child] : children_) {
+    child->CollectBuffers(prefix + name + ".", out);
+  }
+}
+
+std::vector<std::pair<std::string, ag::Variable>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, ag::Variable>> out;
+  CollectParameters("", &out);
+  return out;
+}
+
+std::vector<ag::Variable> Module::Parameters() const {
+  std::vector<ag::Variable> out;
+  for (auto& [name, v] : NamedParameters()) out.push_back(v);
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor*>> Module::NamedBuffers() const {
+  std::vector<std::pair<std::string, Tensor*>> out;
+  CollectBuffers("", &out);
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (auto& v : Parameters()) v.ZeroGrad();
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const auto& v : Parameters()) n += v.numel();
+  return n;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+}  // namespace nn
+}  // namespace rita

@@ -1,0 +1,64 @@
+// Module base class: a named registry of parameters, persistent buffers and
+// child modules, with recursive traversal for optimisers and checkpointing.
+#ifndef RITA_NN_MODULE_H_
+#define RITA_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace rita {
+namespace nn {
+
+/// Base class for trainable components (mirrors torch.nn.Module semantics:
+/// children are non-owning raw pointers to member objects).
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Registers a trainable parameter initialised with `init`; returns its
+  /// Variable handle (requires_grad = true).
+  ag::Variable RegisterParameter(const std::string& name, Tensor init);
+
+  /// Registers a non-trainable persistent tensor (e.g. BatchNorm running
+  /// stats). The pointed-to tensor must outlive the module.
+  void RegisterBuffer(const std::string& name, Tensor* buffer);
+
+  /// Registers a child module (non-owning; child must be a member).
+  void RegisterModule(const std::string& name, Module* child);
+
+  /// All parameters of this module and its children, prefixed "child.param".
+  std::vector<std::pair<std::string, ag::Variable>> NamedParameters() const;
+  std::vector<ag::Variable> Parameters() const;
+
+  /// All persistent buffers, recursively, prefixed like parameters.
+  std::vector<std::pair<std::string, Tensor*>> NamedBuffers() const;
+
+  /// Clears gradients of every parameter.
+  void ZeroGrad();
+
+  /// Total trainable scalar count.
+  int64_t NumParameters() const;
+
+  /// Propagates train/eval mode to children (affects Dropout/BatchNorm).
+  virtual void SetTraining(bool training);
+  bool training() const { return training_; }
+
+ private:
+  void CollectParameters(const std::string& prefix,
+                         std::vector<std::pair<std::string, ag::Variable>>* out) const;
+  void CollectBuffers(const std::string& prefix,
+                      std::vector<std::pair<std::string, Tensor*>>* out) const;
+
+  std::vector<std::pair<std::string, ag::Variable>> params_;
+  std::vector<std::pair<std::string, Tensor*>> buffers_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace nn
+}  // namespace rita
+
+#endif  // RITA_NN_MODULE_H_

@@ -1,0 +1,98 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace rita {
+namespace nn {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<ag::Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  lr_ = lr;
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (auto& p : params_) velocity_.push_back(Tensor::Zeros(p.shape()));
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.grad();
+    if (momentum_ > 0.0f) {
+      Tensor& vel = velocity_[i];
+      ops::ScaleInPlace(&vel, momentum_);
+      ops::AddInPlace(&vel, g);
+      ops::AxpyInPlace(&p.mutable_data(), vel, -lr_);
+    } else {
+      ops::AxpyInPlace(&p.mutable_data(), g, -lr_);
+    }
+  }
+}
+
+AdamW::AdamW(std::vector<ag::Variable> params, const AdamWOptions& options)
+    : Optimizer(std::move(params)), options_(options) {
+  lr_ = options.lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.push_back(Tensor::Zeros(p.shape()));
+    v_.push_back(Tensor::Zeros(p.shape()));
+  }
+}
+
+void AdamW::Step() {
+  ++step_;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    const float* g = p.grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    float* w = p.mutable_data().data();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      // Decoupled weight decay: decay applied directly to the weights.
+      w[j] -= lr_ * (mhat / (std::sqrt(vhat) + options_.eps) +
+                     options_.weight_decay * w[j]);
+    }
+  }
+}
+
+WarmupCosineSchedule::WarmupCosineSchedule(float base_lr, int64_t warmup_steps,
+                                           int64_t total_steps, float min_ratio)
+    : base_lr_(base_lr),
+      warmup_steps_(warmup_steps),
+      total_steps_(total_steps),
+      min_ratio_(min_ratio) {
+  RITA_CHECK_GE(total_steps_, warmup_steps_);
+}
+
+float WarmupCosineSchedule::LrAt(int64_t step) const {
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    return base_lr_ * static_cast<float>(step + 1) / static_cast<float>(warmup_steps_);
+  }
+  if (total_steps_ <= warmup_steps_) return base_lr_;
+  const float progress = static_cast<float>(step - warmup_steps_) /
+                         static_cast<float>(total_steps_ - warmup_steps_);
+  const float clamped = std::min(1.0f, std::max(0.0f, progress));
+  const float cosine = 0.5f * (1.0f + std::cos(static_cast<float>(M_PI) * clamped));
+  return base_lr_ * (min_ratio_ + (1.0f - min_ratio_) * cosine);
+}
+
+}  // namespace nn
+}  // namespace rita

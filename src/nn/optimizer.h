@@ -1,0 +1,80 @@
+// Optimisers (SGD with momentum, AdamW) and learning-rate schedules. The paper
+// trains every model with AdamW at lr = weight_decay = 1e-4.
+#ifndef RITA_NN_OPTIMIZER_H_
+#define RITA_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace rita {
+namespace nn {
+
+/// Base optimiser over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Variable> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears every parameter's gradient.
+  void ZeroGrad();
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ protected:
+  std::vector<ag::Variable> params_;
+  float lr_ = 1e-3f;
+};
+
+/// SGD with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Variable> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+struct AdamWOptions {
+  float lr = 1e-4f;            // paper's setting
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 1e-4f;  // decoupled, paper's setting
+};
+
+/// AdamW (decoupled weight decay, Loshchilov & Hutter).
+class AdamW : public Optimizer {
+ public:
+  AdamW(std::vector<ag::Variable> params, const AdamWOptions& options = {});
+  void Step() override;
+
+ private:
+  AdamWOptions options_;
+  int64_t step_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// Linear warmup followed by cosine decay to `min_ratio * base_lr`.
+class WarmupCosineSchedule {
+ public:
+  WarmupCosineSchedule(float base_lr, int64_t warmup_steps, int64_t total_steps,
+                       float min_ratio = 0.1f);
+  float LrAt(int64_t step) const;
+
+ private:
+  float base_lr_;
+  int64_t warmup_steps_, total_steps_;
+  float min_ratio_;
+};
+
+}  // namespace nn
+}  // namespace rita
+
+#endif  // RITA_NN_OPTIMIZER_H_

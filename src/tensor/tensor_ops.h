@@ -1,0 +1,114 @@
+// Raw (non-differentiable) tensor kernels: elementwise arithmetic with numpy
+// broadcasting, blocked parallel GEMM, reductions, softmax, shape surgery.
+// The autograd layer wraps these with backward rules.
+#ifndef RITA_TENSOR_TENSOR_OPS_H_
+#define RITA_TENSOR_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rita {
+namespace ops {
+
+// ---------------------------------------------------------------------------
+// Broadcasting
+// ---------------------------------------------------------------------------
+
+/// Numpy-style broadcast result shape; aborts on incompatible shapes.
+Shape BroadcastShape(const Shape& a, const Shape& b);
+
+/// Materialises `a` broadcast to `target` (target must be broadcast-reachable).
+Tensor BroadcastTo(const Tensor& a, const Shape& target);
+
+/// Sums `a` over its broadcast dimensions so the result has shape `target`.
+/// Inverse of BroadcastTo; used for gradients of broadcast binary ops.
+Tensor ReduceToShape(const Tensor& a, const Shape& target);
+
+// ---------------------------------------------------------------------------
+// Elementwise binary (broadcasting) and unary
+// ---------------------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+Tensor PowScalar(const Tensor& a, float exponent);
+
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+/// tanh-approximation GELU (the Transformer default).
+Tensor Gelu(const Tensor& a);
+Tensor Square(const Tensor& a);
+
+/// y += alpha * x (same shape).
+void AxpyInPlace(Tensor* y, const Tensor& x, float alpha);
+/// y *= alpha.
+void ScaleInPlace(Tensor* y, float alpha);
+/// y += x (same shape).
+void AddInPlace(Tensor* y, const Tensor& x);
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+/// C = op(A) * op(B) for row-major 2-D buffers; op is optional transpose.
+/// Overwrites C. m/n are the dims of C; k the contraction length.
+void Gemm2D(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+            bool trans_a, bool trans_b, bool parallel = true);
+
+/// 2-D matrix multiply with optional transposes.
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a = false, bool trans_b = false);
+
+/// Batched matmul: a is [B, m, k] (or [B, k, m] if trans_a); b is matching 3-D
+/// or a shared 2-D matrix. Batch dims must match exactly.
+Tensor Bmm(const Tensor& a, const Tensor& b, bool trans_a = false, bool trans_b = false);
+
+// ---------------------------------------------------------------------------
+// Reductions / softmax
+// ---------------------------------------------------------------------------
+
+/// Sum of all elements, returned as shape {1}.
+Tensor SumAll(const Tensor& a);
+/// Sum along `axis` (negative allowed) with optional kept dim.
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdim);
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdim);
+/// Row-wise max over the last dim, shape [..., 1].
+Tensor MaxLastDim(const Tensor& a);
+/// Index of the max along the last dim, as a float tensor of shape [...].
+Tensor ArgMaxLastDim(const Tensor& a);
+/// Numerically stable softmax over the last dim.
+Tensor SoftmaxLastDim(const Tensor& a);
+
+// ---------------------------------------------------------------------------
+// Shape surgery
+// ---------------------------------------------------------------------------
+
+/// Swaps the last two dims (copy). Works for dim >= 2 with leading batch dims.
+Tensor TransposeLast2(const Tensor& a);
+/// General dimension permutation (copy): out[idx] = a[idx o perm], e.g.
+/// perm {0,2,1,3} maps [B, n, H, d] -> [B, H, n, d].
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm);
+/// Concatenates along `axis`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
+/// Contiguous slice [start, start+len) along `axis`.
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len);
+
+/// out[i, :] = a[rows[i], :] for a 2-D `a`.
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& rows);
+/// acc[rows[i], :] += a[i, :] for 2-D tensors (acc modified in place).
+void ScatterAddRows(const Tensor& a, const std::vector<int64_t>& rows, Tensor* acc);
+
+}  // namespace ops
+}  // namespace rita
+
+#endif  // RITA_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,72 @@
+#include "train/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/masking.h"
+
+namespace rita {
+namespace train {
+
+AnomalyDetector::AnomalyDetector(model::SequenceModel* model,
+                                 const AnomalyDetectorOptions& options)
+    : model_(model), options_(options), rng_(options.seed) {
+  RITA_CHECK(model_ != nullptr);
+  RITA_CHECK_GT(options_.num_mask_draws, 0);
+  RITA_CHECK_GT(options_.quantile, 0.0);
+  RITA_CHECK_LT(options_.quantile, 1.0);
+}
+
+std::vector<double> AnomalyDetector::Score(const Tensor& batch) {
+  RITA_CHECK_EQ(batch.dim(), 3);
+  ag::NoGradGuard guard;
+  const bool was_training = model_->training();
+  model_->SetTraining(false);
+
+  const int64_t b = batch.size(0);
+  const int64_t per = batch.size(1) * batch.size(2);
+  std::vector<double> scores(b, 0.0);
+  for (int draw = 0; draw < options_.num_mask_draws; ++draw) {
+    data::MaskedBatch masked =
+        data::ApplyTimestampMask(batch, options_.mask_rate, &rng_);
+    Tensor recon = model_->Reconstruct(masked.corrupted).data();
+    const float* pr = recon.data();
+    const float* pt = masked.target.data();
+    const float* pm = masked.mask.data();
+    for (int64_t i = 0; i < b; ++i) {
+      double sq = 0.0, count = 0.0;
+      for (int64_t j = 0; j < per; ++j) {
+        const int64_t idx = i * per + j;
+        if (pm[idx] == 0.0f) continue;
+        const double diff = static_cast<double>(pr[idx]) - pt[idx];
+        sq += diff * diff;
+        count += 1.0;
+      }
+      scores[i] += sq / std::max(1.0, count);
+    }
+  }
+  for (double& s : scores) s /= options_.num_mask_draws;
+  model_->SetTraining(was_training);
+  return scores;
+}
+
+void AnomalyDetector::Calibrate(const data::TimeseriesDataset& normal) {
+  RITA_CHECK_GT(normal.size(), 0);
+  std::vector<double> scores = Score(normal.series);
+  std::sort(scores.begin(), scores.end());
+  const size_t idx = std::min(scores.size() - 1,
+                              static_cast<size_t>(options_.quantile * scores.size()));
+  threshold_ = scores[idx];
+  calibrated_ = true;
+}
+
+std::vector<bool> AnomalyDetector::Detect(const Tensor& batch) {
+  RITA_CHECK(calibrated_) << "Calibrate() before Detect()";
+  const std::vector<double> scores = Score(batch);
+  std::vector<bool> out(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) out[i] = scores[i] > threshold_;
+  return out;
+}
+
+}  // namespace train
+}  // namespace rita

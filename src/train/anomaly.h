@@ -1,0 +1,60 @@
+// Reconstruction-based anomaly detection — one of the downstream analytics
+// tasks RITA's pretrained encoder serves (Sec. 1 / Appendix A.7): a model
+// trained with the mask-and-predict objective on *normal* data reconstructs
+// normal series well and anomalous ones poorly, so the masked reconstruction
+// error is an anomaly score. The threshold is calibrated as a quantile of the
+// scores on held-out normal data.
+#ifndef RITA_TRAIN_ANOMALY_H_
+#define RITA_TRAIN_ANOMALY_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "model/sequence_model.h"
+#include "util/rng.h"
+
+namespace rita {
+namespace train {
+
+struct AnomalyDetectorOptions {
+  /// Mask rate used when scoring (matches the pretraining task).
+  float mask_rate = 0.2f;
+  /// Score = mean over this many random mask draws (reduces variance).
+  int num_mask_draws = 3;
+  /// Calibration quantile: scores above the q-quantile of normal data are
+  /// flagged anomalous.
+  double quantile = 0.95;
+  uint64_t seed = 29;
+};
+
+/// Scores series by masked reconstruction error under a trained model.
+class AnomalyDetector {
+ public:
+  /// `model` is borrowed; it should already be trained (Pretrain /
+  /// FitImputation) on normal data.
+  AnomalyDetector(model::SequenceModel* model, const AnomalyDetectorOptions& options);
+
+  /// Per-sample anomaly scores (mean masked MSE) for a [B, T, C] batch.
+  std::vector<double> Score(const Tensor& batch);
+
+  /// Sets the decision threshold from normal calibration data.
+  void Calibrate(const data::TimeseriesDataset& normal);
+
+  /// True = anomalous. Requires Calibrate() first.
+  std::vector<bool> Detect(const Tensor& batch);
+
+  double threshold() const { return threshold_; }
+  bool calibrated() const { return calibrated_; }
+
+ private:
+  model::SequenceModel* model_;
+  AnomalyDetectorOptions options_;
+  Rng rng_;
+  double threshold_ = 0.0;
+  bool calibrated_ = false;
+};
+
+}  // namespace train
+}  // namespace rita
+
+#endif  // RITA_TRAIN_ANOMALY_H_

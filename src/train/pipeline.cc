@@ -1,0 +1,103 @@
+#include "train/pipeline.h"
+
+#include "nn/checkpoint.h"
+#include "tensor/tensor_ops.h"
+
+namespace rita {
+namespace train {
+
+RitaPipeline::RitaPipeline(const PipelineOptions& options)
+    : options_(options), rng_(options.seed) {
+  model_ = std::make_unique<model::RitaModel>(options_.model, &rng_);
+
+  TrainOptions train_options = options_.train;
+  if (options_.plan_batches) {
+    core::EncoderShape shape;
+    shape.layers = options_.model.encoder.num_layers;
+    shape.dim = options_.model.encoder.dim;
+    shape.heads = options_.model.encoder.num_heads;
+    shape.ffn_hidden = options_.model.encoder.ffn_hidden;
+    shape.window = options_.model.window;
+    shape.stride = options_.model.stride;
+    shape.channels = options_.model.input_channels;
+    shape.kind = options_.model.encoder.attention.kind;
+    shape.performer_features = options_.model.encoder.attention.performer_features;
+    shape.linformer_k = options_.model.encoder.attention.linformer_k;
+    memory_model_ = std::make_unique<core::MemoryModel>(shape, options_.memory);
+
+    core::BatchPlannerOptions planner_options;
+    planner_options.max_length = options_.model.input_length;
+    planner_options.num_samples = options_.planner_samples;
+    planner_ = std::make_unique<core::BatchPlanner>(*memory_model_, planner_options);
+    planner_->Calibrate(&rng_);
+    train_options.batch_planner = planner_.get();
+  }
+  trainer_ = std::make_unique<Trainer>(model_.get(), train_options);
+}
+
+TrainResult RitaPipeline::Pretrain(const data::TimeseriesDataset& corpus) {
+  return trainer_->TrainImputation(corpus);
+}
+
+TrainResult RitaPipeline::FitClassifier(const data::TimeseriesDataset& train) {
+  return trainer_->TrainClassifier(train);
+}
+
+TrainResult RitaPipeline::FitImputation(const data::TimeseriesDataset& train) {
+  return trainer_->TrainImputation(train);
+}
+
+double RitaPipeline::Accuracy(const data::TimeseriesDataset& valid) {
+  return trainer_->EvalAccuracy(valid);
+}
+
+ImputationError RitaPipeline::Imputation(const data::TimeseriesDataset& valid) {
+  return trainer_->EvalImputation(valid);
+}
+
+std::vector<int64_t> RitaPipeline::Predict(const Tensor& batch) {
+  ag::NoGradGuard guard;
+  model_->SetTraining(false);
+  Tensor logits = model_->ClassLogits(batch).data();
+  Tensor arg = ops::ArgMaxLastDim(logits);
+  model_->SetTraining(true);
+  std::vector<int64_t> out(arg.numel());
+  for (int64_t i = 0; i < arg.numel(); ++i) out[i] = static_cast<int64_t>(arg.data()[i]);
+  return out;
+}
+
+Tensor RitaPipeline::Impute(const Tensor& corrupted) {
+  ag::NoGradGuard guard;
+  model_->SetTraining(false);
+  Tensor recon = model_->Reconstruct(corrupted).data();
+  model_->SetTraining(true);
+  // Keep observed values; substitute reconstructions at masked (-1) entries.
+  Tensor out = corrupted.Clone();
+  float* po = out.data();
+  const float* pr = recon.data();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    if (po[i] == -1.0f) po[i] = pr[i];
+  }
+  return out;
+}
+
+Tensor RitaPipeline::Forecast(const Tensor& history, int64_t horizon) {
+  RITA_CHECK_EQ(history.dim(), 3);
+  // Forecasting = imputation with the suffix masked (Appendix A.7.3).
+  data::MaskedBatch masked = data::ApplyForecastMask(history, horizon);
+  Tensor filled = Impute(masked.corrupted);
+  return ops::Slice(filled, 1, history.size(1) - horizon, horizon);
+}
+
+Tensor RitaPipeline::Embed(const Tensor& batch) { return model_->Embed(batch); }
+
+Status RitaPipeline::Save(const std::string& path) const {
+  return nn::SaveCheckpoint(*model_, path);
+}
+
+Status RitaPipeline::Load(const std::string& path) {
+  return nn::LoadCheckpoint(model_.get(), path);
+}
+
+}  // namespace train
+}  // namespace rita

@@ -1,0 +1,78 @@
+// RitaPipeline: the tool-level public API (the "RITA" of the paper's title).
+// Wraps model construction, self-supervised pretraining, few-label
+// finetuning, classification, imputation, forecasting, embedding extraction
+// and checkpointing behind one options struct. Examples and downstream users
+// start here; the lower layers remain available for fine-grained control.
+#ifndef RITA_TRAIN_PIPELINE_H_
+#define RITA_TRAIN_PIPELINE_H_
+
+#include <memory>
+#include <string>
+
+#include "model/rita_model.h"
+#include "train/trainer.h"
+#include "util/status.h"
+
+namespace rita {
+namespace train {
+
+struct PipelineOptions {
+  model::RitaConfig model;
+  TrainOptions train;
+  /// Calibrate a batch planner over the simulated device and drive the batch
+  /// size from it (requires train.adaptive_groups).
+  bool plan_batches = false;
+  core::MemoryModelOptions memory;
+  int64_t planner_samples = 48;
+  uint64_t seed = 42;
+};
+
+/// End-to-end timeseries analytics tool.
+class RitaPipeline {
+ public:
+  explicit RitaPipeline(const PipelineOptions& options);
+
+  /// Mask-and-predict pretraining on (unlabeled) series.
+  TrainResult Pretrain(const data::TimeseriesDataset& corpus);
+
+  /// Supervised classification training (from scratch or after Pretrain).
+  TrainResult FitClassifier(const data::TimeseriesDataset& train);
+
+  /// Imputation training (same objective as Pretrain; named per the task).
+  TrainResult FitImputation(const data::TimeseriesDataset& train);
+
+  double Accuracy(const data::TimeseriesDataset& valid);
+  ImputationError Imputation(const data::TimeseriesDataset& valid);
+
+  /// Class predictions for a batch [B, T, C].
+  std::vector<int64_t> Predict(const Tensor& batch);
+
+  /// Recovers masked values: input may contain -1 markers; returns [B, T, C].
+  Tensor Impute(const Tensor& corrupted);
+
+  /// Forecasts the last `horizon` steps given the first T - horizon ones.
+  Tensor Forecast(const Tensor& history, int64_t horizon);
+
+  /// Whole-series embeddings [B, dim] for similarity search / clustering.
+  Tensor Embed(const Tensor& batch);
+
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+  model::RitaModel* model() { return model_.get(); }
+  Trainer* trainer() { return trainer_.get(); }
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  PipelineOptions options_;
+  Rng rng_;
+  std::unique_ptr<model::RitaModel> model_;
+  std::unique_ptr<core::MemoryModel> memory_model_;
+  std::unique_ptr<core::BatchPlanner> planner_;
+  std::unique_ptr<Trainer> trainer_;
+};
+
+}  // namespace train
+}  // namespace rita
+
+#endif  // RITA_TRAIN_PIPELINE_H_

@@ -1,0 +1,251 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace rita {
+namespace train {
+
+Trainer::Trainer(model::SequenceModel* model, const TrainOptions& options)
+    : model_(model), options_(options), rng_(options.seed ^ 0x7261746179ULL) {
+  RITA_CHECK(model_ != nullptr);
+  optimizer_ = std::make_unique<nn::AdamW>(model_->Parameters(), options_.adamw);
+}
+
+Tensor Trainer::GatherBatch(const data::TimeseriesDataset& dataset,
+                            const std::vector<int64_t>& order, int64_t begin,
+                            int64_t end) const {
+  const int64_t t = dataset.length(), c = dataset.channels();
+  Tensor batch({end - begin, t, c});
+  float* dst = batch.data();
+  const float* src = dataset.series.data();
+  for (int64_t i = begin; i < end; ++i) {
+    std::copy(src + order[i] * t * c, src + (order[i] + 1) * t * c,
+              dst + (i - begin) * t * c);
+  }
+  return batch;
+}
+
+TrainResult Trainer::RunEpochs(const data::TimeseriesDataset& train, Task task,
+                               int64_t horizon) {
+  RITA_CHECK_GT(train.size(), 0);
+  if (task == Task::kClassify) RITA_CHECK(train.labeled());
+  if (task == Task::kForecast) RITA_CHECK_GT(horizon, 0);
+  model_->SetTraining(true);
+
+  std::vector<int64_t> order(train.size());
+  for (int64_t i = 0; i < train.size(); ++i) order[i] = i;
+
+  auto group_layers = model_->GroupMechanisms();
+  std::unique_ptr<core::AdaptiveScheduler> scheduler;
+  if (options_.adaptive_groups && !group_layers.empty()) {
+    scheduler = std::make_unique<core::AdaptiveScheduler>(options_.scheduler);
+  }
+
+  auto avg_groups = [&]() -> double {
+    if (group_layers.empty()) return 0.0;
+    double total = 0.0;
+    for (auto* mech : group_layers) total += static_cast<double>(mech->num_groups());
+    return total / static_cast<double>(group_layers.size());
+  };
+
+  TrainResult result;
+  int64_t batch_size = std::min<int64_t>(options_.batch_size, train.size());
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    if (options_.shuffle) rng_.Shuffle(&order);
+    // Performer redraws its random features every epoch.
+    for (auto* perf : model_->PerformerMechanisms()) perf->RedrawFeatures();
+
+    Stopwatch watch;
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    for (int64_t begin = 0; begin < train.size(); begin += batch_size) {
+      const int64_t end = std::min<int64_t>(train.size(), begin + batch_size);
+      Tensor batch = GatherBatch(train, order, begin, end);
+
+      optimizer_->ZeroGrad();
+      ag::Variable loss;
+      if (task == Task::kClassify) {
+        std::vector<int64_t> labels(end - begin);
+        for (int64_t i = begin; i < end; ++i) labels[i - begin] = train.labels[order[i]];
+        loss = ag::CrossEntropy(model_->ClassLogits(batch), labels);
+      } else {
+        data::MaskedBatch masked =
+            (task == Task::kForecast)
+                ? data::ApplyForecastMask(batch, horizon)
+                : data::ApplyTimestampMask(batch, options_.mask_rate, &rng_);
+        ag::Variable recon = model_->Reconstruct(masked.corrupted);
+        loss = ag::MaskedMse(recon, masked.target, masked.mask);
+      }
+      loss.Backward();
+      optimizer_->Step();
+      loss_sum += loss.data().Item();
+      ++batches;
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = loss_sum / std::max<int64_t>(1, batches);
+    stats.seconds = watch.ElapsedSeconds();
+    stats.batch_size = batch_size;
+    stats.avg_groups = avg_groups();
+    result.epochs.push_back(stats);
+    result.total_seconds += stats.seconds;
+
+    if (options_.verbose) {
+      RITA_LOG(Info) << train.name << " epoch " << epoch << " loss " << stats.loss
+                     << " time " << stats.seconds << "s batch " << batch_size
+                     << (group_layers.empty()
+                             ? std::string()
+                             : " avgN " + std::to_string(stats.avg_groups));
+    }
+
+    // Sec. 5: shrink N per layer under the error bound, then re-pick the batch
+    // size for the new N.
+    if (scheduler) {
+      for (auto* mech : group_layers) scheduler->Update(mech);
+      if (options_.batch_planner != nullptr && options_.batch_planner->calibrated()) {
+        const int64_t predicted = options_.batch_planner->PredictBatchSize(
+            model_->input_length(), std::max<int64_t>(1, llround(avg_groups())));
+        // Growth is capped at 4x the configured batch: memory permits more,
+        // but optimisation quality degrades with too few steps per epoch.
+        batch_size = std::max<int64_t>(
+            1, std::min<int64_t>({predicted, train.size(), options_.batch_size * 4}));
+      }
+    }
+  }
+  return result;
+}
+
+TrainResult Trainer::TrainClassifier(const data::TimeseriesDataset& train) {
+  return RunEpochs(train, Task::kClassify);
+}
+
+TrainResult Trainer::TrainImputation(const data::TimeseriesDataset& train) {
+  return RunEpochs(train, Task::kImpute);
+}
+
+TrainResult Trainer::TrainForecast(const data::TimeseriesDataset& train,
+                                   int64_t horizon) {
+  return RunEpochs(train, Task::kForecast, horizon);
+}
+
+ImputationError Trainer::EvalForecast(const data::TimeseriesDataset& valid,
+                                      int64_t horizon) {
+  ag::NoGradGuard guard;
+  model_->SetTraining(false);
+  double sq_sum = 0.0, abs_sum = 0.0, count = 0.0;
+  std::vector<int64_t> order(valid.size());
+  for (int64_t i = 0; i < valid.size(); ++i) order[i] = i;
+  const int64_t batch_size = std::min<int64_t>(options_.batch_size, valid.size());
+  for (int64_t begin = 0; begin < valid.size(); begin += batch_size) {
+    const int64_t end = std::min<int64_t>(valid.size(), begin + batch_size);
+    Tensor batch = GatherBatch(valid, order, begin, end);
+    data::MaskedBatch masked = data::ApplyForecastMask(batch, horizon);
+    Tensor recon = model_->Reconstruct(masked.corrupted).data();
+    const float* pr = recon.data();
+    const float* pt = masked.target.data();
+    const float* pm = masked.mask.data();
+    for (int64_t i = 0; i < recon.numel(); ++i) {
+      if (pm[i] == 0.0f) continue;
+      const double diff = static_cast<double>(pr[i]) - pt[i];
+      sq_sum += diff * diff;
+      abs_sum += std::fabs(diff);
+      count += 1.0;
+    }
+  }
+  model_->SetTraining(true);
+  ImputationError err;
+  err.mse = sq_sum / std::max(1.0, count);
+  err.mae = abs_sum / std::max(1.0, count);
+  return err;
+}
+
+double Trainer::EvalAccuracy(const data::TimeseriesDataset& valid) {
+  RITA_CHECK(valid.labeled());
+  ag::NoGradGuard guard;
+  model_->SetTraining(false);
+  std::vector<int64_t> order(valid.size());
+  for (int64_t i = 0; i < valid.size(); ++i) order[i] = i;
+
+  int64_t correct = 0;
+  const int64_t batch_size = std::min<int64_t>(options_.batch_size, valid.size());
+  for (int64_t begin = 0; begin < valid.size(); begin += batch_size) {
+    const int64_t end = std::min<int64_t>(valid.size(), begin + batch_size);
+    Tensor batch = GatherBatch(valid, order, begin, end);
+    Tensor logits = model_->ClassLogits(batch).data();
+    Tensor pred = ops::ArgMaxLastDim(logits);
+    for (int64_t i = begin; i < end; ++i) {
+      if (static_cast<int64_t>(pred.data()[i - begin]) == valid.labels[i]) ++correct;
+    }
+  }
+  model_->SetTraining(true);
+  return static_cast<double>(correct) / static_cast<double>(valid.size());
+}
+
+ImputationError Trainer::EvalImputation(const data::TimeseriesDataset& valid) {
+  ag::NoGradGuard guard;
+  model_->SetTraining(false);
+  Rng mask_rng(options_.seed ^ 0x6d61736bULL);  // fixed masks across calls
+
+  double sq_sum = 0.0, abs_sum = 0.0, count = 0.0;
+  std::vector<int64_t> order(valid.size());
+  for (int64_t i = 0; i < valid.size(); ++i) order[i] = i;
+  const int64_t batch_size = std::min<int64_t>(options_.batch_size, valid.size());
+  for (int64_t begin = 0; begin < valid.size(); begin += batch_size) {
+    const int64_t end = std::min<int64_t>(valid.size(), begin + batch_size);
+    Tensor batch = GatherBatch(valid, order, begin, end);
+    data::MaskedBatch masked =
+        data::ApplyTimestampMask(batch, options_.mask_rate, &mask_rng);
+    Tensor recon = model_->Reconstruct(masked.corrupted).data();
+    const float* pr = recon.data();
+    const float* pt = masked.target.data();
+    const float* pm = masked.mask.data();
+    for (int64_t i = 0; i < recon.numel(); ++i) {
+      if (pm[i] == 0.0f) continue;
+      const double diff = static_cast<double>(pr[i]) - pt[i];
+      sq_sum += diff * diff;
+      abs_sum += std::fabs(diff);
+      count += 1.0;
+    }
+  }
+  model_->SetTraining(true);
+  ImputationError err;
+  err.mse = sq_sum / std::max(1.0, count);
+  err.mae = abs_sum / std::max(1.0, count);
+  return err;
+}
+
+double Trainer::TimeInference(const data::TimeseriesDataset& valid,
+                              bool classification) {
+  ag::NoGradGuard guard;
+  model_->SetTraining(false);
+  Rng mask_rng(17);
+  std::vector<int64_t> order(valid.size());
+  for (int64_t i = 0; i < valid.size(); ++i) order[i] = i;
+  const int64_t batch_size = std::min<int64_t>(options_.batch_size, valid.size());
+
+  Stopwatch watch;
+  for (int64_t begin = 0; begin < valid.size(); begin += batch_size) {
+    const int64_t end = std::min<int64_t>(valid.size(), begin + batch_size);
+    Tensor batch = GatherBatch(valid, order, begin, end);
+    if (classification) {
+      model_->ClassLogits(batch);
+    } else {
+      data::MaskedBatch masked =
+          data::ApplyTimestampMask(batch, options_.mask_rate, &mask_rng);
+      model_->Reconstruct(masked.corrupted);
+    }
+  }
+  const double elapsed = watch.ElapsedSeconds();
+  model_->SetTraining(true);
+  return elapsed;
+}
+
+}  // namespace train
+}  // namespace rita

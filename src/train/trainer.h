@@ -1,0 +1,110 @@
+// Training/evaluation engine: full-label classification, masked-MSE
+// imputation (also the cloze pretraining task), accuracy/MSE/MAE evaluation
+// and inference timing. Integrates the paper's dynamic machinery: the
+// adaptive scheduler shrinks each group-attention layer's N between epochs
+// and the batch planner re-picks the batch size for the new N (Sec. 5).
+#ifndef RITA_TRAIN_TRAINER_H_
+#define RITA_TRAIN_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/adaptive_scheduler.h"
+#include "core/batch_planner.h"
+#include "data/dataset.h"
+#include "data/masking.h"
+#include "model/sequence_model.h"
+#include "nn/optimizer.h"
+
+namespace rita {
+namespace train {
+
+struct TrainOptions {
+  int64_t epochs = 10;
+  int64_t batch_size = 32;
+  nn::AdamWOptions adamw;  // paper defaults: lr = 1e-4, weight decay = 1e-4
+  float mask_rate = 0.2f;  // cloze/imputation mask rate (paper: 0.2)
+  uint64_t seed = 0;
+  bool shuffle = true;
+  bool verbose = false;
+
+  /// Enables the adaptive scheduler on the model's group-attention layers.
+  bool adaptive_groups = false;
+  core::AdaptiveSchedulerOptions scheduler;
+
+  /// Optional non-owning batch planner; when set (and adaptive_groups), the
+  /// batch size is re-predicted each epoch from the average group count.
+  core::BatchPlanner* batch_planner = nullptr;
+};
+
+struct EpochStats {
+  int64_t epoch = 0;
+  double loss = 0.0;
+  double seconds = 0.0;     // the paper's "training time per epoch"
+  int64_t batch_size = 0;
+  double avg_groups = 0.0;  // mean N across group-attention layers (0 if none)
+};
+
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  double total_seconds = 0.0;
+
+  double AvgEpochSeconds() const {
+    return epochs.empty() ? 0.0 : total_seconds / static_cast<double>(epochs.size());
+  }
+  double FinalLoss() const { return epochs.empty() ? 0.0 : epochs.back().loss; }
+};
+
+struct ImputationError {
+  double mse = 0.0;
+  double mae = 0.0;
+};
+
+class Trainer {
+ public:
+  /// `model` is borrowed and must outlive the trainer.
+  Trainer(model::SequenceModel* model, const TrainOptions& options);
+
+  /// Cross-entropy training on full labels.
+  TrainResult TrainClassifier(const data::TimeseriesDataset& train);
+
+  /// Mask-and-predict training (Sec. 3's pretraining task == imputation).
+  TrainResult TrainImputation(const data::TimeseriesDataset& train);
+
+  /// Forecast training: the suffix of length `horizon` is masked and the loss
+  /// is its reconstruction error (Appendix A.7.3: forecasting as imputation).
+  TrainResult TrainForecast(const data::TimeseriesDataset& train, int64_t horizon);
+
+  /// Masked-suffix reconstruction error at the given horizon.
+  ImputationError EvalForecast(const data::TimeseriesDataset& valid, int64_t horizon);
+
+  /// Top-1 accuracy on a labeled set (eval mode, no graph).
+  double EvalAccuracy(const data::TimeseriesDataset& valid);
+
+  /// Masked-position reconstruction error at the configured mask rate.
+  ImputationError EvalImputation(const data::TimeseriesDataset& valid);
+
+  /// Wall-clock seconds for one inference pass over the set (Tables 6-7).
+  double TimeInference(const data::TimeseriesDataset& valid, bool classification);
+
+  const TrainOptions& options() const { return options_; }
+
+ private:
+  enum class Task { kClassify, kImpute, kForecast };
+  TrainResult RunEpochs(const data::TimeseriesDataset& train, Task task,
+                        int64_t horizon = 0);
+
+  Tensor GatherBatch(const data::TimeseriesDataset& dataset,
+                     const std::vector<int64_t>& order, int64_t begin,
+                     int64_t end) const;
+
+  model::SequenceModel* model_;
+  TrainOptions options_;
+  Rng rng_;
+  std::unique_ptr<nn::AdamW> optimizer_;
+};
+
+}  // namespace train
+}  // namespace rita
+
+#endif  // RITA_TRAIN_TRAINER_H_

@@ -1,0 +1,67 @@
+// Invariant-checking macros. Programmer errors (shape mismatches, index
+// out-of-range, violated preconditions) abort with a readable message;
+// recoverable errors travel through rita::Status instead (see status.h).
+#ifndef RITA_UTIL_CHECK_H_
+#define RITA_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rita {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "RITA_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Lazily builds the failure message; only ever constructed on a failing path,
+// and its destructor aborts the process.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  const CheckMessageBuilder& operator<<(const T& value) const {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  mutable std::ostringstream stream_;
+};
+
+// Lowest-precedence sink so the builder's << chain evaluates first (glog's
+// "voidify" trick); keeps RITA_CHECK usable as a single statement inside
+// unbraced if/else without dangling-else ambiguity.
+struct CheckVoidifier {
+  void operator&(const CheckMessageBuilder&) const {}
+};
+
+}  // namespace internal
+}  // namespace rita
+
+#define RITA_CHECK(cond)                    \
+  (cond) ? (void)0                          \
+         : ::rita::internal::CheckVoidifier() & \
+               ::rita::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define RITA_CHECK_EQ(a, b) RITA_CHECK((a) == (b)) << " [" << (a) << " vs " << (b) << "] "
+#define RITA_CHECK_NE(a, b) RITA_CHECK((a) != (b)) << " [" << (a) << " vs " << (b) << "] "
+#define RITA_CHECK_LT(a, b) RITA_CHECK((a) < (b)) << " [" << (a) << " vs " << (b) << "] "
+#define RITA_CHECK_LE(a, b) RITA_CHECK((a) <= (b)) << " [" << (a) << " vs " << (b) << "] "
+#define RITA_CHECK_GT(a, b) RITA_CHECK((a) > (b)) << " [" << (a) << " vs " << (b) << "] "
+#define RITA_CHECK_GE(a, b) RITA_CHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "
+
+#endif  // RITA_UTIL_CHECK_H_

@@ -1,0 +1,37 @@
+#include "util/csv.h"
+
+namespace rita {
+
+Result<CsvWriter> CsvWriter::Open(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot open for write: " + path);
+  return CsvWriter(std::move(out));
+}
+
+std::string CsvWriter::Escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ",";
+    out_ << Escape(fields[i]);
+  }
+  out_ << "\n";
+}
+
+Status CsvWriter::Close() {
+  out_.flush();
+  if (!out_.good()) return Status::IoError("csv write failure");
+  out_.close();
+  return Status::OK();
+}
+
+}  // namespace rita

@@ -1,0 +1,50 @@
+// Tiny CSV writer used by the benchmark harnesses to dump the series behind
+// every reproduced table/figure next to the stdout rendering.
+#ifndef RITA_UTIL_CSV_H_
+#define RITA_UTIL_CSV_H_
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rita {
+
+/// Row-at-a-time CSV writer with minimal quoting (fields containing commas or
+/// quotes are double-quote escaped).
+class CsvWriter {
+ public:
+  static Result<CsvWriter> Open(const std::string& path);
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: formats arbitrary streamable values into one row.
+  template <typename... Args>
+  void WriteValues(const Args&... args) {
+    std::vector<std::string> fields;
+    (fields.push_back(Format(args)), ...);
+    WriteRow(fields);
+  }
+
+  Status Close();
+
+ private:
+  explicit CsvWriter(std::ofstream out) : out_(std::move(out)) {}
+
+  template <typename T>
+  static std::string Format(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  static std::string Escape(const std::string& field);
+
+  std::ofstream out_;
+};
+
+}  // namespace rita
+
+#endif  // RITA_UTIL_CSV_H_

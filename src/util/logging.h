@@ -1,0 +1,42 @@
+// Minimal leveled logger. The trainer uses INFO for per-epoch progress; bench
+// binaries lower the level to WARNING so tables stay clean.
+#ifndef RITA_UTIL_LOGGING_H_
+#define RITA_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rita {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rita
+
+#define RITA_LOG(level) \
+  ::rita::internal::LogMessage(::rita::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // RITA_UTIL_LOGGING_H_

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the trainer and the benchmark harnesses to
+// report per-epoch training time, mirroring the paper's "Time/s" columns.
+#ifndef RITA_UTIL_STOPWATCH_H_
+#define RITA_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace rita {
+
+/// Monotonic wall-clock timer.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rita
+
+#endif  // RITA_UTIL_STOPWATCH_H_

@@ -1,0 +1,97 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rita {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 2;
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    RITA_CHECK(!stop_) << "Submit on stopped pool";
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const std::function<void(int64_t, int64_t)>& body,
+                             int64_t min_shard) {
+  const int64_t total = end - begin;
+  if (total <= 0) return;
+  const int threads = num_threads();
+  if (threads <= 1 || total <= min_shard) {
+    body(begin, end);
+    return;
+  }
+  const int64_t num_shards =
+      std::min<int64_t>(threads, std::max<int64_t>(1, total / std::max<int64_t>(1, min_shard)));
+  if (num_shards <= 1) {
+    body(begin, end);
+    return;
+  }
+  const int64_t shard_size = (total + num_shards - 1) / num_shards;
+  // Run one shard inline to keep the calling thread busy.
+  std::vector<std::pair<int64_t, int64_t>> shards;
+  for (int64_t s = begin; s < end; s += shard_size) {
+    shards.emplace_back(s, std::min(end, s + shard_size));
+  }
+  for (size_t i = 1; i < shards.size(); ++i) {
+    const auto [s, e] = shards[i];
+    Submit([&body, s, e] { body(s, e); });
+  }
+  body(shards[0].first, shards[0].second);
+  Wait();
+}
+
+ThreadPool* ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool();
+  return pool;
+}
+
+}  // namespace rita

@@ -1,0 +1,60 @@
+// Fixed-size worker pool with a ParallelFor primitive. The tensor kernels and
+// the k-means grouping engine shard loops across this pool; on a 2-core box it
+// still matters because attention matmuls dominate wall-clock time.
+#ifndef RITA_UTIL_THREAD_POOL_H_
+#define RITA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rita {
+
+/// Simple task-queue thread pool. Tasks must not throw.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware concurrency.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  /// Splits [begin, end) into contiguous shards and runs
+  /// `body(shard_begin, shard_end)` across the pool, blocking until done.
+  /// Degenerates to an inline call when the range is small or the pool has a
+  /// single worker.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t, int64_t)>& body,
+                   int64_t min_shard = 1);
+
+  /// Process-wide pool shared by the tensor kernels.
+  static ThreadPool* Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  int64_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace rita
+
+#endif  // RITA_UTIL_THREAD_POOL_H_

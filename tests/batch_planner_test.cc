@@ -1,0 +1,206 @@
+// Tests for the batch planner stack: memory model monotonicity, Alg. 2 binary
+// search maximality, curve fitting, DP plane division optimality properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/batch_planner.h"
+
+namespace rita {
+namespace core {
+namespace {
+
+EncoderShape SmallShape(attn::AttentionKind kind = attn::AttentionKind::kGroup) {
+  EncoderShape s;
+  s.layers = 4;
+  s.dim = 32;
+  s.heads = 2;
+  s.ffn_hidden = 64;
+  s.window = 5;
+  s.stride = 5;
+  s.channels = 3;
+  s.kind = kind;
+  return s;
+}
+
+TEST(MemoryModelTest, TokensFormula) {
+  EncoderShape s = SmallShape();
+  EXPECT_EQ(s.Tokens(200), (200 - 5) / 5 + 1 + 1);  // windows + CLS
+  EXPECT_EQ(s.Tokens(5), 2);
+}
+
+TEST(MemoryModelTest, MonotoneInBatchLengthAndGroups) {
+  MemoryModel model(SmallShape());
+  EXPECT_LT(model.PeakBytes(1, 200, 16), model.PeakBytes(2, 200, 16));
+  EXPECT_LT(model.PeakBytes(4, 200, 16), model.PeakBytes(4, 2000, 16));
+  EXPECT_LT(model.PeakBytes(4, 200, 8), model.PeakBytes(4, 200, 64));
+}
+
+TEST(MemoryModelTest, VanillaQuadraticDominatesGroupAtLongLengths) {
+  MemoryModel group_model(SmallShape(attn::AttentionKind::kGroup));
+  MemoryModel vanilla_model(SmallShape(attn::AttentionKind::kVanilla));
+  // At length 10000 the n^2 term dwarfs group attention's n*N.
+  EXPECT_GT(vanilla_model.PeakBytes(1, 10000, 32),
+            4.0 * group_model.PeakBytes(1, 10000, 32));
+}
+
+TEST(MemoryModelTest, OomDetectedForHugeVanillaBatch) {
+  MemoryModelOptions mo;
+  mo.capacity_bytes = 16.0 * (1ull << 30);
+  MemoryModel model(SmallShape(attn::AttentionKind::kVanilla), mo);
+  // TST/Vanilla at MGH scale (length 10000) cannot fit a meaningful batch —
+  // the Table 2 "N/A (OOM)" behaviour.
+  EXPECT_FALSE(model.Fits(64, 10000, 0, 0.9));
+}
+
+TEST(BatchPlannerTest, ProbeReturnsMaximalFeasibleBatch) {
+  MemoryModel model(SmallShape());
+  BatchPlannerOptions opts;
+  opts.max_length = 2000;
+  BatchPlanner planner(model, opts);
+  for (int64_t length : {200, 1000, 2000}) {
+    for (int64_t groups : {4, 32}) {
+      const int64_t b = planner.ProbeBatchSize(length, groups);
+      EXPECT_TRUE(model.Fits(b, length, groups, 0.9));
+      EXPECT_FALSE(model.Fits(b + 1, length, groups, 0.9))
+          << "not maximal at L=" << length << " N=" << groups;
+    }
+  }
+}
+
+TEST(BatchPlannerTest, ProbeShrinksWithLengthAndGroups) {
+  MemoryModel model(SmallShape());
+  BatchPlannerOptions opts;
+  opts.max_length = 10000;
+  BatchPlanner planner(model, opts);
+  EXPECT_GE(planner.ProbeBatchSize(200, 8), planner.ProbeBatchSize(2000, 8));
+  EXPECT_GE(planner.ProbeBatchSize(2000, 8), planner.ProbeBatchSize(2000, 128));
+}
+
+TEST(BatchPlannerTest, CalibrateThenPredictCloseToProbe) {
+  MemoryModel model(SmallShape());
+  BatchPlannerOptions opts;
+  opts.max_length = 4000;
+  opts.num_samples = 64;
+  BatchPlanner planner(model, opts);
+  Rng rng(42);
+  planner.Calibrate(&rng);
+  ASSERT_TRUE(planner.calibrated());
+
+  // Prediction within 30% of ground truth on unseen points.
+  Rng probe_rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const int64_t length = 5 + probe_rng.UniformInt(3995);
+    const int64_t tokens = model.shape().Tokens(length);
+    const int64_t groups = 1 + probe_rng.UniformInt(tokens);
+    const int64_t truth = planner.ProbeBatchSize(length, groups);
+    const int64_t pred = planner.PredictBatchSize(length, groups);
+    EXPECT_GE(pred, 1);
+    const double rel =
+        std::fabs(static_cast<double>(pred - truth)) / static_cast<double>(truth);
+    EXPECT_LT(rel, 0.3) << "L=" << length << " N=" << groups << " truth=" << truth
+                        << " pred=" << pred;
+  }
+}
+
+TEST(BatchPlannerTest, PredictionNeverExceedsMemoryBudget) {
+  MemoryModel model(SmallShape());
+  BatchPlannerOptions opts;
+  opts.max_length = 4000;
+  BatchPlanner planner(model, opts);
+  Rng rng(1);
+  planner.Calibrate(&rng);
+  for (int64_t length : {100, 500, 2500, 4000}) {
+    const int64_t pred = planner.PredictBatchSize(length, 16);
+    EXPECT_TRUE(model.Fits(pred, length, 16, 0.9)) << "OOM guard failed";
+  }
+}
+
+TEST(CurveFitTest, SolveLinearSystemExact) {
+  // x + 2y = 5; 3x - y = 1  ->  x = 1, y = 2.
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem({{1, 2}, {3, -1}}, {5, 1}, &x));
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(CurveFitTest, SingularSystemRejected) {
+  std::vector<double> x;
+  EXPECT_FALSE(SolveLinearSystem({{1, 2}, {2, 4}}, {3, 6}, &x));
+}
+
+TEST(CurveFitTest, RecoversPlantedCoefficients) {
+  // B = 10 + 2000/L + 30000/(L N), family kInverseLength.
+  std::vector<BatchSample> samples;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const double l = 10.0 + rng.UniformInt(990);
+    const double n = 1.0 + rng.UniformInt(64);
+    samples.push_back({l, n, 10.0 + 2000.0 / l + 30000.0 / (l * n)});
+  }
+  FittedFunction fit = FitFamilyLeastSquares(FitFamily::kInverseLength, samples);
+  ASSERT_EQ(fit.coeffs.size(), 3u);
+  EXPECT_NEAR(fit.coeffs[0], 10.0, 1e-3);
+  EXPECT_NEAR(fit.coeffs[1], 2000.0, 1e-1);
+  EXPECT_NEAR(fit.coeffs[2], 30000.0, 1.0);
+  EXPECT_LT(fit.sse, 1e-6);
+}
+
+TEST(CurveFitTest, FitBestPicksLowestSse) {
+  std::vector<BatchSample> samples;
+  Rng rng(4);
+  for (int i = 0; i < 60; ++i) {
+    const double l = 10.0 + rng.UniformInt(990);
+    const double n = 1.0 + rng.UniformInt(64);
+    samples.push_back({l, n, 5.0 + 100.0 / n});  // needs the 1/N basis
+  }
+  FittedFunction best = FitBest(samples);
+  EXPECT_EQ(best.family, FitFamily::kInverseAffine);  // only family with 1/N
+  EXPECT_LT(best.sse, 1e-5);
+}
+
+TEST(PlaneDivisionTest, SinglePlaneWhenOneFunctionSuffices) {
+  std::vector<BatchSample> samples;
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    const double l = 10.0 + rng.UniformInt(990);
+    const double n = 1.0 + rng.UniformInt(64);
+    samples.push_back({l, n, 20.0 + 5000.0 / (l * n)});
+  }
+  PlaneDivision division = DividePlane(samples);
+  EXPECT_LT(division.total_sse, 1e-4);
+  // Predict matches the generator closely.
+  EXPECT_NEAR(division.Predict(500, 10), 20.0 + 5000.0 / 5000.0, 0.05);
+}
+
+TEST(PlaneDivisionTest, DpCostNotWorseThanGlobalFit) {
+  // Piecewise generator: different regimes for short and long L.
+  std::vector<BatchSample> samples;
+  Rng rng(6);
+  for (int i = 0; i < 60; ++i) {
+    const double l = 10.0 + rng.UniformInt(1990);
+    const double n = 1.0 + rng.UniformInt(64);
+    const double b = (l < 800) ? 200.0 + 1000.0 / n : 20.0 + 3000.0 / (l * n);
+    samples.push_back({l, n, b});
+  }
+  const FittedFunction global = FitBest(samples);
+  PlaneDivisionOptions opts;
+  opts.min_points_per_region = 8;
+  PlaneDivision division = DividePlane(samples, opts);
+  EXPECT_LE(division.total_sse, global.sse + 1e-9)
+      << "DP division must not lose to the single global fit";
+  EXPECT_GE(division.regions.size(), 2u) << "piecewise data should induce a split";
+}
+
+TEST(PlaneDivisionTest, FallbackOnTinySampleSets) {
+  std::vector<BatchSample> samples = {{100, 4, 50}, {200, 8, 25}};
+  PlaneDivision division = DividePlane(samples);
+  ASSERT_EQ(division.regions.size(), 1u);  // global fallback
+  // Prediction is finite everywhere.
+  EXPECT_TRUE(std::isfinite(division.Predict(50, 2)));
+  EXPECT_TRUE(std::isfinite(division.Predict(5000, 100)));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rita

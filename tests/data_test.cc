@@ -1,0 +1,331 @@
+// Tests for the dataset substrate: transforms, masking, the three synthetic
+// generators (determinism, shape, class separability) and the paper registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/generators.h"
+#include "data/masking.h"
+#include "data/registry.h"
+
+namespace rita {
+namespace data {
+namespace {
+
+// 1-NN on raw series: a crude separability check that class structure exists.
+double OneNnAccuracy(const TimeseriesDataset& train, const TimeseriesDataset& valid) {
+  const int64_t per = train.length() * train.channels();
+  int64_t correct = 0;
+  for (int64_t i = 0; i < valid.size(); ++i) {
+    const float* vi = valid.series.data() + i * per;
+    double best = 1e300;
+    int64_t best_label = -1;
+    for (int64_t j = 0; j < train.size(); ++j) {
+      const float* tj = train.series.data() + j * per;
+      double d = 0.0;
+      for (int64_t k = 0; k < per; ++k) {
+        const double diff = vi[k] - tj[k];
+        d += diff * diff;
+      }
+      if (d < best) {
+        best = d;
+        best_label = train.labels[j];
+      }
+    }
+    if (best_label == valid.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / valid.size();
+}
+
+TEST(DatasetTest, MinMaxScaleBoundsAndConstants) {
+  TimeseriesDataset ds;
+  ds.series = Tensor::FromVector({2, 2, 2}, {-4, 0, 2, 4, 7, 7, 7, 7});
+  MinMaxScaleInPlace(&ds);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_GE(ds.series.data()[i], 0.0f);
+    EXPECT_LE(ds.series.data()[i], 1.0f);
+  }
+  EXPECT_FLOAT_EQ(ds.series.data()[0], 0.0f);
+  EXPECT_FLOAT_EQ(ds.series.data()[3], 1.0f);
+  for (int64_t i = 4; i < 8; ++i) EXPECT_FLOAT_EQ(ds.series.data()[i], 0.0f);
+}
+
+TEST(DatasetTest, SubsetKeepsLabelsAligned) {
+  HarOptions opts;
+  opts.num_samples = 20;
+  opts.length = 16;
+  opts.num_classes = 4;
+  TimeseriesDataset ds = GenerateHar(opts);
+  TimeseriesDataset sub = Subset(ds, {3, 7, 11});
+  EXPECT_EQ(sub.size(), 3);
+  EXPECT_EQ(sub.labels[1], ds.labels[7]);
+  Tensor a = sub.Sample(1);
+  Tensor b = ds.Sample(7);
+  EXPECT_TRUE(a.AllClose(b));
+}
+
+TEST(DatasetTest, TrainValSplitPartitions) {
+  HarOptions opts;
+  opts.num_samples = 100;
+  opts.length = 16;
+  TimeseriesDataset ds = GenerateHar(opts);
+  Rng rng(1);
+  SplitDataset split = TrainValSplit(ds, 0.9, &rng);
+  EXPECT_EQ(split.train.size() + split.valid.size(), 100);
+  EXPECT_EQ(split.train.size(), 90);
+}
+
+TEST(DatasetTest, FewLabelSubsetRespectsPerClassCap) {
+  HarOptions opts;
+  opts.num_samples = 300;
+  opts.length = 16;
+  opts.num_classes = 5;
+  TimeseriesDataset ds = GenerateHar(opts);
+  Rng rng(2);
+  TimeseriesDataset few = FewLabelSubset(ds, 10, &rng);
+  std::map<int64_t, int64_t> counts;
+  for (int64_t label : few.labels) ++counts[label];
+  for (auto& [label, count] : counts) EXPECT_LE(count, 10);
+  EXPECT_LE(few.size(), 50);
+}
+
+TEST(DatasetTest, SelectChannelExtractsColumn) {
+  HarOptions opts;
+  opts.num_samples = 5;
+  opts.length = 12;
+  opts.channels = 3;
+  TimeseriesDataset ds = GenerateHar(opts);
+  TimeseriesDataset uni = SelectChannel(ds, 1);
+  EXPECT_EQ(uni.channels(), 1);
+  EXPECT_EQ(uni.length(), 12);
+  EXPECT_FLOAT_EQ(uni.series.At({2, 5, 0}), ds.series.At({2, 5, 1}));
+  EXPECT_EQ(uni.labels, ds.labels);
+}
+
+TEST(MaskingTest, MaskRateApproximatelyRespected) {
+  Rng rng(3);
+  Tensor batch = Tensor::RandUniform({8, 200, 3}, &rng, 0.0f, 1.0f);
+  MaskedBatch masked = ApplyTimestampMask(batch, 0.2f, &rng);
+  const double rate =
+      static_cast<double>(masked.masked_timestamps) / (8.0 * 200.0);
+  EXPECT_NEAR(rate, 0.2, 0.05);
+}
+
+TEST(MaskingTest, MaskedPositionsCarryMarkerAndMask) {
+  Rng rng(4);
+  Tensor batch = Tensor::RandUniform({4, 50, 2}, &rng, 0.0f, 1.0f);
+  MaskedBatch masked = ApplyTimestampMask(batch, 0.3f, &rng);
+  const float* c = masked.corrupted.data();
+  const float* m = masked.mask.data();
+  const float* t = masked.target.data();
+  for (int64_t i = 0; i < masked.corrupted.numel(); ++i) {
+    if (m[i] == 1.0f) {
+      EXPECT_FLOAT_EQ(c[i], -1.0f);
+    } else {
+      EXPECT_FLOAT_EQ(c[i], t[i]);
+    }
+  }
+}
+
+TEST(MaskingTest, AllChannelsMaskedTogether) {
+  Rng rng(5);
+  Tensor batch = Tensor::RandUniform({2, 30, 4}, &rng, 0.0f, 1.0f);
+  MaskedBatch masked = ApplyTimestampMask(batch, 0.25f, &rng);
+  const float* m = masked.mask.data();
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 30; ++j) {
+      const float first = m[(i * 30 + j) * 4];
+      for (int64_t k = 1; k < 4; ++k) {
+        EXPECT_EQ(m[(i * 30 + j) * 4 + k], first) << "channel-inconsistent mask";
+      }
+    }
+  }
+}
+
+TEST(MaskingTest, EverySampleHasAtLeastOneMask) {
+  Rng rng(6);
+  Tensor batch = Tensor::RandUniform({16, 10, 1}, &rng, 0.0f, 1.0f);
+  MaskedBatch masked = ApplyTimestampMask(batch, 0.05f, &rng);  // low rate
+  const float* m = masked.mask.data();
+  for (int64_t i = 0; i < 16; ++i) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < 10; ++j) sum += m[i * 10 + j];
+    EXPECT_GE(sum, 1.0f);
+  }
+}
+
+TEST(MaskingTest, ForecastMasksSuffix) {
+  Rng rng(7);
+  Tensor batch = Tensor::RandUniform({2, 20, 1}, &rng, 0.0f, 1.0f);
+  MaskedBatch masked = ApplyForecastMask(batch, 5);
+  const float* m = masked.mask.data();
+  for (int64_t j = 0; j < 20; ++j) {
+    EXPECT_EQ(m[j], j >= 15 ? 1.0f : 0.0f);
+  }
+  EXPECT_EQ(masked.masked_timestamps, 10);
+}
+
+class GeneratorDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorDeterminismTest, SameSeedSameData) {
+  const int which = GetParam();
+  auto make = [&](uint64_t seed) -> TimeseriesDataset {
+    switch (which) {
+      case 0: {
+        HarOptions o;
+        o.num_samples = 10;
+        o.length = 32;
+        o.seed = seed;
+        return GenerateHar(o);
+      }
+      case 1: {
+        EcgOptions o;
+        o.num_samples = 6;
+        o.length = 120;
+        o.beat_period = 30;
+        o.seed = seed;
+        return GenerateEcg(o);
+      }
+      default: {
+        EegOptions o;
+        o.num_samples = 4;
+        o.length = 200;
+        o.channels = 6;
+        o.seed = seed;
+        return GenerateEeg(o);
+      }
+    }
+  };
+  TimeseriesDataset a = make(11), b = make(11), c = make(12);
+  EXPECT_TRUE(a.series.AllClose(b.series, 0.0f, 0.0f));
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_FALSE(a.series.AllClose(c.series, 1e-5f, 1e-6f));
+}
+
+std::string GeneratorCaseName(const ::testing::TestParamInfo<int>& info) {
+  static const char* kNames[] = {"Har", "Ecg", "Eeg"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, GeneratorDeterminismTest,
+                         ::testing::Values(0, 1, 2), GeneratorCaseName);
+
+TEST(HarGeneratorTest, ClassesAreSeparable) {
+  HarOptions opts;
+  opts.num_samples = 240;
+  opts.length = 64;
+  opts.num_classes = 6;
+  opts.noise = 0.15f;
+  TimeseriesDataset ds = GenerateHar(opts);
+  Rng rng(8);
+  SplitDataset split = TrainValSplit(ds, 0.8, &rng);
+  const double acc = OneNnAccuracy(split.train, split.valid);
+  const double chance = 1.0 / 6.0;
+  EXPECT_GT(acc, 3.0 * chance) << "HAR classes not separable: " << acc;
+}
+
+TEST(HarGeneratorTest, HeterogeneityAddsVariance) {
+  HarOptions base;
+  base.num_samples = 200;
+  base.length = 64;
+  base.num_classes = 4;
+  HarOptions het = base;
+  het.device_heterogeneity = true;
+  TimeseriesDataset clean = GenerateHar(base);
+  TimeseriesDataset noisy = GenerateHar(het);
+  Rng r1(9), r2(9);
+  const double acc_clean = OneNnAccuracy(TrainValSplit(clean, 0.8, &r1).train,
+                                         TrainValSplit(clean, 0.8, &r1).valid);
+  const double acc_noisy = OneNnAccuracy(TrainValSplit(noisy, 0.8, &r2).train,
+                                         TrainValSplit(noisy, 0.8, &r2).valid);
+  // HHAR-style heterogeneity makes the task harder (paper Sec. 6.1).
+  EXPECT_LE(acc_noisy, acc_clean + 0.05);
+}
+
+TEST(EcgGeneratorTest, ClassesAreSeparable) {
+  EcgOptions opts;
+  opts.num_samples = 180;
+  opts.length = 200;
+  opts.beat_period = 40;
+  opts.num_classes = 4;  // normal, AF, PAC, PVC
+  TimeseriesDataset ds = GenerateEcg(opts);
+  Rng rng(10);
+  SplitDataset split = TrainValSplit(ds, 0.8, &rng);
+  // Raw-Euclidean 1-NN is phase-sensitive, so rhythm classes (AF/PAC/PVC
+  // differ in beat *timing*) only modestly beat chance here; the deep models
+  // with convolutional frontends do far better (see bench_fig3).
+  const double acc = OneNnAccuracy(split.train, split.valid);
+  EXPECT_GT(acc, 1.5 / 4.0) << "ECG rhythm classes not separable: " << acc;
+}
+
+TEST(EegGeneratorTest, SeizureLabelsWhenRequested) {
+  EegOptions opts;
+  opts.num_samples = 40;
+  opts.length = 400;
+  opts.channels = 8;
+  opts.labeled = true;
+  opts.seizure_probability = 0.5f;
+  TimeseriesDataset ds = GenerateEeg(opts);
+  EXPECT_EQ(ds.num_classes, 2);
+  std::set<int64_t> labels(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(labels.size(), 2u);  // both classes appear at p = 0.5
+}
+
+TEST(EegGeneratorTest, UnlabeledByDefault) {
+  EegOptions opts;
+  opts.num_samples = 4;
+  opts.length = 100;
+  TimeseriesDataset ds = GenerateEeg(opts);
+  EXPECT_FALSE(ds.labeled());
+  EXPECT_EQ(ds.num_classes, 0);
+}
+
+TEST(RegistryTest, SpecsMatchTable1) {
+  const PaperDatasetSpec wisdm = GetPaperSpec(PaperDataset::kWisdm);
+  EXPECT_EQ(wisdm.train_size, 28280);
+  EXPECT_EQ(wisdm.valid_size, 3112);
+  EXPECT_EQ(wisdm.length, 200);
+  EXPECT_EQ(wisdm.num_classes, 18);
+  const PaperDatasetSpec mgh = GetPaperSpec(PaperDataset::kMgh);
+  EXPECT_EQ(mgh.length, 10000);
+  EXPECT_EQ(mgh.channels, 21);
+  EXPECT_EQ(mgh.num_classes, 0);
+}
+
+TEST(RegistryTest, ScaledDatasetRespectsProportions) {
+  DatasetScale scale;
+  scale.size = 0.01;
+  scale.length = 0.2;
+  SplitDataset ecg = MakePaperDataset(PaperDataset::kEcg, scale, 123);
+  EXPECT_EQ(ecg.train.length(), 400);  // 2000 * 0.2
+  EXPECT_EQ(ecg.train.channels(), 12);
+  EXPECT_EQ(ecg.train.num_classes, 9);
+  // Train fraction ~ 31091 / 34642.
+  const double frac = static_cast<double>(ecg.train.size()) /
+                      (ecg.train.size() + ecg.valid.size());
+  EXPECT_NEAR(frac, 0.897, 0.02);
+}
+
+TEST(RegistryTest, UnivariateDerivativesHaveOneChannel) {
+  DatasetScale scale;
+  scale.size = 0.005;
+  scale.length = 0.3;
+  SplitDataset uni = MakePaperDataset(PaperDataset::kWisdmUni, scale, 5);
+  EXPECT_EQ(uni.train.channels(), 1);
+  EXPECT_EQ(uni.train.num_classes, 18);
+}
+
+TEST(RegistryTest, DeterministicInSeed) {
+  DatasetScale scale;
+  scale.size = 0.003;
+  scale.length = 0.2;
+  SplitDataset a = MakePaperDataset(PaperDataset::kHhar, scale, 99);
+  SplitDataset b = MakePaperDataset(PaperDataset::kHhar, scale, 99);
+  EXPECT_TRUE(a.train.series.AllClose(b.train.series, 0.0f, 0.0f));
+  EXPECT_EQ(a.valid.labels, b.valid.labels);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace rita

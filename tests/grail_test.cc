@@ -1,0 +1,104 @@
+// Tests for the GRAIL baseline: landmark learning, Nystrom representations
+// and k-NN classification on separable uni-variate data.
+#include <gtest/gtest.h>
+
+#include "baselines/grail.h"
+#include "data/generators.h"
+
+namespace rita {
+namespace baselines {
+namespace {
+
+data::SplitDataset UnivariateTask(int64_t n, int64_t classes, uint64_t seed) {
+  data::HarOptions opts;
+  opts.num_samples = n;
+  opts.length = 64;
+  opts.channels = 1;
+  opts.num_classes = classes;
+  opts.noise = 0.1f;
+  opts.seed = seed;
+  data::TimeseriesDataset ds = data::GenerateHar(opts);
+  Rng rng(seed ^ 1);
+  return data::TrainValSplit(ds, 0.8, &rng);
+}
+
+TEST(GrailTest, FitProducesLandmarksAndReps) {
+  data::SplitDataset split = UnivariateTask(120, 3, 31);
+  GrailOptions opts;
+  opts.num_landmarks = 8;
+  Grail grail(opts);
+  const double seconds = grail.Fit(split.train);
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_EQ(grail.landmarks().size(0), 8);
+  EXPECT_EQ(grail.landmarks().size(1), 64);
+
+  Tensor reps = grail.Transform(split.valid.series);
+  EXPECT_EQ(reps.shape(), (Shape{split.valid.size(), 8}));
+}
+
+TEST(GrailTest, BeatsChanceOnSeparableClasses) {
+  data::SplitDataset split = UnivariateTask(200, 4, 41);
+  GrailOptions opts;
+  opts.num_landmarks = 12;
+  opts.gamma = 5.0;
+  Grail grail(opts);
+  grail.Fit(split.train);
+  const double acc = grail.Score(split.valid);
+  EXPECT_GT(acc, 2.5 * (1.0 / 4.0)) << "GRAIL accuracy " << acc;
+}
+
+TEST(GrailTest, RepresentationsSeparateSimilarFromDissimilar) {
+  data::SplitDataset split = UnivariateTask(100, 2, 51);
+  GrailOptions opts;
+  opts.num_landmarks = 6;
+  Grail grail(opts);
+  grail.Fit(split.train);
+
+  // Same-class pairs are closer in representation space on average.
+  Tensor reps = grail.Transform(split.train.series);
+  const int64_t k = reps.size(1);
+  double same = 0.0, diff = 0.0;
+  int64_t same_n = 0, diff_n = 0;
+  for (int64_t i = 0; i < split.train.size(); ++i) {
+    for (int64_t j = i + 1; j < split.train.size(); ++j) {
+      double d = 0.0;
+      for (int64_t l = 0; l < k; ++l) {
+        const double delta = reps.At({i, l}) - reps.At({j, l});
+        d += delta * delta;
+      }
+      if (split.train.labels[i] == split.train.labels[j]) {
+        same += d;
+        ++same_n;
+      } else {
+        diff += d;
+        ++diff_n;
+      }
+    }
+  }
+  EXPECT_LT(same / same_n, diff / diff_n);
+}
+
+TEST(GrailTest, RejectsMultivariateInput) {
+  data::HarOptions opts;
+  opts.num_samples = 10;
+  opts.length = 32;
+  opts.channels = 3;
+  data::TimeseriesDataset multi = data::GenerateHar(opts);
+  Grail grail(GrailOptions{});
+  EXPECT_DEATH(grail.Fit(multi), "uni-variate");
+}
+
+TEST(GrailTest, KnnVotingWithLargerK) {
+  data::SplitDataset split = UnivariateTask(150, 3, 61);
+  GrailOptions opts;
+  opts.num_landmarks = 10;
+  opts.knn_k = 5;
+  Grail grail(opts);
+  grail.Fit(split.train);
+  const double acc = grail.Score(split.valid);
+  EXPECT_GT(acc, 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace rita

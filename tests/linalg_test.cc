@@ -1,0 +1,234 @@
+// Tests for the linear-algebra substrate: FFT vs naive DFT, FFT-based
+// cross-correlation, Jacobi eigendecomposition and the SINK kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eigen_sym.h"
+#include "linalg/fft.h"
+#include "linalg/sink_kernel.h"
+#include "util/rng.h"
+
+namespace rita {
+namespace linalg {
+namespace {
+
+TEST(FftTest, NextPow2) {
+  EXPECT_EQ(NextPow2(1), 1);
+  EXPECT_EQ(NextPow2(2), 2);
+  EXPECT_EQ(NextPow2(3), 4);
+  EXPECT_EQ(NextPow2(1000), 1024);
+}
+
+TEST(FftTest, MatchesNaiveDft) {
+  Rng rng(1);
+  for (int64_t size : {4, 16, 64}) {
+    std::vector<std::complex<double>> data(size);
+    for (auto& v : data) v = {rng.Normal(), rng.Normal()};
+    auto ref = NaiveDft(data, false);
+    auto fast = data;
+    Fft(&fast, false);
+    for (int64_t i = 0; i < size; ++i) {
+      EXPECT_NEAR(fast[i].real(), ref[i].real(), 1e-9) << "size " << size;
+      EXPECT_NEAR(fast[i].imag(), ref[i].imag(), 1e-9);
+    }
+  }
+}
+
+TEST(FftTest, RoundTripIdentity) {
+  Rng rng(2);
+  std::vector<std::complex<double>> data(32);
+  for (auto& v : data) v = {rng.Normal(), 0.0};
+  auto copy = data;
+  Fft(&copy, false);
+  Fft(&copy, true);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(copy[i].real(), data[i].real(), 1e-10);
+    EXPECT_NEAR(copy[i].imag(), 0.0, 1e-10);
+  }
+}
+
+TEST(FftTest, ParsevalEnergyPreserved) {
+  Rng rng(3);
+  std::vector<std::complex<double>> data(64);
+  double time_energy = 0.0;
+  for (auto& v : data) {
+    v = {rng.Normal(), 0.0};
+    time_energy += std::norm(v);
+  }
+  Fft(&data, false);
+  double freq_energy = 0.0;
+  for (auto& v : data) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / 64.0, time_energy, 1e-8);
+}
+
+TEST(CrossCorrelationTest, FftMatchesNaive) {
+  Rng rng(4);
+  std::vector<double> x(37), y(21);
+  for (auto& v : x) v = rng.Normal();
+  for (auto& v : y) v = rng.Normal();
+  const auto fast = CrossCorrelationFft(x, y);
+  const auto ref = CrossCorrelationNaive(x, y);
+  ASSERT_EQ(fast.size(), ref.size());
+  for (size_t i = 0; i < fast.size(); ++i) EXPECT_NEAR(fast[i], ref[i], 1e-8);
+}
+
+TEST(CrossCorrelationTest, SelfCorrelationPeaksAtZeroShift) {
+  Rng rng(5);
+  std::vector<double> x(50);
+  for (auto& v : x) v = rng.Normal();
+  const auto cc = CrossCorrelationFft(x, x);
+  // Zero shift lives at index m - 1.
+  const size_t zero = x.size() - 1;
+  for (size_t i = 0; i < cc.size(); ++i) {
+    EXPECT_LE(cc[i], cc[zero] + 1e-9);
+  }
+}
+
+TEST(CrossCorrelationTest, DetectsKnownShift) {
+  // y is x delayed by 7: the correlation peak sits at lag +7.
+  std::vector<double> x(64, 0.0), y(64, 0.0);
+  Rng rng(6);
+  for (size_t i = 0; i < 40; ++i) x[i + 7] = rng.Normal();
+  for (size_t i = 0; i < 40; ++i) y[i] = x[i + 7];
+  const auto cc = CrossCorrelationFft(x, y);
+  size_t best = 0;
+  for (size_t i = 1; i < cc.size(); ++i) {
+    if (cc[i] > cc[best]) best = i;
+  }
+  EXPECT_EQ(static_cast<int64_t>(best) - (static_cast<int64_t>(y.size()) - 1), 7);
+}
+
+TEST(JacobiTest, DiagonalMatrixIsItsOwnDecomposition) {
+  Matrix a = {{3.0, 0.0}, {0.0, 1.0}};
+  auto eig = JacobiEigenSym(a);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-10);
+}
+
+TEST(JacobiTest, ReconstructsRandomSymmetricMatrix) {
+  Rng rng(7);
+  const size_t n = 6;
+  Matrix a(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      a[i][j] = rng.Normal();
+      a[j][i] = a[i][j];
+    }
+  }
+  auto eig = JacobiEigenSym(a);
+  // Reconstruct A = V diag(lambda) V^T.
+  Matrix recon(n, std::vector<double>(n, 0.0));
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        recon[i][j] += eig.values[r] * eig.vectors[r][i] * eig.vectors[r][j];
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) EXPECT_NEAR(recon[i][j], a[i][j], 1e-8);
+  }
+}
+
+TEST(JacobiTest, EigenvectorsAreOrthonormal) {
+  Rng rng(8);
+  const size_t n = 5;
+  Matrix a(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      a[i][j] = rng.Normal();
+      a[j][i] = a[i][j];
+    }
+  }
+  auto eig = JacobiEigenSym(a);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t s = 0; s < n; ++s) {
+      double dot = 0.0;
+      for (size_t k = 0; k < n; ++k) dot += eig.vectors[r][k] * eig.vectors[s][k];
+      EXPECT_NEAR(dot, r == s ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(InverseSqrtTest, SquaresBackToInverse) {
+  // For PSD A: (A^{-1/2})^2 A ~ I.
+  Matrix a = {{4.0, 1.0}, {1.0, 3.0}};
+  Matrix inv_sqrt = InverseSqrtPsd(a);
+  Matrix inv = MatrixMultiply(inv_sqrt, inv_sqrt);
+  Matrix ident = MatrixMultiply(inv, a);
+  EXPECT_NEAR(ident[0][0], 1.0, 1e-8);
+  EXPECT_NEAR(ident[1][1], 1.0, 1e-8);
+  EXPECT_NEAR(ident[0][1], 0.0, 1e-8);
+}
+
+TEST(InverseSqrtTest, RankDeficientClipsGracefully) {
+  Matrix a = {{1.0, 1.0}, {1.0, 1.0}};  // rank 1
+  Matrix inv_sqrt = InverseSqrtPsd(a);
+  for (auto& row : inv_sqrt) {
+    for (double v : row) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(ZNormalizeTest, MeanZeroUnitVariance) {
+  std::vector<double> s = {1, 2, 3, 4, 5};
+  ZNormalize(&s);
+  double mean = 0.0, var = 0.0;
+  for (double v : s) mean += v;
+  mean /= s.size();
+  for (double v : s) var += (v - mean) * (v - mean);
+  var /= s.size();
+  EXPECT_NEAR(mean, 0.0, 1e-10);
+  EXPECT_NEAR(var, 1.0, 1e-10);
+}
+
+TEST(ZNormalizeTest, ConstantSeriesBecomesZeros) {
+  std::vector<double> s(10, 3.5);
+  ZNormalize(&s);
+  for (double v : s) EXPECT_EQ(v, 0.0);
+}
+
+TEST(SinkTest, SelfSimilarityIsOne) {
+  Rng rng(9);
+  std::vector<double> x(40);
+  for (auto& v : x) v = rng.Normal();
+  EXPECT_NEAR(SinkSimilarity(x, x, 5.0), 1.0, 1e-10);
+}
+
+TEST(SinkTest, ShiftInvariance) {
+  // SINK considers all alignments: a shifted copy scores near the original.
+  Rng rng(10);
+  std::vector<double> x(64, 0.0);
+  for (size_t i = 8; i < 40; ++i) x[i] = rng.Normal();
+  std::vector<double> shifted(64, 0.0);
+  for (size_t i = 0; i < 56; ++i) shifted[i + 8] = x[i];
+  const double self = SinkSimilarity(x, x, 5.0);
+  const double with_shift = SinkSimilarity(x, shifted, 5.0);
+  EXPECT_GT(with_shift, 0.8 * self);
+}
+
+TEST(SinkTest, DissimilarSeriesScoreLower) {
+  Rng rng(11);
+  std::vector<double> x(64), y(64);
+  for (size_t i = 0; i < 64; ++i) {
+    x[i] = std::sin(0.3 * static_cast<double>(i));
+    y[i] = rng.Normal();
+  }
+  std::vector<double> x2 = x;  // phase-shifted same signal
+  std::rotate(x2.begin(), x2.begin() + 5, x2.end());
+  EXPECT_GT(SinkSimilarity(x, x2, 5.0), SinkSimilarity(x, y, 5.0));
+}
+
+TEST(MaxNccTest, BoundedByOne) {
+  Rng rng(12);
+  std::vector<double> x(32), y(32);
+  for (auto& v : x) v = rng.Normal();
+  for (auto& v : y) v = rng.Normal();
+  const double ncc = MaxNcc(x, y);
+  EXPECT_LE(ncc, 1.0 + 1e-9);
+  EXPECT_NEAR(MaxNcc(x, x), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace rita

@@ -1,0 +1,174 @@
+// Tests for the model library: encoder mechanics, RITA model heads and shapes,
+// TST baseline characteristics.
+#include <gtest/gtest.h>
+
+#include "model/rita_model.h"
+#include "model/tst_model.h"
+
+namespace rita {
+namespace model {
+namespace {
+
+RitaConfig SmallRitaConfig(attn::AttentionKind kind, int64_t length = 40,
+                           int64_t channels = 3, int64_t classes = 4) {
+  RitaConfig config;
+  config.input_channels = channels;
+  config.input_length = length;
+  config.window = 5;
+  config.stride = 5;
+  config.num_classes = classes;
+  config.encoder.dim = 16;
+  config.encoder.num_layers = 2;
+  config.encoder.num_heads = 2;
+  config.encoder.ffn_hidden = 32;
+  config.encoder.dropout = 0.0f;
+  config.encoder.attention.kind = kind;
+  config.encoder.attention.group.num_groups = 4;
+  config.encoder.attention.performer_features = 8;
+  config.encoder.attention.linformer_k = 4;
+  config.encoder.attention.seq_len = config.NumTokens();
+  return config;
+}
+
+TEST(RitaConfigTest, TokenArithmetic) {
+  RitaConfig config = SmallRitaConfig(attn::AttentionKind::kVanilla);
+  EXPECT_EQ(config.NumWindows(), 8);  // (40 - 5) / 5 + 1
+  EXPECT_EQ(config.NumTokens(), 9);   // + [CLS]
+  config.stride = 1;
+  EXPECT_EQ(config.NumWindows(), 36);  // paper's stride-1 variant
+}
+
+class RitaModelKindTest : public ::testing::TestWithParam<attn::AttentionKind> {};
+
+TEST_P(RitaModelKindTest, EncodeClassifyReconstructShapes) {
+  Rng rng(1);
+  RitaConfig config = SmallRitaConfig(GetParam());
+  RitaModel model(config, &rng);
+  Tensor batch = Tensor::RandUniform({3, 40, 3}, &rng, 0.0f, 1.0f);
+
+  ag::Variable encoded = model.Encode(batch);
+  EXPECT_EQ(encoded.shape(), (Shape{3, 9, 16}));
+
+  ag::Variable logits = model.ClassLogits(batch);
+  EXPECT_EQ(logits.shape(), (Shape{3, 4}));
+
+  ag::Variable recon = model.Reconstruct(batch);
+  EXPECT_EQ(recon.shape(), (Shape{3, 40, 3}));
+
+  Tensor emb = model.Embed(batch);
+  EXPECT_EQ(emb.shape(), (Shape{3, 16}));
+}
+
+TEST_P(RitaModelKindTest, GradientsReachAllParameters) {
+  Rng rng(2);
+  RitaConfig config = SmallRitaConfig(GetParam());
+  RitaModel model(config, &rng);
+  Tensor batch = Tensor::RandUniform({2, 40, 3}, &rng, 0.0f, 1.0f);
+  ag::Variable loss = ag::CrossEntropy(model.ClassLogits(batch), {0, 2});
+  loss.Backward();
+  int64_t with_grad = 0, total = 0;
+  for (auto& [name, p] : model.NamedParameters()) {
+    ++total;
+    if (p.has_grad()) ++with_grad;
+  }
+  // Everything except the reconstruction head receives gradients.
+  EXPECT_GE(with_grad, total - 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, RitaModelKindTest,
+                         ::testing::Values(attn::AttentionKind::kVanilla,
+                                           attn::AttentionKind::kGroup,
+                                           attn::AttentionKind::kPerformer,
+                                           attn::AttentionKind::kLinformer),
+                         [](const ::testing::TestParamInfo<attn::AttentionKind>& info) {
+                           return attn::AttentionKindName(info.param);
+                         });
+
+TEST(RitaModelTest, GroupMechanismsExposedPerLayer) {
+  Rng rng(3);
+  RitaConfig config = SmallRitaConfig(attn::AttentionKind::kGroup);
+  RitaModel model(config, &rng);
+  EXPECT_EQ(model.GroupMechanisms().size(), 2u);  // one per layer
+  RitaConfig vconfig = SmallRitaConfig(attn::AttentionKind::kVanilla);
+  RitaModel vmodel(vconfig, &rng);
+  EXPECT_TRUE(vmodel.GroupMechanisms().empty());
+}
+
+TEST(RitaModelTest, ReconstructionRoundTripLength) {
+  // stride < window: transpose conv output is (n_win - 1) * stride + window.
+  Rng rng(4);
+  RitaConfig config = SmallRitaConfig(attn::AttentionKind::kVanilla, 41);
+  config.window = 5;
+  config.stride = 3;
+  config.encoder.attention.seq_len = config.NumTokens();
+  RitaModel model(config, &rng);
+  Tensor batch = Tensor::RandUniform({1, 41, 3}, &rng, 0.0f, 1.0f);
+  ag::Variable recon = model.Reconstruct(batch);
+  EXPECT_EQ(recon.size(1), (config.NumWindows() - 1) * 3 + 5);  // 41
+}
+
+TEST(RitaModelTest, ClsHeadRequiresClasses) {
+  Rng rng(5);
+  RitaConfig config = SmallRitaConfig(attn::AttentionKind::kVanilla);
+  config.num_classes = 0;
+  RitaModel model(config, &rng);
+  Tensor batch = Tensor::RandUniform({1, 40, 3}, &rng, 0.0f, 1.0f);
+  EXPECT_DEATH(model.ClassLogits(batch), "classification head");
+}
+
+TEST(RitaModelTest, EmbedIsDeterministicInEvalMode) {
+  Rng rng(6);
+  RitaConfig config = SmallRitaConfig(attn::AttentionKind::kVanilla);
+  config.encoder.dropout = 0.5f;  // must not affect Embed (eval mode inside)
+  RitaModel model(config, &rng);
+  Tensor batch = Tensor::RandUniform({2, 40, 3}, &rng, 0.0f, 1.0f);
+  Tensor a = model.Embed(batch);
+  Tensor b = model.Embed(batch);
+  EXPECT_TRUE(a.AllClose(b, 0.0f, 0.0f));
+  EXPECT_TRUE(model.training()) << "training mode must be restored";
+}
+
+TEST(TstModelTest, ShapesAndConcatClassifier) {
+  Rng rng(7);
+  TstConfig config;
+  config.input_channels = 3;
+  config.input_length = 32;
+  config.num_classes = 5;
+  config.encoder.dim = 8;
+  config.encoder.num_layers = 1;
+  config.encoder.num_heads = 2;
+  config.encoder.ffn_hidden = 16;
+  config.encoder.dropout = 0.0f;
+  TstModel model(config, &rng);
+
+  Tensor batch = Tensor::RandUniform({2, 32, 3}, &rng, 0.0f, 1.0f);
+  EXPECT_EQ(model.ClassLogits(batch).shape(), (Shape{2, 5}));
+  EXPECT_EQ(model.Reconstruct(batch).shape(), (Shape{2, 32, 3}));
+
+  // The concat classifier dominates the parameter count as T grows — the
+  // paper's overfitting explanation for TST's long-series failures.
+  TstConfig long_config = config;
+  long_config.input_length = 256;
+  TstModel long_model(long_config, &rng);
+  EXPECT_GT(long_model.NumParameters(), 4 * model.NumParameters());
+}
+
+TEST(TstModelTest, AlwaysVanillaAttention) {
+  Rng rng(8);
+  TstConfig config;
+  config.input_channels = 1;
+  config.input_length = 16;
+  config.num_classes = 2;
+  config.encoder.dim = 8;
+  config.encoder.num_layers = 1;
+  config.encoder.num_heads = 1;
+  config.encoder.ffn_hidden = 16;
+  // Even if the caller asks for group attention, TST pins vanilla.
+  config.encoder.attention.kind = attn::AttentionKind::kGroup;
+  TstModel model(config, &rng);
+  EXPECT_TRUE(model.GroupMechanisms().empty());
+}
+
+}  // namespace
+}  // namespace model
+}  // namespace rita

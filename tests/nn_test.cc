@@ -1,0 +1,251 @@
+// Tests for the NN layer library: module registry, layers, optimisers,
+// LR schedules and checkpoint round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/checkpoint.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace rita {
+namespace nn {
+namespace {
+
+class ToyModule : public Module {
+ public:
+  explicit ToyModule(Rng* rng) : inner_(3, 2, rng) {
+    w_ = RegisterParameter("w", Tensor::Ones({2, 2}));
+    buf_ = Tensor::Full({2}, 7.0f);
+    RegisterBuffer("buf", &buf_);
+    RegisterModule("inner", &inner_);
+  }
+  ag::Variable w_;
+  Tensor buf_;
+  Linear inner_;
+};
+
+TEST(ModuleTest, NamedParametersRecursive) {
+  Rng rng(1);
+  ToyModule m(&rng);
+  auto named = m.NamedParameters();
+  std::vector<std::string> names;
+  for (auto& [n, v] : named) names.push_back(n);
+  EXPECT_EQ(names.size(), 3u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "w"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "inner.weight"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "inner.bias"), names.end());
+}
+
+TEST(ModuleTest, BuffersAndParamCount) {
+  Rng rng(1);
+  ToyModule m(&rng);
+  EXPECT_EQ(m.NamedBuffers().size(), 1u);
+  EXPECT_EQ(m.NumParameters(), 4 + 3 * 2 + 2);
+}
+
+TEST(ModuleTest, TrainingFlagPropagates) {
+  Rng rng(1);
+  ToyModule m(&rng);
+  EXPECT_TRUE(m.training());
+  m.SetTraining(false);
+  EXPECT_FALSE(m.inner_.training());
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  Rng rng(1);
+  ToyModule m(&rng);
+  ag::Variable loss = ag::SumAll(m.w_);
+  loss.Backward();
+  EXPECT_TRUE(m.w_.has_grad());
+  m.ZeroGrad();
+  EXPECT_FALSE(m.w_.has_grad());
+}
+
+TEST(LinearTest, ForwardMatchesManual) {
+  Rng rng(2);
+  Linear lin(3, 2, &rng);
+  ag::Variable x(Tensor::FromVector({1, 3}, {1, 2, 3}), false);
+  ag::Variable y = lin.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 2}));
+  // y = x W + b computed manually
+  const Tensor& w = lin.weight().data();
+  for (int64_t j = 0; j < 2; ++j) {
+    float expect = 0.0f;
+    for (int64_t i = 0; i < 3; ++i) expect += x.data().At({0, i}) * w.At({i, j});
+    EXPECT_NEAR(y.data().At({0, j}), expect, 1e-5f);  // bias init is zero
+  }
+}
+
+TEST(LinearTest, ThreeDimInputFlattened) {
+  Rng rng(3);
+  Linear lin(4, 6, &rng);
+  ag::Variable x(Tensor::Ones({2, 5, 4}), false);
+  ag::Variable y = lin.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 6}));
+}
+
+TEST(Conv1dTest, WindowsAndShape) {
+  Rng rng(4);
+  Conv1d conv(3, 8, /*window=*/5, /*stride=*/5, &rng);
+  EXPECT_EQ(conv.OutputLength(200), 40);
+  ag::Variable x(Tensor::Ones({2, 200, 3}), false);
+  ag::Variable y = conv.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 40, 8}));
+}
+
+TEST(Conv1dTest, StrideOneOverlapping) {
+  Rng rng(4);
+  Conv1d conv(1, 4, 3, 1, &rng);
+  EXPECT_EQ(conv.OutputLength(10), 8);
+  ag::Variable x(Tensor::Ones({1, 10, 1}), false);
+  EXPECT_EQ(conv.Forward(x).shape(), (Shape{1, 8, 4}));
+}
+
+TEST(ConvTranspose1dTest, InvertsConvShape) {
+  Rng rng(5);
+  Conv1d conv(3, 8, 5, 5, &rng);
+  ConvTranspose1d deconv(8, 3, 5, 5, &rng);
+  ag::Variable x(Tensor::Ones({2, 200, 3}), false);
+  ag::Variable h = conv.Forward(x);
+  ag::Variable y = deconv.Forward(h);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(PositionalEmbeddingTest, SliceAndBounds) {
+  Rng rng(6);
+  PositionalEmbedding pos(100, 16, &rng);
+  ag::Variable p = pos.Forward(40);
+  EXPECT_EQ(p.shape(), (Shape{40, 16}));
+  EXPECT_EQ(pos.max_len(), 100);
+}
+
+TEST(FeedForwardTest, ShapePreserved) {
+  Rng rng(7);
+  FeedForward ffn(16, 64, 0.0f, &rng);
+  ag::Variable x(Tensor::Ones({2, 5, 16}), false);
+  EXPECT_EQ(ffn.Forward(x).shape(), x.shape());
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // minimise (w - 3)^2
+  ag::Variable w(Tensor::Scalar(0.0f), true);
+  Sgd opt({w}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    opt.ZeroGrad();
+    ag::Variable loss = ag::Square(ag::AddScalar(w, -3.0f));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(w.data().Item(), 3.0f, 1e-3f);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  ag::Variable w1(Tensor::Scalar(0.0f), true);
+  ag::Variable w2(Tensor::Scalar(0.0f), true);
+  Sgd plain({w1}, 0.01f);
+  Sgd heavy({w2}, 0.01f, 0.9f);
+  for (int i = 0; i < 20; ++i) {
+    plain.ZeroGrad();
+    ag::Square(ag::AddScalar(w1, -3.0f)).Backward();
+    plain.Step();
+    heavy.ZeroGrad();
+    ag::Square(ag::AddScalar(w2, -3.0f)).Backward();
+    heavy.Step();
+  }
+  EXPECT_GT(w2.data().Item(), w1.data().Item());  // momentum moved further
+}
+
+TEST(AdamWTest, ConvergesOnQuadraticBowl) {
+  Rng rng(8);
+  ag::Variable w(Tensor::RandNormal({4}, &rng), true);
+  AdamWOptions opts;
+  opts.lr = 0.05f;
+  opts.weight_decay = 0.0f;
+  AdamW opt({w}, opts);
+  const Tensor target = Tensor::FromVector({4}, {1, -2, 3, 0.5});
+  for (int i = 0; i < 300; ++i) {
+    opt.ZeroGrad();
+    ag::Variable diff = ag::Sub(w, ag::Variable(target));
+    ag::SumAll(ag::Square(diff)).Backward();
+    opt.Step();
+  }
+  EXPECT_TRUE(w.data().AllClose(target, 1e-2f, 1e-2f));
+}
+
+TEST(AdamWTest, WeightDecayShrinksWeights) {
+  ag::Variable w(Tensor::Scalar(1.0f), true);
+  AdamWOptions opts;
+  opts.lr = 0.1f;
+  opts.weight_decay = 0.5f;
+  AdamW opt({w}, opts);
+  // Zero gradient: only decay acts.
+  opt.ZeroGrad();
+  ag::MulScalar(w, 0.0f).Backward();
+  opt.Step();
+  EXPECT_LT(w.data().Item(), 1.0f);
+}
+
+TEST(ScheduleTest, WarmupThenCosineDecay) {
+  WarmupCosineSchedule sched(1.0f, 10, 110, 0.1f);
+  EXPECT_LT(sched.LrAt(0), 0.2f);          // warming up
+  EXPECT_NEAR(sched.LrAt(9), 1.0f, 1e-5f); // end of warmup
+  EXPECT_NEAR(sched.LrAt(110), 0.1f, 1e-4f);  // decayed to floor
+  EXPECT_GT(sched.LrAt(30), sched.LrAt(80));  // monotone decay
+}
+
+TEST(CheckpointTest, RoundTripRestoresExactly) {
+  const std::string path = ::testing::TempDir() + "/ckpt_test.bin";
+  Rng rng(9);
+  ToyModule a(&rng);
+  // Perturb some state.
+  a.w_.mutable_data().Fill(3.25f);
+  a.buf_.Fill(-1.5f);
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+
+  Rng rng2(99);
+  ToyModule b(&rng2);
+  ASSERT_FALSE(b.w_.data().AllClose(a.w_.data()));
+  ASSERT_TRUE(LoadCheckpoint(&b, path).ok());
+  EXPECT_TRUE(b.w_.data().AllClose(a.w_.data()));
+  EXPECT_TRUE(b.buf_.AllClose(a.buf_));
+  EXPECT_TRUE(b.inner_.weight().data().AllClose(a.inner_.weight().data()));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ShapeMismatchRejected) {
+  const std::string path = ::testing::TempDir() + "/ckpt_mismatch.bin";
+  Rng rng(10);
+  Linear small(2, 2, &rng);
+  ASSERT_TRUE(SaveCheckpoint(small, path).ok());
+  Linear big(3, 3, &rng);
+  Status s = LoadCheckpoint(&big, path);
+  EXPECT_FALSE(s.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, PartialLoadSkipsUnknown) {
+  const std::string path = ::testing::TempDir() + "/ckpt_partial.bin";
+  Rng rng(11);
+  ToyModule full(&rng);
+  full.w_.mutable_data().Fill(5.0f);
+  ASSERT_TRUE(SaveCheckpoint(full, path).ok());
+
+  // A module that only has the inner Linear: strict load fails, partial works.
+  class InnerOnly : public Module {
+   public:
+    explicit InnerOnly(Rng* rng) : inner_(3, 2, rng) { RegisterModule("inner", &inner_); }
+    Linear inner_;
+  };
+  InnerOnly partial(&rng);
+  EXPECT_FALSE(LoadCheckpoint(&partial, path).ok());
+  EXPECT_TRUE(LoadCheckpoint(&partial, path, /*allow_partial=*/true).ok());
+  EXPECT_TRUE(partial.inner_.weight().data().AllClose(full.inner_.weight().data()));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace rita

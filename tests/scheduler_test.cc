@@ -1,0 +1,182 @@
+// Tests for the adaptive scheduler: Lemma 1 threshold, the Eq. 5 merge test,
+// the Lemma 2 merge-safety property and the momentum update of N.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/adaptive_scheduler.h"
+
+namespace rita {
+namespace core {
+namespace {
+
+GroupingSnapshot MakeSnapshot(const std::vector<std::vector<float>>& centroids,
+                              const std::vector<float>& radii, float ball_radius,
+                              const std::vector<int64_t>& counts) {
+  GroupingSnapshot snap;
+  const int64_t ng = static_cast<int64_t>(centroids.size());
+  const int64_t d = static_cast<int64_t>(centroids[0].size());
+  snap.centroids = Tensor({ng, d});
+  for (int64_t i = 0; i < ng; ++i) {
+    for (int64_t j = 0; j < d; ++j) snap.centroids.At({i, j}) = centroids[i][j];
+  }
+  snap.radii = radii;
+  snap.counts = counts;
+  snap.key_ball_radius = ball_radius;
+  return snap;
+}
+
+TEST(SchedulerTest, DistanceThresholdFormula) {
+  // d = ln(eps) / (2R), Lemma 1.
+  EXPECT_NEAR(AdaptiveScheduler::DistanceThreshold(2.0f, 1.0f), std::log(2.0f) / 2.0f,
+              1e-6f);
+  EXPECT_NEAR(AdaptiveScheduler::DistanceThreshold(3.0f, 5.0f), std::log(3.0f) / 10.0f,
+              1e-6f);
+  // Larger eps tolerance -> larger allowed distance.
+  EXPECT_GT(AdaptiveScheduler::DistanceThreshold(3.0f, 1.0f),
+            AdaptiveScheduler::DistanceThreshold(1.5f, 1.0f));
+}
+
+TEST(SchedulerTest, RejectsInvalidEpsilon) {
+  AdaptiveSchedulerOptions opts;
+  opts.epsilon = 0.9f;
+  EXPECT_DEATH(AdaptiveScheduler{opts}, "epsilon");
+}
+
+TEST(SchedulerTest, TightClustersAreMergeable) {
+  AdaptiveSchedulerOptions opts;
+  opts.epsilon = 3.0f;
+  AdaptiveScheduler sched(opts);
+  // Ball radius small -> threshold d = ln(3)/(2*0.5) ~ 1.1; clusters nearly
+  // coincide with tiny radii, so every S2 cluster can merge into S1.
+  auto snap = MakeSnapshot({{0.0f, 0.0f}, {0.01f, 0.0f}, {0.0f, 0.01f}, {0.01f, 0.01f}},
+                           {0.01f, 0.01f, 0.01f, 0.01f}, 0.5f, {5, 5, 5, 5});
+  EXPECT_EQ(sched.CountMergeable(snap), 2);  // both S2 members marked
+}
+
+TEST(SchedulerTest, DistantClustersAreNotMergeable) {
+  AdaptiveSchedulerOptions opts;
+  opts.epsilon = 1.5f;
+  AdaptiveScheduler sched(opts);
+  auto snap = MakeSnapshot({{0.0f, 0.0f}, {100.0f, 0.0f}, {0.0f, 100.0f}, {50.0f, 50.0f}},
+                           {0.1f, 0.1f, 0.1f, 0.1f}, 10.0f, {5, 5, 5, 5});
+  EXPECT_EQ(sched.CountMergeable(snap), 0);
+}
+
+TEST(SchedulerTest, SingleClusterNothingToMerge) {
+  AdaptiveScheduler sched(AdaptiveSchedulerOptions{});
+  auto snap = MakeSnapshot({{0.0f, 0.0f}}, {0.1f}, 1.0f, {10});
+  EXPECT_EQ(sched.CountMergeable(snap), 0);
+}
+
+TEST(SchedulerTest, MomentumUpdateMath) {
+  AdaptiveSchedulerOptions opts;
+  opts.epsilon = 3.0f;
+  opts.momentum = 0.5f;
+  opts.min_groups = 2;
+  AdaptiveScheduler sched(opts);
+  // Snapshot where D = 2 (from TightClustersAreMergeable).
+  auto snap = MakeSnapshot({{0.0f, 0.0f}, {0.01f, 0.0f}, {0.0f, 0.01f}, {0.01f, 0.01f}},
+                           {0.01f, 0.01f, 0.01f, 0.01f}, 0.5f, {5, 5, 5, 5});
+  // N_new = 0.5 * (10 - 2) + 0.5 * 10 = 9.
+  EXPECT_EQ(sched.ProposeGroupCount({snap}, 10), 9);
+}
+
+TEST(SchedulerTest, NeverIncreasesAndRespectsFloor) {
+  AdaptiveSchedulerOptions opts;
+  opts.epsilon = 3.0f;
+  opts.momentum = 1.0f;
+  opts.min_groups = 3;
+  AdaptiveScheduler sched(opts);
+  auto snap = MakeSnapshot({{0.0f, 0.0f}, {0.01f, 0.0f}, {0.0f, 0.01f}, {0.01f, 0.01f}},
+                           {0.01f, 0.01f, 0.01f, 0.01f}, 0.5f, {5, 5, 5, 5});
+  // D = 2 with momentum 1: N 4 -> 2, but floor is 3.
+  EXPECT_EQ(sched.ProposeGroupCount({snap}, 4), 3);
+  // Empty snapshots: unchanged.
+  EXPECT_EQ(sched.ProposeGroupCount({}, 7), 7);
+}
+
+TEST(SchedulerTest, AveragesAcrossSnapshots) {
+  AdaptiveSchedulerOptions opts;
+  opts.epsilon = 3.0f;
+  opts.momentum = 1.0f;
+  opts.min_groups = 1;
+  AdaptiveScheduler sched(opts);
+  auto mergeable =
+      MakeSnapshot({{0.0f, 0.0f}, {0.01f, 0.0f}, {0.0f, 0.01f}, {0.01f, 0.01f}},
+                   {0.01f, 0.01f, 0.01f, 0.01f}, 0.5f, {5, 5, 5, 5});
+  auto frozen = MakeSnapshot({{0.0f, 0.0f}, {100.0f, 0.0f}, {0.0f, 100.0f}, {50.0f, 50.0f}},
+                             {0.1f, 0.1f, 0.1f, 0.1f}, 10.0f, {5, 5, 5, 5});
+  // D = (2 + 0) / 2 = 1 -> N 10 -> 9.
+  EXPECT_EQ(sched.ProposeGroupCount({mergeable, frozen}, 10), 9);
+}
+
+// Lemma 2 property: when Eq. 5's precondition holds, merging keeps every
+// member within distance d of the merged center.
+TEST(SchedulerTest, Lemma2MergePreservesBound) {
+  Rng rng(1);
+  const float d = 1.0f;
+  // Transfer cluster i at origin with radius 0.3; S2 clusters j1, j2 at
+  // distance 0.15 with radius 0.2: |ci-cj| + ri = 0.45 <= d and
+  // |ci-cj| + rj = 0.35 <= d/2.
+  const int64_t dim = 3;
+  std::vector<std::vector<float>> cluster_points;
+  std::vector<std::vector<float>> centers = {
+      {0.0f, 0.0f, 0.0f}, {0.15f, 0.0f, 0.0f}, {0.0f, 0.15f, 0.0f}};
+  std::vector<float> radii = {0.3f, 0.2f, 0.2f};
+  std::vector<std::vector<float>> all_points;
+  std::vector<float> merged_center(dim, 0.0f);
+  int64_t total = 0;
+  for (size_t c = 0; c < centers.size(); ++c) {
+    for (int i = 0; i < 10; ++i) {
+      // Random point within radius of the center.
+      std::vector<float> p(dim);
+      float norm = 0.0f;
+      for (int64_t k = 0; k < dim; ++k) {
+        p[k] = static_cast<float>(rng.Normal());
+        norm += p[k] * p[k];
+      }
+      norm = std::sqrt(norm);
+      const float r = radii[c] * static_cast<float>(rng.Uniform());
+      for (int64_t k = 0; k < dim; ++k) p[k] = centers[c][k] + p[k] / norm * r;
+      all_points.push_back(p);
+      for (int64_t k = 0; k < dim; ++k) merged_center[k] += p[k];
+      ++total;
+    }
+  }
+  for (int64_t k = 0; k < dim; ++k) merged_center[k] /= static_cast<float>(total);
+  for (const auto& p : all_points) {
+    float dist = 0.0f;
+    for (int64_t k = 0; k < dim; ++k) {
+      const float diff = p[k] - merged_center[k];
+      dist += diff * diff;
+    }
+    EXPECT_LE(std::sqrt(dist), d) << "Lemma 2 violated";
+  }
+}
+
+TEST(SchedulerTest, UpdateAppliesToMechanism) {
+  Rng rng(2);
+  GroupAttentionOptions gopts;
+  gopts.num_groups = 8;
+  GroupAttentionMechanism mech(4, gopts, &rng);
+  // Run a forward with very similar keys so clusters collapse together.
+  Tensor k = Tensor::RandNormal({2, 32, 4}, &rng, 0.0f, 0.01f);
+  ag::Variable q(Tensor::RandNormal({2, 32, 4}, &rng), false);
+  mech.Forward(q, ag::Variable(k), ag::Variable(q));
+
+  AdaptiveSchedulerOptions opts;
+  opts.epsilon = 3.0f;
+  opts.momentum = 1.0f;
+  opts.min_groups = 1;
+  AdaptiveScheduler sched(opts);
+  const int64_t before = mech.num_groups();
+  const int64_t after = sched.Update(&mech);
+  EXPECT_LE(after, before);
+  EXPECT_EQ(mech.num_groups(), after);
+  EXPECT_LT(after, before) << "near-identical keys should trigger merges";
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rita

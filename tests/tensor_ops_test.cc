@@ -1,0 +1,298 @@
+// Unit tests for the raw tensor kernels: broadcasting, GEMM variants,
+// reductions, softmax and shape surgery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace rita {
+namespace {
+
+TEST(BroadcastTest, ShapeRules) {
+  EXPECT_EQ(ops::BroadcastShape({2, 3}, {2, 3}), (Shape{2, 3}));
+  EXPECT_EQ(ops::BroadcastShape({2, 3}, {3}), (Shape{2, 3}));
+  EXPECT_EQ(ops::BroadcastShape({2, 1, 4}, {3, 1}), (Shape{2, 3, 4}));
+  EXPECT_EQ(ops::BroadcastShape({1}, {5}), (Shape{5}));
+}
+
+TEST(BroadcastTest, BroadcastToMaterialises) {
+  Tensor a = Tensor::FromVector({1, 3}, {1, 2, 3});
+  Tensor b = ops::BroadcastTo(a, {2, 3});
+  EXPECT_EQ(b.At({0, 1}), 2.0f);
+  EXPECT_EQ(b.At({1, 2}), 3.0f);
+}
+
+TEST(BroadcastTest, ReduceToShapeSumsBroadcastDims) {
+  Tensor g = Tensor::Ones({2, 3});
+  Tensor r = ops::ReduceToShape(g, {3});
+  EXPECT_EQ(r.shape(), (Shape{3}));
+  EXPECT_EQ(r.data()[0], 2.0f);
+  Tensor r2 = ops::ReduceToShape(g, {2, 1});
+  EXPECT_EQ(r2.shape(), (Shape{2, 1}));
+  EXPECT_EQ(r2.data()[0], 3.0f);
+}
+
+TEST(ElementwiseTest, AddSameShape) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {10, 20, 30, 40});
+  Tensor c = ops::Add(a, b);
+  EXPECT_EQ(c.At({1, 1}), 44.0f);
+}
+
+TEST(ElementwiseTest, AddBiasSuffixBroadcast) {
+  Tensor a = Tensor::Ones({2, 3, 4});
+  Tensor bias = Tensor::FromVector({4}, {1, 2, 3, 4});
+  Tensor c = ops::Add(a, bias);
+  EXPECT_EQ(c.At({1, 2, 3}), 5.0f);
+  EXPECT_EQ(c.At({0, 0, 0}), 2.0f);
+}
+
+TEST(ElementwiseTest, GeneralOdometerBroadcast) {
+  // [2,1,2] * [1,3,1] -> [2,3,2]
+  Tensor a = Tensor::FromVector({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({1, 3, 1}, {10, 100, 1000});
+  Tensor c = ops::Mul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 3, 2}));
+  EXPECT_EQ(c.At({0, 0, 0}), 10.0f);
+  EXPECT_EQ(c.At({0, 1, 1}), 200.0f);
+  EXPECT_EQ(c.At({1, 2, 0}), 3000.0f);
+}
+
+TEST(ElementwiseTest, ScalarOperandFastPaths) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor s = Tensor::Scalar(2.0f);
+  EXPECT_EQ(ops::Mul(a, s).At({2}), 6.0f);
+  EXPECT_EQ(ops::Mul(s, a).At({2}), 6.0f);
+  EXPECT_EQ(ops::Sub(s, a).At({0}), 1.0f);
+}
+
+TEST(ElementwiseTest, DivAndUnaryOps) {
+  Tensor a = Tensor::FromVector({4}, {1, 4, 9, 16});
+  EXPECT_FLOAT_EQ(ops::Div(a, Tensor::Scalar(2.0f)).At({1}), 2.0f);
+  EXPECT_FLOAT_EQ(ops::Sqrt(a).At({2}), 3.0f);
+  EXPECT_FLOAT_EQ(ops::Square(a).At({1}), 16.0f);
+  EXPECT_FLOAT_EQ(ops::Neg(a).At({0}), -1.0f);
+  EXPECT_FLOAT_EQ(ops::Exp(Tensor::Zeros({1})).Item(), 1.0f);
+  EXPECT_FLOAT_EQ(ops::Log(Tensor::Ones({1})).Item(), 0.0f);
+  EXPECT_FLOAT_EQ(ops::Abs(Tensor::Scalar(-2.0f)).Item(), 2.0f);
+}
+
+TEST(ElementwiseTest, ActivationValues) {
+  Tensor x = Tensor::FromVector({3}, {-1.0f, 0.0f, 1.0f});
+  Tensor r = ops::Relu(x);
+  EXPECT_EQ(r.data()[0], 0.0f);
+  EXPECT_EQ(r.data()[2], 1.0f);
+  Tensor s = ops::Sigmoid(Tensor::Zeros({1}));
+  EXPECT_FLOAT_EQ(s.Item(), 0.5f);
+  Tensor t = ops::Tanh(Tensor::Zeros({1}));
+  EXPECT_FLOAT_EQ(t.Item(), 0.0f);
+  // GELU(0) = 0, GELU(x) ~ x for large x, ~0 for very negative x.
+  Tensor g = ops::Gelu(Tensor::FromVector({3}, {-10.0f, 0.0f, 10.0f}));
+  EXPECT_NEAR(g.data()[0], 0.0f, 1e-4f);
+  EXPECT_NEAR(g.data()[1], 0.0f, 1e-6f);
+  EXPECT_NEAR(g.data()[2], 10.0f, 1e-3f);
+}
+
+TEST(InPlaceTest, AxpyScaleAdd) {
+  Tensor y = Tensor::FromVector({3}, {1, 1, 1});
+  Tensor x = Tensor::FromVector({3}, {1, 2, 3});
+  ops::AxpyInPlace(&y, x, 2.0f);
+  EXPECT_EQ(y.data()[2], 7.0f);
+  ops::ScaleInPlace(&y, 0.5f);
+  EXPECT_EQ(y.data()[2], 3.5f);
+  ops::AddInPlace(&y, x);
+  EXPECT_EQ(y.data()[2], 6.5f);
+}
+
+// -- GEMM -------------------------------------------------------------------
+
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+  const int64_t m = ta ? a.size(1) : a.size(0);
+  const int64_t k = ta ? a.size(0) : a.size(1);
+  const int64_t n = tb ? b.size(0) : b.size(1);
+  Tensor c({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float s = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = ta ? a.At({kk, i}) : a.At({i, kk});
+        const float bv = tb ? b.At({j, kk}) : b.At({kk, j});
+        s += av * bv;
+      }
+      c.At({i, j}) = s;
+    }
+  }
+  return c;
+}
+
+class GemmVariantTest : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(GemmVariantTest, MatchesNaive) {
+  const auto [ta, tb] = GetParam();
+  Rng rng(99);
+  const int64_t m = 17, k = 23, n = 13;
+  Tensor a = Tensor::RandNormal(ta ? Shape{k, m} : Shape{m, k}, &rng);
+  Tensor b = Tensor::RandNormal(tb ? Shape{n, k} : Shape{k, n}, &rng);
+  Tensor c = ops::MatMul(a, b, ta, tb);
+  Tensor ref = NaiveMatMul(a, b, ta, tb);
+  EXPECT_TRUE(c.AllClose(ref, 1e-4f, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposeCombos, GemmVariantTest,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
+TEST(GemmTest, LargeParallelMatchesNaive) {
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({200, 64}, &rng);
+  Tensor b = Tensor::RandNormal({64, 150}, &rng);
+  Tensor c = ops::MatMul(a, b);
+  Tensor ref = NaiveMatMul(a, b, false, false);
+  EXPECT_TRUE(c.AllClose(ref, 1e-3f, 1e-3f));
+}
+
+TEST(BmmTest, BatchedMatchesPerBatch) {
+  Rng rng(5);
+  Tensor a = Tensor::RandNormal({4, 6, 5}, &rng);
+  Tensor b = Tensor::RandNormal({4, 5, 7}, &rng);
+  Tensor c = ops::Bmm(a, b);
+  EXPECT_EQ(c.shape(), (Shape{4, 6, 7}));
+  for (int64_t bi = 0; bi < 4; ++bi) {
+    Tensor asl = ops::Slice(a, 0, bi, 1).Reshape({6, 5});
+    Tensor bsl = ops::Slice(b, 0, bi, 1).Reshape({5, 7});
+    Tensor csl = ops::Slice(c, 0, bi, 1).Reshape({6, 7});
+    EXPECT_TRUE(csl.AllClose(ops::MatMul(asl, bsl), 1e-4f, 1e-4f));
+  }
+}
+
+TEST(BmmTest, SharedBMatrix) {
+  Rng rng(6);
+  Tensor a = Tensor::RandNormal({3, 4, 5}, &rng);
+  Tensor b = Tensor::RandNormal({5, 2}, &rng);
+  Tensor c = ops::Bmm(a, b);
+  for (int64_t bi = 0; bi < 3; ++bi) {
+    Tensor asl = ops::Slice(a, 0, bi, 1).Reshape({4, 5});
+    Tensor csl = ops::Slice(c, 0, bi, 1).Reshape({4, 2});
+    EXPECT_TRUE(csl.AllClose(ops::MatMul(asl, b), 1e-4f, 1e-4f));
+  }
+}
+
+TEST(BmmTest, TransBAttentionPattern) {
+  Rng rng(7);
+  Tensor q = Tensor::RandNormal({2, 8, 4}, &rng);
+  Tensor k = Tensor::RandNormal({2, 8, 4}, &rng);
+  Tensor scores = ops::Bmm(q, k, false, true);
+  EXPECT_EQ(scores.shape(), (Shape{2, 8, 8}));
+  // scores[b,i,j] = q[b,i,:] . k[b,j,:]
+  float expect = 0.0f;
+  for (int64_t d = 0; d < 4; ++d) expect += q.At({1, 2, d}) * k.At({1, 5, d});
+  EXPECT_NEAR(scores.At({1, 2, 5}), expect, 1e-4f);
+}
+
+// -- Reductions ----------------------------------------------------------------
+
+TEST(ReduceTest, SumAll) {
+  Tensor a = Tensor::Arange(5);
+  EXPECT_FLOAT_EQ(ops::SumAll(a).Item(), 10.0f);
+}
+
+TEST(ReduceTest, SumAxisKeepdim) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s0 = ops::Sum(a, 0, true);
+  EXPECT_EQ(s0.shape(), (Shape{1, 3}));
+  EXPECT_EQ(s0.data()[0], 5.0f);
+  Tensor s1 = ops::Sum(a, 1, false);
+  EXPECT_EQ(s1.shape(), (Shape{2}));
+  EXPECT_EQ(s1.data()[1], 15.0f);
+  Tensor sneg = ops::Sum(a, -1, false);
+  EXPECT_TRUE(sneg.AllClose(s1));
+}
+
+TEST(ReduceTest, MeanAxis) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 3, 5, 7});
+  Tensor m = ops::Mean(a, 0, false);
+  EXPECT_EQ(m.data()[0], 3.0f);
+  EXPECT_EQ(m.data()[1], 5.0f);
+}
+
+TEST(ReduceTest, MaxAndArgMaxLastDim) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 9, 2, 8, 3, 4});
+  Tensor mx = ops::MaxLastDim(a);
+  EXPECT_EQ(mx.shape(), (Shape{2, 1}));
+  EXPECT_EQ(mx.data()[0], 9.0f);
+  EXPECT_EQ(mx.data()[1], 8.0f);
+  Tensor am = ops::ArgMaxLastDim(a);
+  EXPECT_EQ(am.data()[0], 1.0f);
+  EXPECT_EQ(am.data()[1], 0.0f);
+}
+
+TEST(SoftmaxTest, RowsSumToOneAndOrderPreserved) {
+  Rng rng(3);
+  Tensor a = Tensor::RandNormal({8, 16}, &rng, 0.0f, 3.0f);
+  Tensor s = ops::SoftmaxLastDim(a);
+  for (int64_t r = 0; r < 8; ++r) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < 16; ++j) sum += s.At({r, j});
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxTest, StableUnderLargeInputs) {
+  Tensor a = Tensor::FromVector({1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  Tensor s = ops::SoftmaxLastDim(a);
+  for (int64_t j = 0; j < 3; ++j) EXPECT_NEAR(s.data()[j], 1.0f / 3.0f, 1e-6f);
+}
+
+// -- Shape surgery ---------------------------------------------------------------
+
+TEST(ShapeOpsTest, TransposeLast2) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = ops::TransposeLast2(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.At({0, 1}), 4.0f);
+  EXPECT_EQ(t.At({2, 0}), 3.0f);
+}
+
+TEST(ShapeOpsTest, TransposeLast2Batched) {
+  Rng rng(8);
+  Tensor a = Tensor::RandNormal({3, 4, 5}, &rng);
+  Tensor t = ops::TransposeLast2(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 5, 4}));
+  EXPECT_EQ(t.At({2, 3, 1}), a.At({2, 1, 3}));
+}
+
+TEST(ShapeOpsTest, ConcatAxis0And1) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({1, 2}, {3, 4});
+  Tensor c0 = ops::Concat({a, b}, 0);
+  EXPECT_EQ(c0.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c0.At({1, 0}), 3.0f);
+  Tensor c1 = ops::Concat({a, b}, 1);
+  EXPECT_EQ(c1.shape(), (Shape{1, 4}));
+  EXPECT_EQ(c1.At({0, 3}), 4.0f);
+}
+
+TEST(ShapeOpsTest, SliceMiddleAxis) {
+  Tensor a = Tensor::Arange(24).Reshape({2, 3, 4});
+  Tensor s = ops::Slice(a, 1, 1, 2);
+  EXPECT_EQ(s.shape(), (Shape{2, 2, 4}));
+  EXPECT_EQ(s.At({0, 0, 0}), a.At({0, 1, 0}));
+  EXPECT_EQ(s.At({1, 1, 3}), a.At({1, 2, 3}));
+}
+
+TEST(ShapeOpsTest, GatherScatterRowsRoundTrip) {
+  Tensor a = Tensor::Arange(12).Reshape({4, 3});
+  Tensor g = ops::GatherRows(a, {2, 0, 2});
+  EXPECT_EQ(g.shape(), (Shape{3, 3}));
+  EXPECT_EQ(g.At({0, 0}), 6.0f);
+  EXPECT_EQ(g.At({1, 1}), 1.0f);
+
+  Tensor acc = Tensor::Zeros({4, 3});
+  ops::ScatterAddRows(g, {2, 0, 2}, &acc);
+  EXPECT_EQ(acc.At({0, 0}), 0.0f);
+  EXPECT_EQ(acc.At({2, 0}), 12.0f);  // row 2 scattered twice
+}
+
+}  // namespace
+}  // namespace rita

@@ -1,0 +1,138 @@
+// Unit tests for the Tensor container: construction, factories, reshape
+// semantics, cloning and accessors.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace rita {
+namespace {
+
+TEST(ShapeTest, NumelAndToString) {
+  EXPECT_EQ(ShapeNumel({2, 3, 4}), 24);
+  EXPECT_EQ(ShapeNumel({}), 1);
+  EXPECT_EQ(ShapeNumel({0, 5}), 0);
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+}
+
+TEST(TensorTest, DefaultIsUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(TensorTest, ZeroInitialised) {
+  Tensor t({2, 3});
+  EXPECT_TRUE(t.defined());
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorTest, FullAndScalar) {
+  Tensor t = Tensor::Full({2, 2}, 3.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.data()[i], 3.5f);
+  Tensor s = Tensor::Scalar(-1.0f);
+  EXPECT_EQ(s.Item(), -1.0f);
+}
+
+TEST(TensorTest, FromVectorAndAt) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.At({0, 0}), 1.0f);
+  EXPECT_EQ(t.At({0, 2}), 3.0f);
+  EXPECT_EQ(t.At({1, 0}), 4.0f);
+  EXPECT_EQ(t.At({1, 2}), 6.0f);
+}
+
+TEST(TensorTest, ArangeProducesSequence) {
+  Tensor t = Tensor::Arange(5);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(t.data()[i], static_cast<float>(i));
+}
+
+TEST(TensorTest, NegativeSizeIndex) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.size(-1), 4);
+  EXPECT_EQ(t.size(-3), 2);
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({3, 2});
+  r.data()[0] = 99.0f;
+  EXPECT_EQ(t.data()[0], 99.0f);
+}
+
+TEST(TensorTest, ReshapeInfersMinusOne) {
+  Tensor t({4, 6});
+  Tensor r = t.Reshape({2, -1});
+  EXPECT_EQ(r.size(1), 12);
+  Tensor r2 = t.Reshape({-1});
+  EXPECT_EQ(r2.size(0), 24);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor t = Tensor::Full({2}, 1.0f);
+  Tensor c = t.Clone();
+  c.data()[0] = 5.0f;
+  EXPECT_EQ(t.data()[0], 1.0f);
+}
+
+TEST(TensorTest, CopyFromMatchingNumel) {
+  Tensor a({2, 2});
+  Tensor b = Tensor::FromVector({4}, {1, 2, 3, 4});
+  a.CopyFrom(b);
+  EXPECT_EQ(a.At({1, 1}), 4.0f);
+}
+
+TEST(TensorTest, RandNormalStatistics) {
+  Rng rng(42);
+  Tensor t = Tensor::RandNormal({10000}, &rng, 2.0f, 0.5f);
+  double sum = 0.0, sum2 = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    sum += t.data()[i];
+    sum2 += static_cast<double>(t.data()[i]) * t.data()[i];
+  }
+  const double mean = sum / t.numel();
+  const double var = sum2 / t.numel() - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 0.25, 0.05);
+}
+
+TEST(TensorTest, RandUniformBounds) {
+  Rng rng(42);
+  Tensor t = Tensor::RandUniform({1000}, &rng, -1.0f, 1.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t.data()[i], -1.0f);
+    EXPECT_LT(t.data()[i], 1.0f);
+  }
+}
+
+TEST(TensorTest, AllCloseExactAndTolerance) {
+  Tensor a = Tensor::FromVector({3}, {1.0f, 2.0f, 3.0f});
+  Tensor b = Tensor::FromVector({3}, {1.0f, 2.0f, 3.0f});
+  EXPECT_TRUE(a.AllClose(b));
+  b.data()[2] = 3.0001f;
+  EXPECT_TRUE(a.AllClose(b, 1e-3f, 1e-3f));
+  b.data()[2] = 4.0f;
+  EXPECT_FALSE(a.AllClose(b));
+}
+
+TEST(TensorTest, AllCloseShapeMismatch) {
+  Tensor a({2, 3});
+  Tensor b({3, 2});
+  EXPECT_FALSE(a.AllClose(b));
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t = Tensor::Arange(100);
+  const std::string s = t.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("Tensor[100]"), std::string::npos);
+}
+
+TEST(TensorTest, FillOverwrites) {
+  Tensor t = Tensor::Arange(4);
+  t.Fill(7.0f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.data()[i], 7.0f);
+}
+
+}  // namespace
+}  // namespace rita

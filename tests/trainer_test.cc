@@ -1,0 +1,289 @@
+// Integration tests: end-to-end training convergence for every attention
+// kind, pretrain-then-finetune transfer, adaptive scheduling during training,
+// pipeline facade round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/generators.h"
+#include "model/tst_model.h"
+#include "train/pipeline.h"
+#include "train/trainer.h"
+
+namespace rita {
+namespace train {
+namespace {
+
+// Easy 3-class dataset a tiny model can master quickly (the three classes sit
+// in disjoint frequency bands, so the task stays learnable despite the
+// generator's per-sample phase jitter and time warping).
+data::TimeseriesDataset EasyDataset(int64_t n, uint64_t seed) {
+  data::HarOptions opts;
+  opts.num_samples = n;
+  opts.length = 40;
+  opts.channels = 3;
+  opts.num_classes = 3;
+  opts.noise = 0.05f;
+  opts.seed = seed;
+  return data::GenerateHar(opts);
+}
+
+model::RitaConfig TinyConfig(attn::AttentionKind kind) {
+  model::RitaConfig config;
+  config.input_channels = 3;
+  config.input_length = 40;
+  config.window = 5;
+  config.stride = 5;
+  config.num_classes = 3;
+  config.encoder.dim = 16;
+  config.encoder.num_layers = 1;
+  config.encoder.num_heads = 2;
+  config.encoder.ffn_hidden = 32;
+  config.encoder.dropout = 0.0f;
+  config.encoder.attention.kind = kind;
+  config.encoder.attention.group.num_groups = 4;
+  config.encoder.attention.performer_features = 16;
+  config.encoder.attention.linformer_k = 4;
+  config.encoder.attention.seq_len = config.NumTokens();
+  return config;
+}
+
+TrainOptions FastTrain(int64_t epochs) {
+  TrainOptions opts;
+  opts.epochs = epochs;
+  opts.batch_size = 16;
+  opts.adamw.lr = 3e-3f;
+  opts.adamw.weight_decay = 1e-4f;
+  opts.seed = 5;
+  return opts;
+}
+
+class TrainConvergenceTest : public ::testing::TestWithParam<attn::AttentionKind> {};
+
+TEST_P(TrainConvergenceTest, ClassifierLearnsEasyTask) {
+  Rng rng(1);
+  data::TimeseriesDataset ds = EasyDataset(300, 21);
+  data::SplitDataset split = data::TrainValSplit(ds, 0.8, &rng);
+
+  Rng model_rng(2);
+  model::RitaModel model(TinyConfig(GetParam()), &model_rng);
+  Trainer trainer(&model, FastTrain(20));
+  TrainResult result = trainer.TrainClassifier(split.train);
+
+  // Loss decreased and validation accuracy clears chance by a wide margin.
+  EXPECT_LT(result.FinalLoss(), result.epochs.front().loss);
+  const double acc = trainer.EvalAccuracy(split.valid);
+  EXPECT_GT(acc, 0.75) << attn::AttentionKindName(GetParam()) << " acc " << acc;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, TrainConvergenceTest,
+                         ::testing::Values(attn::AttentionKind::kVanilla,
+                                           attn::AttentionKind::kGroup,
+                                           attn::AttentionKind::kPerformer,
+                                           attn::AttentionKind::kLinformer),
+                         [](const ::testing::TestParamInfo<attn::AttentionKind>& info) {
+                           return attn::AttentionKindName(info.param);
+                         });
+
+TEST(TrainerTest, ImputationLossDecreases) {
+  data::TimeseriesDataset ds = EasyDataset(96, 33);
+  Rng model_rng(3);
+  model::RitaModel model(TinyConfig(attn::AttentionKind::kGroup), &model_rng);
+  Trainer trainer(&model, FastTrain(8));
+  TrainResult result = trainer.TrainImputation(ds);
+  EXPECT_LT(result.FinalLoss(), 0.8 * result.epochs.front().loss);
+  ImputationError err = trainer.EvalImputation(ds);
+  EXPECT_LT(err.mse, 0.1);
+  EXPECT_GT(err.mae, 0.0);
+}
+
+TEST(TrainerTest, PretrainingImprovesFewLabelAccuracy) {
+  // The paper's Table 3 effect: cloze pretraining on unlabeled data improves
+  // few-label finetuning. Tiny-scale runs are noisy, so compare seed-averaged
+  // accuracies.
+  double scratch_sum = 0.0, pretrained_sum = 0.0;
+  const uint64_t kSeeds[] = {55, 56, 57};
+  for (uint64_t seed : kSeeds) {
+    Rng rng(seed);
+    data::TimeseriesDataset full = EasyDataset(360, seed);
+    data::SplitDataset split = data::TrainValSplit(full, 0.85, &rng);
+    data::TimeseriesDataset few = data::FewLabelSubset(split.train, 3, &rng);
+
+    Rng r1(seed + 100);
+    model::RitaModel scratch(TinyConfig(attn::AttentionKind::kGroup), &r1);
+    Trainer scratch_trainer(&scratch, FastTrain(12));
+    scratch_trainer.TrainClassifier(few);
+    scratch_sum += scratch_trainer.EvalAccuracy(split.valid);
+
+    Rng r2(seed + 100);  // same init as the scratch model
+    model::RitaModel pretrained(TinyConfig(attn::AttentionKind::kGroup), &r2);
+    Trainer pre_trainer(&pretrained, FastTrain(12));
+    pre_trainer.TrainImputation(split.train);
+    Trainer fine_trainer(&pretrained, FastTrain(12));
+    fine_trainer.TrainClassifier(few);
+    pretrained_sum += fine_trainer.EvalAccuracy(split.valid);
+  }
+  const double acc_scratch = scratch_sum / 3.0;
+  const double acc_pretrained = pretrained_sum / 3.0;
+  EXPECT_GT(acc_pretrained + 0.02, acc_scratch)
+      << "scratch " << acc_scratch << " vs pretrained " << acc_pretrained;
+}
+
+TEST(TrainerTest, AdaptiveSchedulerShrinksGroups) {
+  data::TimeseriesDataset ds = EasyDataset(64, 77);
+  Rng model_rng(8);
+  model::RitaConfig config = TinyConfig(attn::AttentionKind::kGroup);
+  config.encoder.attention.group.num_groups = 8;  // start large (= tokens)
+  model::RitaModel model(config, &model_rng);
+
+  TrainOptions opts = FastTrain(6);
+  opts.adaptive_groups = true;
+  opts.scheduler.epsilon = 3.0f;
+  opts.scheduler.momentum = 1.0f;
+  opts.scheduler.min_groups = 1;
+  Trainer trainer(&model, opts);
+  TrainResult result = trainer.TrainClassifier(ds);
+
+  // avg_groups tracked per epoch and non-increasing overall.
+  EXPECT_GT(result.epochs.front().avg_groups, 0.0);
+  EXPECT_LE(result.epochs.back().avg_groups, result.epochs.front().avg_groups);
+}
+
+TEST(TrainerTest, BatchPlannerDrivesBatchSize) {
+  data::TimeseriesDataset ds = EasyDataset(96, 88);
+
+  core::EncoderShape shape;
+  shape.layers = 1;
+  shape.dim = 16;
+  shape.heads = 2;
+  shape.ffn_hidden = 32;
+  shape.window = 5;
+  shape.stride = 5;
+  shape.channels = 3;
+  shape.kind = attn::AttentionKind::kGroup;
+  core::MemoryModelOptions mem;
+  mem.capacity_bytes = 4.0 * (1 << 20);  // tiny "device" so planning matters
+  core::MemoryModel memory(shape, mem);
+  core::BatchPlannerOptions popts;
+  popts.max_length = 40;
+  core::BatchPlanner planner(memory, popts);
+  Rng prng(9);
+  planner.Calibrate(&prng);
+
+  Rng model_rng(10);
+  model::RitaModel model(TinyConfig(attn::AttentionKind::kGroup), &model_rng);
+  TrainOptions opts = FastTrain(4);
+  opts.adaptive_groups = true;
+  opts.batch_planner = &planner;
+  Trainer trainer(&model, opts);
+  TrainResult result = trainer.TrainClassifier(ds);
+  for (const auto& epoch : result.epochs) {
+    EXPECT_GE(epoch.batch_size, 1);
+    EXPECT_LE(epoch.batch_size, ds.size());
+  }
+}
+
+TEST(TrainerTest, TimeInferenceIsPositiveAndFasterWithoutBackward) {
+  data::TimeseriesDataset ds = EasyDataset(48, 99);
+  Rng model_rng(11);
+  model::RitaModel model(TinyConfig(attn::AttentionKind::kVanilla), &model_rng);
+  Trainer trainer(&model, FastTrain(1));
+  const double infer = trainer.TimeInference(ds, /*classification=*/true);
+  EXPECT_GT(infer, 0.0);
+  TrainResult result = trainer.TrainClassifier(ds);
+  EXPECT_GT(result.total_seconds, infer);  // training includes backward
+}
+
+TEST(TrainerTest, TstModelTrainsThroughSameInterface) {
+  Rng rng(12);
+  data::TimeseriesDataset ds = EasyDataset(120, 13);
+  data::SplitDataset split = data::TrainValSplit(ds, 0.8, &rng);
+  model::TstConfig config;
+  config.input_channels = 3;
+  config.input_length = 40;
+  config.num_classes = 3;
+  config.encoder.dim = 16;
+  config.encoder.num_layers = 1;
+  config.encoder.num_heads = 2;
+  config.encoder.ffn_hidden = 32;
+  config.encoder.dropout = 0.0f;
+  Rng model_rng(14);
+  model::TstModel model(config, &model_rng);
+  Trainer trainer(&model, FastTrain(10));
+  trainer.TrainClassifier(split.train);
+  EXPECT_GT(trainer.EvalAccuracy(split.valid), 0.6);
+}
+
+TEST(PipelineTest, EndToEndClassifyImputeForecastEmbed) {
+  PipelineOptions options;
+  options.model = TinyConfig(attn::AttentionKind::kGroup);
+  options.train = FastTrain(20);
+  options.seed = 15;
+  RitaPipeline pipeline(options);
+
+  Rng rng(16);
+  data::TimeseriesDataset ds = EasyDataset(300, 17);
+  data::SplitDataset split = data::TrainValSplit(ds, 0.8, &rng);
+  pipeline.FitClassifier(split.train);
+  EXPECT_GT(pipeline.Accuracy(split.valid), 0.7);
+
+  // Predictions agree with accuracy contract.
+  auto preds = pipeline.Predict(split.valid.series);
+  EXPECT_EQ(preds.size(), static_cast<size_t>(split.valid.size()));
+
+  // Imputation restores observed values untouched.
+  Tensor sample = split.valid.Sample(0);
+  Tensor corrupted = sample.Clone();
+  corrupted.At({0, 10, 0}) = -1.0f;
+  corrupted.At({0, 10, 1}) = -1.0f;
+  corrupted.At({0, 10, 2}) = -1.0f;
+  Tensor filled = pipeline.Impute(corrupted);
+  EXPECT_FLOAT_EQ(filled.At({0, 5, 0}), sample.At({0, 5, 0}));
+  EXPECT_NE(filled.At({0, 10, 0}), -1.0f);
+
+  // Forecast emits the requested horizon.
+  Tensor forecast = pipeline.Forecast(sample, 10);
+  EXPECT_EQ(forecast.shape(), (Shape{1, 10, 3}));
+
+  // Embeddings have the encoder width.
+  Tensor emb = pipeline.Embed(split.valid.series);
+  EXPECT_EQ(emb.shape(), (Shape{split.valid.size(), 16}));
+}
+
+TEST(PipelineTest, SaveLoadPreservesPredictions) {
+  PipelineOptions options;
+  options.model = TinyConfig(attn::AttentionKind::kVanilla);
+  options.train = FastTrain(4);
+  options.seed = 18;
+  RitaPipeline a(options);
+  data::TimeseriesDataset ds = EasyDataset(60, 19);
+  a.FitClassifier(ds);
+
+  const std::string path = ::testing::TempDir() + "/pipeline_ckpt.bin";
+  ASSERT_TRUE(a.Save(path).ok());
+
+  RitaPipeline b(options);
+  ASSERT_TRUE(b.Load(path).ok());
+  auto pa = a.Predict(ds.series);
+  auto pb = b.Predict(ds.series);
+  EXPECT_EQ(pa, pb);
+  std::remove(path.c_str());
+}
+
+TEST(PipelineTest, PlanBatchesCalibratesPlanner) {
+  PipelineOptions options;
+  options.model = TinyConfig(attn::AttentionKind::kGroup);
+  options.train = FastTrain(2);
+  options.train.adaptive_groups = true;
+  options.plan_batches = true;
+  options.planner_samples = 16;
+  options.seed = 20;
+  RitaPipeline pipeline(options);
+  data::TimeseriesDataset ds = EasyDataset(48, 21);
+  TrainResult result = pipeline.FitClassifier(ds);
+  EXPECT_EQ(result.epochs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace train
+}  // namespace rita

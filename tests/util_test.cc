@@ -1,0 +1,242 @@
+// Unit tests for the util substrate: Status/Result, Rng, ThreadPool, CSV and
+// binary serialization.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <numeric>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace rita {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad n");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto inner = []() { return Status::NotFound("missing"); };
+  auto outer = [&]() -> Status {
+    RITA_RETURN_NOT_OK(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IoError("disk"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(13);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 13);
+  }
+}
+
+TEST(RngTest, NormalMomentsRoughlyStandard) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(3);
+  auto s = rng.SampleWithoutReplacement(50, 20);
+  ASSERT_EQ(s.size(), 20u);
+  std::sort(s.begin(), s.end());
+  EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+  for (int64_t v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+}
+
+TEST(RngTest, ForkedStreamIndependentOfParentDraws) {
+  Rng parent(5);
+  Rng child = parent.Fork();
+  // Child should not replay the parent's stream.
+  Rng parent2(5);
+  (void)parent2.Fork();
+  EXPECT_NE(child.NextU64(), parent.NextU64());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SubmitAndWait) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, MinShardRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> hits(10, 0);  // not atomic: must run single-shard
+  pool.ParallelFor(
+      0, 10, [&](int64_t lo, int64_t hi) { for (int64_t i = lo; i < hi; ++i) ++hits[i]; },
+      /*min_shard=*/100);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1e3 - 1e-6);
+}
+
+TEST(SerializeTest, RoundTripsScalarsStringsAndFloats) {
+  const std::string path = ::testing::TempDir() + "/ser_test.bin";
+  {
+    auto w = BinaryWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    BinaryWriter writer = w.MoveValueOrDie();
+    writer.WriteU32(7);
+    writer.WriteI64(-42);
+    writer.WriteF64(3.5);
+    writer.WriteString("rita");
+    const std::vector<float> buf = {1.0f, -2.5f, 0.0f};
+    writer.WriteFloats(buf.data(), 3);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  {
+    auto r = BinaryReader::Open(path);
+    ASSERT_TRUE(r.ok());
+    BinaryReader reader = r.MoveValueOrDie();
+    uint32_t u = 0;
+    int64_t i = 0;
+    double d = 0;
+    std::string s;
+    float buf[3];
+    ASSERT_TRUE(reader.ReadU32(&u).ok());
+    ASSERT_TRUE(reader.ReadI64(&i).ok());
+    ASSERT_TRUE(reader.ReadF64(&d).ok());
+    ASSERT_TRUE(reader.ReadString(&s).ok());
+    ASSERT_TRUE(reader.ReadFloats(buf, 3).ok());
+    EXPECT_EQ(u, 7u);
+    EXPECT_EQ(i, -42);
+    EXPECT_DOUBLE_EQ(d, 3.5);
+    EXPECT_EQ(s, "rita");
+    EXPECT_FLOAT_EQ(buf[1], -2.5f);
+    EXPECT_TRUE(reader.AtEof());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, OpenMissingFileFails) {
+  auto r = BinaryReader::Open("/nonexistent/dir/file.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, FloatCountMismatchDetected) {
+  const std::string path = ::testing::TempDir() + "/ser_mismatch.bin";
+  {
+    auto w = BinaryWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    BinaryWriter writer = w.MoveValueOrDie();
+    const std::vector<float> buf = {1.0f, 2.0f};
+    writer.WriteFloats(buf.data(), 2);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto r = BinaryReader::Open(path);
+  ASSERT_TRUE(r.ok());
+  BinaryReader reader = r.MoveValueOrDie();
+  float buf[3];
+  EXPECT_FALSE(reader.ReadFloats(buf, 3).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WritesRowsWithEscaping) {
+  const std::string path = ::testing::TempDir() + "/csv_test.csv";
+  {
+    auto w = CsvWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    CsvWriter csv = w.MoveValueOrDie();
+    csv.WriteRow({"a", "b,c", "d\"e"});
+    csv.WriteValues("x", 1, 2.5);
+    ASSERT_TRUE(csv.Close().ok());
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(line2, "x,1,2.5");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rita
