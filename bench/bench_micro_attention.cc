@@ -2,8 +2,14 @@
 // forward + backward, as a function of sequence length for all four kernels —
 // the mechanism behind the paper's headline 63X claim (Sec. 6.3.2). Also
 // sweeps the group count N and the number of k-means iterations (the paper's
-// "a few iterations suffice" observation, Sec. 4.4).
+// "a few iterations suffice" observation, Sec. 4.4), and the thread count of
+// the ExecutionContext pool driving the per-(batch*head) slice loops (the
+// "speedup" counter is wall-time relative to the 1-thread run of the same n).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+#include <thread>
 
 #include "attention/multi_head.h"
 #include "core/attention_factory.h"
@@ -80,6 +86,63 @@ void BM_GroupAttentionByKmeansIters(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupAttentionByKmeansIters)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// Thread-count sweep: group attention forward + backward at the mechanism
+// level (Q/K/V already split into batch*head slices), driven by an
+// ExecutionContext over a pool of the given width. Registration runs the
+// 1-thread config of each n first and later configs report their wall-clock
+// speedup against it.
+void BM_GroupAttentionByThreads(benchmark::State& state) {
+  static std::map<int64_t, double> baseline_seconds_per_iter;
+  const int64_t n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  ThreadPool pool(threads);
+  ExecutionContext context(&pool);
+
+  Rng rng(1);
+  core::GroupAttentionOptions options;
+  options.num_groups = 16;
+  options.kmeans_iters = 2;
+  options.collect_snapshots = false;
+  core::GroupAttentionMechanism mech(kDim / kHeads, options, &rng);
+  mech.set_execution_context(&context);
+
+  const int64_t bh = kBatch * kHeads;
+  Tensor q0 = Tensor::RandNormal({bh, n, kDim / kHeads}, &rng);
+  Tensor k0 = Tensor::RandNormal({bh, n, kDim / kHeads}, &rng);
+  Tensor v0 = Tensor::RandNormal({bh, n, kDim / kHeads}, &rng);
+
+  int64_t iters = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    ag::Variable q(q0, true), k(k0, true), v(v0, true);
+    ag::Variable out = mech.Forward(q, k, v);
+    ag::SumAll(out).Backward();
+    benchmark::DoNotOptimize(out.data().data());
+    ++iters;
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double per_iter = seconds / static_cast<double>(std::max<int64_t>(1, iters));
+  if (threads == 1) baseline_seconds_per_iter[n] = per_iter;
+  const auto base = baseline_seconds_per_iter.find(n);
+  if (base != baseline_seconds_per_iter.end() && per_iter > 0.0) {
+    state.counters["speedup"] = base->second / per_iter;
+  }
+  state.counters["threads"] = threads;
+  state.SetItemsProcessed(state.iterations() * bh * n);
+}
+
+void RegisterThreadSweep(benchmark::internal::Benchmark* b) {
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  for (int64_t n : {1024, 2048}) {
+    b->Args({n, 1});
+    if (hw > 2) b->Args({n, 2});
+    if (hw > 1) b->Args({n, hw});
+  }
+}
+BENCHMARK(BM_GroupAttentionByThreads)->Apply(RegisterThreadSweep)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace bench

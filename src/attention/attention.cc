@@ -28,14 +28,36 @@ const char* AttentionKindName(AttentionKind kind) {
 VanillaAttention::VanillaAttention(int64_t head_dim, float dropout, Rng* rng)
     : scale_(1.0f / std::sqrt(static_cast<float>(head_dim))),
       dropout_(dropout),
-      rng_(rng) {}
+      seed_(rng->NextU64()) {}
 
 ag::Variable VanillaAttention::Forward(const ag::Variable& q, const ag::Variable& k,
                                        const ag::Variable& v) {
   // scores [BH, n, n] -- the O(n^2) object group attention avoids.
   ag::Variable scores = ag::MulScalar(ag::Bmm(q, k, false, true), scale_);
   ag::Variable probs = ag::SoftmaxLastDim(scores);
-  probs = ag::Dropout(probs, dropout_, training(), rng_);
+  if (training() && dropout_ > 0.0f) {
+    // Inverted-dropout mask over the O(n^2) probs: the one serial hot loop
+    // left in this kernel, so build it per (batch*head) slice across the
+    // pool, then apply it through the shared dropout backward.
+    RITA_CHECK_LT(dropout_, 1.0f);
+    ExecutionContext* context = execution_context();
+    const uint64_t stream = forward_calls_++;
+    const int64_t bh = q.size(0), n = q.size(1);
+    const float keep = 1.0f - dropout_;
+    const float inv_keep = 1.0f / keep;
+    Tensor mask({bh, n, n});
+    float* pm = mask.data();
+    context->pool()->ParallelFor(0, bh, [&](int64_t s0, int64_t s1) {
+      for (int64_t s = s0; s < s1; ++s) {
+        Rng slice_rng = ExecutionContext::SliceRng(seed_, stream, s);
+        float* row = pm + s * n * n;
+        for (int64_t i = 0; i < n * n; ++i) {
+          row[i] = slice_rng.Bernoulli(keep) ? inv_keep : 0.0f;
+        }
+      }
+    });
+    probs = ag::DropoutWithMask(probs, std::move(mask));
+  }
   return ag::Bmm(probs, v);
 }
 

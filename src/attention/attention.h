@@ -11,6 +11,7 @@
 
 #include "autograd/ops.h"
 #include "nn/module.h"
+#include "util/execution_context.h"
 
 namespace rita {
 namespace attn {
@@ -30,7 +31,9 @@ const char* AttentionKindName(AttentionKind kind);
 /// Linformer projections), so the interface extends nn::Module.
 class AttentionMechanism : public nn::Module {
  public:
-  ~AttentionMechanism() override = default;
+  // Nulling the cell lets autograd functions that hold it outlive the
+  // mechanism safely (they fall back to the default context).
+  ~AttentionMechanism() override { *context_cell_ = nullptr; }
 
   virtual ag::Variable Forward(const ag::Variable& q, const ag::Variable& k,
                                const ag::Variable& v) = 0;
@@ -41,9 +44,42 @@ class AttentionMechanism : public nn::Module {
   /// sequence (n^2 for vanilla, n*N for group attention, ...). Used by the
   /// analytic memory model of the batch planner.
   virtual int64_t ScoreMatrixElements(int64_t n) const = 0;
+
+  /// Execution resources for Forward/Backward (slice-loop thread pool, per-
+  /// slice RNG streams, scratch arena). Borrowed; must stay alive while
+  /// forward/backward passes use it. The pointer lives in a shared cell that
+  /// autograd functions capture and re-read at backward time, so a context
+  /// swapped out (or cleared with set_execution_context(nullptr)) before it
+  /// is destroyed — or even the mechanism itself being destroyed with the
+  /// graph still alive — never leaves a dangling pointer in the graph.
+  /// Defaults to ExecutionContext::Default() when unset or set to null.
+  void set_execution_context(ExecutionContext* context) { *context_cell_ = context; }
+  ExecutionContext* execution_context() const {
+    return ResolveExecutionContext(context_cell_);
+  }
+
+  /// The shared cell backing execution_context(); autograd functions built by
+  /// Forward hold this (not the mechanism) and resolve through
+  /// ResolveExecutionContext at backward time.
+  std::shared_ptr<ExecutionContext*> execution_context_cell() const {
+    return context_cell_;
+  }
+  static ExecutionContext* ResolveExecutionContext(
+      const std::shared_ptr<ExecutionContext*>& cell) {
+    return *cell != nullptr ? *cell : ExecutionContext::Default();
+  }
+
+ private:
+  std::shared_ptr<ExecutionContext*> context_cell_ =
+      std::make_shared<ExecutionContext*>(nullptr);
 };
 
-/// Canonical softmax(QK^T / sqrt(d)) V. O(n^2) time and space.
+/// Canonical softmax(QK^T / sqrt(d)) V. O(n^2) time and space. The batched
+/// matmuls and softmax shard across the process-wide ThreadPool::Global()
+/// inside tensor_ops (they are not driven by the execution context); the
+/// dropout mask is generated per (batch*head) slice on the execution
+/// context's pool with counter-based RNG streams, so it parallelizes without
+/// making the draw order depend on the schedule.
 class VanillaAttention : public AttentionMechanism {
  public:
   VanillaAttention(int64_t head_dim, float dropout, Rng* rng);
@@ -56,7 +92,8 @@ class VanillaAttention : public AttentionMechanism {
  private:
   float scale_;
   float dropout_;
-  Rng* rng_;
+  uint64_t seed_;
+  uint64_t forward_calls_ = 0;
 };
 
 /// Performer / FAVOR+ with positive softmax-kernel features

@@ -25,6 +25,11 @@ class MultiHeadAttention : public nn::Module {
   int64_t num_heads() const { return num_heads_; }
   int64_t head_dim() const { return head_dim_; }
 
+  /// Threads the execution context down to the per-head mechanism.
+  void set_execution_context(ExecutionContext* context) {
+    mechanism_->set_execution_context(context);
+  }
+
  private:
   int64_t dim_, num_heads_, head_dim_;
   std::unique_ptr<AttentionMechanism> mechanism_;

@@ -60,6 +60,10 @@ Variable LogSoftmaxLastDim(const Variable& a);
 // -- Regularisation / normalisation -------------------------------------------
 /// Inverted dropout; identity when !training or p == 0.
 Variable Dropout(const Variable& a, float p, bool training, Rng* rng);
+/// Applies a caller-built inverted-dropout mask (same shape as `a`) with the
+/// single-input dropout backward (g * mask). For callers that generate the
+/// mask themselves — e.g. attention's per-slice counter-based parallel masks.
+Variable DropoutWithMask(const Variable& a, Tensor mask);
 /// Fused layer norm over the last dim. gamma/beta shape = {last_dim}.
 Variable LayerNorm(const Variable& x, const Variable& gamma, const Variable& beta,
                    float eps = 1e-5f);

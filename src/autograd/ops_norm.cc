@@ -269,5 +269,12 @@ Variable Dropout(const Variable& a, float p, bool training, Rng* rng) {
   return out;
 }
 
+Variable DropoutWithMask(const Variable& a, Tensor mask) {
+  RITA_CHECK(a.shape() == mask.shape());
+  Variable out(ops::Mul(a.data(), mask));
+  Function::Connect(std::make_shared<DropoutFunction>(std::move(mask)), {a}, &out);
+  return out;
+}
+
 }  // namespace ag
 }  // namespace rita

@@ -9,35 +9,49 @@
 namespace rita {
 namespace cluster {
 
-Tensor PairwiseSqDistMatmul(const Tensor& a, const Tensor& b) {
+Tensor PairwiseSqDistMatmul(const Tensor& a, const Tensor& b,
+                            ExecutionContext* context, bool parallel) {
   RITA_CHECK_EQ(a.dim(), 2);
   RITA_CHECK_EQ(b.dim(), 2);
   RITA_CHECK_EQ(a.size(1), b.size(1));
   const int64_t n = a.size(0), m = b.size(0), d = a.size(1);
+  if (context == nullptr) context = ExecutionContext::Default();
   // -2 a.b via GEMM (the bottleneck, matmul-friendly), then rank-1 corrections.
-  Tensor dist = ops::MatMul(a, b, false, true);  // [n, m]
+  // Row-sharded over the *context's* pool (not the tensor kernels' global
+  // pool) so the caller's parallelism contract holds; each shard runs a
+  // serial inner GEMM over its rows and applies its rows' corrections, so the
+  // memory-bound correction sweep scales with the GEMM. Per-row arithmetic
+  // order is fixed, so the result is pool-width-independent.
+  Tensor dist({n, m});
   float* pd = dist.data();
   const float* pa = a.data();
   const float* pb = b.data();
-  std::vector<float> a2(n), b2(m);
-  for (int64_t i = 0; i < n; ++i) {
-    float s = 0.0f;
-    const float* row = pa + i * d;
-    for (int64_t k = 0; k < d; ++k) s += row[k] * row[k];
-    a2[i] = s;
-  }
+  std::vector<float> b2(m);
   for (int64_t j = 0; j < m; ++j) {
     float s = 0.0f;
     const float* row = pb + j * d;
     for (int64_t k = 0; k < d; ++k) s += row[k] * row[k];
     b2[j] = s;
   }
-  for (int64_t i = 0; i < n; ++i) {
-    float* row = pd + i * m;
-    for (int64_t j = 0; j < m; ++j) {
-      // Clamp: floating-point cancellation can produce tiny negatives.
-      row[j] = std::max(0.0f, a2[i] + b2[j] - 2.0f * row[j]);
+  auto rows = [&](int64_t r0, int64_t r1) {
+    ops::Gemm2D(pa + r0 * d, pb, pd + r0 * m, r1 - r0, m, d,
+                /*trans_a=*/false, /*trans_b=*/true, /*parallel=*/false);
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* arow = pa + i * d;
+      float a2 = 0.0f;
+      for (int64_t k = 0; k < d; ++k) a2 += arow[k] * arow[k];
+      float* row = pd + i * m;
+      for (int64_t j = 0; j < m; ++j) {
+        // Clamp: floating-point cancellation can produce tiny negatives.
+        row[j] = std::max(0.0f, a2 + b2[j] - 2.0f * row[j]);
+      }
     }
+  };
+  if (parallel) {
+    const int64_t min_rows = std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, m * d));
+    context->pool()->ParallelFor(0, n, rows, min_rows);
+  } else {
+    rows(0, n);
   }
   return dist;
 }
@@ -109,49 +123,141 @@ Tensor InitCentroids(const Tensor& points, int64_t k, bool plus_plus, Rng* rng) 
 
 }  // namespace
 
-KMeansResult RunKMeans(const Tensor& points, const KMeansOptions& options, Rng* rng) {
+namespace {
+
+// Point-block width for the parallel reductions below. Derived from n alone
+// (never from the pool width) so partial sums merge in the same order no
+// matter how many threads run: bit-identical results for 1 vs N workers.
+// The block count is capped so the per-block accumulators stay
+// O(kMaxReductionBlocks * k * d) however large n grows.
+constexpr int64_t kReductionBlock = 512;
+constexpr int64_t kMaxReductionBlocks = 64;
+
+int64_t ReductionBlockSize(int64_t n) {
+  return std::max(kReductionBlock,
+                  (n + kMaxReductionBlocks - 1) / kMaxReductionBlocks);
+}
+
+}  // namespace
+
+KMeansResult RunKMeans(const Tensor& points, const KMeansOptions& options, Rng* rng,
+                       ExecutionContext* context) {
   RITA_CHECK_EQ(points.dim(), 2);
   const int64_t n = points.size(0), d = points.size(1);
   const int64_t k = std::min<int64_t>(options.num_clusters, n);
   RITA_CHECK_GT(k, 0);
+  if (context == nullptr) context = ExecutionContext::Default();
+  ThreadPool* pool = context->pool();
+  // Shards inner loops across the pool, or runs them inline when the caller
+  // owns a coarser parallel grain. Either way the loop bodies and reduction
+  // block structure are identical, so the floats are too.
+  auto shard = [&](int64_t lo, int64_t hi,
+                   const std::function<void(int64_t, int64_t)>& body,
+                   int64_t min_shard) {
+    if (options.parallel) {
+      pool->ParallelFor(lo, hi, body, min_shard);
+    } else {
+      body(lo, hi);
+    }
+  };
 
   Tensor centroids = InitCentroids(points, k, options.kmeanspp_init, rng);
   std::vector<int64_t> assignment(n, 0);
+  std::vector<float> best_d2(n, 0.0f);
 
   auto assign = [&](const Tensor& cents) -> double {
-    const Tensor dist = options.matmul_distance ? PairwiseSqDistMatmul(points, cents)
-                                                : PairwiseSqDistNaive(points, cents);
+    const Tensor dist =
+        options.matmul_distance
+            ? PairwiseSqDistMatmul(points, cents, context, options.parallel)
+            : PairwiseSqDistNaive(points, cents);
     const int64_t m = cents.size(0);
     const float* pd = dist.data();
+    // Per-point argmin: every iteration writes its own slot, so sharding is
+    // free; the inertia reduction happens serially over best_d2 afterwards to
+    // keep the summation order independent of the pool width.
+    shard(
+        0, n,
+        [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            const float* row = pd + i * m;
+            int64_t best = 0;
+            for (int64_t j = 1; j < m; ++j) {
+              if (row[j] < row[best]) best = j;
+            }
+            assignment[i] = best;
+            best_d2[i] = row[best];
+          }
+        },
+        /*min_shard=*/kReductionBlock);
     double inertia = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      const float* row = pd + i * m;
-      int64_t best = 0;
-      for (int64_t j = 1; j < m; ++j) {
-        if (row[j] < row[best]) best = j;
-      }
-      assignment[i] = best;
-      inertia += row[best];
-    }
+    for (int64_t i = 0; i < n; ++i) inertia += best_d2[i];
     return inertia;
   };
+
+  const int64_t reduction_block = ReductionBlockSize(n);
+  const int64_t num_blocks = (n + reduction_block - 1) / reduction_block;
+  // Update-step accumulators, hoisted out of the Lloyd loop (this runs inside
+  // the per-slice hot path; re-zeroing is cheaper than re-allocating).
+  const int64_t kc = centroids.size(0);
+  Tensor sums(centroids.shape());
+  std::vector<int64_t> counts(kc, 0);
+  std::vector<float> block_sums;
+  std::vector<int64_t> block_counts;
+  if (options.max_iters > 0 && num_blocks > 1) {
+    block_sums.resize(num_blocks * kc * d);
+    block_counts.resize(num_blocks * kc);
+  }
 
   double inertia = assign(centroids);
   for (int iter = 0; iter < options.max_iters; ++iter) {
     // Update step: centroid = mean of members; empty clusters keep position.
-    Tensor sums = Tensor::Zeros(centroids.shape());
-    std::vector<int64_t> counts(centroids.size(0), 0);
+    // Members scatter into per-block partial sums (parallel), merged in block
+    // order (serial, deterministic).
     const float* pp = points.data();
     float* ps = sums.data();
-    for (int64_t i = 0; i < n; ++i) {
-      const int64_t c = assignment[i];
-      ++counts[c];
-      const float* row = pp + i * d;
-      float* dst = ps + c * d;
-      for (int64_t j = 0; j < d; ++j) dst[j] += row[j];
+    std::fill(ps, ps + kc * d, 0.0f);
+    std::fill(counts.begin(), counts.end(), 0);
+    // The block path is taken whenever there is more than one block — even on
+    // a single-thread pool — so the merge order (and thus the floats) never
+    // depends on how many workers happen to exist.
+    if (num_blocks > 1) {
+      std::fill(block_sums.begin(), block_sums.end(), 0.0f);
+      std::fill(block_counts.begin(), block_counts.end(), 0);
+      shard(
+          0, num_blocks,
+          [&](int64_t b0, int64_t b1) {
+            for (int64_t b = b0; b < b1; ++b) {
+              float* bsum = block_sums.data() + b * kc * d;
+              int64_t* bcount = block_counts.data() + b * kc;
+              const int64_t lo = b * reduction_block;
+              const int64_t hi = std::min(n, lo + reduction_block);
+              for (int64_t i = lo; i < hi; ++i) {
+                const int64_t c = assignment[i];
+                ++bcount[c];
+                const float* row = pp + i * d;
+                float* dst = bsum + c * d;
+                for (int64_t j = 0; j < d; ++j) dst[j] += row[j];
+              }
+            }
+          },
+          /*min_shard=*/1);
+      for (int64_t b = 0; b < num_blocks; ++b) {
+        const float* bsum = block_sums.data() + b * kc * d;
+        const int64_t* bcount = block_counts.data() + b * kc;
+        for (int64_t c = 0; c < kc; ++c) counts[c] += bcount[c];
+        for (int64_t i = 0; i < kc * d; ++i) ps[i] += bsum[i];
+      }
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        const int64_t c = assignment[i];
+        ++counts[c];
+        const float* row = pp + i * d;
+        float* dst = ps + c * d;
+        for (int64_t j = 0; j < d; ++j) dst[j] += row[j];
+      }
     }
     float* pc = centroids.data();
-    for (int64_t c = 0; c < centroids.size(0); ++c) {
+    for (int64_t c = 0; c < kc; ++c) {
       if (counts[c] == 0) continue;
       const float inv = 1.0f / static_cast<float>(counts[c]);
       for (int64_t j = 0; j < d; ++j) pc[c * d + j] = ps[c * d + j] * inv;
@@ -160,7 +266,7 @@ KMeansResult RunKMeans(const Tensor& points, const KMeansOptions& options, Rng* 
   }
 
   // Compact empty clusters so downstream invariants hold (counts > 0).
-  std::vector<int64_t> counts(centroids.size(0), 0);
+  std::fill(counts.begin(), counts.end(), 0);
   for (int64_t i = 0; i < n; ++i) ++counts[assignment[i]];
   std::vector<int64_t> remap(centroids.size(0), -1);
   std::vector<int64_t> kept;

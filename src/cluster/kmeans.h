@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/execution_context.h"
 #include "util/rng.h"
 
 namespace rita {
@@ -28,6 +29,12 @@ struct KMeansOptions {
   /// Route distance computation through the matmul formulation (the paper's
   /// GPU-friendly path). The naive pairwise path exists for tests/ablation.
   bool matmul_distance = true;
+  /// Shard the inner loops (distance GEMM, assignment, centroid update)
+  /// across the execution context's pool. Callers that already parallelize
+  /// at a coarser grain — group attention's per-(batch*head) slice loop —
+  /// set this false so each slice's k-means stays on its own thread instead
+  /// of fanning out again. Results are bit-identical either way.
+  bool parallel = true;
 };
 
 struct KMeansResult {
@@ -40,13 +47,23 @@ struct KMeansResult {
 };
 
 /// Squared Euclidean distance matrix [n, m] via |a|^2 + |b|^2 - 2 a.b (matmul).
-Tensor PairwiseSqDistMatmul(const Tensor& a, const Tensor& b);
+/// With `parallel`, the GEMM row-shards across `context`'s pool (null =
+/// default context); row sharding keeps every output row's reduction order
+/// fixed, so the result does not depend on the pool width.
+Tensor PairwiseSqDistMatmul(const Tensor& a, const Tensor& b,
+                            ExecutionContext* context = nullptr, bool parallel = true);
 
 /// Reference implementation via explicit pairwise differences.
 Tensor PairwiseSqDistNaive(const Tensor& a, const Tensor& b);
 
-/// Lloyd's k-means over the rows of `points` [n, d].
-KMeansResult RunKMeans(const Tensor& points, const KMeansOptions& options, Rng* rng);
+/// Lloyd's k-means over the rows of `points` [n, d]. The assignment and
+/// centroid-update loops shard across `context`'s pool (null = default
+/// context); reductions accumulate over point blocks whose size depends only
+/// on n (never the pool width), merged in block order, so the result is
+/// bit-identical for any pool width — including when the call itself runs
+/// inside a parallel (batch*head) slice loop.
+KMeansResult RunKMeans(const Tensor& points, const KMeansOptions& options, Rng* rng,
+                       ExecutionContext* context = nullptr);
 
 /// Per-cluster radius: max_{x in cluster_k} |x - c_k|. Needed by the adaptive
 /// scheduler's merge test (Lemma 2).

@@ -28,12 +28,21 @@ struct SliceState {
 //   dK_x = dR_{g(x)} / counts_{g(x)}.
 class GroupAttentionFunction : public ag::Function {
  public:
-  GroupAttentionFunction(std::vector<SliceState> states, Tensor q, float scale)
-      : states_(std::move(states)), q_(std::move(q)), scale_(scale) {}
+  GroupAttentionFunction(std::vector<SliceState> states, Tensor q, float scale,
+                         std::shared_ptr<ExecutionContext*> context_cell)
+      : states_(std::move(states)),
+        q_(std::move(q)),
+        scale_(scale),
+        context_cell_(std::move(context_cell)) {}
 
   std::string name() const override { return "GroupAttention"; }
 
   std::vector<Tensor> Backward(const Tensor& g) override {
+    // Re-read the shared cell at backward time: a context swapped out or
+    // destroyed between forward and backward — or a destroyed mechanism —
+    // resolves to the default context instead of a dangling pointer.
+    ExecutionContext* context =
+        attn::AttentionMechanism::ResolveExecutionContext(context_cell_);
     const int64_t bh = q_.size(0), n = q_.size(1), d = q_.size(2);
     Tensor dq(q_.shape());
     Tensor dk(q_.shape());
@@ -44,65 +53,69 @@ class GroupAttentionFunction : public ag::Function {
     float* pdk = dk.data();
     float* pdv = dv.data();
 
-    for (int64_t s = 0; s < bh; ++s) {
-      const SliceState& st = states_[s];
-      const int64_t ng = st.centroids.size(0);
-      const float* g_s = pg + s * n * d;          // dO [n, d]
-      const float* q_s = pq + s * n * d;          // Q  [n, d]
-      const float* at = st.a_tilde.data();        // A~ [n, ng]
-      const float* vt = st.v_tilde.data();        // V~ [ng, d]
-      const float* r = st.centroids.data();       // R  [ng, d]
+    // Slices write disjoint [n, d] blocks of dQ/dK/dV, so the slice loop
+    // shards freely across the pool; each shard leases scratch from the arena
+    // so the per-slice temporaries are recycled instead of reallocated.
+    context->pool()->ParallelFor(0, bh, [&](int64_t s0, int64_t s1) {
+      ScratchArena::Lease scratch = context->arena()->Acquire();
+      for (int64_t s = s0; s < s1; ++s) {
+        scratch.Reset();
+        const SliceState& st = states_[s];
+        const int64_t ng = st.centroids.size(0);
+        const float* g_s = pg + s * n * d;     // dO [n, d]
+        const float* q_s = pq + s * n * d;     // Q  [n, d]
+        const float* at = st.a_tilde.data();   // A~ [n, ng]
+        const float* vt = st.v_tilde.data();   // V~ [ng, d]
+        const float* r = st.centroids.data();  // R  [ng, d]
 
-      // dV~ = A~^T dO : [ng, d]
-      Tensor dvt({ng, d});
-      ops::Gemm2D(at, g_s, dvt.data(), ng, d, n, /*trans_a=*/true, /*trans_b=*/false);
-      // Scatter: dV_x = dV~_{g(x)}.
-      const float* pdvt = dvt.data();
-      float* dv_s = pdv + s * n * d;
-      for (int64_t i = 0; i < n; ++i) {
-        const float* src = pdvt + st.assignment[i] * d;
-        std::copy(src, src + d, dv_s + i * d);
-      }
+        // dV~ = A~^T dO : [ng, d]
+        float* dvt = scratch.Floats(ng * d);
+        ops::Gemm2D(at, g_s, dvt, ng, d, n, /*trans_a=*/true, /*trans_b=*/false,
+                    /*parallel=*/false);
+        // Scatter: dV_x = dV~_{g(x)}.
+        float* dv_s = pdv + s * n * d;
+        for (int64_t i = 0; i < n; ++i) {
+          const float* src = dvt + st.assignment[i] * d;
+          std::copy(src, src + d, dv_s + i * d);
+        }
 
-      // dA~ = dO V~^T : [n, ng]
-      Tensor dat({n, ng});
-      ops::Gemm2D(g_s, vt, dat.data(), n, ng, d, /*trans_a=*/false, /*trans_b=*/true);
+        // dA~ = dO V~^T : [n, ng]
+        float* dat = scratch.Floats(n * ng);
+        ops::Gemm2D(g_s, vt, dat, n, ng, d, /*trans_a=*/false, /*trans_b=*/true,
+                    /*parallel=*/false);
 
-      // dP~_ik = A~_ik (dA~_ik - counts_k * t_i), t_i = sum_j A~_ij dA~_ij.
-      Tensor dpt({n, ng});
-      {
-        const float* pdat = dat.data();
-        float* pdpt = dpt.data();
+        // dP~_ik = A~_ik (dA~_ik - counts_k * t_i), t_i = sum_j A~_ij dA~_ij.
+        float* dpt = scratch.Floats(n * ng);
         for (int64_t i = 0; i < n; ++i) {
           const float* arow = at + i * ng;
-          const float* darow = pdat + i * ng;
-          float* out = pdpt + i * ng;
+          const float* darow = dat + i * ng;
+          float* out = dpt + i * ng;
           float t = 0.0f;
           for (int64_t j = 0; j < ng; ++j) t += arow[j] * darow[j];
           for (int64_t j = 0; j < ng; ++j) {
             out[j] = arow[j] * (darow[j] - static_cast<float>(st.counts[j]) * t);
           }
         }
-      }
 
-      // dQ = scale * dP~ R : [n, d]
-      float* dq_s = pdq + s * n * d;
-      ops::Gemm2D(dpt.data(), r, dq_s, n, d, ng, false, false);
-      for (int64_t i = 0; i < n * d; ++i) dq_s[i] *= scale_;
+        // dQ = scale * dP~ R : [n, d]
+        float* dq_s = pdq + s * n * d;
+        ops::Gemm2D(dpt, r, dq_s, n, d, ng, false, false, /*parallel=*/false);
+        for (int64_t i = 0; i < n * d; ++i) dq_s[i] *= scale_;
 
-      // dR = scale * dP~^T Q : [ng, d]; then dK_x = dR_{g(x)} / counts.
-      Tensor dr({ng, d});
-      ops::Gemm2D(dpt.data(), q_s, dr.data(), ng, d, n, /*trans_a=*/true, false);
-      const float* pdr = dr.data();
-      float* dk_s = pdk + s * n * d;
-      for (int64_t i = 0; i < n; ++i) {
-        const int64_t c = st.assignment[i];
-        const float inv = scale_ / static_cast<float>(st.counts[c]);
-        const float* src = pdr + c * d;
-        float* dst = dk_s + i * d;
-        for (int64_t j = 0; j < d; ++j) dst[j] = src[j] * inv;
+        // dR = scale * dP~^T Q : [ng, d]; then dK_x = dR_{g(x)} / counts.
+        float* dr = scratch.Floats(ng * d);
+        ops::Gemm2D(dpt, q_s, dr, ng, d, n, /*trans_a=*/true, false,
+                    /*parallel=*/false);
+        float* dk_s = pdk + s * n * d;
+        for (int64_t i = 0; i < n; ++i) {
+          const int64_t c = st.assignment[i];
+          const float inv = scale_ / static_cast<float>(st.counts[c]);
+          const float* src = dr + c * d;
+          float* dst = dk_s + i * d;
+          for (int64_t j = 0; j < d; ++j) dst[j] = src[j] * inv;
+        }
       }
-    }
+    });
     return {dq, dk, dv};
   }
 
@@ -110,6 +123,7 @@ class GroupAttentionFunction : public ag::Function {
   std::vector<SliceState> states_;
   Tensor q_;
   float scale_;
+  std::shared_ptr<ExecutionContext*> context_cell_;
 };
 
 }  // namespace
@@ -120,7 +134,7 @@ GroupAttentionMechanism::GroupAttentionMechanism(int64_t head_dim,
     : head_dim_(head_dim),
       options_(options),
       num_groups_(options.num_groups),
-      rng_(rng->Fork()) {
+      seed_(rng->NextU64()) {
   RITA_CHECK_GT(num_groups_, 0);
 }
 
@@ -137,95 +151,108 @@ ag::Variable GroupAttentionMechanism::Forward(const ag::Variable& q,
   RITA_CHECK(k.shape() == q.shape());
   RITA_CHECK(v.shape() == q.shape());
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  ExecutionContext* context = execution_context();
 
   cluster::KMeansOptions km;
   km.num_clusters = std::min<int64_t>(num_groups_, n);
   km.max_iters = options_.kmeans_iters;
   km.kmeanspp_init = options_.kmeanspp_init;
+  // The slice loop below is the parallel grain; each slice's k-means and
+  // GEMMs run inline on that slice's thread rather than fanning out again.
+  km.parallel = false;
 
   Tensor out({bh, n, d});
   std::vector<SliceState> states(bh);
-  snapshots_.clear();
-  if (options_.collect_snapshots) snapshots_.reserve(bh);
+  snapshots_.assign(options_.collect_snapshots ? bh : 0, GroupingSnapshot());
+  const uint64_t stream = forward_calls_++;
 
   const float* pq = q.data().data();
   const float* pk = k.data().data();
   const float* pv = v.data().data();
   float* po = out.data();
 
-  for (int64_t s = 0; s < bh; ++s) {
-    // Keys of this slice (copied into a 2-D tensor for the grouping engine).
-    Tensor keys({n, d});
-    std::copy(pk + s * n * d, pk + (s + 1) * n * d, keys.data());
+  // One independent unit of Alg. 1 per (batch*head) slice: group the keys,
+  // score against the N representatives, group-softmax, aggregate values.
+  // Slices share nothing mutable — each has its own SliceState, snapshot slot
+  // and counter-derived RNG — so the loop shards freely across the pool.
+  context->pool()->ParallelFor(0, bh, [&](int64_t s0, int64_t s1) {
+    ScratchArena::Lease scratch = context->arena()->Acquire();
+    for (int64_t s = s0; s < s1; ++s) {
+      scratch.Reset();
+      Rng slice_rng = ExecutionContext::SliceRng(seed_, stream, s);
 
-    cluster::KMeansResult grouping = cluster::RunKMeans(keys, km, &rng_);
-    const int64_t ng = grouping.num_clusters();
+      // Keys of this slice (copied into a 2-D tensor for the grouping engine).
+      Tensor keys({n, d});
+      std::copy(pk + s * n * d, pk + (s + 1) * n * d, keys.data());
 
-    // P~ = scale * Q R^T : [n, ng]
-    Tensor p_tilde({n, ng});
-    ops::Gemm2D(pq + s * n * d, grouping.centroids.data(), p_tilde.data(), n, ng, d,
-                /*trans_a=*/false, /*trans_b=*/true);
-    ops::ScaleInPlace(&p_tilde, scale);
+      cluster::KMeansResult grouping = cluster::RunKMeans(keys, km, &slice_rng, context);
+      const int64_t ng = grouping.num_clusters();
 
-    // Group softmax (Eq. 3), stabilised by the row max (shift-invariant).
-    Tensor a_tilde({n, ng});
-    {
-      const float* pp = p_tilde.data();
-      float* pa = a_tilde.data();
-      for (int64_t i = 0; i < n; ++i) {
-        const float* row = pp + i * ng;
-        float* arow = pa + i * ng;
-        float mx = row[0];
-        for (int64_t j = 1; j < ng; ++j) mx = std::max(mx, row[j]);
-        float denom = 0.0f;
-        for (int64_t j = 0; j < ng; ++j) {
-          const float w = std::exp(row[j] - mx);
-          arow[j] = w;
-          denom += static_cast<float>(grouping.counts[j]) * w;
+      // P~ = scale * Q R^T : [n, ng]
+      float* p_tilde = scratch.Floats(n * ng);
+      ops::Gemm2D(pq + s * n * d, grouping.centroids.data(), p_tilde, n, ng, d,
+                  /*trans_a=*/false, /*trans_b=*/true, /*parallel=*/false);
+
+      // Group softmax (Eq. 3), stabilised by the row max (shift-invariant).
+      Tensor a_tilde({n, ng});
+      {
+        float* pa = a_tilde.data();
+        for (int64_t i = 0; i < n; ++i) {
+          const float* row = p_tilde + i * ng;
+          float* arow = pa + i * ng;
+          float mx = row[0] * scale;
+          for (int64_t j = 1; j < ng; ++j) mx = std::max(mx, row[j] * scale);
+          float denom = 0.0f;
+          for (int64_t j = 0; j < ng; ++j) {
+            const float w = std::exp(row[j] * scale - mx);
+            arow[j] = w;
+            denom += static_cast<float>(grouping.counts[j]) * w;
+          }
+          const float inv = 1.0f / denom;
+          for (int64_t j = 0; j < ng; ++j) arow[j] *= inv;
         }
-        const float inv = 1.0f / denom;
-        for (int64_t j = 0; j < ng; ++j) arow[j] *= inv;
       }
-    }
 
-    // Embedding aggregation: V~_j = sum_{g(x) = j} V_x : [ng, d]
-    Tensor v_tilde = Tensor::Zeros({ng, d});
-    {
-      float* pvt = v_tilde.data();
-      const float* v_s = pv + s * n * d;
-      for (int64_t i = 0; i < n; ++i) {
-        float* dst = pvt + grouping.assignment[i] * d;
-        const float* src = v_s + i * d;
-        for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+      // Embedding aggregation: V~_j = sum_{g(x) = j} V_x : [ng, d]
+      Tensor v_tilde = Tensor::Zeros({ng, d});
+      {
+        float* pvt = v_tilde.data();
+        const float* v_s = pv + s * n * d;
+        for (int64_t i = 0; i < n; ++i) {
+          float* dst = pvt + grouping.assignment[i] * d;
+          const float* src = v_s + i * d;
+          for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+        }
       }
+
+      // O = A~ V~ : [n, d]
+      ops::Gemm2D(a_tilde.data(), v_tilde.data(), po + s * n * d, n, d, ng, false,
+                  false, /*parallel=*/false);
+
+      if (options_.collect_snapshots) {
+        GroupingSnapshot& snap = snapshots_[s];
+        snap.centroids = grouping.centroids;
+        snap.counts = grouping.counts;
+        snap.radii = cluster::ClusterRadii(keys, grouping);
+        snap.key_ball_radius = cluster::PointBallRadius(keys);
+        Tensor queries({n, d});
+        std::copy(pq + s * n * d, pq + (s + 1) * n * d, queries.data());
+        snap.query_ball_radius = cluster::PointBallRadius(queries);
+      }
+
+      SliceState& st = states[s];
+      st.assignment = std::move(grouping.assignment);
+      st.counts = std::move(grouping.counts);
+      st.centroids = std::move(grouping.centroids);
+      st.a_tilde = std::move(a_tilde);
+      st.v_tilde = std::move(v_tilde);
     }
-
-    // O = A~ V~ : [n, d]
-    ops::Gemm2D(a_tilde.data(), v_tilde.data(), po + s * n * d, n, d, ng, false, false);
-
-    if (options_.collect_snapshots) {
-      GroupingSnapshot snap;
-      snap.centroids = grouping.centroids;
-      snap.counts = grouping.counts;
-      snap.radii = cluster::ClusterRadii(keys, grouping);
-      snap.key_ball_radius = cluster::PointBallRadius(keys);
-      Tensor queries({n, d});
-      std::copy(pq + s * n * d, pq + (s + 1) * n * d, queries.data());
-      snap.query_ball_radius = cluster::PointBallRadius(queries);
-      snapshots_.push_back(std::move(snap));
-    }
-
-    SliceState& st = states[s];
-    st.assignment = std::move(grouping.assignment);
-    st.counts = std::move(grouping.counts);
-    st.centroids = std::move(grouping.centroids);
-    st.a_tilde = std::move(a_tilde);
-    st.v_tilde = std::move(v_tilde);
-  }
+  });
 
   ag::Variable result(out);
   ag::Function::Connect(
-      std::make_shared<GroupAttentionFunction>(std::move(states), q.data(), scale),
+      std::make_shared<GroupAttentionFunction>(std::move(states), q.data(), scale,
+                                               execution_context_cell()),
       {q, k, v}, &result);
   return result;
 }

@@ -68,7 +68,12 @@ class GroupAttentionMechanism : public attn::AttentionMechanism {
   int64_t head_dim_;
   GroupAttentionOptions options_;
   int64_t num_groups_;
-  Rng rng_;
+  // Root of the counter-based per-slice RNG streams: slice s of forward call
+  // f draws from ExecutionContext::SliceRng(seed_, f, s). Unlike a shared
+  // mutable Rng, this keeps concurrent slices independent and makes the
+  // grouping bit-identical no matter the pool width or schedule.
+  uint64_t seed_;
+  uint64_t forward_calls_ = 0;
   std::vector<GroupingSnapshot> snapshots_;
 };
 

@@ -17,69 +17,82 @@ class NaiveGroupAttentionFunction : public ag::Function {
  public:
   NaiveGroupAttentionFunction(Tensor probs, Tensor q, Tensor k_restored, Tensor v,
                               std::vector<std::vector<int64_t>> assignments,
-                              std::vector<std::vector<int64_t>> counts, float scale)
+                              std::vector<std::vector<int64_t>> counts, float scale,
+                              std::shared_ptr<ExecutionContext*> context_cell)
       : probs_(std::move(probs)),
         q_(std::move(q)),
         k_restored_(std::move(k_restored)),
         v_(std::move(v)),
         assignments_(std::move(assignments)),
         counts_(std::move(counts)),
-        scale_(scale) {}
+        scale_(scale),
+        context_cell_(std::move(context_cell)) {}
 
   std::string name() const override { return "NaiveGroupAttention"; }
 
   std::vector<Tensor> Backward(const Tensor& g) override {
+    // Re-read the shared cell at backward time (see GroupAttention).
+    ExecutionContext* context =
+        attn::AttentionMechanism::ResolveExecutionContext(context_cell_);
     const int64_t bh = q_.size(0), n = q_.size(1), d = q_.size(2);
     Tensor dq(q_.shape());
     Tensor dk(q_.shape());
     Tensor dv(q_.shape());
-    for (int64_t s = 0; s < bh; ++s) {
-      const float* g_s = g.data() + s * n * d;
-      const float* p_s = probs_.data() + s * n * n;
-      const float* q_s = q_.data() + s * n * d;
-      const float* kr_s = k_restored_.data() + s * n * d;
-      const float* v_s = v_.data() + s * n * d;
+    // Slices write disjoint [n, d] blocks; the quadratic temporaries come
+    // from the arena so shards recycle them.
+    context->pool()->ParallelFor(0, bh, [&](int64_t s0, int64_t s1) {
+      ScratchArena::Lease scratch = context->arena()->Acquire();
+      for (int64_t s = s0; s < s1; ++s) {
+        scratch.Reset();
+        const float* g_s = g.data() + s * n * d;
+        const float* p_s = probs_.data() + s * n * n;
+        const float* q_s = q_.data() + s * n * d;
+        const float* kr_s = k_restored_.data() + s * n * d;
+        const float* v_s = v_.data() + s * n * d;
 
-      // dV = P^T dO
-      ops::Gemm2D(p_s, g_s, dv.data() + s * n * d, n, d, n, true, false);
-      // dP = dO V^T ; dS = P * (dP - rowsum(dP * P)) ; S = scaled scores.
-      Tensor dp({n, n});
-      ops::Gemm2D(g_s, v_s, dp.data(), n, n, d, false, true);
-      Tensor ds({n, n});
-      for (int64_t i = 0; i < n; ++i) {
-        const float* prow = p_s + i * n;
-        const float* dprow = dp.data() + i * n;
-        float* dsrow = ds.data() + i * n;
-        float t = 0.0f;
-        for (int64_t j = 0; j < n; ++j) t += prow[j] * dprow[j];
-        for (int64_t j = 0; j < n; ++j) dsrow[j] = prow[j] * (dprow[j] - t);
-      }
-      // dQ = scale * dS K~ ; dK~ = scale * dS^T Q ; dK_x = dK~ mean-routed.
-      float* dq_s = dq.data() + s * n * d;
-      ops::Gemm2D(ds.data(), kr_s, dq_s, n, d, n, false, false);
-      for (int64_t i = 0; i < n * d; ++i) dq_s[i] *= scale_;
+        // dV = P^T dO
+        ops::Gemm2D(p_s, g_s, dv.data() + s * n * d, n, d, n, true, false,
+                    /*parallel=*/false);
+        // dP = dO V^T ; dS = P * (dP - rowsum(dP * P)) ; S = scaled scores.
+        float* dp = scratch.Floats(n * n);
+        ops::Gemm2D(g_s, v_s, dp, n, n, d, false, true, /*parallel=*/false);
+        float* ds = scratch.Floats(n * n);
+        for (int64_t i = 0; i < n; ++i) {
+          const float* prow = p_s + i * n;
+          const float* dprow = dp + i * n;
+          float* dsrow = ds + i * n;
+          float t = 0.0f;
+          for (int64_t j = 0; j < n; ++j) t += prow[j] * dprow[j];
+          for (int64_t j = 0; j < n; ++j) dsrow[j] = prow[j] * (dprow[j] - t);
+        }
+        // dQ = scale * dS K~ ; dK~ = scale * dS^T Q ; dK_x = dK~ mean-routed.
+        float* dq_s = dq.data() + s * n * d;
+        ops::Gemm2D(ds, kr_s, dq_s, n, d, n, false, false, /*parallel=*/false);
+        for (int64_t i = 0; i < n * d; ++i) dq_s[i] *= scale_;
 
-      Tensor dkr({n, d});
-      ops::Gemm2D(ds.data(), q_s, dkr.data(), n, d, n, true, false);
-      // Sum the restored-key grads per group, then distribute /count.
-      const auto& assign = assignments_[s];
-      const auto& count = counts_[s];
-      const int64_t ng = static_cast<int64_t>(count.size());
-      Tensor group_grad = Tensor::Zeros({ng, d});
-      for (int64_t x = 0; x < n; ++x) {
-        float* dst = group_grad.data() + assign[x] * d;
-        const float* src = dkr.data() + x * d;
-        for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+        float* dkr = scratch.Floats(n * d);
+        ops::Gemm2D(ds, q_s, dkr, n, d, n, true, false, /*parallel=*/false);
+        // Sum the restored-key grads per group, then distribute /count.
+        const auto& assign = assignments_[s];
+        const auto& count = counts_[s];
+        const int64_t ng = static_cast<int64_t>(count.size());
+        float* group_grad = scratch.Floats(ng * d);
+        std::fill(group_grad, group_grad + ng * d, 0.0f);
+        for (int64_t x = 0; x < n; ++x) {
+          float* dst = group_grad + assign[x] * d;
+          const float* src = dkr + x * d;
+          for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+        }
+        float* dk_s = dk.data() + s * n * d;
+        for (int64_t x = 0; x < n; ++x) {
+          const int64_t c = assign[x];
+          const float inv = scale_ / static_cast<float>(count[c]);
+          const float* src = group_grad + c * d;
+          float* dst = dk_s + x * d;
+          for (int64_t j = 0; j < d; ++j) dst[j] = src[j] * inv;
+        }
       }
-      float* dk_s = dk.data() + s * n * d;
-      for (int64_t x = 0; x < n; ++x) {
-        const int64_t c = assign[x];
-        const float inv = scale_ / static_cast<float>(count[c]);
-        const float* src = group_grad.data() + c * d;
-        float* dst = dk_s + x * d;
-        for (int64_t j = 0; j < d; ++j) dst[j] = src[j] * inv;
-      }
-    }
+    });
     return {dq, dk, dv};
   }
 
@@ -89,6 +102,7 @@ class NaiveGroupAttentionFunction : public ag::Function {
   std::vector<std::vector<int64_t>> assignments_;
   std::vector<std::vector<int64_t>> counts_;
   float scale_;
+  std::shared_ptr<ExecutionContext*> context_cell_;
 };
 
 }  // namespace
@@ -98,7 +112,7 @@ NaiveGroupAttention::NaiveGroupAttention(int64_t head_dim,
     : head_dim_(head_dim),
       options_(options),
       num_groups_(options.num_groups),
-      rng_(rng->Fork()) {}
+      seed_(rng->NextU64()) {}
 
 ag::Variable NaiveGroupAttention::Forward(const ag::Variable& q, const ag::Variable& k,
                                           const ag::Variable& v) {
@@ -110,6 +124,8 @@ ag::Variable NaiveGroupAttention::Forward(const ag::Variable& q, const ag::Varia
   km.num_clusters = std::min<int64_t>(num_groups_, n);
   km.max_iters = options_.kmeans_iters;
   km.kmeanspp_init = options_.kmeanspp_init;
+  // The slice loop is the parallel grain (see GroupAttentionMechanism).
+  km.parallel = false;
 
   Tensor out({bh, n, d});
   Tensor probs({bh, n, n});      // quadratic: the object Alg. 1 avoids
@@ -121,35 +137,57 @@ ag::Variable NaiveGroupAttention::Forward(const ag::Variable& q, const ag::Varia
   const float* pk = k.data().data();
   const float* pv = v.data().data();
 
-  for (int64_t s = 0; s < bh; ++s) {
-    Tensor keys({n, d});
-    std::copy(pk + s * n * d, pk + (s + 1) * n * d, keys.data());
-    cluster::KMeansResult grouping = cluster::RunKMeans(keys, km, &rng_);
+  ExecutionContext* context = execution_context();
+  const uint64_t stream = forward_calls_++;
 
-    // Restore the effective keys: K~_x = centroid(g(x)).
-    float* kr_s = k_restored.data() + s * n * d;
-    for (int64_t x = 0; x < n; ++x) {
-      const float* c = grouping.centroids.data() + grouping.assignment[x] * d;
-      std::copy(c, c + d, kr_s + x * d);
+  // Per-slice restore-then-softmax; slices are independent (own RNG stream,
+  // disjoint output blocks) so the loop shards across the pool.
+  context->pool()->ParallelFor(0, bh, [&](int64_t s0, int64_t s1) {
+    for (int64_t s = s0; s < s1; ++s) {
+      Rng slice_rng = ExecutionContext::SliceRng(seed_, stream, s);
+      Tensor keys({n, d});
+      std::copy(pk + s * n * d, pk + (s + 1) * n * d, keys.data());
+      cluster::KMeansResult grouping = cluster::RunKMeans(keys, km, &slice_rng, context);
+
+      // Restore the effective keys: K~_x = centroid(g(x)).
+      float* kr_s = k_restored.data() + s * n * d;
+      for (int64_t x = 0; x < n; ++x) {
+        const float* c = grouping.centroids.data() + grouping.assignment[x] * d;
+        std::copy(c, c + d, kr_s + x * d);
+      }
+
+      // Full scores + softmax + value mix: exactly vanilla attention on K~.
+      // Scores land directly in this slice's probs block and the softmax runs
+      // in place, so the quadratic object is materialised exactly once.
+      float* p_s = probs.data() + s * n * n;
+      ops::Gemm2D(pq + s * n * d, kr_s, p_s, n, n, d, false, true,
+                  /*parallel=*/false);
+      for (int64_t i = 0; i < n; ++i) {
+        float* row = p_s + i * n;
+        float mx = row[0] * scale;
+        for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j] * scale);
+        float denom = 0.0f;
+        for (int64_t j = 0; j < n; ++j) {
+          const float e = std::exp(row[j] * scale - mx);
+          row[j] = e;
+          denom += e;
+        }
+        const float inv = 1.0f / denom;
+        for (int64_t j = 0; j < n; ++j) row[j] *= inv;
+      }
+      ops::Gemm2D(p_s, pv + s * n * d, out.data() + s * n * d, n, d, n, false,
+                  false, /*parallel=*/false);
+
+      assignments[s] = std::move(grouping.assignment);
+      counts[s] = std::move(grouping.counts);
     }
-
-    // Full scores + softmax + value mix: exactly vanilla attention on K~.
-    Tensor scores({n, n});
-    ops::Gemm2D(pq + s * n * d, kr_s, scores.data(), n, n, d, false, true);
-    ops::ScaleInPlace(&scores, scale);
-    Tensor p = ops::SoftmaxLastDim(scores);
-    std::copy(p.data(), p.data() + n * n, probs.data() + s * n * n);
-    ops::Gemm2D(p.data(), pv + s * n * d, out.data() + s * n * d, n, d, n, false,
-                false);
-
-    assignments[s] = std::move(grouping.assignment);
-    counts[s] = std::move(grouping.counts);
-  }
+  });
 
   ag::Variable result(out);
   ag::Function::Connect(std::make_shared<NaiveGroupAttentionFunction>(
                             probs, q.data(), k_restored, v.data(),
-                            std::move(assignments), std::move(counts), scale),
+                            std::move(assignments), std::move(counts), scale,
+                            execution_context_cell()),
                         {q, k, v}, &result);
   return result;
 }

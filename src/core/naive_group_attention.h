@@ -31,7 +31,9 @@ class NaiveGroupAttention : public attn::AttentionMechanism {
   int64_t head_dim_;
   GroupAttentionOptions options_;
   int64_t num_groups_;
-  Rng rng_;
+  // Root of the counter-based per-slice RNG streams (see GroupAttention).
+  uint64_t seed_;
+  uint64_t forward_calls_ = 0;
 };
 
 }  // namespace core

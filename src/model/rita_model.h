@@ -53,6 +53,9 @@ class RitaModel : public SequenceModel {
   std::vector<attn::PerformerAttention*> PerformerMechanisms() override {
     return encoder_.PerformerMechanisms();
   }
+  void SetExecutionContext(ExecutionContext* context) override {
+    encoder_.SetExecutionContext(context);
+  }
 
  private:
   RitaConfig config_;

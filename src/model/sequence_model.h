@@ -31,6 +31,11 @@ class SequenceModel : public nn::Module {
   virtual std::vector<core::GroupAttentionMechanism*> GroupMechanisms() { return {}; }
   /// Performer layers, if any (per-epoch feature redraw).
   virtual std::vector<attn::PerformerAttention*> PerformerMechanisms() { return {}; }
+
+  /// Threads execution resources (slice-loop thread pool, deterministic RNG
+  /// streams, scratch arena) to the model's attention stack. The context is
+  /// borrowed and must outlive the model's forward/backward passes.
+  virtual void SetExecutionContext(ExecutionContext* context) { (void)context; }
 };
 
 }  // namespace model

@@ -70,6 +70,10 @@ std::vector<core::GroupAttentionMechanism*> TransformerEncoder::GroupMechanisms(
   return out;
 }
 
+void TransformerEncoder::SetExecutionContext(ExecutionContext* context) {
+  for (auto& layer : layers_) layer->set_execution_context(context);
+}
+
 std::vector<attn::PerformerAttention*> TransformerEncoder::PerformerMechanisms() {
   std::vector<attn::PerformerAttention*> out;
   for (auto& layer : layers_) {

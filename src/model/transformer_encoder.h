@@ -38,6 +38,10 @@ class TransformerEncoderLayer : public nn::Module {
 
   attn::MultiHeadAttention* attention() { return &mha_; }
 
+  void set_execution_context(ExecutionContext* context) {
+    mha_.set_execution_context(context);
+  }
+
  private:
   ag::Variable Normalize(int which, const ag::Variable& x);
 
@@ -62,6 +66,9 @@ class TransformerEncoder : public nn::Module {
 
   /// Performer mechanisms (for per-epoch feature redraws).
   std::vector<attn::PerformerAttention*> PerformerMechanisms();
+
+  /// Threads the execution context to every layer's attention mechanism.
+  void SetExecutionContext(ExecutionContext* context);
 
   const EncoderConfig& config() const { return config_; }
 

@@ -29,6 +29,9 @@ class TstModel : public SequenceModel {
 
   int64_t num_classes() const override { return config_.num_classes; }
   int64_t input_length() const override { return config_.input_length; }
+  void SetExecutionContext(ExecutionContext* context) override {
+    encoder_.SetExecutionContext(context);
+  }
 
  private:
   ag::Variable Encode(const Tensor& batch);

@@ -14,6 +14,9 @@ namespace train {
 Trainer::Trainer(model::SequenceModel* model, const TrainOptions& options)
     : model_(model), options_(options), rng_(options.seed ^ 0x7261746179ULL) {
   RITA_CHECK(model_ != nullptr);
+  if (options_.execution_context != nullptr) {
+    model_->SetExecutionContext(options_.execution_context);
+  }
   optimizer_ = std::make_unique<nn::AdamW>(model_->Parameters(), options_.adamw);
 }
 

@@ -35,6 +35,13 @@ struct TrainOptions {
   /// Optional non-owning batch planner; when set (and adaptive_groups), the
   /// batch size is re-predicted each epoch from the average group count.
   core::BatchPlanner* batch_planner = nullptr;
+
+  /// Optional non-owning execution context threaded to the model's attention
+  /// stack (slice-loop thread pool, deterministic per-slice RNG streams,
+  /// scratch arena). Null keeps the model on ExecutionContext::Default(),
+  /// which runs over the process-wide ThreadPool::Global(). Must outlive the
+  /// trainer and the model's autograd graphs.
+  ExecutionContext* execution_context = nullptr;
 };
 
 struct EpochStats {

@@ -1,0 +1,61 @@
+#include "util/execution_context.h"
+
+namespace rita {
+
+ScratchArena::Lease::~Lease() {
+  if (arena_ != nullptr) arena_->Release(chunk_);
+}
+
+float* ScratchArena::Lease::Floats(int64_t n) {
+  if (chunk_->next == chunk_->buffers.size()) chunk_->buffers.emplace_back();
+  std::vector<float>& buf = chunk_->buffers[chunk_->next++];
+  if (static_cast<int64_t>(buf.size()) < n) buf.resize(n);
+  return buf.data();
+}
+
+namespace {
+
+size_t ChunkBytes(const std::deque<std::vector<float>>& buffers) {
+  size_t bytes = 0;
+  for (const auto& b : buffers) bytes += b.capacity() * sizeof(float);
+  return bytes;
+}
+
+}  // namespace
+
+ScratchArena::Lease ScratchArena::Acquire() {
+  Chunk* chunk = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      chunk = free_.back();
+      free_.pop_back();
+      retained_bytes_ -= ChunkBytes(chunk->buffers);
+    } else {
+      chunks_.push_back(std::make_unique<Chunk>());
+      chunk = chunks_.back().get();
+    }
+  }
+  chunk->next = 0;
+  return Lease(this, chunk);
+}
+
+void ScratchArena::Release(Chunk* chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t bytes = ChunkBytes(chunk->buffers);
+  if (retained_bytes_ + bytes > max_retained_bytes_) {
+    // Over the cap: hand the storage back to the allocator instead of caching
+    // it. The (empty) chunk stays on the free list for reuse.
+    chunk->buffers.clear();
+  } else {
+    retained_bytes_ += bytes;
+  }
+  free_.push_back(chunk);
+}
+
+ExecutionContext* ExecutionContext::Default() {
+  static ExecutionContext* context = new ExecutionContext();
+  return context;
+}
+
+}  // namespace rita

@@ -17,6 +17,14 @@ uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t MixSeed(uint64_t a, uint64_t b) {
+  // Feed both words through the splitmix64 finaliser so that nearby counter
+  // values (stream 0/1/2..., slice 0/1/2...) land in unrelated states.
+  uint64_t state = a ^ RotL(b, 32) ^ 0x6a09e667f3bcc909ULL;
+  (void)SplitMix64(&state);
+  return SplitMix64(&state);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : state_) s = SplitMix64(&sm);

@@ -10,6 +10,12 @@
 
 namespace rita {
 
+/// Mixes two 64-bit values into a well-distributed seed (splitmix64 finaliser).
+/// Chain it to derive counter-based independent streams, e.g.
+/// MixSeed(MixSeed(root, stream), slice) — the basis of the deterministic
+/// per-slice RNGs used by the parallel attention/grouping loops.
+uint64_t MixSeed(uint64_t a, uint64_t b);
+
 /// xoshiro256** pseudo-random generator. Not cryptographic; fast and with
 /// excellent statistical properties for simulation workloads.
 class Rng {
