@@ -7,7 +7,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -55,23 +58,95 @@ struct BenchScale {
   int64_t heads = 2;       // attention heads (paper: 2)
   bool paper_scale = false;
   bool quick = false;  // further shrink for smoke runs
+  /// --json PATH: also drop the measured metrics as a BENCH_*.json document
+  /// (flat name/value/unit records) for cross-run trajectory tracking.
+  std::string json_path;
 };
 
 inline BenchScale ParseScale(int argc, char** argv) {
   BenchScale scale;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--paper-scale") == 0) {
-      scale = BenchScale{1.0, 1.0, 100, 64, 8, 2, true, false};
+      const std::string json = scale.json_path;
+      scale = BenchScale{1.0, 1.0, 100, 64, 8, 2, true, false, json};
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       scale.quick = true;
       scale.size *= 0.5;
       scale.length *= 0.5;
       scale.epochs = 2;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      scale.json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      scale.json_path = argv[i] + 7;
     }
   }
   SetLogLevel(LogLevel::kWarning);
   return scale;
 }
+
+/// Accumulates flat metric records and writes the BENCH_*.json document the
+/// trajectory tracker ingests:
+///   {"bench": "<name>", "metrics": [{"name": ..., "value": ..., "unit": ...}]}
+/// Metric names are hierarchical slash-paths (dataset/method/measure) so runs
+/// diff cleanly across commits.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench) : bench_(std::move(bench)) {}
+
+  void Add(const std::string& name, double value, const std::string& unit) {
+    Metric m;
+    m.name = name;
+    m.value = value;
+    m.unit = unit;
+    metrics_.push_back(std::move(m));
+  }
+
+  /// Writes the document; no-op (returning true) when `path` is empty so
+  /// call sites can pass BenchScale::json_path unconditionally.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n  \"bench\": \"" << Escape(bench_) << "\",\n  \"metrics\": [";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n");
+      out << "    {\"name\": \"" << Escape(metrics_[i].name) << "\", \"value\": "
+          << FormatValue(metrics_[i].value) << ", \"unit\": \""
+          << Escape(metrics_[i].unit) << "\"}";
+    }
+    out << "\n  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+  };
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static std::string FormatValue(double v) {
+    std::ostringstream os;
+    // Round-trip precision: trajectory diffs must see the exact measured
+    // value, not a 6-significant-digit rounding of it.
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << v;
+    return os.str();
+  }
+
+  std::string bench_;
+  std::vector<Metric> metrics_;
+};
 
 /// Per-dataset frontend geometry: keeps ~paper-proportional token counts.
 struct Frontend {

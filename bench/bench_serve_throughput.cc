@@ -1,0 +1,149 @@
+// Serving throughput: requests/sec through the rita::serve InferenceEngine as
+// a function of (client threads) x (micro-batch cap). One frozen group-
+// attention RITA model is shared by every configuration; each cell spins up N
+// client threads that each fire a fixed number of single-series
+// classification requests and waits for all responses.
+//
+// Expected shape: requests/sec grows with client threads until the executor
+// saturates, and a larger micro-batch cap lifts the whole curve (coalescing
+// amortises per-forward overheads) — cap 1 is the no-batching ablation.
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/inference_engine.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+
+namespace rita {
+namespace bench {
+namespace {
+
+struct Workload {
+  serve::FrozenModel* frozen = nullptr;
+  ExecutionContext* context = nullptr;
+  std::vector<Tensor> requests;  // [T, C] each
+};
+
+struct CellResult {
+  double seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double avg_batch = 0.0;
+  double avg_queue_ms = 0.0;
+};
+
+CellResult RunCell(const Workload& workload, int clients, int64_t max_micro_batch) {
+  serve::InferenceEngineOptions options;
+  options.num_workers = 2;
+  options.max_micro_batch = max_micro_batch;
+  options.context = workload.context;
+  serve::InferenceEngine engine(workload.frozen, options);
+
+  const int64_t total = static_cast<int64_t>(workload.requests.size());
+  std::vector<std::future<serve::InferenceResponse>> futures(total);
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int64_t i = c; i < total; i += clients) {
+        serve::InferenceRequest request;
+        request.series = workload.requests[i];
+        request.task = serve::ServeTask::kClassify;
+        futures[i] = engine.Submit(std::move(request));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& f : futures) {
+    RITA_CHECK(f.get().status.ok());
+  }
+
+  CellResult result;
+  result.seconds = watch.ElapsedSeconds();
+  result.requests_per_sec = static_cast<double>(total) / result.seconds;
+  const serve::InferenceEngineStats stats = engine.stats();
+  result.avg_batch = stats.AvgBatchSize();
+  result.avg_queue_ms = stats.AvgQueueMs();
+  return result;
+}
+
+void Run(const BenchScale& scale) {
+  std::printf("=== Serving throughput: requests/sec vs client threads vs batch cap ===\n\n");
+
+  model::RitaConfig config;
+  config.input_channels = 3;
+  config.input_length = scale.quick ? 100 : 200;
+  config.window = 5;
+  config.stride = 5;
+  config.num_classes = 6;
+  config.encoder.dim = scale.dim;
+  config.encoder.num_layers = scale.layers;
+  config.encoder.num_heads = scale.heads;
+  config.encoder.ffn_hidden = 2 * scale.dim;
+  config.encoder.attention.kind = attn::AttentionKind::kGroup;
+  config.encoder.attention.group.num_groups = DefaultGroups(config.NumTokens());
+
+  Rng rng(4100);
+  model::RitaModel model(config, &rng);
+  serve::FrozenModel frozen(model);
+  ExecutionContext context;  // over ThreadPool::Global()
+
+  const int64_t num_requests = scale.quick ? 96 : 256;
+  Workload workload;
+  workload.frozen = &frozen;
+  workload.context = &context;
+  workload.requests.reserve(num_requests);
+  Rng data_rng(4200);
+  for (int64_t i = 0; i < num_requests; ++i) {
+    workload.requests.push_back(
+        Tensor::RandNormal({config.input_length, config.input_channels}, &data_rng));
+  }
+
+  const std::vector<int> client_sweep = {1, 2, 4, 8};
+  const std::vector<int64_t> cap_sweep = {1, 8, 32};
+
+  auto csv_open = CsvWriter::Open("bench_serve_throughput.csv");
+  RITA_CHECK(csv_open.ok());
+  CsvWriter csv = csv_open.MoveValueOrDie();
+  csv.WriteRow({"clients", "batch_cap", "requests", "seconds", "requests_per_sec",
+                "avg_micro_batch", "avg_queue_ms"});
+  BenchJsonWriter json("serve_throughput");
+
+  // Unmeasured warmup pass: first-touch pool/arena/model allocations land
+  // here instead of inflating the first measured cell (the no-batching
+  // baseline every other cell is compared against).
+  RunCell(workload, 2, 8);
+
+  std::printf("%8s %10s %12s %10s %12s %14s\n", "clients", "batch-cap", "req/s",
+              "seconds", "avg-batch", "avg-queue-ms");
+  PrintRule(72);
+  for (int64_t cap : cap_sweep) {
+    for (int clients : client_sweep) {
+      const CellResult result = RunCell(workload, clients, cap);
+      std::printf("%8d %10lld %12.1f %10.3f %12.2f %14.3f\n", clients,
+                  static_cast<long long>(cap), result.requests_per_sec,
+                  result.seconds, result.avg_batch, result.avg_queue_ms);
+      csv.WriteValues(clients, cap, num_requests, result.seconds,
+                      result.requests_per_sec, result.avg_batch,
+                      result.avg_queue_ms);
+      const std::string name = "clients" + std::to_string(clients) + "/cap" +
+                               std::to_string(cap) + "/requests_per_sec";
+      json.Add(name, result.requests_per_sec, "req/s");
+    }
+    std::printf("\n");
+  }
+  RITA_CHECK(csv.Close().ok());
+  RITA_CHECK(json.WriteTo(scale.json_path)) << "failed to write " << scale.json_path;
+  std::printf("series written to bench_serve_throughput.csv\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rita
+
+int main(int argc, char** argv) {
+  rita::bench::Run(rita::bench::ParseScale(argc, argv));
+  return 0;
+}

@@ -1,13 +1,20 @@
 // Tables 6 & 7: inference time over the validation set — classification
 // (Table 6: WISDM/HHAR/RWHAR/ECG) and imputation (Table 7: + MGH, where only
-// the sub-quadratic methods survive at paper scale).
+// the sub-quadratic methods survive at paper scale). A third column times the
+// same classification workload through the rita::serve micro-batching
+// InferenceEngine (4 client threads submitting single-series requests).
 //
 // Expected shape (paper): all methods are close on short series; on the long
 // ECG/MGH series Group Attn. is the fastest and TST/Vanilla fall behind (or
 // OOM on MGH).
+#include <future>
+#include <thread>
+
 #include "bench_common.h"
 #include "core/memory_model.h"
+#include "serve/inference_engine.h"
 #include "util/csv.h"
+#include "util/stopwatch.h"
 
 namespace rita {
 namespace bench {
@@ -42,12 +49,50 @@ bool OomAtPaperScale(Method method, const data::PaperDatasetSpec& spec) {
   return method == Method::kTst || method == Method::kVanilla;
 }
 
+// Seconds to push the validation set through the serving engine: 4 client
+// threads submit single-series classification requests, the engine coalesces
+// them into micro-batches. Comparable to TimeInference's batched pass but
+// measured end-to-end through the concurrent request path.
+double TimeServePass(model::RitaModel* rita, const data::TimeseriesDataset& valid,
+                     int64_t max_micro_batch) {
+  serve::FrozenModel frozen(*rita);
+  serve::InferenceEngineOptions options;
+  options.num_workers = 2;
+  options.max_micro_batch = max_micro_batch;
+  serve::InferenceEngine engine(&frozen, options);
+
+  constexpr int kClients = 4;
+  const int64_t total = valid.size();
+  std::vector<std::future<serve::InferenceResponse>> futures(total);
+  Stopwatch watch;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int64_t i = c; i < total; i += kClients) {
+        serve::InferenceRequest request;
+        request.series =
+            valid.Sample(i).Reshape({valid.length(), valid.channels()});
+        request.task = serve::ServeTask::kClassify;
+        futures[i] = engine.Submit(std::move(request));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (auto& f : futures) {
+    const serve::InferenceResponse response = f.get();
+    RITA_CHECK(response.status.ok()) << response.status.ToString();
+  }
+  return watch.ElapsedSeconds();
+}
+
 void Run(const BenchScale& scale) {
   std::printf("=== Tables 6 & 7: inference time (seconds per validation pass) ===\n\n");
   auto csv_open = CsvWriter::Open("bench_table6_inference.csv");
   RITA_CHECK(csv_open.ok());
   CsvWriter csv = csv_open.MoveValueOrDie();
   csv.WriteRow({"dataset", "method", "task", "seconds", "paper_seconds"});
+  BenchJsonWriter json("table6_inference");
 
   for (const PaperRow& row : kPaperRows) {
     const data::PaperDatasetSpec spec = data::GetPaperSpec(row.dataset);
@@ -70,14 +115,14 @@ void Run(const BenchScale& scale) {
     std::printf("%s (valid %lld, length %lld)\n", spec.name.c_str(),
                 static_cast<long long>(split.valid.size()),
                 static_cast<long long>(split.valid.length()));
-    std::printf("%-10s %12s %10s %12s %10s\n", "method", "classify-s", "paper",
-                "impute-s", "paper");
+    std::printf("%-10s %12s %10s %12s %10s %10s\n", "method", "classify-s", "paper",
+                "impute-s", "paper", "serve-s");
 
     for (Method method : AllMethods()) {
       const int mi = static_cast<int>(method);
       if (OomAtPaperScale(method, spec)) {
-        std::printf("%-10s %12s %10s %12s %10s   (OOM at paper scale)\n",
-                    MethodName(method), "N/A", "N/A", "N/A", "N/A");
+        std::printf("%-10s %12s %10s %12s %10s %10s   (OOM at paper scale)\n",
+                    MethodName(method), "N/A", "N/A", "N/A", "N/A", "N/A");
         csv.WriteValues(spec.name, MethodName(method), "both", "N/A", "N/A");
         continue;
       }
@@ -95,6 +140,13 @@ void Run(const BenchScale& scale) {
       }
       const double imp_sec = trainer.TimeInference(split.valid, false);
 
+      // The serving path needs a RitaModel (TST has no frozen/serve support).
+      double serve_sec = -1.0;
+      auto* rita = dynamic_cast<model::RitaModel*>(model.get());
+      if (rita != nullptr && has_labels) {
+        serve_sec = TimeServePass(rita, split.valid, topts.batch_size);
+      }
+
       auto fmt = [](double v) {
         char buf[32];
         if (v < 0) {
@@ -104,19 +156,28 @@ void Run(const BenchScale& scale) {
         }
         return std::string(buf);
       };
-      std::printf("%-10s %12s %10s %12s %10s\n", MethodName(method),
+      std::printf("%-10s %12s %10s %12s %10s %10s\n", MethodName(method),
                   fmt(cls_sec).c_str(), PaperNum(row.cls[mi]).c_str(),
-                  fmt(imp_sec).c_str(), PaperNum(row.imp[mi]).c_str());
+                  fmt(imp_sec).c_str(), PaperNum(row.imp[mi]).c_str(),
+                  fmt(serve_sec).c_str());
+      const std::string prefix = spec.name + "/" + MethodName(method) + "/";
       if (has_labels) {
         csv.WriteValues(spec.name, MethodName(method), "classification", cls_sec,
                         PaperNum(row.cls[mi]));
+        json.Add(prefix + "classify_seconds", cls_sec, "s");
       }
       csv.WriteValues(spec.name, MethodName(method), "imputation", imp_sec,
                       PaperNum(row.imp[mi]));
+      json.Add(prefix + "impute_seconds", imp_sec, "s");
+      if (serve_sec >= 0) {
+        csv.WriteValues(spec.name, MethodName(method), "serve", serve_sec, "n/r");
+        json.Add(prefix + "serve_seconds", serve_sec, "s");
+      }
     }
     std::printf("\n");
   }
   RITA_CHECK(csv.Close().ok());
+  RITA_CHECK(json.WriteTo(scale.json_path)) << "failed to write " << scale.json_path;
   std::printf("series written to bench_table6_inference.csv\n");
 }
 

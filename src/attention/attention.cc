@@ -21,6 +21,14 @@ const char* AttentionKindName(AttentionKind kind) {
   return "Unknown";
 }
 
+ag::Variable AttentionMechanism::Forward(const ag::Variable& q, const ag::Variable& k,
+                                         const ag::Variable& v) {
+  ForwardState state;
+  state.stream_counter = &legacy_stream_;
+  InitDefaultState(&state);
+  return Forward(q, k, v, &state);
+}
+
 // ---------------------------------------------------------------------------
 // Vanilla
 // ---------------------------------------------------------------------------
@@ -31,25 +39,26 @@ VanillaAttention::VanillaAttention(int64_t head_dim, float dropout, Rng* rng)
       seed_(rng->NextU64()) {}
 
 ag::Variable VanillaAttention::Forward(const ag::Variable& q, const ag::Variable& k,
-                                       const ag::Variable& v) {
+                                       const ag::Variable& v, ForwardState* state) {
   // scores [BH, n, n] -- the O(n^2) object group attention avoids.
   ag::Variable scores = ag::MulScalar(ag::Bmm(q, k, false, true), scale_);
   ag::Variable probs = ag::SoftmaxLastDim(scores);
-  if (training() && dropout_ > 0.0f) {
+  if (training() && state->stochastic && dropout_ > 0.0f) {
     // Inverted-dropout mask over the O(n^2) probs: the one serial hot loop
     // left in this kernel, so build it per (batch*head) slice across the
     // pool, then apply it through the shared dropout backward.
     RITA_CHECK_LT(dropout_, 1.0f);
-    ExecutionContext* context = execution_context();
-    const uint64_t stream = forward_calls_++;
+    ExecutionContext* context = ResolveContext(*state);
+    // Drawn here, not at entry: eval forwards consume no stream ordinal.
+    const uint64_t stream = state->DrawStream();
     const int64_t bh = q.size(0), n = q.size(1);
     const float keep = 1.0f - dropout_;
     const float inv_keep = 1.0f / keep;
     Tensor mask({bh, n, n});
     float* pm = mask.data();
-    context->pool()->ParallelFor(0, bh, [&](int64_t s0, int64_t s1) {
+    context->ParallelFor(0, bh, [&](int64_t s0, int64_t s1) {
       for (int64_t s = s0; s < s1; ++s) {
-        Rng slice_rng = ExecutionContext::SliceRng(seed_, stream, s);
+        Rng slice_rng = ExecutionContext::SliceRng(seed_, stream, state->SliceKey(s));
         float* row = pm + s * n * n;
         for (int64_t i = 0; i < n * n; ++i) {
           row[i] = slice_rng.Bernoulli(keep) ? inv_keep : 0.0f;
@@ -68,6 +77,9 @@ ag::Variable VanillaAttention::Forward(const ag::Variable& q, const ag::Variable
 PerformerAttention::PerformerAttention(int64_t head_dim, int64_t num_features, Rng* rng)
     : head_dim_(head_dim), num_features_(num_features), rng_(rng) {
   RedrawFeatures();
+  // Persist the projection so a weight-copied model replica (rita::serve
+  // FrozenModel, checkpoints) reproduces this mechanism's outputs.
+  RegisterBuffer("omega", &omega_);
 }
 
 void PerformerAttention::RedrawFeatures() {
@@ -75,7 +87,8 @@ void PerformerAttention::RedrawFeatures() {
 }
 
 ag::Variable PerformerAttention::Forward(const ag::Variable& q, const ag::Variable& k,
-                                         const ag::Variable& v) {
+                                         const ag::Variable& v, ForwardState* state) {
+  (void)state;  // deterministic forward: no dropout, no RNG
   // exp(q.k / sqrt(d)) is the softmax kernel on q' = q / d^{1/4}, k' = k / d^{1/4}.
   const float scale = 1.0f / std::pow(static_cast<float>(head_dim_), 0.25f);
   ag::Variable qs = ag::MulScalar(q, scale);
@@ -131,7 +144,8 @@ LinformerAttention::LinformerAttention(int64_t head_dim, int64_t seq_len,
 }
 
 ag::Variable LinformerAttention::Forward(const ag::Variable& q, const ag::Variable& k,
-                                         const ag::Variable& v) {
+                                         const ag::Variable& v, ForwardState* state) {
+  (void)state;  // deterministic forward: no dropout, no RNG
   RITA_CHECK_EQ(k.size(1), seq_len_)
       << "Linformer requires the configured sequence length";
   // K' = E K: project along the sequence axis via K^T E^T, then transpose.

@@ -2,14 +2,23 @@
 // the paper: canonical (vanilla) scaled-dot-product attention, Performer
 // (FAVOR+ random features) and Linformer (low-rank length projection).
 // RITA's group attention implements the same interface in src/core.
+//
+// Reentrancy contract: mechanisms hold only immutable parameters plus a
+// default ForwardState for the legacy stateful entry point. A caller that
+// supplies its own ForwardState (and keeps the module in eval mode) may run
+// any number of Forward passes through one mechanism concurrently — the basis
+// of the rita::serve inference engine.
 #ifndef RITA_ATTENTION_ATTENTION_H_
 #define RITA_ATTENTION_ATTENTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "autograd/ops.h"
+#include "core/grouping_snapshot.h"
 #include "nn/module.h"
 #include "util/execution_context.h"
 
@@ -26,6 +35,61 @@ enum class AttentionKind {
 
 const char* AttentionKindName(AttentionKind kind);
 
+/// Everything one Forward invocation reads or mutates that is not a model
+/// parameter. Callers own the state, so N threads can forward through one
+/// frozen mechanism simultaneously, each with its own state. The legacy
+/// Forward(q, k, v) overload builds a default state internally (training
+/// keeps exactly its old single-caller behaviour).
+struct ForwardState {
+  /// Execution resources for this call; null falls back to the mechanism's
+  /// set_execution_context() value and then to ExecutionContext::Default().
+  ExecutionContext* context = nullptr;
+
+  /// Counter-based RNG stream ordinal for this call (dropout masks, k-means
+  /// seeding). Deterministic inference pins it (rita::serve uses 0 for every
+  /// call, so the same request always produces the same output).
+  uint64_t stream = 0;
+
+  /// When set (the legacy entry point), the stream is drawn lazily from this
+  /// per-mechanism counter at the point of first use via DrawStream() — so a
+  /// mechanism that consumes no randomness on a given call (vanilla attention
+  /// in eval mode) does not advance the counter, exactly matching the
+  /// pre-reentrancy semantics.
+  std::atomic<uint64_t>* stream_counter = nullptr;
+
+  /// The stream ordinal for this call: the pinned `stream` value, or the next
+  /// counter draw on the legacy path. Call at most once per Forward.
+  uint64_t DrawStream() {
+    return stream_counter != nullptr
+               ? stream_counter->fetch_add(1, std::memory_order_relaxed)
+               : stream;
+  }
+
+  /// False disables stochastic behaviour (attention-probs dropout) even when
+  /// the module is in training mode. Serving sets false.
+  bool stochastic = true;
+
+  /// Request batch-position-independent RNG streams: the per-slice RNG is
+  /// derived from the head index instead of the absolute (batch*head) slice
+  /// index, so a sample's result does not depend on where in a micro-batch it
+  /// landed. MultiHeadAttention translates this into rng_slice_period.
+  bool batch_invariant = false;
+
+  /// Set by MultiHeadAttention (to num_heads) when batch_invariant: the
+  /// per-slice RNG key becomes slice % period. 0 keeps the absolute index.
+  int64_t rng_slice_period = 0;
+
+  /// Optional sink for grouping snapshots (adaptive scheduler input). Null
+  /// skips collection entirely — the right setting for inference.
+  std::vector<core::GroupingSnapshot>* snapshots = nullptr;
+
+  /// RNG key of slice `s` under this state's invariance policy.
+  uint64_t SliceKey(int64_t s) const {
+    return rng_slice_period > 0 ? static_cast<uint64_t>(s % rng_slice_period)
+                                : static_cast<uint64_t>(s);
+  }
+};
+
 /// Per-head attention computation: Q, K, V are [BH, n, d_head]; returns the
 /// attended values [BH, n, d_head]. Implementations may own parameters (e.g.
 /// Linformer projections), so the interface extends nn::Module.
@@ -35,8 +99,18 @@ class AttentionMechanism : public nn::Module {
   // mechanism safely (they fall back to the default context).
   ~AttentionMechanism() override { *context_cell_ = nullptr; }
 
+  /// Reentrant entry point: all per-call state lives in `state` (never null).
+  /// Thread-safe against concurrent calls with distinct states while the
+  /// module is in eval mode and no thread mutates parameters.
   virtual ag::Variable Forward(const ag::Variable& q, const ag::Variable& k,
-                               const ag::Variable& v) = 0;
+                               const ag::Variable& v, ForwardState* state) = 0;
+
+  /// Legacy stateful entry point: owns a default state whose stream ordinal
+  /// is drawn per use from an atomic counter and whose snapshot sink is the
+  /// mechanism's member buffer. Single-caller semantics identical to the
+  /// pre-reentrancy code; training continues to use this.
+  ag::Variable Forward(const ag::Variable& q, const ag::Variable& k,
+                       const ag::Variable& v);
 
   virtual AttentionKind kind() const = 0;
 
@@ -69,9 +143,24 @@ class AttentionMechanism : public nn::Module {
     return *cell != nullptr ? *cell : ExecutionContext::Default();
   }
 
+ protected:
+  /// Hook for subclasses to finish the legacy default state (e.g. point its
+  /// snapshot sink at the mechanism's member buffer).
+  virtual void InitDefaultState(ForwardState* state) { (void)state; }
+
+  /// This call's execution context under `state`, falling back to the
+  /// mechanism-level context.
+  ExecutionContext* ResolveContext(const ForwardState& state) const {
+    return state.context != nullptr ? state.context : execution_context();
+  }
+
  private:
   std::shared_ptr<ExecutionContext*> context_cell_ =
       std::make_shared<ExecutionContext*>(nullptr);
+  // Stream ordinal source for the legacy entry point. Atomic so accidental
+  // concurrent legacy calls corrupt nothing (they still share snapshot
+  // buffers; true concurrency should pass explicit states).
+  std::atomic<uint64_t> legacy_stream_{0};
 };
 
 /// Canonical softmax(QK^T / sqrt(d)) V. O(n^2) time and space. The batched
@@ -84,8 +173,9 @@ class VanillaAttention : public AttentionMechanism {
  public:
   VanillaAttention(int64_t head_dim, float dropout, Rng* rng);
 
+  using AttentionMechanism::Forward;
   ag::Variable Forward(const ag::Variable& q, const ag::Variable& k,
-                       const ag::Variable& v) override;
+                       const ag::Variable& v, ForwardState* state) override;
   AttentionKind kind() const override { return AttentionKind::kVanilla; }
   int64_t ScoreMatrixElements(int64_t n) const override { return n * n; }
 
@@ -93,19 +183,23 @@ class VanillaAttention : public AttentionMechanism {
   float scale_;
   float dropout_;
   uint64_t seed_;
-  uint64_t forward_calls_ = 0;
 };
 
 /// Performer / FAVOR+ with positive softmax-kernel features
 /// phi(x) = exp(w.x - |x|^2 / 2) / sqrt(m). Bidirectional (non-causal).
+/// Note: the key features share one global stabilisation shift computed over
+/// the whole [BH, n] batch, which cancels mathematically but not bitwise —
+/// Performer outputs are batch-composition-invariant only up to float
+/// rounding (group/vanilla/linformer are exactly invariant).
 class PerformerAttention : public AttentionMechanism {
  public:
   /// `num_features` is m, the random-feature count; features are redrawn with
   /// RedrawFeatures() (the trainer does this once per epoch).
   PerformerAttention(int64_t head_dim, int64_t num_features, Rng* rng);
 
+  using AttentionMechanism::Forward;
   ag::Variable Forward(const ag::Variable& q, const ag::Variable& k,
-                       const ag::Variable& v) override;
+                       const ag::Variable& v, ForwardState* state) override;
   AttentionKind kind() const override { return AttentionKind::kPerformer; }
   int64_t ScoreMatrixElements(int64_t n) const override { return n * num_features_; }
 
@@ -115,7 +209,8 @@ class PerformerAttention : public AttentionMechanism {
   int64_t head_dim_;
   int64_t num_features_;
   Rng* rng_;
-  Tensor omega_;  // [head_dim, m] random projection (not trained)
+  Tensor omega_;  // [head_dim, m] random projection (not trained; persisted
+                  // as a buffer so snapshots/checkpoints reproduce outputs)
 };
 
 /// Linformer: projects K and V along the sequence axis with learnable E, F in
@@ -124,8 +219,9 @@ class LinformerAttention : public AttentionMechanism {
  public:
   LinformerAttention(int64_t head_dim, int64_t seq_len, int64_t proj_dim, Rng* rng);
 
+  using AttentionMechanism::Forward;
   ag::Variable Forward(const ag::Variable& q, const ag::Variable& k,
-                       const ag::Variable& v) override;
+                       const ag::Variable& v, ForwardState* state) override;
   AttentionKind kind() const override { return AttentionKind::kLinformer; }
   int64_t ScoreMatrixElements(int64_t n) const override { return n * proj_dim_; }
 

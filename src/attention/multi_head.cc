@@ -24,6 +24,10 @@ MultiHeadAttention::MultiHeadAttention(int64_t dim, int64_t num_heads,
 }
 
 ag::Variable MultiHeadAttention::Forward(const ag::Variable& x) {
+  return Forward(x, nullptr);
+}
+
+ag::Variable MultiHeadAttention::Forward(const ag::Variable& x, ForwardState* state) {
   RITA_CHECK_EQ(x.dim(), 3);
   RITA_CHECK_EQ(x.size(2), dim_);
   const int64_t b = x.size(0), n = x.size(1);
@@ -39,7 +43,15 @@ ag::Variable MultiHeadAttention::Forward(const ag::Variable& x) {
   ag::Variable k = split_heads(wk_.Forward(x));
   ag::Variable v = split_heads(wv_.Forward(x));
 
-  ag::Variable o = mechanism_->Forward(q, k, v);  // [B*H, n, d_head]
+  ag::Variable o;  // [B*H, n, d_head]
+  if (state == nullptr) {
+    o = mechanism_->Forward(q, k, v);
+  } else {
+    // The mechanism sees flat [B*H] slices; the head count is the period that
+    // maps a slice back to its head regardless of batch position.
+    state->rng_slice_period = state->batch_invariant ? num_heads_ : 0;
+    o = mechanism_->Forward(q, k, v, state);
+  }
 
   // Merge heads back: [B*H, n, d_head] -> [B, n, d]
   o = ag::Reshape(o, {b, num_heads_, n, head_dim_});

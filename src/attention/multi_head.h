@@ -18,8 +18,13 @@ class MultiHeadAttention : public nn::Module {
   MultiHeadAttention(int64_t dim, int64_t num_heads,
                      std::unique_ptr<AttentionMechanism> mechanism, Rng* rng);
 
-  /// x: [B, n, dim] -> [B, n, dim].
+  /// x: [B, n, dim] -> [B, n, dim]. The stateless overload uses the
+  /// mechanism's internal default state (legacy/training path); the stateful
+  /// one is reentrant — callers own the per-call state. MultiHeadAttention
+  /// translates state->batch_invariant into the head-count RNG period the
+  /// mechanism needs for batch-position-independent slice streams.
   ag::Variable Forward(const ag::Variable& x);
+  ag::Variable Forward(const ag::Variable& x, ForwardState* state);
 
   AttentionMechanism* mechanism() { return mechanism_.get(); }
   int64_t num_heads() const { return num_heads_; }

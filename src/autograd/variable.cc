@@ -15,6 +15,12 @@ thread_local bool g_grad_mode = true;
 
 bool GradModeEnabled() { return g_grad_mode; }
 
+bool SetGradModeEnabled(bool enabled) {
+  const bool prev = g_grad_mode;
+  g_grad_mode = enabled;
+  return prev;
+}
+
 NoGradGuard::NoGradGuard() : prev_(g_grad_mode) { g_grad_mode = false; }
 NoGradGuard::~NoGradGuard() { g_grad_mode = prev_; }
 

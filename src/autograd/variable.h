@@ -83,6 +83,12 @@ class NoGradGuard {
 /// True when ops should record the graph.
 bool GradModeEnabled();
 
+/// Sets the calling thread's grad mode and returns the previous value. Grad
+/// mode is thread_local, so a NoGradGuard on one thread does NOT apply inside
+/// tasks that run on pool workers; ExecutionContext::ParallelFor uses this to
+/// propagate the caller's mode into its shards.
+bool SetGradModeEnabled(bool enabled);
+
 }  // namespace ag
 }  // namespace rita
 

@@ -49,7 +49,7 @@ Tensor PairwiseSqDistMatmul(const Tensor& a, const Tensor& b,
   };
   if (parallel) {
     const int64_t min_rows = std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, m * d));
-    context->pool()->ParallelFor(0, n, rows, min_rows);
+    context->ParallelFor(0, n, rows, min_rows);
   } else {
     rows(0, n);
   }
@@ -147,7 +147,6 @@ KMeansResult RunKMeans(const Tensor& points, const KMeansOptions& options, Rng* 
   const int64_t k = std::min<int64_t>(options.num_clusters, n);
   RITA_CHECK_GT(k, 0);
   if (context == nullptr) context = ExecutionContext::Default();
-  ThreadPool* pool = context->pool();
   // Shards inner loops across the pool, or runs them inline when the caller
   // owns a coarser parallel grain. Either way the loop bodies and reduction
   // block structure are identical, so the floats are too.
@@ -155,7 +154,7 @@ KMeansResult RunKMeans(const Tensor& points, const KMeansOptions& options, Rng* 
                    const std::function<void(int64_t, int64_t)>& body,
                    int64_t min_shard) {
     if (options.parallel) {
-      pool->ParallelFor(lo, hi, body, min_shard);
+      context->ParallelFor(lo, hi, body, min_shard);
     } else {
       body(lo, hi);
     }

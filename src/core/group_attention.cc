@@ -56,7 +56,7 @@ class GroupAttentionFunction : public ag::Function {
     // Slices write disjoint [n, d] blocks of dQ/dK/dV, so the slice loop
     // shards freely across the pool; each shard leases scratch from the arena
     // so the per-slice temporaries are recycled instead of reallocated.
-    context->pool()->ParallelFor(0, bh, [&](int64_t s0, int64_t s1) {
+    context->ParallelFor(0, bh, [&](int64_t s0, int64_t s1) {
       ScratchArena::Lease scratch = context->arena()->Acquire();
       for (int64_t s = s0; s < s1; ++s) {
         scratch.Reset();
@@ -144,14 +144,15 @@ void GroupAttentionMechanism::set_num_groups(int64_t n) {
 
 ag::Variable GroupAttentionMechanism::Forward(const ag::Variable& q,
                                               const ag::Variable& k,
-                                              const ag::Variable& v) {
+                                              const ag::Variable& v,
+                                              attn::ForwardState* state) {
   RITA_CHECK_EQ(q.dim(), 3);
   RITA_CHECK_EQ(q.size(2), head_dim_);
   const int64_t bh = q.size(0), n = q.size(1), d = q.size(2);
   RITA_CHECK(k.shape() == q.shape());
   RITA_CHECK(v.shape() == q.shape());
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
-  ExecutionContext* context = execution_context();
+  ExecutionContext* context = ResolveContext(*state);
 
   cluster::KMeansOptions km;
   km.num_clusters = std::min<int64_t>(num_groups_, n);
@@ -163,8 +164,9 @@ ag::Variable GroupAttentionMechanism::Forward(const ag::Variable& q,
 
   Tensor out({bh, n, d});
   std::vector<SliceState> states(bh);
-  snapshots_.assign(options_.collect_snapshots ? bh : 0, GroupingSnapshot());
-  const uint64_t stream = forward_calls_++;
+  std::vector<GroupingSnapshot>* snapshots = state->snapshots;
+  if (snapshots != nullptr) snapshots->assign(bh, GroupingSnapshot());
+  const uint64_t stream = state->DrawStream();
 
   const float* pq = q.data().data();
   const float* pk = k.data().data();
@@ -175,11 +177,11 @@ ag::Variable GroupAttentionMechanism::Forward(const ag::Variable& q,
   // score against the N representatives, group-softmax, aggregate values.
   // Slices share nothing mutable — each has its own SliceState, snapshot slot
   // and counter-derived RNG — so the loop shards freely across the pool.
-  context->pool()->ParallelFor(0, bh, [&](int64_t s0, int64_t s1) {
+  context->ParallelFor(0, bh, [&](int64_t s0, int64_t s1) {
     ScratchArena::Lease scratch = context->arena()->Acquire();
     for (int64_t s = s0; s < s1; ++s) {
       scratch.Reset();
-      Rng slice_rng = ExecutionContext::SliceRng(seed_, stream, s);
+      Rng slice_rng = ExecutionContext::SliceRng(seed_, stream, state->SliceKey(s));
 
       // Keys of this slice (copied into a 2-D tensor for the grouping engine).
       Tensor keys({n, d});
@@ -229,8 +231,8 @@ ag::Variable GroupAttentionMechanism::Forward(const ag::Variable& q,
       ops::Gemm2D(a_tilde.data(), v_tilde.data(), po + s * n * d, n, d, ng, false,
                   false, /*parallel=*/false);
 
-      if (options_.collect_snapshots) {
-        GroupingSnapshot& snap = snapshots_[s];
+      if (snapshots != nullptr) {
+        GroupingSnapshot& snap = (*snapshots)[s];
         snap.centroids = grouping.centroids;
         snap.counts = grouping.counts;
         snap.radii = cluster::ClusterRadii(keys, grouping);

@@ -13,6 +13,7 @@
 
 #include "attention/attention.h"
 #include "cluster/kmeans.h"
+#include "core/grouping_snapshot.h"
 
 namespace rita {
 namespace core {
@@ -30,50 +31,52 @@ struct GroupAttentionOptions {
   bool collect_snapshots = true;
 };
 
-/// Grouping statistics of one (batch, head) slice from the latest forward
-/// pass; consumed by the adaptive scheduler's merge test.
-struct GroupingSnapshot {
-  Tensor centroids;             // [N, d_head]
-  std::vector<int64_t> counts;  // [N]
-  std::vector<float> radii;     // max_{x in cluster} |x - c| per cluster
-  float key_ball_radius = 0.0f;   // max_i |k_i| (the paper's literal R)
-  // max_i |q_i|: the radius the Lemma 1 proof actually bounds with (the
-  // exponent is q_i . (k~ - k)); with the scaled dot product the effective
-  // radius becomes |q|_max / sqrt(d_head), which the scheduler uses.
-  float query_ball_radius = 0.0f;
-};
-
 /// Group attention mechanism (drop-in replacement for VanillaAttention).
+/// Reentrant: a Forward with an explicit ForwardState mutates nothing on the
+/// mechanism, so one frozen instance serves concurrent callers.
 class GroupAttentionMechanism : public attn::AttentionMechanism {
  public:
   GroupAttentionMechanism(int64_t head_dim, const GroupAttentionOptions& options,
                           Rng* rng);
 
+  using attn::AttentionMechanism::Forward;
   ag::Variable Forward(const ag::Variable& q, const ag::Variable& k,
-                       const ag::Variable& v) override;
+                       const ag::Variable& v, attn::ForwardState* state) override;
 
   attn::AttentionKind kind() const override { return attn::AttentionKind::kGroup; }
   int64_t ScoreMatrixElements(int64_t n) const override { return n * num_groups_; }
 
   int64_t num_groups() const { return num_groups_; }
-  /// Applies a scheduler decision (clamped to >= 1).
+  /// Applies a scheduler decision (clamped to >= 1). Not safe against
+  /// concurrent Forward calls (the scheduler runs between epochs).
   void set_num_groups(int64_t n);
 
-  /// Snapshots from the most recent Forward (one per batch*head slice).
+  /// Snapshots from the most recent *legacy* Forward (one per batch*head
+  /// slice). Reentrant calls deliver snapshots to their state's sink instead.
   const std::vector<GroupingSnapshot>& last_snapshots() const { return snapshots_; }
 
   const GroupAttentionOptions& options() const { return options_; }
+
+  /// Root of the counter-based per-slice RNG streams: slice s of stream f
+  /// draws from ExecutionContext::SliceRng(seed(), f, s). Exposed so a
+  /// weight-copied replica (rita::serve FrozenModel) can reproduce this
+  /// mechanism's grouping exactly.
+  uint64_t seed() const { return seed_; }
+  void set_seed(uint64_t seed) { seed_ = seed; }
+
+ protected:
+  void InitDefaultState(attn::ForwardState* state) override {
+    state->snapshots = options_.collect_snapshots ? &snapshots_ : nullptr;
+  }
 
  private:
   int64_t head_dim_;
   GroupAttentionOptions options_;
   int64_t num_groups_;
-  // Root of the counter-based per-slice RNG streams: slice s of forward call
-  // f draws from ExecutionContext::SliceRng(seed_, f, s). Unlike a shared
-  // mutable Rng, this keeps concurrent slices independent and makes the
-  // grouping bit-identical no matter the pool width or schedule.
+  // Unlike a shared mutable Rng, counter-based streams keep concurrent slices
+  // independent and make the grouping bit-identical no matter the pool width
+  // or schedule.
   uint64_t seed_;
-  uint64_t forward_calls_ = 0;
   std::vector<GroupingSnapshot> snapshots_;
 };
 

@@ -1,0 +1,31 @@
+// Grouping statistics emitted by a group-attention forward pass. Lives in its
+// own header (depending only on the tensor substrate) so the attention-layer
+// ForwardState can name the type without a core <-> attn include cycle.
+#ifndef RITA_CORE_GROUPING_SNAPSHOT_H_
+#define RITA_CORE_GROUPING_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rita {
+namespace core {
+
+/// Grouping statistics of one (batch, head) slice from a forward pass;
+/// consumed by the adaptive scheduler's merge test.
+struct GroupingSnapshot {
+  Tensor centroids;             // [N, d_head]
+  std::vector<int64_t> counts;  // [N]
+  std::vector<float> radii;     // max_{x in cluster} |x - c| per cluster
+  float key_ball_radius = 0.0f;   // max_i |k_i| (the paper's literal R)
+  // max_i |q_i|: the radius the Lemma 1 proof actually bounds with (the
+  // exponent is q_i . (k~ - k)); with the scaled dot product the effective
+  // radius becomes |q|_max / sqrt(d_head), which the scheduler uses.
+  float query_ball_radius = 0.0f;
+};
+
+}  // namespace core
+}  // namespace rita
+
+#endif  // RITA_CORE_GROUPING_SNAPSHOT_H_

@@ -40,7 +40,7 @@ class NaiveGroupAttentionFunction : public ag::Function {
     Tensor dv(q_.shape());
     // Slices write disjoint [n, d] blocks; the quadratic temporaries come
     // from the arena so shards recycle them.
-    context->pool()->ParallelFor(0, bh, [&](int64_t s0, int64_t s1) {
+    context->ParallelFor(0, bh, [&](int64_t s0, int64_t s1) {
       ScratchArena::Lease scratch = context->arena()->Acquire();
       for (int64_t s = s0; s < s1; ++s) {
         scratch.Reset();
@@ -115,7 +115,8 @@ NaiveGroupAttention::NaiveGroupAttention(int64_t head_dim,
       seed_(rng->NextU64()) {}
 
 ag::Variable NaiveGroupAttention::Forward(const ag::Variable& q, const ag::Variable& k,
-                                          const ag::Variable& v) {
+                                          const ag::Variable& v,
+                                          attn::ForwardState* state) {
   RITA_CHECK_EQ(q.size(2), head_dim_);
   const int64_t bh = q.size(0), n = q.size(1), d = q.size(2);
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
@@ -137,14 +138,14 @@ ag::Variable NaiveGroupAttention::Forward(const ag::Variable& q, const ag::Varia
   const float* pk = k.data().data();
   const float* pv = v.data().data();
 
-  ExecutionContext* context = execution_context();
-  const uint64_t stream = forward_calls_++;
+  ExecutionContext* context = ResolveContext(*state);
+  const uint64_t stream = state->DrawStream();
 
   // Per-slice restore-then-softmax; slices are independent (own RNG stream,
   // disjoint output blocks) so the loop shards across the pool.
-  context->pool()->ParallelFor(0, bh, [&](int64_t s0, int64_t s1) {
+  context->ParallelFor(0, bh, [&](int64_t s0, int64_t s1) {
     for (int64_t s = s0; s < s1; ++s) {
-      Rng slice_rng = ExecutionContext::SliceRng(seed_, stream, s);
+      Rng slice_rng = ExecutionContext::SliceRng(seed_, stream, state->SliceKey(s));
       Tensor keys({n, d});
       std::copy(pk + s * n * d, pk + (s + 1) * n * d, keys.data());
       cluster::KMeansResult grouping = cluster::RunKMeans(keys, km, &slice_rng, context);

@@ -18,8 +18,9 @@ class NaiveGroupAttention : public attn::AttentionMechanism {
  public:
   NaiveGroupAttention(int64_t head_dim, const GroupAttentionOptions& options, Rng* rng);
 
+  using attn::AttentionMechanism::Forward;
   ag::Variable Forward(const ag::Variable& q, const ag::Variable& k,
-                       const ag::Variable& v) override;
+                       const ag::Variable& v, attn::ForwardState* state) override;
 
   attn::AttentionKind kind() const override { return attn::AttentionKind::kGroup; }
   /// The whole point of the fused path: the naive one is quadratic again.
@@ -27,13 +28,17 @@ class NaiveGroupAttention : public attn::AttentionMechanism {
 
   int64_t num_groups() const { return num_groups_; }
 
+  /// RNG root (see GroupAttentionMechanism::seed); set to mirror a fused
+  /// mechanism so both produce the same grouping.
+  uint64_t seed() const { return seed_; }
+  void set_seed(uint64_t seed) { seed_ = seed; }
+
  private:
   int64_t head_dim_;
   GroupAttentionOptions options_;
   int64_t num_groups_;
   // Root of the counter-based per-slice RNG streams (see GroupAttention).
   uint64_t seed_;
-  uint64_t forward_calls_ = 0;
 };
 
 }  // namespace core

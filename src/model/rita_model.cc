@@ -28,9 +28,12 @@ RitaModel::RitaModel(const RitaConfig& config, Rng* rng)
   RegisterModule("recon_head", &recon_head_);
 }
 
-ag::Variable RitaModel::Encode(const Tensor& batch) {
+ag::Variable RitaModel::Encode(const Tensor& batch, attn::ForwardState* state) {
   RITA_CHECK_EQ(batch.dim(), 3);
-  RITA_CHECK_EQ(batch.size(1), config_.input_length);
+  RITA_CHECK_GE(batch.size(1), config_.window)
+      << "series shorter than the conv window";
+  RITA_CHECK_LE(batch.size(1), config_.input_length)
+      << "series longer than the configured input_length";
   RITA_CHECK_EQ(batch.size(2), config_.input_channels);
   const int64_t b = batch.size(0);
   const int64_t d = config_.encoder.dim;
@@ -42,37 +45,51 @@ ag::Variable RitaModel::Encode(const Tensor& batch) {
                              ag::Reshape(cls_token_, {1, 1, d}));
   ag::Variable tokens = ag::Concat({cls, windows}, 1);  // [B, 1 + n_win, d]
   tokens = ag::Add(tokens, pos_.Forward(tokens.size(1)));
-  return encoder_.Forward(tokens);
+  return encoder_.Forward(tokens, state);
 }
 
 ag::Variable RitaModel::ClassLogits(const Tensor& batch) {
+  return ClassLogits(batch, nullptr);
+}
+
+ag::Variable RitaModel::ClassLogits(const Tensor& batch, attn::ForwardState* state) {
   RITA_CHECK_GT(config_.num_classes, 0) << "model built without a classification head";
-  ag::Variable encoded = Encode(batch);
+  ag::Variable encoded = Encode(batch, state);
+  const int64_t n_win = encoded.size(1) - 1;  // actual windows (var-length safe)
   ag::Variable cls = ag::Reshape(ag::Slice(encoded, 1, 0, 1),
                                  {batch.size(0), config_.encoder.dim});
-  ag::Variable windows = ag::Slice(encoded, 1, 1, config_.NumWindows());
+  ag::Variable windows = ag::Slice(encoded, 1, 1, n_win);
   ag::Variable pooled = ag::Reshape(ag::Mean(windows, 1, /*keepdim=*/false),
                                     {batch.size(0), config_.encoder.dim});
   return cls_head_.Forward(ag::Concat({cls, pooled}, 1));
 }
 
 ag::Variable RitaModel::Reconstruct(const Tensor& batch) {
-  ag::Variable encoded = Encode(batch);
-  ag::Variable windows = ag::Slice(encoded, 1, 1, config_.NumWindows());
+  return Reconstruct(batch, nullptr);
+}
+
+ag::Variable RitaModel::Reconstruct(const Tensor& batch, attn::ForwardState* state) {
+  ag::Variable encoded = Encode(batch, state);
+  ag::Variable windows = ag::Slice(encoded, 1, 1, encoded.size(1) - 1);
   // Fold back to the full input length; when the length is not a stride
   // multiple the uncovered tail (< stride timestamps) is zero-filled.
-  return recon_head_.Forward(windows, config_.input_length);  // [B, T, C]
+  return recon_head_.Forward(windows, batch.size(1));  // [B, T, C]
 }
 
 Tensor RitaModel::Embed(const Tensor& batch) {
   ag::NoGradGuard guard;
   const bool was_training = training();
   SetTraining(false);
-  ag::Variable encoded = Encode(batch);
-  Tensor cls = ops::Slice(encoded.data(), 1, 0, 1)
-                   .Reshape({batch.size(0), config_.encoder.dim});
+  Tensor cls = Embed(batch, nullptr);
   SetTraining(was_training);
   return cls;
+}
+
+Tensor RitaModel::Embed(const Tensor& batch, attn::ForwardState* state) {
+  ag::NoGradGuard guard;
+  ag::Variable encoded = Encode(batch, state);
+  return ops::Slice(encoded.data(), 1, 0, 1)
+      .Reshape({batch.size(0), config_.encoder.dim});
 }
 
 }  // namespace model

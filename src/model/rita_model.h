@@ -34,14 +34,27 @@ class RitaModel : public SequenceModel {
  public:
   RitaModel(const RitaConfig& config, Rng* rng);
 
-  /// Contextual embeddings [B, 1 + n_win, dim]; row 0 is [CLS].
-  ag::Variable Encode(const Tensor& batch);
+  /// Contextual embeddings [B, 1 + n_win, dim]; row 0 is [CLS]. Accepts any
+  /// raw length in [window, input_length] (the conv frontend and positional
+  /// table handle shorter series natively), so the serving engine can batch
+  /// variable-length requests per length bucket.
+  ag::Variable Encode(const Tensor& batch) { return Encode(batch, nullptr); }
+  /// Reentrant variant: per-call state owned by the caller (null = legacy
+  /// path through each mechanism's internal default state).
+  ag::Variable Encode(const Tensor& batch, attn::ForwardState* state);
 
+  using SequenceModel::ClassLogits;
+  using SequenceModel::Reconstruct;
   ag::Variable ClassLogits(const Tensor& batch) override;
   ag::Variable Reconstruct(const Tensor& batch) override;
+  ag::Variable ClassLogits(const Tensor& batch, attn::ForwardState* state) override;
+  ag::Variable Reconstruct(const Tensor& batch, attn::ForwardState* state) override;
 
   /// Whole-series embedding (the [CLS] output), no graph: [B, dim].
   Tensor Embed(const Tensor& batch);
+  /// Reentrant variant: no graph, no training-flag flip — requires the model
+  /// to already be in eval mode (the rita::serve FrozenModel contract).
+  Tensor Embed(const Tensor& batch, attn::ForwardState* state);
 
   int64_t num_classes() const override { return config_.num_classes; }
   int64_t input_length() const override { return config_.input_length; }

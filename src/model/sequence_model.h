@@ -24,6 +24,19 @@ class SequenceModel : public nn::Module {
   /// Reconstructed timeseries [B, T, C_in] for a (possibly masked) batch.
   virtual ag::Variable Reconstruct(const Tensor& batch) = 0;
 
+  /// Reentrant variants: the caller owns the per-call forward state, so
+  /// concurrent forwards through one frozen model are safe (requires eval
+  /// mode). Models without a reentrant path fall back to the legacy entry
+  /// points (then only safe single-threaded).
+  virtual ag::Variable ClassLogits(const Tensor& batch, attn::ForwardState* state) {
+    (void)state;
+    return ClassLogits(batch);
+  }
+  virtual ag::Variable Reconstruct(const Tensor& batch, attn::ForwardState* state) {
+    (void)state;
+    return Reconstruct(batch);
+  }
+
   virtual int64_t num_classes() const = 0;
   virtual int64_t input_length() const = 0;
 

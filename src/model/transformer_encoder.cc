@@ -35,9 +35,10 @@ ag::Variable TransformerEncoderLayer::Normalize(int which, const ag::Variable& x
   return which == 1 ? bn1_.Forward(x) : bn2_.Forward(x);
 }
 
-ag::Variable TransformerEncoderLayer::Forward(const ag::Variable& x) {
+ag::Variable TransformerEncoderLayer::Forward(const ag::Variable& x,
+                                              attn::ForwardState* state) {
   // Post-norm residual blocks, as in the original Transformer (and TST).
-  ag::Variable attended = drop_.Forward(mha_.Forward(x));
+  ag::Variable attended = drop_.Forward(mha_.Forward(x, state));
   ag::Variable h = Normalize(1, ag::Add(x, attended));
   ag::Variable ff = drop_.Forward(ffn_.Forward(h));
   return Normalize(2, ag::Add(h, ff));
@@ -53,9 +54,10 @@ TransformerEncoder::TransformerEncoder(const EncoderConfig& config, Rng* rng)
   }
 }
 
-ag::Variable TransformerEncoder::Forward(const ag::Variable& x) {
+ag::Variable TransformerEncoder::Forward(const ag::Variable& x,
+                                         attn::ForwardState* state) {
   ag::Variable h = x;
-  for (auto& layer : layers_) h = layer->Forward(h);
+  for (auto& layer : layers_) h = layer->Forward(h, state);
   return h;
 }
 

@@ -34,7 +34,11 @@ class TransformerEncoderLayer : public nn::Module {
  public:
   TransformerEncoderLayer(const EncoderConfig& config, Rng* rng);
 
-  ag::Variable Forward(const ag::Variable& x);
+  /// Stateless overload = legacy/training path; the stateful one is
+  /// reentrant (state owned by the caller, threaded to the attention
+  /// mechanism; null state falls back to the legacy path).
+  ag::Variable Forward(const ag::Variable& x) { return Forward(x, nullptr); }
+  ag::Variable Forward(const ag::Variable& x, attn::ForwardState* state);
 
   attn::MultiHeadAttention* attention() { return &mha_; }
 
@@ -58,7 +62,8 @@ class TransformerEncoder : public nn::Module {
  public:
   TransformerEncoder(const EncoderConfig& config, Rng* rng);
 
-  ag::Variable Forward(const ag::Variable& x);
+  ag::Variable Forward(const ag::Variable& x) { return Forward(x, nullptr); }
+  ag::Variable Forward(const ag::Variable& x, attn::ForwardState* state);
 
   /// Group-attention mechanisms per layer (empty for other kinds); the
   /// adaptive scheduler adjusts their group counts between epochs.

@@ -28,18 +28,22 @@ TstModel::TstModel(const TstConfig& config, Rng* rng)
   RegisterModule("recon_head", &recon_head_);
 }
 
-ag::Variable TstModel::Encode(const Tensor& batch) {
+ag::Variable TstModel::Encode(const Tensor& batch, attn::ForwardState* state) {
   RITA_CHECK_EQ(batch.size(1), config_.input_length);
   RITA_CHECK_EQ(batch.size(2), config_.input_channels);
   // One token per timestamp: [B, T, C] -> [B, T, dim].
   ag::Variable tokens = input_proj_.Forward(ag::Variable(batch));
   tokens = ag::Add(tokens, pos_.Forward(config_.input_length));
-  return encoder_.Forward(tokens);
+  return encoder_.Forward(tokens, state);
 }
 
 ag::Variable TstModel::ClassLogits(const Tensor& batch) {
+  return ClassLogits(batch, nullptr);
+}
+
+ag::Variable TstModel::ClassLogits(const Tensor& batch, attn::ForwardState* state) {
   RITA_CHECK_GT(config_.num_classes, 0);
-  ag::Variable encoded = Encode(batch);
+  ag::Variable encoded = Encode(batch, state);
   // Concatenate every timestep's output and classify: T * dim inputs.
   ag::Variable flat = ag::Reshape(
       encoded, {batch.size(0), config_.input_length * config_.encoder.dim});
@@ -47,7 +51,11 @@ ag::Variable TstModel::ClassLogits(const Tensor& batch) {
 }
 
 ag::Variable TstModel::Reconstruct(const Tensor& batch) {
-  return recon_head_.Forward(Encode(batch));
+  return Reconstruct(batch, nullptr);
+}
+
+ag::Variable TstModel::Reconstruct(const Tensor& batch, attn::ForwardState* state) {
+  return recon_head_.Forward(Encode(batch, state));
 }
 
 }  // namespace model

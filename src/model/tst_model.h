@@ -24,8 +24,14 @@ class TstModel : public SequenceModel {
  public:
   TstModel(const TstConfig& config, Rng* rng);
 
+  using SequenceModel::ClassLogits;
+  using SequenceModel::Reconstruct;
   ag::Variable ClassLogits(const Tensor& batch) override;
   ag::Variable Reconstruct(const Tensor& batch) override;
+  /// Reentrant variants (eval mode; caller-owned state). TST's BatchNorm
+  /// reads frozen running stats in eval mode, so concurrent forwards are safe.
+  ag::Variable ClassLogits(const Tensor& batch, attn::ForwardState* state) override;
+  ag::Variable Reconstruct(const Tensor& batch, attn::ForwardState* state) override;
 
   int64_t num_classes() const override { return config_.num_classes; }
   int64_t input_length() const override { return config_.input_length; }
@@ -34,7 +40,7 @@ class TstModel : public SequenceModel {
   }
 
  private:
-  ag::Variable Encode(const Tensor& batch);
+  ag::Variable Encode(const Tensor& batch, attn::ForwardState* state = nullptr);
 
   TstConfig config_;
   nn::Linear input_proj_;

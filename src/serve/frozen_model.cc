@@ -1,0 +1,87 @@
+#include "serve/frozen_model.h"
+
+#include <algorithm>
+
+namespace rita {
+namespace serve {
+
+FrozenModel::FrozenModel(model::RitaModel& source) : config_(source.config()) {
+  // The replica never trains: no probs dropout, no residual dropout, no
+  // snapshot collection (an O(n d) pass per head the scheduler would consume).
+  config_.encoder.dropout = 0.0f;
+  config_.encoder.attention.dropout = 0.0f;
+  config_.encoder.attention.group.collect_snapshots = false;
+
+  // Fixed init seed: the replica's weights are overwritten below; only the
+  // group-attention RNG roots matter, and those are copied from the source.
+  Rng init_rng(0x46726f7a656eULL);  // "Frozen"
+  model_ = std::make_unique<model::RitaModel>(config_, &init_rng);
+  model_->SetTraining(false);
+
+  // Same architecture => same registration order; verified by name.
+  auto src_params = source.NamedParameters();
+  auto dst_params = model_->NamedParameters();
+  RITA_CHECK_EQ(src_params.size(), dst_params.size());
+  for (size_t i = 0; i < src_params.size(); ++i) {
+    RITA_CHECK(src_params[i].first == dst_params[i].first)
+        << "parameter registry mismatch: " << src_params[i].first << " vs "
+        << dst_params[i].first;
+    dst_params[i].second.mutable_data().CopyFrom(src_params[i].second.data());
+  }
+  auto src_buffers = source.NamedBuffers();
+  auto dst_buffers = model_->NamedBuffers();
+  RITA_CHECK_EQ(src_buffers.size(), dst_buffers.size());
+  for (size_t i = 0; i < src_buffers.size(); ++i) {
+    RITA_CHECK(src_buffers[i].first == dst_buffers[i].first)
+        << "buffer registry mismatch: " << src_buffers[i].first;
+    *dst_buffers[i].second = src_buffers[i].second->Clone();
+  }
+
+  // Group-attention runtime state: the adaptive scheduler may have shrunk N
+  // below the config value, and the per-mechanism RNG roots decide the
+  // grouping — copy both so the replica groups exactly like the source.
+  auto src_groups = source.GroupMechanisms();
+  auto dst_groups = model_->GroupMechanisms();
+  RITA_CHECK_EQ(src_groups.size(), dst_groups.size());
+  for (size_t i = 0; i < src_groups.size(); ++i) {
+    dst_groups[i]->set_num_groups(src_groups[i]->num_groups());
+    dst_groups[i]->set_seed(src_groups[i]->seed());
+    num_groups_ = std::max(num_groups_, dst_groups[i]->num_groups());
+  }
+}
+
+attn::ForwardState FrozenModel::MakeState(ExecutionContext* context) const {
+  attn::ForwardState state;
+  state.context = context;
+  state.stream = 0;           // pinned: same request -> same output, always
+  state.stochastic = false;   // belt-and-braces; the replica is eval anyway
+  state.batch_invariant = true;
+  state.snapshots = nullptr;
+  return state;
+}
+
+Tensor FrozenModel::Encode(const Tensor& batch, ExecutionContext* context) const {
+  ag::NoGradGuard guard;
+  attn::ForwardState state = MakeState(context);
+  return model_->Encode(batch, &state).data();
+}
+
+Tensor FrozenModel::ClassLogits(const Tensor& batch, ExecutionContext* context) const {
+  ag::NoGradGuard guard;
+  attn::ForwardState state = MakeState(context);
+  return model_->ClassLogits(batch, &state).data();
+}
+
+Tensor FrozenModel::Embed(const Tensor& batch, ExecutionContext* context) const {
+  attn::ForwardState state = MakeState(context);
+  return model_->Embed(batch, &state);  // Embed installs its own NoGradGuard
+}
+
+Tensor FrozenModel::Reconstruct(const Tensor& batch, ExecutionContext* context) const {
+  ag::NoGradGuard guard;
+  attn::ForwardState state = MakeState(context);
+  return model_->Reconstruct(batch, &state).data();
+}
+
+}  // namespace serve
+}  // namespace rita

@@ -1,0 +1,66 @@
+// Inference-time model snapshot: a private, weight-copied replica of a
+// trained RitaModel with dropout off, snapshot collection off, eval mode on
+// and every forward running grad-free with an explicit per-call ForwardState.
+// The replica is immutable after construction, so any number of threads can
+// forward through one FrozenModel simultaneously — the substrate of the
+// rita::serve InferenceEngine.
+//
+// Determinism: every forward pins RNG stream 0 and batch-position-invariant
+// per-slice streams, so (a) the same request always produces the same output
+// and (b) a request's result does not depend on which micro-batch it rode in
+// (bit-identical for group/vanilla/linformer attention; Performer is
+// invariant only up to float rounding — see attention.h).
+#ifndef RITA_SERVE_FROZEN_MODEL_H_
+#define RITA_SERVE_FROZEN_MODEL_H_
+
+#include <memory>
+
+#include "model/rita_model.h"
+
+namespace rita {
+namespace serve {
+
+class FrozenModel {
+ public:
+  /// Deep-copies `source`'s parameters, buffers and group-attention runtime
+  /// state (seeds, scheduler-adapted group counts) into the frozen replica.
+  /// The source is left untouched and may keep training afterwards.
+  explicit FrozenModel(model::RitaModel& source);
+
+  FrozenModel(const FrozenModel&) = delete;
+  FrozenModel& operator=(const FrozenModel&) = delete;
+
+  const model::RitaConfig& config() const { return config_; }
+
+  /// Largest group count across the replica's group-attention layers (0 when
+  /// the model uses another attention kind). The engine feeds this to the
+  /// batch planner's memory-aware micro-batch cap.
+  int64_t num_groups() const { return num_groups_; }
+
+  // -- Thread-safe, deterministic, grad-free forwards ----------------------
+  // `batch` is [B, T, C] with window <= T <= input_length; `context` supplies
+  // the execution resources (null = ExecutionContext::Default()).
+
+  /// Contextual embeddings [B, 1 + n_win, dim]; row 0 is [CLS].
+  Tensor Encode(const Tensor& batch, ExecutionContext* context = nullptr) const;
+  /// Class logits [B, num_classes].
+  Tensor ClassLogits(const Tensor& batch, ExecutionContext* context = nullptr) const;
+  /// Whole-series [CLS] embeddings [B, dim] (similarity search / clustering).
+  Tensor Embed(const Tensor& batch, ExecutionContext* context = nullptr) const;
+  /// Reconstruction [B, T, C] (imputation / forecasting on masked input).
+  Tensor Reconstruct(const Tensor& batch, ExecutionContext* context = nullptr) const;
+
+ private:
+  attn::ForwardState MakeState(ExecutionContext* context) const;
+
+  model::RitaConfig config_;
+  int64_t num_groups_ = 0;
+  // Logically immutable after construction; forwards with explicit state
+  // mutate nothing (the reentrancy contract), so const methods are sound.
+  mutable std::unique_ptr<model::RitaModel> model_;
+};
+
+}  // namespace serve
+}  // namespace rita
+
+#endif  // RITA_SERVE_FROZEN_MODEL_H_

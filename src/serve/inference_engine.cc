@@ -1,0 +1,267 @@
+#include "serve/inference_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "tensor/tensor_ops.h"
+#include "util/stopwatch.h"
+
+namespace rita {
+namespace serve {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+}  // namespace
+
+const char* ServeTaskName(ServeTask task) {
+  switch (task) {
+    case ServeTask::kClassify:
+      return "classify";
+    case ServeTask::kEmbed:
+      return "embed";
+    case ServeTask::kReconstruct:
+      return "reconstruct";
+  }
+  return "?";
+}
+
+InferenceEngine::InferenceEngine(const FrozenModel* model,
+                                 const InferenceEngineOptions& options)
+    : model_(model), options_(options), paused_(options.start_paused) {
+  RITA_CHECK(model_ != nullptr);
+  RITA_CHECK_GT(options_.num_workers, 0);
+  RITA_CHECK_GT(options_.max_micro_batch, 0);
+  RITA_CHECK_GT(options_.max_queue, 0);
+  workers_.reserve(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+InferenceEngine::~InferenceEngine() { Shutdown(); }
+
+Status InferenceEngine::Validate(const InferenceRequest& request) const {
+  const model::RitaConfig& config = model_->config();
+  if (!request.series.defined() || request.series.dim() != 2) {
+    return Status::InvalidArgument("request series must be a [T, C] tensor");
+  }
+  const int64_t t = request.series.size(0), c = request.series.size(1);
+  if (c != config.input_channels) {
+    return Status::InvalidArgument("request has " + std::to_string(c) +
+                                   " channels; model expects " +
+                                   std::to_string(config.input_channels));
+  }
+  if (t < config.window || t > config.input_length) {
+    return Status::InvalidArgument(
+        "request length " + std::to_string(t) + " outside the model's [" +
+        std::to_string(config.window) + ", " + std::to_string(config.input_length) +
+        "] range");
+  }
+  // Linformer's length projection is locked to the configured token count; a
+  // shorter series would trip a fatal check deep in the forward, so reject it
+  // here as a recoverable error instead.
+  if (config.encoder.attention.kind == attn::AttentionKind::kLinformer &&
+      t != config.input_length) {
+    return Status::InvalidArgument(
+        "Linformer models serve only full-length series (" +
+        std::to_string(config.input_length) + "), got " + std::to_string(t));
+  }
+  if (request.task == ServeTask::kClassify && config.num_classes <= 0) {
+    return Status::InvalidArgument("model has no classification head");
+  }
+  return Status::OK();
+}
+
+std::future<InferenceResponse> InferenceEngine::Submit(InferenceRequest request) {
+  std::promise<InferenceResponse> promise;
+  std::future<InferenceResponse> future = promise.get_future();
+
+  Status invalid = Validate(request);
+  if (invalid.ok()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      invalid = Status::Internal("engine is shut down");
+    } else if (static_cast<int64_t>(queue_.size()) >= options_.max_queue) {
+      invalid = Status::OutOfMemory("request queue full (backpressure)");
+    } else {
+      Pending pending;
+      pending.request = std::move(request);
+      pending.promise = std::move(promise);
+      pending.enqueued = std::chrono::steady_clock::now();
+      queue_.push_back(std::move(pending));
+      lock.unlock();
+      cv_.notify_one();
+      return future;
+    }
+  }
+
+  // Count the rejection BEFORE resolving the promise (same invariant as
+  // ExecuteBatch): a client reading stats() after its future resolves must
+  // see its own request counted.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected;
+  }
+  InferenceResponse response;
+  response.status = std::move(invalid);
+  promise.set_value(std::move(response));
+  return future;
+}
+
+InferenceResponse InferenceEngine::Run(InferenceRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+int64_t InferenceEngine::BatchBudget(int64_t length) const {
+  int64_t budget = options_.max_micro_batch;
+  if (options_.planner != nullptr && options_.planner->calibrated()) {
+    const int64_t groups = std::max<int64_t>(1, model_->num_groups());
+    budget = std::min(budget, options_.planner->PredictBatchSize(length, groups));
+  }
+  return std::max<int64_t>(1, budget);
+}
+
+void InferenceEngine::WorkerLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    bool more = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Paused executors sit out until Resume(); Shutdown overrides the pause
+      // so queued work is always drained before the workers exit.
+      cv_.wait(lock,
+               [this] { return stopping_ || (!paused_ && !queue_.empty()); });
+      if (queue_.empty() && stopping_) return;
+      if (queue_.empty()) continue;
+
+      // Seed the micro-batch with the oldest request, then sweep the queue
+      // for compatible ones (same task, same length — they can share one
+      // [B, T, C] forward) up to the memory-aware budget. One compaction
+      // pass: matches move into the batch, everything else slides forward in
+      // order — O(queue) total instead of O(queue x batch) mid-deque erases
+      // under the lock.
+      const ServeTask task = queue_.front().request.task;
+      const int64_t length = queue_.front().request.series.size(0);
+      const int64_t budget = BatchBudget(length);
+      size_t write = 0;
+      for (size_t read = 0; read < queue_.size(); ++read) {
+        Pending& pending = queue_[read];
+        if (static_cast<int64_t>(batch.size()) < budget &&
+            pending.request.task == task &&
+            pending.request.series.size(0) == length) {
+          batch.push_back(std::move(pending));
+        } else {
+          if (write != read) queue_[write] = std::move(pending);
+          ++write;
+        }
+      }
+      queue_.resize(write);
+      more = !queue_.empty();
+    }
+    if (more) cv_.notify_one();
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void InferenceEngine::ExecuteBatch(std::vector<Pending> batch) {
+  const int64_t b = static_cast<int64_t>(batch.size());
+  const int64_t t = batch[0].request.series.size(0);
+  const int64_t c = batch[0].request.series.size(1);
+  const ServeTask task = batch[0].request.task;
+
+  // Stack [T, C] requests into one [B, T, C] micro-batch.
+  Tensor stacked({b, t, c});
+  float* dst = stacked.data();
+  for (int64_t i = 0; i < b; ++i) {
+    const Tensor& series = batch[i].request.series;
+    std::copy(series.data(), series.data() + t * c, dst + i * t * c);
+  }
+
+  Stopwatch compute;
+  Tensor output;  // rows are per-request results
+  switch (task) {
+    case ServeTask::kClassify:
+      output = model_->ClassLogits(stacked, options_.context);
+      break;
+    case ServeTask::kEmbed:
+      output = model_->Embed(stacked, options_.context);
+      break;
+    case ServeTask::kReconstruct:
+      output = model_->Reconstruct(stacked, options_.context);
+      break;
+  }
+  const double compute_ms = compute.ElapsedMillis();
+
+  std::vector<InferenceResponse> responses(b);
+  double batch_queue_ms = 0.0;
+  for (int64_t i = 0; i < b; ++i) {
+    InferenceResponse& response = responses[i];
+    response.status = Status::OK();
+    // Row i of the output, with the batch axis dropped.
+    Tensor row = ops::Slice(output, 0, i, 1);
+    Shape row_shape(output.shape().begin() + 1, output.shape().end());
+    response.output = row.Reshape(std::move(row_shape));
+    response.queue_ms = MsSince(batch[i].enqueued) - compute_ms;
+    response.compute_ms = compute_ms;
+    response.micro_batch = b;
+    batch_queue_ms += response.queue_ms;
+  }
+
+  // Commit the counters BEFORE fulfilling any promise: a client that reads
+  // stats() right after its future resolves must see its own request counted.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.completed += static_cast<uint64_t>(b);
+    ++stats_.batches;
+    stats_.max_micro_batch = std::max(stats_.max_micro_batch, b);
+    stats_.total_queue_ms += batch_queue_ms;
+    stats_.total_compute_ms += compute_ms;
+  }
+  for (int64_t i = 0; i < b; ++i) {
+    batch[i].promise.set_value(std::move(responses[i]));
+  }
+}
+
+void InferenceEngine::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void InferenceEngine::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!paused_) return;
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void InferenceEngine::Shutdown() {
+  // call_once makes concurrent Shutdown()s safe: one caller drains and
+  // joins, any other blocks until that is complete, later calls are no-ops.
+  std::call_once(shutdown_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    workers_.clear();
+  });
+}
+
+InferenceEngineStats InferenceEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace rita

@@ -1,0 +1,153 @@
+// Micro-batching inference engine (the serving path the paper's Table 6/8
+// numbers point at): clients Submit() single-series requests from any number
+// of threads; executor workers coalesce compatible requests — same task, same
+// series length — into micro-batches capped by the engine limit and, when a
+// calibrated BatchPlanner is attached, by its memory-aware batch-size
+// prediction, then run them through a shared FrozenModel on the engine's
+// ExecutionContext. Because frozen forwards are batch-position-invariant,
+// coalescing is transparent: a request's result is bit-identical to running
+// it alone (group/vanilla/linformer attention).
+#ifndef RITA_SERVE_INFERENCE_ENGINE_H_
+#define RITA_SERVE_INFERENCE_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/batch_planner.h"
+#include "serve/frozen_model.h"
+#include "util/status.h"
+
+namespace rita {
+namespace serve {
+
+/// What a request asks of the model.
+enum class ServeTask {
+  kClassify = 0,    // logits [num_classes]
+  kEmbed = 1,       // [CLS] embedding [dim]
+  kReconstruct = 2  // reconstruction [T, C] (imputation on masked input)
+};
+
+const char* ServeTaskName(ServeTask task);
+
+struct InferenceRequest {
+  Tensor series;  // [T, C], window <= T <= model input_length
+  ServeTask task = ServeTask::kClassify;
+};
+
+struct InferenceResponse {
+  Status status;     // non-OK => output undefined
+  Tensor output;     // per-task shape, see ServeTask
+  double queue_ms = 0.0;    // Submit() -> micro-batch assembly
+  double compute_ms = 0.0;  // model forward of the carrying micro-batch
+  int64_t micro_batch = 0;  // how many requests rode the same forward
+};
+
+struct InferenceEngineOptions {
+  /// Executor threads draining the request queue. Each runs whole
+  /// micro-batches; intra-batch parallelism comes from `context`'s pool.
+  int num_workers = 1;
+  /// Hard cap on the micro-batch size.
+  int64_t max_micro_batch = 32;
+  /// Backpressure: Submit() rejects when this many requests are queued.
+  int64_t max_queue = 1 << 14;
+  /// Optional calibrated planner; caps each micro-batch at
+  /// PredictBatchSize(length, model.num_groups()) so coalescing can never
+  /// exceed the memory budget the planner was calibrated for.
+  core::BatchPlanner* planner = nullptr;
+  /// Execution resources for the forwards (null = ExecutionContext::Default()).
+  ExecutionContext* context = nullptr;
+  /// Start with the executors paused: requests queue but nothing runs until
+  /// Resume(). Lets callers pre-fill the queue (warmup, deterministic
+  /// batching tests) or delay serving until the model is ready.
+  bool start_paused = false;
+};
+
+/// Aggregate serving counters (cumulative since construction).
+struct InferenceEngineStats {
+  uint64_t completed = 0;        // requests answered OK
+  uint64_t rejected = 0;         // failed validation or backpressure
+  uint64_t batches = 0;          // model forwards executed
+  int64_t max_micro_batch = 0;   // largest coalesced batch observed
+  double total_queue_ms = 0.0;   // summed over completed requests
+  double total_compute_ms = 0.0; // summed over batches
+
+  double AvgQueueMs() const {
+    return completed == 0 ? 0.0 : total_queue_ms / static_cast<double>(completed);
+  }
+  double AvgBatchSize() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(completed) / static_cast<double>(batches);
+  }
+};
+
+class InferenceEngine {
+ public:
+  /// `model`, `options.planner` and `options.context` are borrowed and must
+  /// outlive the engine.
+  InferenceEngine(const FrozenModel* model, const InferenceEngineOptions& options);
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Thread-safe. Invalid requests resolve immediately with a non-OK status;
+  /// valid ones resolve when their micro-batch completes.
+  std::future<InferenceResponse> Submit(InferenceRequest request);
+
+  /// Convenience: Submit and block for the response.
+  InferenceResponse Run(InferenceRequest request);
+
+  /// Pauses the executors after their in-flight micro-batches finish:
+  /// requests keep queueing (maintenance window, model swap prep) until
+  /// Resume(). Shutdown overrides a pause.
+  void Pause();
+  /// Releases paused executors (no-op when already running).
+  void Resume();
+
+  /// Stops accepting new requests, drains the queue, joins the workers.
+  /// Overrides a paused state so queued work is never stranded. Idempotent
+  /// and safe against concurrent calls (late callers block until the first
+  /// completes); the destructor calls it.
+  void Shutdown();
+
+  InferenceEngineStats stats() const;
+
+ private:
+  struct Pending {
+    InferenceRequest request;
+    std::promise<InferenceResponse> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  Status Validate(const InferenceRequest& request) const;
+  /// Micro-batch budget for series of `length`: planner-capped when attached.
+  int64_t BatchBudget(int64_t length) const;
+  void WorkerLoop();
+  void ExecuteBatch(std::vector<Pending> batch);
+
+  const FrozenModel* model_;
+  InferenceEngineOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  bool paused_ = false;
+  std::once_flag shutdown_once_;
+
+  mutable std::mutex stats_mu_;
+  InferenceEngineStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace rita
+
+#endif  // RITA_SERVE_INFERENCE_ENGINE_H_

@@ -37,8 +37,12 @@ Tensor Tensor::Full(Shape shape, float value) {
 }
 
 Tensor Tensor::FromVector(Shape shape, const std::vector<float>& values) {
+  // Validate before allocating so a mismatched call fails with the shapes in
+  // the message instead of an opaque post-construction check.
+  RITA_CHECK_EQ(ShapeNumel(shape), static_cast<int64_t>(values.size()))
+      << "FromVector: shape " << ShapeToString(shape) << " wants "
+      << ShapeNumel(shape) << " values, got " << values.size();
   Tensor t(std::move(shape));
-  RITA_CHECK_EQ(t.numel(), static_cast<int64_t>(values.size()));
   std::copy(values.begin(), values.end(), t.data());
   return t;
 }

@@ -558,14 +558,24 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
 }
 
 Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
-  RITA_CHECK(!parts.empty());
+  RITA_CHECK(!parts.empty()) << "Concat: empty part list";
   const Tensor& first = parts[0];
   if (axis < 0) axis += first.dim();
+  RITA_CHECK_GE(axis, 0) << "Concat: axis out of range for "
+                         << ShapeToString(first.shape());
+  RITA_CHECK_LT(axis, first.dim())
+      << "Concat: axis out of range for " << ShapeToString(first.shape());
   int64_t axis_total = 0;
   for (const Tensor& t : parts) {
-    RITA_CHECK_EQ(t.dim(), first.dim());
+    RITA_CHECK_EQ(t.dim(), first.dim())
+        << "Concat: rank mismatch, " << ShapeToString(t.shape()) << " vs "
+        << ShapeToString(first.shape());
     for (int64_t d = 0; d < t.dim(); ++d) {
-      if (d != axis) RITA_CHECK_EQ(t.size(d), first.size(d));
+      if (d != axis) {
+        RITA_CHECK_EQ(t.size(d), first.size(d))
+            << "Concat: non-axis dim " << d << " mismatch, "
+            << ShapeToString(t.shape()) << " vs " << ShapeToString(first.shape());
+      }
     }
     axis_total += t.size(axis);
   }
@@ -593,8 +603,15 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
 
 Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
   if (axis < 0) axis += a.dim();
-  RITA_CHECK_GE(start, 0);
-  RITA_CHECK_LE(start + len, a.size(axis));
+  RITA_CHECK_GE(axis, 0) << "Slice: axis out of range for "
+                         << ShapeToString(a.shape());
+  RITA_CHECK_LT(axis, a.dim())
+      << "Slice: axis out of range for " << ShapeToString(a.shape());
+  RITA_CHECK_GE(len, 0) << "Slice: negative length " << len;
+  RITA_CHECK_GE(start, 0) << "Slice: negative start " << start;
+  RITA_CHECK_LE(start + len, a.size(axis))
+      << "Slice: [" << start << ", " << start + len << ") exceeds axis " << axis
+      << " of " << ShapeToString(a.shape());
   Shape out_shape = a.shape();
   out_shape[axis] = len;
   Tensor out(out_shape);

@@ -1,6 +1,39 @@
 #include "util/execution_context.h"
 
+#include "autograd/variable.h"
+
 namespace rita {
+
+namespace {
+
+// Installs a grad mode for the current scope and restores the previous one on
+// exit (exception-safe: a throwing shard must not leak its caller's mode into
+// an unrelated task later scheduled on the same worker).
+class ScopedGradMode {
+ public:
+  explicit ScopedGradMode(bool mode) : prev_(ag::SetGradModeEnabled(mode)) {}
+  ~ScopedGradMode() { ag::SetGradModeEnabled(prev_); }
+  ScopedGradMode(const ScopedGradMode&) = delete;
+  ScopedGradMode& operator=(const ScopedGradMode&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace
+
+void ExecutionContext::ParallelFor(int64_t begin, int64_t end,
+                                   const std::function<void(int64_t, int64_t)>& body,
+                                   int64_t min_shard) const {
+  const bool grad_mode = ag::GradModeEnabled();
+  pool()->ParallelFor(
+      begin, end,
+      [&body, grad_mode](int64_t b, int64_t e) {
+        ScopedGradMode scope(grad_mode);
+        body(b, e);
+      },
+      min_shard);
+}
 
 ScratchArena::Lease::~Lease() {
   if (arena_ != nullptr) arena_->Release(chunk_);

@@ -116,6 +116,44 @@ TEST(BatchPlannerTest, PredictionNeverExceedsMemoryBudget) {
   }
 }
 
+// Serving-workload conservatism: the inference engine trusts
+// PredictBatchSize to cap micro-batches, so after the halving guard the
+// prediction must fit the memory model at EVERY calibration sample and at
+// arbitrary off-sample points of the serving envelope — an overshoot anywhere
+// would let a coalesced micro-batch OOM the device.
+TEST(BatchPlannerTest, ServingPredictionsConservativeEverywhere) {
+  MemoryModel model(SmallShape());
+  BatchPlannerOptions opts;
+  opts.max_length = 5000;
+  opts.num_samples = 48;
+  BatchPlanner planner(model, opts);
+  Rng rng(11);
+  planner.Calibrate(&rng);
+  ASSERT_TRUE(planner.calibrated());
+
+  for (const BatchSample& sample : planner.calibration_samples()) {
+    const int64_t length = static_cast<int64_t>(sample.length);
+    const int64_t groups = static_cast<int64_t>(sample.groups);
+    const int64_t pred = planner.PredictBatchSize(length, groups);
+    EXPECT_GE(pred, 1);
+    EXPECT_TRUE(model.Fits(pred, length, groups, opts.memory_fraction))
+        << "calibration sample L=" << length << " N=" << groups
+        << " predicts OOM batch " << pred;
+  }
+
+  Rng probe(23);
+  for (int i = 0; i < 200; ++i) {
+    const int64_t length = 5 + probe.UniformInt(opts.max_length - 4);
+    const int64_t tokens = model.shape().Tokens(length);
+    const int64_t groups = 1 + probe.UniformInt(tokens);
+    const int64_t pred = planner.PredictBatchSize(length, groups);
+    EXPECT_GE(pred, 1);
+    EXPECT_TRUE(model.Fits(pred, length, groups, opts.memory_fraction))
+        << "off-sample point L=" << length << " N=" << groups
+        << " predicts OOM batch " << pred;
+  }
+}
+
 TEST(CurveFitTest, SolveLinearSystemExact) {
   // x + 2y = 5; 3x - y = 1  ->  x = 1, y = 2.
   std::vector<double> x;

@@ -165,6 +165,66 @@ TEST(ScratchArenaTest, ResetReusesBuffersBySequencePosition) {
   EXPECT_EQ(lease.Floats(20), p1);
 }
 
+// g_grad_mode is thread_local, so a caller's NoGradGuard does not apply
+// inside pool workers on its own; ExecutionContext::ParallelFor must
+// propagate the caller's mode into every shard (and restore the workers'
+// own mode afterwards).
+TEST(GradModePropagationTest, CallerNoGradGuardReachesPoolWorkers) {
+  ThreadPool pool(4);
+  ExecutionContext context(&pool);
+  constexpr int64_t kRange = 64;
+  std::vector<int> observed(kRange, -1);
+  {
+    ag::NoGradGuard guard;
+    context.ParallelFor(0, kRange, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) observed[i] = ag::GradModeEnabled() ? 1 : 0;
+    });
+  }
+  for (int64_t i = 0; i < kRange; ++i) {
+    EXPECT_EQ(observed[i], 0) << "grad mode leaked into shard " << i;
+  }
+  // Default (grad-on) callers propagate grad-on.
+  context.ParallelFor(0, kRange, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) observed[i] = ag::GradModeEnabled() ? 1 : 0;
+  });
+  for (int64_t i = 0; i < kRange; ++i) EXPECT_EQ(observed[i], 1);
+}
+
+// The worker's own grad mode must be restored after running a propagated
+// shard: a no-grad shard followed by a grad-on caller's shard on the same
+// worker must not see stale state.
+TEST(GradModePropagationTest, WorkersRestoreTheirModeBetweenCalls) {
+  ThreadPool pool(2);
+  ExecutionContext context(&pool);
+  {
+    ag::NoGradGuard guard;
+    context.ParallelFor(0, 32, [](int64_t, int64_t) {});
+  }
+  std::atomic<int> grad_on_count{0};
+  context.ParallelFor(0, 32, [&](int64_t lo, int64_t hi) {
+    if (ag::GradModeEnabled()) grad_on_count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(grad_on_count.load(), 32);
+}
+
+// Functional consequence: a forward pass under NoGradGuard whose slice loops
+// run on pool workers must not record an autograd graph anywhere.
+TEST(GradModePropagationTest, NoGradForwardBuildsNoGraphInPoolWorkers) {
+  ThreadPool pool(4);
+  ExecutionContext context(&pool);
+  Rng rng(55);
+  core::GroupAttentionOptions options;
+  options.num_groups = 4;
+  core::GroupAttentionMechanism mech(4, options, &rng);
+  mech.set_execution_context(&context);
+  ag::Variable q(Tensor::RandNormal({4, 32, 4}, &rng), true);
+  ag::Variable k(Tensor::RandNormal({4, 32, 4}, &rng), true);
+  ag::Variable v(Tensor::RandNormal({4, 32, 4}, &rng), true);
+  ag::NoGradGuard guard;
+  ag::Variable out = mech.Forward(q, k, v);
+  EXPECT_EQ(out.grad_fn(), nullptr);
+}
+
 TEST(SliceRngTest, CounterBasedStreamsAreReproducibleAndDistinct) {
   Rng a = ExecutionContext::SliceRng(7, 3, 11);
   Rng b = ExecutionContext::SliceRng(7, 3, 11);

@@ -1,0 +1,390 @@
+// Tests for the serving subsystem: FrozenModel weight-copy fidelity,
+// micro-batch transparency (a request's result does not depend on the batch
+// it rode in), the InferenceEngine's coalescing / validation / stats, and the
+// acceptance contract — one FrozenModel hammered by many client threads
+// produces bit-identical outputs to the single-threaded path. Run under
+// RITA_SANITIZE=thread in CI.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/batch_planner.h"
+#include "serve/frozen_model.h"
+#include "serve/inference_engine.h"
+#include "util/execution_context.h"
+#include "util/thread_pool.h"
+
+namespace rita {
+namespace serve {
+namespace {
+
+model::RitaConfig SmallConfig(attn::AttentionKind kind) {
+  model::RitaConfig config;
+  config.input_channels = 2;
+  config.input_length = 60;
+  config.window = 5;
+  config.stride = 5;
+  config.num_classes = 4;
+  config.encoder.dim = 16;
+  config.encoder.num_layers = 2;
+  config.encoder.num_heads = 2;
+  config.encoder.ffn_hidden = 32;
+  config.encoder.dropout = 0.1f;  // frozen replica must switch it off
+  config.encoder.attention.kind = kind;
+  config.encoder.attention.group.num_groups = 4;
+  return config;
+}
+
+Tensor MakeSeries(int64_t t, int64_t c, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::RandNormal({t, c}, &rng);
+}
+
+bool BitEqual(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), sizeof(float) * a.numel()) == 0;
+}
+
+// A fresh source model's first eval forward uses RNG stream 0 and, for a
+// single-sample batch, the same head-indexed slice streams the frozen replica
+// pins — so the replica must reproduce the source bitwise.
+TEST(FrozenModelTest, ReproducesSourceEvalForward) {
+  for (attn::AttentionKind kind :
+       {attn::AttentionKind::kVanilla, attn::AttentionKind::kGroup,
+        attn::AttentionKind::kLinformer, attn::AttentionKind::kPerformer}) {
+    model::RitaConfig config = SmallConfig(kind);
+    if (kind == attn::AttentionKind::kLinformer) {
+      config.encoder.attention.linformer_k = 8;
+      config.encoder.attention.seq_len = config.NumTokens();
+    }
+    Rng rng(42);
+    model::RitaModel source(config, &rng);
+    FrozenModel frozen(source);
+
+    Rng data_rng(7);
+    Tensor batch = Tensor::RandNormal({1, 60, 2}, &data_rng);
+    source.SetTraining(false);
+    ag::NoGradGuard guard;
+    Tensor want = source.ClassLogits(batch).data();
+    Tensor got = frozen.ClassLogits(batch);
+    EXPECT_TRUE(BitEqual(want, got))
+        << "frozen replica diverges for kind " << static_cast<int>(kind);
+  }
+}
+
+TEST(FrozenModelTest, CopiesAdaptedGroupCountAndSeed) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
+  Rng rng(3);
+  model::RitaModel source(config, &rng);
+  // Simulate an adaptive-scheduler decision before freezing.
+  for (auto* mech : source.GroupMechanisms()) mech->set_num_groups(3);
+  FrozenModel frozen(source);
+  EXPECT_EQ(frozen.num_groups(), 3);
+}
+
+// Batch-position invariance: each row of a coalesced [B, T, C] forward is
+// bit-identical to running that row alone — the property that makes engine
+// micro-batching transparent.
+TEST(FrozenModelTest, MicroBatchTransparency) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
+  Rng rng(5);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+
+  const int64_t b = 5, t = 60, c = 2;
+  Rng data_rng(11);
+  Tensor batch = Tensor::RandNormal({b, t, c}, &data_rng);
+  Tensor batched = frozen.ClassLogits(batch);
+
+  for (int64_t i = 0; i < b; ++i) {
+    Tensor single({1, t, c});
+    std::copy(batch.data() + i * t * c, batch.data() + (i + 1) * t * c,
+              single.data());
+    Tensor alone = frozen.ClassLogits(single);
+    EXPECT_EQ(std::memcmp(alone.data(), batched.data() + i * config.num_classes,
+                          sizeof(float) * config.num_classes),
+              0)
+        << "row " << i << " depends on its batch position";
+  }
+}
+
+TEST(FrozenModelTest, SameRequestAlwaysSameOutput) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
+  Rng rng(9);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+  Tensor batch = MakeSeries(60, 2, 1).Reshape({1, 60, 2});
+  Tensor first = frozen.ClassLogits(batch);
+  Tensor second = frozen.ClassLogits(batch);
+  EXPECT_TRUE(BitEqual(first, second)) << "frozen inference is not deterministic";
+}
+
+TEST(InferenceEngineTest, RejectsInvalidRequests) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
+  Rng rng(13);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+  InferenceEngineOptions options;
+  InferenceEngine engine(&frozen, options);
+
+  // Wrong channel count.
+  InferenceRequest bad_channels;
+  bad_channels.series = MakeSeries(60, 3, 2);
+  EXPECT_EQ(engine.Run(std::move(bad_channels)).status.code(),
+            StatusCode::kInvalidArgument);
+  // Longer than the model's configured input length.
+  InferenceRequest too_long;
+  too_long.series = MakeSeries(61, 2, 3);
+  EXPECT_EQ(engine.Run(std::move(too_long)).status.code(),
+            StatusCode::kInvalidArgument);
+  // Not a [T, C] tensor.
+  InferenceRequest bad_rank;
+  bad_rank.series = Tensor::Zeros({1, 60, 2});
+  EXPECT_EQ(engine.Run(std::move(bad_rank)).status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.stats().rejected, 3u);
+  EXPECT_EQ(engine.stats().completed, 0u);
+}
+
+// Linformer's length projection is locked to the configured token count, so
+// the engine must reject short series as a recoverable error instead of
+// letting the forward's fatal check take the process down.
+TEST(InferenceEngineTest, RejectsShortSeriesForLinformerModels) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kLinformer);
+  config.encoder.attention.linformer_k = 8;
+  config.encoder.attention.seq_len = config.NumTokens();
+  Rng rng(19);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+  InferenceEngineOptions options;
+  InferenceEngine engine(&frozen, options);
+
+  InferenceRequest short_series;
+  short_series.series = MakeSeries(30, 2, 4);
+  EXPECT_EQ(engine.Run(std::move(short_series)).status.code(),
+            StatusCode::kInvalidArgument);
+  InferenceRequest full;
+  full.series = MakeSeries(60, 2, 5);
+  EXPECT_TRUE(engine.Run(std::move(full)).status.ok());
+}
+
+TEST(InferenceEngineTest, ServesAllTasksAndVariableLengths) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
+  Rng rng(17);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+  InferenceEngineOptions options;
+  options.num_workers = 2;
+  InferenceEngine engine(&frozen, options);
+
+  // Classification at full length.
+  InferenceRequest classify;
+  classify.series = MakeSeries(60, 2, 21);
+  classify.task = ServeTask::kClassify;
+  InferenceResponse r1 = engine.Run(std::move(classify));
+  ASSERT_TRUE(r1.status.ok()) << r1.status.ToString();
+  EXPECT_EQ(r1.output.shape(), Shape({4}));
+
+  // Embedding of a shorter series (length bucket 35).
+  InferenceRequest embed;
+  embed.series = MakeSeries(35, 2, 22);
+  embed.task = ServeTask::kEmbed;
+  InferenceResponse r2 = engine.Run(std::move(embed));
+  ASSERT_TRUE(r2.status.ok()) << r2.status.ToString();
+  EXPECT_EQ(r2.output.shape(), Shape({16}));
+
+  // Reconstruction of a mid-length series.
+  InferenceRequest recon;
+  recon.series = MakeSeries(50, 2, 23);
+  recon.task = ServeTask::kReconstruct;
+  InferenceResponse r3 = engine.Run(std::move(recon));
+  ASSERT_TRUE(r3.status.ok()) << r3.status.ToString();
+  EXPECT_EQ(r3.output.shape(), Shape({50, 2}));
+
+  const InferenceEngineStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+// The acceptance contract: one FrozenModel shared by >= 8 client threads
+// through the engine produces bit-identical outputs to the single-threaded
+// ClassLogits path. Also exercises coalescing (batched submission from many
+// threads) under TSan.
+TEST(InferenceEngineTest, EightClientThreadsBitIdenticalToSingleThreaded) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
+  Rng rng(29);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 6;
+  const int64_t t = 60, c = 2;
+
+  // Single-threaded references, one request at a time.
+  std::vector<Tensor> requests;
+  std::vector<Tensor> want;
+  for (int i = 0; i < kClients * kPerClient; ++i) {
+    Tensor series = MakeSeries(t, c, 100 + i);
+    requests.push_back(series);
+    want.push_back(frozen.ClassLogits(series.Reshape({1, t, c})));
+  }
+
+  ThreadPool pool(4);
+  ExecutionContext context(&pool);
+  InferenceEngineOptions options;
+  options.num_workers = 3;
+  options.max_micro_batch = 8;
+  options.context = &context;
+  InferenceEngine engine(&frozen, options);
+
+  std::vector<std::future<InferenceResponse>> futures(kClients * kPerClient);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int client = 0; client < kClients; ++client) {
+    clients.emplace_back([&, client] {
+      for (int j = 0; j < kPerClient; ++j) {
+        const int idx = client * kPerClient + j;
+        InferenceRequest request;
+        request.series = requests[idx];
+        request.task = ServeTask::kClassify;
+        futures[idx] = engine.Submit(std::move(request));
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+
+  for (size_t i = 0; i < futures.size(); ++i) {
+    InferenceResponse response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ASSERT_EQ(response.output.numel(), want[i].numel());
+    EXPECT_EQ(std::memcmp(response.output.data(), want[i].data(),
+                          sizeof(float) * want[i].numel()),
+              0)
+        << "request " << i << " diverged from the single-threaded path "
+        << "(micro_batch=" << response.micro_batch << ")";
+    EXPECT_GE(response.micro_batch, 1);
+    EXPECT_LE(response.micro_batch, options.max_micro_batch);
+  }
+
+  const InferenceEngineStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.max_micro_batch, options.max_micro_batch);
+}
+
+// Deterministic coalescing: with the executors paused, every request queues
+// first, so on Resume() the engine MUST pack them into full micro-batches
+// (scheduling-independent, unlike asserting batch sizes under live load).
+TEST(InferenceEngineTest, CoalescesQueuedRequestsIntoMicroBatches) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
+  Rng rng(41);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+
+  InferenceEngineOptions options;
+  options.num_workers = 1;
+  options.max_micro_batch = 8;
+  options.start_paused = true;
+  InferenceEngine engine(&frozen, options);
+
+  constexpr int kRequests = 24;
+  std::vector<std::future<InferenceResponse>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    InferenceRequest request;
+    request.series = MakeSeries(60, 2, 500 + i);
+    futures.push_back(engine.Submit(std::move(request)));
+  }
+  engine.Resume();
+  for (auto& future : futures) ASSERT_TRUE(future.get().status.ok());
+
+  const InferenceEngineStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(stats.batches, static_cast<uint64_t>(kRequests / 8));
+  EXPECT_EQ(stats.max_micro_batch, 8);
+  EXPECT_DOUBLE_EQ(stats.AvgBatchSize(), 8.0);
+
+  // A running engine can be paused again (maintenance window): requests
+  // queue up and complete only after Resume().
+  engine.Pause();
+  std::vector<std::future<InferenceResponse>> paused_futures;
+  for (int i = 0; i < 8; ++i) {
+    InferenceRequest request;
+    request.series = MakeSeries(60, 2, 600 + i);
+    paused_futures.push_back(engine.Submit(std::move(request)));
+  }
+  engine.Resume();
+  for (auto& future : paused_futures) ASSERT_TRUE(future.get().status.ok());
+  EXPECT_EQ(engine.stats().completed, static_cast<uint64_t>(kRequests + 8));
+}
+
+TEST(InferenceEngineTest, PlannerCapsMicroBatches) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
+  Rng rng(31);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+
+  core::EncoderShape shape;
+  shape.layers = config.encoder.num_layers;
+  shape.dim = config.encoder.dim;
+  shape.heads = config.encoder.num_heads;
+  shape.ffn_hidden = config.encoder.ffn_hidden;
+  shape.window = config.window;
+  shape.stride = config.stride;
+  shape.channels = config.input_channels;
+  shape.kind = attn::AttentionKind::kGroup;
+  core::MemoryModel memory(shape);
+  core::BatchPlannerOptions planner_options;
+  planner_options.max_length = config.input_length;
+  core::BatchPlanner planner(memory, planner_options);
+  Rng planner_rng(1);
+  planner.Calibrate(&planner_rng);
+
+  InferenceEngineOptions options;
+  options.planner = &planner;
+  options.max_micro_batch = 16;
+  InferenceEngine engine(&frozen, options);
+
+  std::vector<std::future<InferenceResponse>> futures;
+  for (int i = 0; i < 20; ++i) {
+    InferenceRequest request;
+    request.series = MakeSeries(60, 2, 300 + i);
+    futures.push_back(engine.Submit(std::move(request)));
+  }
+  const int64_t cap =
+      std::min<int64_t>(16, planner.PredictBatchSize(60, frozen.num_groups()));
+  for (auto& future : futures) {
+    InferenceResponse response = future.get();
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_LE(response.micro_batch, cap);
+  }
+}
+
+TEST(InferenceEngineTest, ShutdownDrainsQueueAndRejectsAfter) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
+  Rng rng(37);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+  InferenceEngineOptions options;
+  auto engine = std::make_unique<InferenceEngine>(&frozen, options);
+
+  std::vector<std::future<InferenceResponse>> futures;
+  for (int i = 0; i < 10; ++i) {
+    InferenceRequest request;
+    request.series = MakeSeries(60, 2, 400 + i);
+    futures.push_back(engine->Submit(std::move(request)));
+  }
+  engine->Shutdown();
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().status.ok()) << "queued request dropped on shutdown";
+  }
+  InferenceRequest late;
+  late.series = MakeSeries(60, 2, 999);
+  EXPECT_FALSE(engine->Run(std::move(late)).status.ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace rita

@@ -281,6 +281,27 @@ TEST(ShapeOpsTest, SliceMiddleAxis) {
   EXPECT_EQ(s.At({1, 1, 3}), a.At({1, 2, 3}));
 }
 
+TEST(ShapeOpsTest, SliceRejectsBadArguments) {
+  Tensor a = Tensor::Arange(24).Reshape({2, 3, 4});
+  EXPECT_DEATH(ops::Slice(a, 3, 0, 1), "axis out of range");
+  EXPECT_DEATH(ops::Slice(a, -4, 0, 1), "axis out of range");
+  EXPECT_DEATH(ops::Slice(a, 1, 0, -1), "negative length");
+  EXPECT_DEATH(ops::Slice(a, 1, -1, 2), "negative start");
+  EXPECT_DEATH(ops::Slice(a, 1, 2, 2), "exceeds axis");
+}
+
+TEST(ShapeOpsTest, ConcatRejectsBadArguments) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({1, 2}, {3, 4});
+  EXPECT_DEATH(ops::Concat({}, 0), "empty part list");
+  EXPECT_DEATH(ops::Concat({a, b}, 2), "axis out of range");
+  EXPECT_DEATH(ops::Concat({a, b}, -3), "axis out of range");
+  Tensor c = Tensor::FromVector({1, 3}, {1, 2, 3});
+  EXPECT_DEATH(ops::Concat({a, c}, 0), "mismatch");
+  Tensor d = Tensor::FromVector({2}, {1, 2});
+  EXPECT_DEATH(ops::Concat({a, d}, 0), "rank mismatch");
+}
+
 TEST(ShapeOpsTest, GatherScatterRowsRoundTrip) {
   Tensor a = Tensor::Arange(12).Reshape({4, 3});
   Tensor g = ops::GatherRows(a, {2, 0, 2});

@@ -42,6 +42,11 @@ TEST(TensorTest, FromVectorAndAt) {
   EXPECT_EQ(t.At({1, 2}), 6.0f);
 }
 
+TEST(TensorTest, FromVectorRejectsShapeSizeMismatch) {
+  EXPECT_DEATH(Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5}), "FromVector");
+  EXPECT_DEATH(Tensor::FromVector({2}, {1, 2, 3}), "FromVector");
+}
+
 TEST(TensorTest, ArangeProducesSequence) {
   Tensor t = Tensor::Arange(5);
   for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(t.data()[i], static_cast<float>(i));
