@@ -1,12 +1,28 @@
-// Serving throughput: requests/sec through the rita::serve InferenceEngine as
-// a function of (client threads) x (micro-batch cap). One frozen group-
-// attention RITA model is shared by every configuration; each cell spins up N
-// client threads that each fire a fixed number of single-series
-// classification requests and waits for all responses.
+// Serving benchmarks for the layered engine, three parts:
 //
-// Expected shape: requests/sec grows with client threads until the executor
-// saturates, and a larger micro-batch cap lifts the whole curve (coalescing
-// amortises per-forward overheads) — cap 1 is the no-batching ablation.
+// 1. Throughput sweep (unchanged shape): requests/sec through the engine as
+//    a function of (client threads) x (micro-batch cap). One frozen group-
+//    attention RITA model is shared by every configuration.
+//
+// 2. Priority mix: the motivation scenario — a bulk re-scoring backlog is
+//    draining when latency-critical interactive requests arrive (70/30
+//    bulk/interactive offered load, identical in both modes). "fifo" labels
+//    everything kBatch (uniform class = the pre-layering FIFO engine);
+//    "priority" labels the burst kInteractive so the scheduler lets it
+//    overtake. Reports the p50 interactive queue latency of both modes and
+//    the speedup; the layered scheduler must win by >= 5x.
+//
+// 3. Result cache: a repeated-request workload (16 distinct series x 16
+//    passes) served twice — cold (cache off) and cached. Reports the hit
+//    ratio (expected 15/16 = 0.9375) and hard-fails (RITA_CHECK, non-zero
+//    exit => CI gate) if any cached replay is not bit-identical to the cold
+//    output.
+//
+// Every part lands in the --json document; the priority cell also samples
+// stats() mid-burst to report instantaneous queue depth / in-flight batches
+// (the snapshot is taken under the queue mutex, so it is consistent).
+#include <algorithm>
+#include <cstring>
 #include <future>
 #include <thread>
 #include <vector>
@@ -33,11 +49,18 @@ struct CellResult {
   double avg_queue_ms = 0.0;
 };
 
+double Percentile50(std::vector<double> values) {
+  RITA_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
 CellResult RunCell(const Workload& workload, int clients, int64_t max_micro_batch) {
   serve::InferenceEngineOptions options;
   options.num_workers = 2;
   options.max_micro_batch = max_micro_batch;
   options.context = workload.context;
+  options.cache_bytes = 0;  // throughput of the compute path, not the cache
   serve::InferenceEngine engine(workload.frozen, options);
 
   const int64_t total = static_cast<int64_t>(workload.requests.size());
@@ -69,8 +92,199 @@ CellResult RunCell(const Workload& workload, int clients, int64_t max_micro_batc
   return result;
 }
 
+void RunThroughputSweep(const Workload& workload, int64_t num_requests,
+                        const BenchScale& scale, BenchJsonWriter* json) {
+  const std::vector<int> client_sweep = {1, 2, 4, 8};
+  const std::vector<int64_t> cap_sweep = {1, 8, 32};
+
+  auto csv_open = CsvWriter::Open("bench_serve_throughput.csv");
+  RITA_CHECK(csv_open.ok());
+  CsvWriter csv = csv_open.MoveValueOrDie();
+  csv.WriteRow({"clients", "batch_cap", "requests", "seconds", "requests_per_sec",
+                "avg_micro_batch", "avg_queue_ms"});
+
+  // Unmeasured warmup pass: first-touch pool/arena/model allocations land
+  // here instead of inflating the first measured cell (the no-batching
+  // baseline every other cell is compared against).
+  RunCell(workload, 2, 8);
+
+  std::printf("%8s %10s %12s %10s %12s %14s\n", "clients", "batch-cap", "req/s",
+              "seconds", "avg-batch", "avg-queue-ms");
+  PrintRule(72);
+  for (int64_t cap : cap_sweep) {
+    for (int clients : client_sweep) {
+      const CellResult result = RunCell(workload, clients, cap);
+      std::printf("%8d %10lld %12.1f %10.3f %12.2f %14.3f\n", clients,
+                  static_cast<long long>(cap), result.requests_per_sec,
+                  result.seconds, result.avg_batch, result.avg_queue_ms);
+      csv.WriteValues(clients, cap, num_requests, result.seconds,
+                      result.requests_per_sec, result.avg_batch,
+                      result.avg_queue_ms);
+      const std::string name = "clients" + std::to_string(clients) + "/cap" +
+                               std::to_string(cap) + "/requests_per_sec";
+      json->Add(name, result.requests_per_sec, "req/s");
+    }
+    std::printf("\n");
+  }
+  RITA_CHECK(csv.Close().ok());
+  (void)scale;
+}
+
+/// One priority-mix mode: preload `bulk` requests as kBatch behind a paused
+/// engine, resume, then fire `interactive` requests from the main thread as
+/// the backlog drains. In "fifo" mode the burst is also labelled kBatch, so
+/// the scheduler degenerates to admission order — the pre-layering engine.
+/// Returns the p50 queue latency (ms) of the burst requests.
+double RunPriorityMode(const Workload& workload, int64_t bulk, int64_t interactive,
+                       bool prioritize, BenchJsonWriter* json) {
+  serve::InferenceEngineOptions options;
+  options.num_workers = 2;
+  options.max_micro_batch = 4;
+  options.context = workload.context;
+  options.cache_bytes = 0;    // every request must compute
+  options.bulk_aging_ms = 1e9;  // isolate the priority effect from aging
+  options.start_paused = true;
+  serve::InferenceEngine engine(workload.frozen, options);
+
+  std::vector<std::future<serve::InferenceResponse>> bulk_futures;
+  for (int64_t i = 0; i < bulk; ++i) {
+    serve::InferenceRequest request;
+    request.series = workload.requests[i % workload.requests.size()];
+    request.priority = serve::Priority::kBatch;
+    bulk_futures.push_back(engine.Submit(std::move(request)));
+  }
+  engine.Resume();
+
+  std::vector<std::future<serve::InferenceResponse>> burst_futures;
+  for (int64_t i = 0; i < interactive; ++i) {
+    serve::InferenceRequest request;
+    request.series = workload.requests[(bulk + i) % workload.requests.size()];
+    request.priority =
+        prioritize ? serve::Priority::kInteractive : serve::Priority::kBatch;
+    burst_futures.push_back(engine.Submit(std::move(request)));
+  }
+
+  // Mid-burst load snapshot: queue depth and in-flight batches observed
+  // under the queue mutex (instantaneous, not cumulative).
+  const serve::InferenceEngineStats mid = engine.stats();
+  if (prioritize) {
+    json->Add("priority_mix/mid_burst_queue_depth",
+              static_cast<double>(mid.queue_depth), "requests");
+    json->Add("priority_mix/mid_burst_in_flight_batches",
+              static_cast<double>(mid.in_flight_batches), "batches");
+  }
+
+  std::vector<double> burst_queue_ms;
+  for (auto& future : burst_futures) {
+    serve::InferenceResponse response = future.get();
+    RITA_CHECK(response.status.ok());
+    burst_queue_ms.push_back(response.queue_ms);
+  }
+  for (auto& future : bulk_futures) {
+    RITA_CHECK(future.get().status.ok());
+  }
+  return Percentile50(std::move(burst_queue_ms));
+}
+
+void RunPriorityMix(const Workload& workload, const BenchScale& scale,
+                    BenchJsonWriter* json) {
+  // 70/30 bulk/interactive offered load, identical in both modes.
+  const int64_t bulk = scale.quick ? 56 : 140;
+  const int64_t interactive = scale.quick ? 24 : 60;
+
+  std::printf("=== Priority mix: %lld bulk backlog + %lld interactive burst ===\n",
+              static_cast<long long>(bulk), static_cast<long long>(interactive));
+  const double fifo_p50 = RunPriorityMode(workload, bulk, interactive, false, json);
+  const double prio_p50 = RunPriorityMode(workload, bulk, interactive, true, json);
+  const double speedup = prio_p50 > 0.0 ? fifo_p50 / prio_p50 : 0.0;
+  std::printf("%-34s %12.3f ms\n", "p50 interactive queue (fifo)", fifo_p50);
+  std::printf("%-34s %12.3f ms\n", "p50 interactive queue (priority)", prio_p50);
+  std::printf("%-34s %12.1fx\n\n", "speedup", speedup);
+  json->Add("priority_mix/p50_interactive_queue_ms/fifo", fifo_p50, "ms");
+  json->Add("priority_mix/p50_interactive_queue_ms/priority", prio_p50, "ms");
+  json->Add("priority_mix/p50_speedup", speedup, "x");
+}
+
+void RunCacheSweep(const Workload& workload, const BenchScale& scale,
+                   BenchJsonWriter* json) {
+  const int64_t distinct = scale.quick ? 8 : 16;
+  const int64_t passes = 16;  // hit ratio (passes-1)/passes = 0.9375
+  RITA_CHECK_LE(distinct, static_cast<int64_t>(workload.requests.size()));
+
+  std::printf("=== Result cache: %lld distinct series x %lld passes ===\n",
+              static_cast<long long>(distinct), static_cast<long long>(passes));
+
+  // Cold pass, cache disabled: the reference outputs.
+  std::vector<Tensor> cold(distinct);
+  {
+    serve::InferenceEngineOptions options;
+    options.num_workers = 2;
+    options.context = workload.context;
+    options.cache_bytes = 0;
+    serve::InferenceEngine engine(workload.frozen, options);
+    for (int64_t i = 0; i < distinct; ++i) {
+      serve::InferenceRequest request;
+      request.series = workload.requests[i];
+      serve::InferenceResponse response = engine.Run(std::move(request));
+      RITA_CHECK(response.status.ok());
+      cold[i] = response.output;
+    }
+  }
+
+  serve::InferenceEngineOptions options;
+  options.num_workers = 2;
+  options.context = workload.context;  // cache on (default budget)
+  serve::InferenceEngine engine(workload.frozen, options);
+
+  // Warm pass (sequential: every distinct series misses exactly once), then
+  // passes-1 replays from 4 client threads.
+  for (int64_t i = 0; i < distinct; ++i) {
+    serve::InferenceRequest request;
+    request.series = workload.requests[i];
+    serve::InferenceResponse response = engine.Run(std::move(request));
+    RITA_CHECK(response.status.ok());
+  }
+  const int64_t replays = distinct * (passes - 1);
+  std::vector<std::future<serve::InferenceResponse>> futures(replays);
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  constexpr int kClients = 4;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int64_t i = c; i < replays; i += kClients) {
+        serve::InferenceRequest request;
+        request.series = workload.requests[i % distinct];
+        futures[i] = engine.Submit(std::move(request));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // CI gate: a cached replay that is not bit-identical to the cold compute
+  // is a correctness bug — abort (non-zero exit) so the smoke run fails.
+  for (int64_t i = 0; i < replays; ++i) {
+    serve::InferenceResponse response = futures[i].get();
+    RITA_CHECK(response.status.ok());
+    const Tensor& want = cold[i % distinct];
+    RITA_CHECK_EQ(response.output.numel(), want.numel());
+    RITA_CHECK(std::memcmp(response.output.data(), want.data(),
+                           sizeof(float) * want.numel()) == 0)
+        << "cache-hit replay diverged from the cold compute (request " << i << ")";
+  }
+  const double replay_seconds = watch.ElapsedSeconds();
+
+  const serve::InferenceEngineStats stats = engine.stats();
+  const double hit_ratio = stats.CacheHitRatio();
+  std::printf("%-34s %12.4f\n", "hit ratio", hit_ratio);
+  std::printf("%-34s %12.1f\n", "replayed req/s", replays / replay_seconds);
+  std::printf("%-34s %12s\n\n", "replay vs cold", "bit-identical");
+  json->Add("cache/hit_ratio", hit_ratio, "ratio");
+  json->Add("cache/replay_requests_per_sec", replays / replay_seconds, "req/s");
+  json->Add("cache/replay_bit_identical", 1.0, "bool");
+}
+
 void Run(const BenchScale& scale) {
-  std::printf("=== Serving throughput: requests/sec vs client threads vs batch cap ===\n\n");
+  std::printf("=== Serving: throughput, priority mix, result cache ===\n\n");
 
   model::RitaConfig config;
   config.input_channels = 3;
@@ -101,40 +315,11 @@ void Run(const BenchScale& scale) {
         Tensor::RandNormal({config.input_length, config.input_channels}, &data_rng));
   }
 
-  const std::vector<int> client_sweep = {1, 2, 4, 8};
-  const std::vector<int64_t> cap_sweep = {1, 8, 32};
-
-  auto csv_open = CsvWriter::Open("bench_serve_throughput.csv");
-  RITA_CHECK(csv_open.ok());
-  CsvWriter csv = csv_open.MoveValueOrDie();
-  csv.WriteRow({"clients", "batch_cap", "requests", "seconds", "requests_per_sec",
-                "avg_micro_batch", "avg_queue_ms"});
   BenchJsonWriter json("serve_throughput");
+  RunThroughputSweep(workload, num_requests, scale, &json);
+  RunPriorityMix(workload, scale, &json);
+  RunCacheSweep(workload, scale, &json);
 
-  // Unmeasured warmup pass: first-touch pool/arena/model allocations land
-  // here instead of inflating the first measured cell (the no-batching
-  // baseline every other cell is compared against).
-  RunCell(workload, 2, 8);
-
-  std::printf("%8s %10s %12s %10s %12s %14s\n", "clients", "batch-cap", "req/s",
-              "seconds", "avg-batch", "avg-queue-ms");
-  PrintRule(72);
-  for (int64_t cap : cap_sweep) {
-    for (int clients : client_sweep) {
-      const CellResult result = RunCell(workload, clients, cap);
-      std::printf("%8d %10lld %12.1f %10.3f %12.2f %14.3f\n", clients,
-                  static_cast<long long>(cap), result.requests_per_sec,
-                  result.seconds, result.avg_batch, result.avg_queue_ms);
-      csv.WriteValues(clients, cap, num_requests, result.seconds,
-                      result.requests_per_sec, result.avg_batch,
-                      result.avg_queue_ms);
-      const std::string name = "clients" + std::to_string(clients) + "/cap" +
-                               std::to_string(cap) + "/requests_per_sec";
-      json.Add(name, result.requests_per_sec, "req/s");
-    }
-    std::printf("\n");
-  }
-  RITA_CHECK(csv.Close().ok());
   RITA_CHECK(json.WriteTo(scale.json_path)) << "failed to write " << scale.json_path;
   std::printf("series written to bench_serve_throughput.csv\n");
 }

@@ -1,8 +1,12 @@
-// Serving: train a small RITA classifier, freeze it, and serve concurrent
-// classification / embedding / imputation requests through the micro-batching
-// InferenceEngine — the README "Serving" quickstart as a runnable program.
+// Serving: train a small RITA classifier, freeze two checkpoints of it, and
+// serve concurrent requests through the layered engine — admission
+// (priorities, deadlines, split backpressure), scheduler (interactive
+// overtakes bulk, EDF within class), content-hash result cache, and
+// multi-model A/B multiplexing over one ModelRegistry. The README "Serving"
+// walkthrough as a runnable program.
 //
 //   ./build/example_serving
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <thread>
@@ -43,28 +47,40 @@ int main() {
   Rng model_rng(2);
   model::RitaModel model(config, &model_rng);
 
+  // 2. Two frozen checkpoints of the same training run: "prod" after one
+  //    epoch, "canary" after another — the A/B shape of multi-model serving.
+  //    Freezing deep-copies the weights, so training on continues untouched.
   train::TrainOptions topts;
-  topts.epochs = 2;
+  topts.epochs = 1;
   topts.batch_size = 16;
   topts.adamw.lr = 2e-3f;
   train::Trainer trainer(&model, topts);
   trainer.TrainClassifier(split.train);
-  std::printf("trained: accuracy %.3f\n", trainer.EvalAccuracy(split.valid));
+  serve::FrozenModel prod(model);
+  trainer.TrainClassifier(split.train);  // one more epoch
+  serve::FrozenModel canary(model);
+  std::printf("trained: accuracy %.3f (fingerprints %016llx / %016llx)\n",
+              trainer.EvalAccuracy(split.valid),
+              static_cast<unsigned long long>(prod.Fingerprint()),
+              static_cast<unsigned long long>(canary.Fingerprint()));
 
-  // 2. Freeze the model (immutable snapshot: dropout off, grad-free,
-  //    deterministic) and start the engine: 2 executor workers coalescing
-  //    requests into micro-batches of up to 16 on an 4-thread pool.
-  serve::FrozenModel frozen(model);
+  // 3. One engine multiplexing both models over a shared ExecutionContext:
+  //    2 executor workers, micro-batches up to 16, result cache on (default
+  //    32 MiB budget).
+  serve::ModelRegistry registry;
+  const int64_t prod_id = registry.Register("prod", &prod);
+  const int64_t canary_id = registry.Register("canary", &canary);
   ThreadPool pool(4);
   ExecutionContext context(&pool);
   serve::InferenceEngineOptions options;
   options.num_workers = 2;
   options.max_micro_batch = 16;
   options.context = &context;
-  serve::InferenceEngine engine(&frozen, options);
+  serve::InferenceEngine engine(&registry, options);
 
-  // 3. Four client threads fire the whole validation set as single-series
-  //    classification requests.
+  // 4. Bulk re-scoring: four client threads fire the whole validation set as
+  //    kBatch requests against "prod" — background traffic that yields to
+  //    interactive requests but, thanks to aging, is never starved.
   const int64_t total = split.valid.size();
   std::vector<std::future<serve::InferenceResponse>> futures(total);
   std::vector<std::thread> clients;
@@ -75,12 +91,28 @@ int main() {
         request.series = split.valid.Sample(i).Reshape(
             {split.valid.length(), split.valid.channels()});
         request.task = serve::ServeTask::kClassify;
+        request.priority = serve::Priority::kBatch;
+        request.model_id = prod_id;
         futures[i] = engine.Submit(std::move(request));
       }
     });
   }
-  for (auto& t : clients) t.join();
 
+  // 5. A latency-critical "alert" rides ahead of the bulk backlog: priority
+  //    kInteractive (the default) plus a 50 ms deadline for the EDF sweep,
+  //    routed to the canary model.
+  serve::InferenceRequest alert;
+  alert.series = split.valid.Sample(0).Reshape(
+      {split.valid.length(), split.valid.channels()});
+  alert.priority = serve::Priority::kInteractive;
+  alert.deadline = serve::ServeClock::now() + std::chrono::milliseconds(50);
+  alert.model_id = canary_id;
+  serve::InferenceResponse alert_response = engine.Run(std::move(alert));
+  std::printf("alert answered in %.2f ms queue + %.2f ms compute (batch of %lld)\n",
+              alert_response.queue_ms, alert_response.compute_ms,
+              static_cast<long long>(alert_response.micro_batch));
+
+  for (auto& t : clients) t.join();
   int64_t correct = 0;
   for (int64_t i = 0; i < total; ++i) {
     serve::InferenceResponse response = futures[i].get();
@@ -96,7 +128,18 @@ int main() {
     correct += (argmax == split.valid.labels[i]) ? 1 : 0;
   }
 
-  // 4. One embedding and one imputation request round out the task surface.
+  // 6. Replaying the alert hits the result cache: frozen forwards are
+  //    deterministic and batch-invariant, so the replay is bit-identical to
+  //    the computed response — no forward runs at all.
+  serve::InferenceRequest replay;
+  replay.series = split.valid.Sample(0).Reshape(
+      {split.valid.length(), split.valid.channels()});
+  replay.model_id = canary_id;
+  serve::InferenceResponse replayed = engine.Run(std::move(replay));
+  std::printf("alert replay: cache_hit=%d (identical logits, zero compute)\n",
+              replayed.cache_hit ? 1 : 0);
+
+  // 7. An embedding and an imputation request round out the task surface.
   serve::InferenceRequest embed;
   embed.series = split.valid.Sample(0).Reshape(
       {split.valid.length(), split.valid.channels()});
@@ -116,12 +159,26 @@ int main() {
   std::printf("imputed t=21 ch0: %.3f (masked input)\n",
               imputed.output.At({21, 0}));
 
+  // 8. Aggregate and per-model stats: the rejection split, cache counters
+  //    and the instantaneous queue/in-flight snapshot.
   const serve::InferenceEngineStats stats = engine.stats();
   std::printf("served %llu requests in %llu micro-batches "
-              "(max batch %lld, avg queue %.2f ms)\n",
+              "(max batch %lld, avg queue %.2f ms, %llu cache hits, "
+              "%llu invalid + %llu backpressure rejections, queue depth %lld)\n",
               static_cast<unsigned long long>(stats.completed),
               static_cast<unsigned long long>(stats.batches),
-              static_cast<long long>(stats.max_micro_batch), stats.AvgQueueMs());
+              static_cast<long long>(stats.max_micro_batch), stats.AvgQueueMs(),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.rejected_invalid),
+              static_cast<unsigned long long>(stats.rejected_backpressure),
+              static_cast<long long>(stats.queue_depth));
+  for (int64_t id = 0; id < registry.size(); ++id) {
+    const serve::InferenceEngineStats per_model = engine.model_stats(id);
+    std::printf("  model '%s': %llu completed, %llu cache hits\n",
+                registry.name(id).c_str(),
+                static_cast<unsigned long long>(per_model.completed),
+                static_cast<unsigned long long>(per_model.cache_hits));
+  }
   std::printf("serving accuracy %.3f, embedding dim %lld\n",
               static_cast<double>(correct) / static_cast<double>(total),
               static_cast<long long>(embedding.output.numel()));

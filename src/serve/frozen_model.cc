@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
+
 namespace rita {
 namespace serve {
 
@@ -48,6 +50,49 @@ FrozenModel::FrozenModel(model::RitaModel& source) : config_(source.config()) {
     dst_groups[i]->set_seed(src_groups[i]->seed());
     num_groups_ = std::max(num_groups_, dst_groups[i]->num_groups());
   }
+
+  fingerprint_ = ComputeFingerprint();
+}
+
+uint64_t FrozenModel::ComputeFingerprint() const {
+  uint64_t h = kFnv1a64OffsetBasis;
+  // Architecture: two models with identical weights but different frontends
+  // or attention kinds compute different functions.
+  h = Fnv1a64Value(config_.input_channels, h);
+  h = Fnv1a64Value(config_.input_length, h);
+  h = Fnv1a64Value(config_.window, h);
+  h = Fnv1a64Value(config_.stride, h);
+  h = Fnv1a64Value(config_.num_classes, h);
+  h = Fnv1a64Value(config_.encoder.dim, h);
+  h = Fnv1a64Value(config_.encoder.num_layers, h);
+  h = Fnv1a64Value(config_.encoder.num_heads, h);
+  h = Fnv1a64Value(config_.encoder.ffn_hidden, h);
+  h = Fnv1a64Value(static_cast<int32_t>(config_.encoder.attention.kind), h);
+  // Kernel knobs that change the computed function without changing any
+  // weight byte: k-means settings steer the grouping, the projection /
+  // feature sizes shape the linear-attention approximations.
+  h = Fnv1a64Value(config_.encoder.attention.group.kmeans_iters, h);
+  h = Fnv1a64Value(config_.encoder.attention.group.kmeanspp_init, h);
+  h = Fnv1a64Value(config_.encoder.attention.performer_features, h);
+  h = Fnv1a64Value(config_.encoder.attention.linformer_k, h);
+  h = Fnv1a64Value(config_.encoder.attention.seq_len, h);
+  // Weights and buffers (buffers include e.g. the Performer omega matrix).
+  for (const auto& named : model_->NamedParameters()) {
+    h = Fnv1a64String(named.first, h);
+    const Tensor& data = named.second.data();
+    h = Fnv1a64(data.data(), sizeof(float) * static_cast<size_t>(data.numel()), h);
+  }
+  for (const auto& named : model_->NamedBuffers()) {
+    h = Fnv1a64String(named.first, h);
+    const Tensor& data = *named.second;
+    h = Fnv1a64(data.data(), sizeof(float) * static_cast<size_t>(data.numel()), h);
+  }
+  // Group-attention runtime state decides the grouping, hence the output.
+  for (const auto* mech : model_->GroupMechanisms()) {
+    h = Fnv1a64Value(mech->num_groups(), h);
+    h = Fnv1a64Value(mech->seed(), h);
+  }
+  return h;
 }
 
 attn::ForwardState FrozenModel::MakeState(ExecutionContext* context) const {

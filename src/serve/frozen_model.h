@@ -37,6 +37,13 @@ class FrozenModel {
   /// batch planner's memory-aware micro-batch cap.
   int64_t num_groups() const { return num_groups_; }
 
+  /// Content fingerprint: an FNV-1a digest of the architecture config, every
+  /// parameter/buffer byte and the group-attention runtime state (seeds,
+  /// adapted group counts). Two replicas agree iff they compute the same
+  /// function, so the serving result cache keys on it — entries from a
+  /// retrained or different model can never alias.
+  uint64_t Fingerprint() const { return fingerprint_; }
+
   // -- Thread-safe, deterministic, grad-free forwards ----------------------
   // `batch` is [B, T, C] with window <= T <= input_length; `context` supplies
   // the execution resources (null = ExecutionContext::Default()).
@@ -53,8 +60,11 @@ class FrozenModel {
  private:
   attn::ForwardState MakeState(ExecutionContext* context) const;
 
+  uint64_t ComputeFingerprint() const;
+
   model::RitaConfig config_;
   int64_t num_groups_ = 0;
+  uint64_t fingerprint_ = 0;
   // Logically immutable after construction; forwards with explicit state
   // mutate nothing (the reentrancy contract), so const methods are sound.
   mutable std::unique_ptr<model::RitaModel> model_;

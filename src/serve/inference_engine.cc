@@ -11,33 +11,62 @@ namespace serve {
 
 namespace {
 
-double MsSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                   t0)
-      .count();
+double MsSince(ServeClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(ServeClock::now() - t0).count();
+}
+
+Scheduler::Options SchedulerOptions(const InferenceEngineOptions& options) {
+  Scheduler::Options sched;
+  sched.max_micro_batch = options.max_micro_batch;
+  sched.bulk_aging_ms = options.bulk_aging_ms;
+  sched.planner = options.planner;
+  return sched;
+}
+
+RequestQueue::Options QueueOptions(const InferenceEngineOptions& options) {
+  RequestQueue::Options queue;
+  queue.max_queue = options.max_queue;
+  queue.max_batch_queue = options.max_batch_queue;
+  return queue;
 }
 
 }  // namespace
 
-const char* ServeTaskName(ServeTask task) {
-  switch (task) {
-    case ServeTask::kClassify:
-      return "classify";
-    case ServeTask::kEmbed:
-      return "embed";
-    case ServeTask::kReconstruct:
-      return "reconstruct";
-  }
-  return "?";
+InferenceEngine::InferenceEngine(const ModelRegistry* registry,
+                                 const InferenceEngineOptions& options)
+    : registry_(registry),
+      options_(options),
+      scheduler_(SchedulerOptions(options)),
+      queue_(QueueOptions(options)),
+      paused_(options.start_paused) {
+  RITA_CHECK(registry_ != nullptr);
+  Start();
 }
 
 InferenceEngine::InferenceEngine(const FrozenModel* model,
                                  const InferenceEngineOptions& options)
-    : model_(model), options_(options), paused_(options.start_paused) {
-  RITA_CHECK(model_ != nullptr);
+    : registry_(nullptr),
+      options_(options),
+      scheduler_(SchedulerOptions(options)),
+      queue_(QueueOptions(options)),
+      paused_(options.start_paused) {
+  RITA_CHECK(model != nullptr);
+  own_registry_.Register("default", model);
+  registry_ = &own_registry_;
+  Start();
+}
+
+void InferenceEngine::Start() {
+  RITA_CHECK_GT(registry_->size(), 0) << "registry has no models";
   RITA_CHECK_GT(options_.num_workers, 0);
-  RITA_CHECK_GT(options_.max_micro_batch, 0);
-  RITA_CHECK_GT(options_.max_queue, 0);
+  registry_->Freeze();
+  if (options_.cache_bytes > 0) {
+    ResultCache::Options cache_options;
+    cache_options.byte_budget = options_.cache_bytes;
+    cache_options.num_shards = options_.cache_shards;
+    cache_ = std::make_unique<ResultCache>(cache_options);
+  }
+  model_stats_.resize(static_cast<size_t>(registry_->size()));
   workers_.reserve(options_.num_workers);
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -46,8 +75,16 @@ InferenceEngine::InferenceEngine(const FrozenModel* model,
 
 InferenceEngine::~InferenceEngine() { Shutdown(); }
 
-Status InferenceEngine::Validate(const InferenceRequest& request) const {
-  const model::RitaConfig& config = model_->config();
+Status InferenceEngine::Validate(const InferenceRequest& request,
+                                 const FrozenModel** model) const {
+  *model = registry_->Get(request.model_id);
+  if (*model == nullptr) {
+    return Status::InvalidArgument("unknown model_id " +
+                                   std::to_string(request.model_id) + " (" +
+                                   std::to_string(registry_->size()) +
+                                   " models registered)");
+  }
+  const model::RitaConfig& config = (*model)->config();
   if (!request.series.defined() || request.series.dim() != 2) {
     return Status::InvalidArgument("request series must be a [T, C] tensor");
   }
@@ -78,38 +115,94 @@ Status InferenceEngine::Validate(const InferenceRequest& request) const {
   return Status::OK();
 }
 
+void InferenceEngine::CountRejection(int64_t model_id, bool backpressure) {
+  // Count BEFORE resolving the promise (same invariant as ExecuteBatch): a
+  // client reading stats() after its future resolves must see its own
+  // request counted.
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (backpressure) {
+    ++stats_.rejected_backpressure;
+  } else {
+    ++stats_.rejected_invalid;
+  }
+  if (model_id >= 0 && model_id < static_cast<int64_t>(model_stats_.size())) {
+    InferenceEngineStats& per_model = model_stats_[static_cast<size_t>(model_id)];
+    if (backpressure) {
+      ++per_model.rejected_backpressure;
+    } else {
+      ++per_model.rejected_invalid;
+    }
+  }
+}
+
 std::future<InferenceResponse> InferenceEngine::Submit(InferenceRequest request) {
   std::promise<InferenceResponse> promise;
   std::future<InferenceResponse> future = promise.get_future();
+  const int64_t model_id = request.model_id;
 
-  Status invalid = Validate(request);
+  const FrozenModel* model = nullptr;
+  Status invalid = Validate(request, &model);
+  bool backpressure = false;
+
+  // Result cache, in front of admission: deterministic, batch-invariant
+  // forwards make a replay bit-identical to a cold compute, so a hit skips
+  // the queue entirely.
+  ResultCache::Key key;
+  if (invalid.ok() && cache_ != nullptr) {
+    key = ResultCache::MakeKey(model->Fingerprint(), request.task, request.series);
+    Tensor cached;
+    if (cache_->Lookup(key, &cached)) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.completed;
+        ++stats_.cache_hits;
+        InferenceEngineStats& per_model =
+            model_stats_[static_cast<size_t>(model_id)];
+        ++per_model.completed;
+        ++per_model.cache_hits;
+      }
+      InferenceResponse response;
+      response.status = Status::OK();
+      response.output = std::move(cached);
+      response.cache_hit = true;
+      response.model_id = model_id;
+      promise.set_value(std::move(response));
+      return future;
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.cache_misses;
+    ++model_stats_[static_cast<size_t>(model_id)].cache_misses;
+  }
+
   if (invalid.ok()) {
     std::unique_lock<std::mutex> lock(mu_);
     if (stopping_) {
       invalid = Status::Internal("engine is shut down");
-    } else if (static_cast<int64_t>(queue_.size()) >= options_.max_queue) {
-      invalid = Status::OutOfMemory("request queue full (backpressure)");
     } else {
-      Pending pending;
+      ScheduledRequest pending;
       pending.request = std::move(request);
       pending.promise = std::move(promise);
-      pending.enqueued = std::chrono::steady_clock::now();
-      queue_.push_back(std::move(pending));
-      lock.unlock();
-      cv_.notify_one();
-      return future;
+      pending.enqueued = ServeClock::now();
+      pending.cache_key_lo = key.lo;
+      pending.cache_key_hi = key.hi;
+      Status admitted = queue_.Admit(std::move(pending));
+      if (admitted.ok()) {
+        lock.unlock();
+        cv_.notify_one();
+        return future;
+      }
+      // Rejected by backpressure: the queue did not take ownership, so the
+      // promise is still ours to resolve.
+      promise = std::move(pending.promise);
+      invalid = std::move(admitted);
+      backpressure = true;
     }
   }
 
-  // Count the rejection BEFORE resolving the promise (same invariant as
-  // ExecuteBatch): a client reading stats() after its future resolves must
-  // see its own request counted.
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.rejected;
-  }
+  CountRejection(model_id, backpressure);
   InferenceResponse response;
   response.status = std::move(invalid);
+  response.model_id = model_id;
   promise.set_value(std::move(response));
   return future;
 }
@@ -118,18 +211,14 @@ InferenceResponse InferenceEngine::Run(InferenceRequest request) {
   return Submit(std::move(request)).get();
 }
 
-int64_t InferenceEngine::BatchBudget(int64_t length) const {
-  int64_t budget = options_.max_micro_batch;
-  if (options_.planner != nullptr && options_.planner->calibrated()) {
-    const int64_t groups = std::max<int64_t>(1, model_->num_groups());
-    budget = std::min(budget, options_.planner->PredictBatchSize(length, groups));
-  }
-  return std::max<int64_t>(1, budget);
-}
-
 void InferenceEngine::WorkerLoop() {
+  // The planner's micro-batch cap depends on the carrier model's group count.
+  const Scheduler::GroupsFn groups = [this](int64_t model_id) {
+    const FrozenModel* model = registry_->Get(model_id);
+    return model == nullptr ? int64_t{0} : model->num_groups();
+  };
   for (;;) {
-    std::vector<Pending> batch;
+    std::vector<ScheduledRequest> batch;
     bool more = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -139,38 +228,25 @@ void InferenceEngine::WorkerLoop() {
                [this] { return stopping_ || (!paused_ && !queue_.empty()); });
       if (queue_.empty() && stopping_) return;
       if (queue_.empty()) continue;
-
-      // Seed the micro-batch with the oldest request, then sweep the queue
-      // for compatible ones (same task, same length — they can share one
-      // [B, T, C] forward) up to the memory-aware budget. One compaction
-      // pass: matches move into the batch, everything else slides forward in
-      // order — O(queue) total instead of O(queue x batch) mid-deque erases
-      // under the lock.
-      const ServeTask task = queue_.front().request.task;
-      const int64_t length = queue_.front().request.series.size(0);
-      const int64_t budget = BatchBudget(length);
-      size_t write = 0;
-      for (size_t read = 0; read < queue_.size(); ++read) {
-        Pending& pending = queue_[read];
-        if (static_cast<int64_t>(batch.size()) < budget &&
-            pending.request.task == task &&
-            pending.request.series.size(0) == length) {
-          batch.push_back(std::move(pending));
-        } else {
-          if (write != read) queue_[write] = std::move(pending);
-          ++write;
-        }
-      }
-      queue_.resize(write);
+      batch = scheduler_.Assemble(queue_, ServeClock::now(), groups);
+      if (batch.empty()) continue;
+      ++in_flight_batches_;
       more = !queue_.empty();
     }
     if (more) cv_.notify_one();
     ExecuteBatch(std::move(batch));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_batches_;
+    }
   }
 }
 
-void InferenceEngine::ExecuteBatch(std::vector<Pending> batch) {
+void InferenceEngine::ExecuteBatch(std::vector<ScheduledRequest> batch) {
   const int64_t b = static_cast<int64_t>(batch.size());
+  const int64_t model_id = batch[0].request.model_id;
+  const FrozenModel* model = registry_->Get(model_id);
+  RITA_CHECK(model != nullptr);
   const int64_t t = batch[0].request.series.size(0);
   const int64_t c = batch[0].request.series.size(1);
   const ServeTask task = batch[0].request.task;
@@ -187,21 +263,21 @@ void InferenceEngine::ExecuteBatch(std::vector<Pending> batch) {
   Tensor output;  // rows are per-request results
   switch (task) {
     case ServeTask::kClassify:
-      output = model_->ClassLogits(stacked, options_.context);
+      output = model->ClassLogits(stacked, options_.context);
       break;
     case ServeTask::kEmbed:
-      output = model_->Embed(stacked, options_.context);
+      output = model->Embed(stacked, options_.context);
       break;
     case ServeTask::kReconstruct:
-      output = model_->Reconstruct(stacked, options_.context);
+      output = model->Reconstruct(stacked, options_.context);
       break;
   }
   const double compute_ms = compute.ElapsedMillis();
 
-  std::vector<InferenceResponse> responses(b);
+  std::vector<InferenceResponse> responses(static_cast<size_t>(b));
   double batch_queue_ms = 0.0;
   for (int64_t i = 0; i < b; ++i) {
-    InferenceResponse& response = responses[i];
+    InferenceResponse& response = responses[static_cast<size_t>(i)];
     response.status = Status::OK();
     // Row i of the output, with the batch axis dropped.
     Tensor row = ops::Slice(output, 0, i, 1);
@@ -210,7 +286,19 @@ void InferenceEngine::ExecuteBatch(std::vector<Pending> batch) {
     response.queue_ms = MsSince(batch[i].enqueued) - compute_ms;
     response.compute_ms = compute_ms;
     response.micro_batch = b;
+    response.model_id = model_id;
     batch_queue_ms += response.queue_ms;
+
+    // Populate the cache before resolving the promise so a client replaying
+    // its own completed request tends to hit. Deterministic forwards make
+    // racing duplicate inserts idempotent.
+    if (cache_ != nullptr &&
+        (batch[i].cache_key_lo != 0 || batch[i].cache_key_hi != 0)) {
+      ResultCache::Key key;
+      key.lo = batch[i].cache_key_lo;
+      key.hi = batch[i].cache_key_hi;
+      cache_->Insert(key, response.output);
+    }
   }
 
   // Commit the counters BEFORE fulfilling any promise: a client that reads
@@ -222,9 +310,15 @@ void InferenceEngine::ExecuteBatch(std::vector<Pending> batch) {
     stats_.max_micro_batch = std::max(stats_.max_micro_batch, b);
     stats_.total_queue_ms += batch_queue_ms;
     stats_.total_compute_ms += compute_ms;
+    InferenceEngineStats& per_model = model_stats_[static_cast<size_t>(model_id)];
+    per_model.completed += static_cast<uint64_t>(b);
+    ++per_model.batches;
+    per_model.max_micro_batch = std::max(per_model.max_micro_batch, b);
+    per_model.total_queue_ms += batch_queue_ms;
+    per_model.total_compute_ms += compute_ms;
   }
   for (int64_t i = 0; i < b; ++i) {
-    batch[i].promise.set_value(std::move(responses[i]));
+    batch[i].promise.set_value(std::move(responses[static_cast<size_t>(i)]));
   }
 }
 
@@ -255,12 +349,48 @@ void InferenceEngine::Shutdown() {
       if (worker.joinable()) worker.join();
     }
     workers_.clear();
+    // Workers exit only on an empty queue, so this is a belt-and-braces
+    // failure path: never strand a promise.
+    std::vector<ScheduledRequest> orphans;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      orphans = queue_.TakeAll();
+    }
+    for (ScheduledRequest& orphan : orphans) {
+      InferenceResponse response;
+      response.status = Status::Internal("engine shut down before execution");
+      response.model_id = orphan.request.model_id;
+      orphan.promise.set_value(std::move(response));
+    }
   });
 }
 
 InferenceEngineStats InferenceEngine::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  // Lock order mu_ -> stats_mu_: the counters and the queue snapshot land in
+  // one consistent view (satisfying "instantaneous load, not just cumulative
+  // counters" for the bench's --json reporting).
+  std::lock_guard<std::mutex> queue_lock(mu_);
+  InferenceEngineStats snapshot;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    snapshot = stats_;
+  }
+  snapshot.queue_depth = queue_.depth();
+  snapshot.queue_depth_interactive = queue_.depth(Priority::kInteractive);
+  snapshot.queue_depth_batch = queue_.depth(Priority::kBatch);
+  snapshot.in_flight_batches = in_flight_batches_;
+  return snapshot;
+}
+
+InferenceEngineStats InferenceEngine::model_stats(int64_t model_id) const {
+  std::lock_guard<std::mutex> queue_lock(mu_);
+  InferenceEngineStats snapshot;
+  if (model_id >= 0 && model_id < static_cast<int64_t>(model_stats_.size())) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    snapshot = model_stats_[static_cast<size_t>(model_id)];
+  }
+  snapshot.queue_depth = queue_.DepthForModel(model_id);
+  return snapshot;
 }
 
 }  // namespace serve

@@ -1,52 +1,46 @@
-// Micro-batching inference engine (the serving path the paper's Table 6/8
-// numbers point at): clients Submit() single-series requests from any number
-// of threads; executor workers coalesce compatible requests — same task, same
-// series length — into micro-batches capped by the engine limit and, when a
-// calibrated BatchPlanner is attached, by its memory-aware batch-size
-// prediction, then run them through a shared FrozenModel on the engine's
-// ExecutionContext. Because frozen forwards are batch-position-invariant,
-// coalescing is transparent: a request's result is bit-identical to running
-// it alone (group/vanilla/linformer attention).
+// Execution layer of the serving stack, and its public face. The engine
+// wires the layers together:
+//
+//   Submit()                                   stats()/model_stats()
+//     |  validate (per-model config checks)         ^
+//     v                                             |
+//   ResultCache ---- hit: resolve immediately ------+   (content-hash LRU;
+//     | miss                                            sound because frozen
+//     v                                                 forwards are
+//   RequestQueue  admission: per-(model, task, length)  deterministic and
+//     |           buckets, split backpressure           batch-invariant)
+//     v
+//   Scheduler     policy: priority class, EDF within class, bulk aging,
+//     |           planner-capped micro-batch assembly
+//     v
+//   executor workers -> FrozenModel forward on the shared ExecutionContext
+//
+// Requests default to priority kInteractive, no deadline, model 0, so the
+// pre-layering Submit/Run/Pause/Resume/Shutdown call sites compile and
+// behave as before; a ModelRegistry multiplexes several FrozenModels
+// (per-tenant / A/B) through one engine with per-model queues and counters.
 #ifndef RITA_SERVE_INFERENCE_ENGINE_H_
 #define RITA_SERVE_INFERENCE_ENGINE_H_
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/batch_planner.h"
 #include "serve/frozen_model.h"
+#include "serve/model_registry.h"
+#include "serve/request_queue.h"
+#include "serve/result_cache.h"
+#include "serve/scheduler.h"
 #include "util/status.h"
 
 namespace rita {
 namespace serve {
-
-/// What a request asks of the model.
-enum class ServeTask {
-  kClassify = 0,    // logits [num_classes]
-  kEmbed = 1,       // [CLS] embedding [dim]
-  kReconstruct = 2  // reconstruction [T, C] (imputation on masked input)
-};
-
-const char* ServeTaskName(ServeTask task);
-
-struct InferenceRequest {
-  Tensor series;  // [T, C], window <= T <= model input_length
-  ServeTask task = ServeTask::kClassify;
-};
-
-struct InferenceResponse {
-  Status status;     // non-OK => output undefined
-  Tensor output;     // per-task shape, see ServeTask
-  double queue_ms = 0.0;    // Submit() -> micro-batch assembly
-  double compute_ms = 0.0;  // model forward of the carrying micro-batch
-  int64_t micro_batch = 0;  // how many requests rode the same forward
-};
 
 struct InferenceEngineOptions {
   /// Executor threads draining the request queue. Each runs whole
@@ -56,6 +50,15 @@ struct InferenceEngineOptions {
   int64_t max_micro_batch = 32;
   /// Backpressure: Submit() rejects when this many requests are queued.
   int64_t max_queue = 1 << 14;
+  /// kBatch-class admission cap; -1 = 7/8 of max_queue (interactive reserve).
+  int64_t max_batch_queue = -1;
+  /// Queued kBatch requests older than this compete as interactive with an
+  /// elapsed deadline — bulk traffic yields to bursts but is never starved.
+  double bulk_aging_ms = 500.0;
+  /// Result-cache byte budget; 0 disables the cache entirely.
+  int64_t cache_bytes = 32 << 20;
+  /// Result-cache shards (each its own mutex + LRU).
+  int cache_shards = 8;
   /// Optional calibrated planner; caps each micro-batch at
   /// PredictBatchSize(length, model.num_groups()) so coalescing can never
   /// exceed the memory budget the planner was calibrated for.
@@ -68,36 +71,66 @@ struct InferenceEngineOptions {
   bool start_paused = false;
 };
 
-/// Aggregate serving counters (cumulative since construction).
+/// Serving counters. Cumulative since construction, except the
+/// `queue_depth*` / `in_flight_batches` fields, which are an instantaneous
+/// snapshot taken under the queue mutex — stats() observes a consistent
+/// load picture, not counters racing the queue.
 struct InferenceEngineStats {
-  uint64_t completed = 0;        // requests answered OK
-  uint64_t rejected = 0;         // failed validation or backpressure
+  uint64_t completed = 0;        // requests answered OK (incl. cache hits)
+  uint64_t rejected_invalid = 0;       // failed validation / unknown model /
+                                       // submitted after shutdown
+  uint64_t rejected_backpressure = 0;  // admission refused: queue caps hit
   uint64_t batches = 0;          // model forwards executed
+  uint64_t cache_hits = 0;       // answered from the result cache
+  uint64_t cache_misses = 0;     // looked up, not found (cache enabled only)
   int64_t max_micro_batch = 0;   // largest coalesced batch observed
-  double total_queue_ms = 0.0;   // summed over completed requests
+  double total_queue_ms = 0.0;   // summed over computed requests
   double total_compute_ms = 0.0; // summed over batches
 
+  // Instantaneous load snapshot (consistent: taken under the queue mutex).
+  int64_t queue_depth = 0;
+  int64_t queue_depth_interactive = 0;
+  int64_t queue_depth_batch = 0;
+  int64_t in_flight_batches = 0;  // micro-batches currently executing
+
+  /// Deprecated aggregate of the rejection split; prefer the split fields.
+  uint64_t rejected() const { return rejected_invalid + rejected_backpressure; }
+
   double AvgQueueMs() const {
-    return completed == 0 ? 0.0 : total_queue_ms / static_cast<double>(completed);
+    const uint64_t computed = completed - cache_hits;
+    return computed == 0 ? 0.0 : total_queue_ms / static_cast<double>(computed);
   }
   double AvgBatchSize() const {
     return batches == 0 ? 0.0
-                        : static_cast<double>(completed) / static_cast<double>(batches);
+                        : static_cast<double>(completed - cache_hits) /
+                              static_cast<double>(batches);
+  }
+  double CacheHitRatio() const {
+    const uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) / static_cast<double>(lookups);
   }
 };
 
 class InferenceEngine {
  public:
-  /// `model`, `options.planner` and `options.context` are borrowed and must
-  /// outlive the engine.
+  /// Single-model engine: `model` becomes model_id 0. `model`,
+  /// `options.planner` and `options.context` are borrowed and must outlive
+  /// the engine.
   InferenceEngine(const FrozenModel* model, const InferenceEngineOptions& options);
+  /// Multi-model engine over a borrowed registry (frozen on attach; register
+  /// every model first). Requests route by `InferenceRequest::model_id`.
+  InferenceEngine(const ModelRegistry* registry,
+                  const InferenceEngineOptions& options);
   ~InferenceEngine();
 
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
   /// Thread-safe. Invalid requests resolve immediately with a non-OK status;
-  /// valid ones resolve when their micro-batch completes.
+  /// cache hits resolve immediately with the cached output; admitted
+  /// requests resolve when their micro-batch completes.
   std::future<InferenceResponse> Submit(InferenceRequest request);
 
   /// Convenience: Submit and block for the response.
@@ -116,33 +149,43 @@ class InferenceEngine {
   /// completes); the destructor calls it.
   void Shutdown();
 
+  /// Aggregate counters + instantaneous queue/in-flight snapshot.
   InferenceEngineStats stats() const;
+  /// Per-model counters (queue_depth = that model's queued requests;
+  /// in-flight and class-split depths are engine-wide and left 0).
+  InferenceEngineStats model_stats(int64_t model_id) const;
+
+  const ModelRegistry& registry() const { return *registry_; }
 
  private:
-  struct Pending {
-    InferenceRequest request;
-    std::promise<InferenceResponse> promise;
-    std::chrono::steady_clock::time_point enqueued;
-  };
-
-  Status Validate(const InferenceRequest& request) const;
-  /// Micro-batch budget for series of `length`: planner-capped when attached.
-  int64_t BatchBudget(int64_t length) const;
+  /// Shared constructor tail: checks, freezes the registry, builds the
+  /// cache, spawns the workers.
+  void Start();
+  Status Validate(const InferenceRequest& request,
+                  const FrozenModel** model) const;
   void WorkerLoop();
-  void ExecuteBatch(std::vector<Pending> batch);
+  void ExecuteBatch(std::vector<ScheduledRequest> batch);
+  void CountRejection(int64_t model_id, bool backpressure);
 
-  const FrozenModel* model_;
+  const ModelRegistry* registry_;  // set before Start(); fixed afterwards
+  ModelRegistry own_registry_;     // backs the single-model constructor
   InferenceEngineOptions options_;
+  Scheduler scheduler_;
+  std::unique_ptr<ResultCache> cache_;  // null when cache_bytes == 0
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Pending> queue_;
+  RequestQueue queue_;
+  int64_t in_flight_batches_ = 0;
   bool stopping_ = false;
   bool paused_ = false;
   std::once_flag shutdown_once_;
 
+  // Lock order: mu_ before stats_mu_ (stats() takes both; workers take only
+  // stats_mu_ when committing counters).
   mutable std::mutex stats_mu_;
   InferenceEngineStats stats_;
+  std::vector<InferenceEngineStats> model_stats_;  // indexed by model id
 
   std::vector<std::thread> workers_;
 };

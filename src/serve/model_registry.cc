@@ -1,0 +1,40 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+namespace rita {
+namespace serve {
+
+int64_t ModelRegistry::Register(std::string name, const FrozenModel* model) {
+  RITA_CHECK(!frozen_.load(std::memory_order_acquire))
+      << "ModelRegistry is frozen (attached to an engine); register models "
+         "before serving starts";
+  RITA_CHECK(model != nullptr);
+  RITA_CHECK_EQ(Find(name), -1) << "duplicate model name: " << name;
+  Entry entry;
+  entry.name = std::move(name);
+  entry.model = model;
+  entries_.push_back(std::move(entry));
+  return static_cast<int64_t>(entries_.size()) - 1;
+}
+
+const FrozenModel* ModelRegistry::Get(int64_t id) const {
+  if (id < 0 || id >= size()) return nullptr;
+  return entries_[static_cast<size_t>(id)].model;
+}
+
+int64_t ModelRegistry::Find(const std::string& name) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+const std::string& ModelRegistry::name(int64_t id) const {
+  RITA_CHECK_GE(id, 0);
+  RITA_CHECK_LT(id, size());
+  return entries_[static_cast<size_t>(id)].name;
+}
+
+}  // namespace serve
+}  // namespace rita

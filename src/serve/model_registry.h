@@ -1,0 +1,60 @@
+// Multi-model multiplexing: a ModelRegistry maps dense model ids (0..n-1) to
+// borrowed FrozenModels so one InferenceEngine can serve several fine-tuned
+// variants (per-tenant models, A/B candidates) over a shared
+// ExecutionContext. Requests carry a `model_id`; the admission layer buckets
+// per (model, task, length), so each model effectively has its own queues and
+// the engine keeps per-model counters.
+//
+// Registration happens before the registry is handed to an engine; after
+// that the registry is read-only (Register checks this), which keeps the
+// serving path lock-free on the registry side.
+#ifndef RITA_SERVE_MODEL_REGISTRY_H_
+#define RITA_SERVE_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/frozen_model.h"
+
+namespace rita {
+namespace serve {
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Registers a borrowed model under `name` and returns its dense id.
+  /// Names must be unique; models must outlive the registry. Fatal after
+  /// Freeze() — registration is a setup-time operation.
+  int64_t Register(std::string name, const FrozenModel* model);
+
+  /// Marks the registry read-only; the engine calls this when attaching
+  /// (const: freezing does not change the registered set).
+  void Freeze() const { frozen_.store(true, std::memory_order_release); }
+
+  /// The model for `id`, or nullptr when the id was never registered.
+  const FrozenModel* Get(int64_t id) const;
+
+  /// The id registered under `name`, or -1.
+  int64_t Find(const std::string& name) const;
+
+  const std::string& name(int64_t id) const;
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+
+ private:
+  struct Entry {
+    std::string name;
+    const FrozenModel* model = nullptr;
+  };
+  std::vector<Entry> entries_;
+  mutable std::atomic<bool> frozen_{false};
+};
+
+}  // namespace serve
+}  // namespace rita
+
+#endif  // RITA_SERVE_MODEL_REGISTRY_H_

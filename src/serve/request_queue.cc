@@ -1,0 +1,115 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rita {
+namespace serve {
+
+const char* ServeTaskName(ServeTask task) {
+  switch (task) {
+    case ServeTask::kClassify:
+      return "classify";
+    case ServeTask::kEmbed:
+      return "embed";
+    case ServeTask::kReconstruct:
+      return "reconstruct";
+  }
+  return "?";
+}
+
+const char* PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+RequestQueue::RequestQueue(const Options& options) : options_(options) {
+  RITA_CHECK_GT(options_.max_queue, 0);
+  if (options_.max_batch_queue < 0) {
+    // Default split: bulk may fill at most 7/8 of the queue, so an
+    // interactive burst always finds at least max_queue/8 free slots.
+    options_.max_batch_queue =
+        std::max<int64_t>(1, options_.max_queue - options_.max_queue / 8);
+  }
+  options_.max_batch_queue = std::min(options_.max_batch_queue, options_.max_queue);
+}
+
+Status RequestQueue::Admit(ScheduledRequest&& request) {
+  if (depth() >= options_.max_queue) {
+    return Status::OutOfMemory("request queue full (backpressure)");
+  }
+  const Priority priority = request.request.priority;
+  if (priority == Priority::kBatch &&
+      depth(Priority::kBatch) >= options_.max_batch_queue) {
+    return Status::OutOfMemory(
+        "batch-class queue full (backpressure; interactive reserve kept free)");
+  }
+  BucketKey key;
+  key.model_id = request.request.model_id;
+  key.task = request.request.task;
+  key.length = request.request.series.size(0);
+  request.sequence = next_sequence_++;
+  ++depth_[static_cast<int>(priority)];
+  buckets_[key].push_back(std::move(request));
+  return Status::OK();
+}
+
+int64_t RequestQueue::DepthForModel(int64_t model_id) const {
+  int64_t depth = 0;
+  for (const auto& entry : buckets_) {
+    if (entry.first.model_id == model_id) {
+      depth += static_cast<int64_t>(entry.second.size());
+    }
+  }
+  return depth;
+}
+
+std::vector<ScheduledRequest> RequestQueue::Take(
+    const BucketKey& key, const std::vector<size_t>& indices) {
+  std::vector<ScheduledRequest> taken;
+  taken.reserve(indices.size());
+  auto it = buckets_.find(key);
+  RITA_CHECK(it != buckets_.end());
+  Bucket& bucket = it->second;
+  // Move the selected requests out, then compact the survivors in one pass
+  // (indices are ascending, so a cursor walk suffices).
+  for (size_t index : indices) {
+    RITA_CHECK_LT(index, bucket.size());
+    taken.push_back(std::move(bucket[index]));
+    --depth_[static_cast<int>(taken.back().request.priority)];
+  }
+  size_t write = 0;
+  size_t next_taken = 0;
+  for (size_t read = 0; read < bucket.size(); ++read) {
+    if (next_taken < indices.size() && indices[next_taken] == read) {
+      ++next_taken;
+      continue;
+    }
+    if (write != read) bucket[write] = std::move(bucket[read]);
+    ++write;
+  }
+  bucket.resize(write);
+  if (bucket.empty()) buckets_.erase(it);
+  return taken;
+}
+
+std::vector<ScheduledRequest> RequestQueue::TakeAll() {
+  std::vector<ScheduledRequest> taken;
+  taken.reserve(static_cast<size_t>(depth()));
+  for (auto& entry : buckets_) {
+    for (auto& request : entry.second) {
+      --depth_[static_cast<int>(request.request.priority)];
+      taken.push_back(std::move(request));
+    }
+  }
+  buckets_.clear();
+  return taken;
+}
+
+}  // namespace serve
+}  // namespace rita

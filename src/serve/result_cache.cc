@@ -1,0 +1,116 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rita {
+namespace serve {
+
+namespace {
+
+int RoundUpPowerOfTwo(int n) {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+int64_t PayloadBytes(const Tensor& output) {
+  return static_cast<int64_t>(sizeof(float)) * output.numel();
+}
+
+}  // namespace
+
+ResultCache::ResultCache(const Options& options) {
+  RITA_CHECK_GT(options.byte_budget, 0);
+  RITA_CHECK_GT(options.num_shards, 0);
+  const int shards = RoundUpPowerOfTwo(options.num_shards);
+  shards_.reserve(shards);
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_budget_ = std::max<int64_t>(1, options.byte_budget / shards);
+}
+
+ResultCache::Key ResultCache::MakeKey(uint64_t model_fingerprint, ServeTask task,
+                                      const Tensor& series) {
+  const size_t bytes = sizeof(float) * static_cast<size_t>(series.numel());
+  Key key;
+  for (int which = 0; which < 2; ++which) {
+    uint64_t h = which == 0 ? kFnv1a64OffsetBasis : kFnv1a64AltOffsetBasis;
+    h = Fnv1a64Value(model_fingerprint, h);
+    h = Fnv1a64Value(static_cast<int32_t>(task), h);
+    // Shape feeds the digest so [6] and [2, 3] payloads cannot alias.
+    h = Fnv1a64Value<int64_t>(series.dim(), h);
+    for (int64_t d = 0; d < series.dim(); ++d) {
+      h = Fnv1a64Value<int64_t>(series.size(d), h);
+    }
+    h = Fnv1a64(series.data(), bytes, h);
+    (which == 0 ? key.lo : key.hi) = h;
+  }
+  // {0, 0} is the "no key" sentinel; nudge the pathological digest off it.
+  if (key.lo == 0 && key.hi == 0) key.lo = 1;
+  return key;
+}
+
+bool ResultCache::Lookup(const Key& key, Tensor* output) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key.lo);
+  if (it == shard.index.end() || it->second->hi != key.hi) {
+    ++shard.stats.misses;
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *output = it->second->output.Clone();
+  ++shard.stats.hits;
+  return true;
+}
+
+void ResultCache::Insert(const Key& key, const Tensor& output) {
+  const int64_t bytes = PayloadBytes(output);
+  if (bytes > shard_budget_) return;  // would evict the whole shard for one entry
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key.lo);
+  if (it != shard.index.end()) {
+    // Refresh (or replace a lo-collision victim): deterministic forwards mean
+    // same-key payloads are identical, so replacing is always sound.
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  while (shard.bytes + bytes > shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.lo);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+  Entry entry;
+  entry.lo = key.lo;
+  entry.hi = key.hi;
+  // Clone: the cache must not alias executor-owned storage.
+  entry.output = output.Clone();
+  entry.bytes = bytes;
+  shard.lru.push_front(std::move(entry));
+  shard.index[key.lo] = shard.lru.begin();
+  shard.bytes += bytes;
+  ++shard.stats.insertions;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.insertions += shard->stats.insertions;
+    total.evictions += shard->stats.evictions;
+    total.bytes += shard->bytes;
+    total.entries += static_cast<int64_t>(shard->lru.size());
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace rita

@@ -1,0 +1,104 @@
+// Content-hash result cache sitting in front of admission. Sound because
+// FrozenModel forwards are deterministic (pinned RNG stream) and
+// batch-position-invariant: the output for (model, task, series) is a pure
+// function of its key, so replaying a cached tensor is bit-identical to
+// recomputing it. Keys are two independent 64-bit FNV-1a digests of
+// (model fingerprint, task, series shape, series bytes) — 128 effective bits,
+// so distinct requests colliding is not a practical concern and the cache
+// need not retain request bytes for verification.
+//
+// Sharded LRU under a byte budget: the key's high digest picks a shard (the
+// low digest indexes within it, keeping the two uses decorrelated), each
+// shard has its own mutex and LRU list, and inserts evict least-recently-used
+// entries until the shard fits its slice of the budget. Lookup/Insert are
+// thread-safe and called outside the engine's queue mutex, so cache traffic
+// never contends with admission or scheduling.
+#ifndef RITA_SERVE_RESULT_CACHE_H_
+#define RITA_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/request_queue.h"
+#include "tensor/tensor.h"
+
+namespace rita {
+namespace serve {
+
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  int64_t bytes = 0;    // currently resident payload bytes
+  int64_t entries = 0;  // currently resident entries
+
+  double HitRatio() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class ResultCache {
+ public:
+  struct Options {
+    /// Total payload budget across all shards (0 disables construction at
+    /// the engine level; the cache itself requires a positive budget).
+    int64_t byte_budget = 32 << 20;
+    /// Shard count (rounded up to a power of two) — one mutex + LRU each.
+    int num_shards = 8;
+  };
+
+  /// 128-bit content key; {0, 0} is reserved as "no key".
+  struct Key {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+  };
+
+  explicit ResultCache(const Options& options);
+
+  /// Digests (model fingerprint, task, shape, series bytes) into a key.
+  static Key MakeKey(uint64_t model_fingerprint, ServeTask task,
+                     const Tensor& series);
+
+  /// On hit, copies the cached output into `*output` (a private clone — the
+  /// caller may mutate it freely) and refreshes recency. Thread-safe.
+  bool Lookup(const Key& key, Tensor* output);
+
+  /// Inserts (or refreshes) the output for `key`, evicting LRU entries to
+  /// honor the shard budget. Oversized outputs are skipped. Thread-safe.
+  void Insert(const Key& key, const Tensor& output);
+
+  ResultCacheStats stats() const;
+
+ private:
+  struct Entry {
+    uint64_t lo = 0;  // map key, repeated here so eviction can unindex
+    uint64_t hi = 0;  // collision guard: the map below keys on `lo` alone
+    Tensor output;
+    int64_t bytes = 0;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;  // by lo
+    int64_t bytes = 0;
+    ResultCacheStats stats;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return *shards_[key.hi & (shards_.size() - 1)];
+  }
+
+  int64_t shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace serve
+}  // namespace rita
+
+#endif  // RITA_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,56 @@
+// FNV-1a hashing for content-addressed keys (the serving result cache) and
+// bucket maps. Two independent 64-bit streams (the standard offset basis and
+// a decorrelated alternate) give an effective 128-bit key, which makes an
+// accidental collision between distinct inference requests astronomically
+// unlikely without storing the full request bytes.
+#ifndef RITA_UTIL_HASH_H_
+#define RITA_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+namespace rita {
+
+inline constexpr uint64_t kFnv1a64OffsetBasis = 1469598103934665603ULL;
+inline constexpr uint64_t kFnv1a64Prime = 1099511628211ULL;
+/// Alternate offset basis (splitmix64 of the standard one): seeds the second,
+/// independent hash stream used to extend cache keys to 128 bits.
+inline constexpr uint64_t kFnv1a64AltOffsetBasis = 0x9ddfea08eb382d69ULL;
+
+/// Feeds `n` raw bytes into an FNV-1a state and returns the new state.
+inline uint64_t Fnv1a64(const void* data, size_t n,
+                        uint64_t state = kFnv1a64OffsetBasis) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    state ^= static_cast<uint64_t>(bytes[i]);
+    state *= kFnv1a64Prime;
+  }
+  return state;
+}
+
+/// Feeds a trivially-copyable value (ints, enums, floats) into the state.
+template <typename T>
+inline uint64_t Fnv1a64Value(const T& value, uint64_t state) {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "hash only raw-representable values");
+  return Fnv1a64(&value, sizeof(T), state);
+}
+
+inline uint64_t Fnv1a64String(const std::string& s,
+                              uint64_t state = kFnv1a64OffsetBasis) {
+  // Length first so ("ab","c") never collides with ("a","bc") when chained.
+  state = Fnv1a64Value<uint64_t>(s.size(), state);
+  return Fnv1a64(s.data(), s.size(), state);
+}
+
+/// boost-style combiner for composing already-hashed fields into map keys.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace rita
+
+#endif  // RITA_UTIL_HASH_H_

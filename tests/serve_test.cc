@@ -145,7 +145,11 @@ TEST(InferenceEngineTest, RejectsInvalidRequests) {
   bad_rank.series = Tensor::Zeros({1, 60, 2});
   EXPECT_EQ(engine.Run(std::move(bad_rank)).status.code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(engine.stats().rejected, 3u);
+  // The rejection split distinguishes bad input from overload; all three
+  // were invalid, none backpressure. rejected() is the deprecated aggregate.
+  EXPECT_EQ(engine.stats().rejected_invalid, 3u);
+  EXPECT_EQ(engine.stats().rejected_backpressure, 0u);
+  EXPECT_EQ(engine.stats().rejected(), 3u);
   EXPECT_EQ(engine.stats().completed, 0u);
 }
 
@@ -206,7 +210,7 @@ TEST(InferenceEngineTest, ServesAllTasksAndVariableLengths) {
 
   const InferenceEngineStats stats = engine.stats();
   EXPECT_EQ(stats.completed, 3u);
-  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.rejected(), 0u);
 }
 
 // The acceptance contract: one FrozenModel shared by >= 8 client threads
