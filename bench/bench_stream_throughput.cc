@@ -1,0 +1,267 @@
+// Streaming benchmarks for rita::stream, two parts:
+//
+// 1. Throughput sweep: aggregate windows/sec and end-to-end sample->result
+//    latency (p50/p99) as a function of (concurrent sessions) x (ingestion
+//    chunk size). Every session slides a 50%-overlap window with [CLS]
+//    context carry over its own synthetic sensor feed; same-length windows
+//    from different sessions coalesce into shared engine micro-batches, so
+//    throughput scales with the session count.
+//
+// 2. Divergence gate (CI): hard-fails (RITA_CHECK, non-zero exit) unless
+//    (a) a session's stitched output is bit-identical across ingestion chunk
+//    sizes {1, 7, window}, and (b) with context carry off and tumbling
+//    windows, every streamed window's logits are bit-identical to submitting
+//    that window one-shot through the engine — the chunked path may never
+//    diverge from the request/response path.
+//
+// Both parts land in the --json document (BENCH_stream.json in CI).
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "stream/stream_manager.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+
+namespace rita {
+namespace bench {
+namespace {
+
+struct StreamRig {
+  serve::FrozenModel* frozen = nullptr;
+  ExecutionContext* context = nullptr;
+  model::RitaConfig config;
+};
+
+Tensor FeedFor(int64_t samples, int64_t channels, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::RandNormal({samples, channels}, &rng);
+}
+
+Tensor SliceRows(const Tensor& series, int64_t start, int64_t len) {
+  const int64_t c = series.size(1);
+  Tensor out({len, c});
+  std::copy(series.data() + start * c, series.data() + (start + len) * c,
+            out.data());
+  return out;
+}
+
+struct CellResult {
+  double seconds = 0.0;
+  double windows_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t windows = 0;
+};
+
+CellResult RunCell(const StreamRig& rig, int sessions, int64_t chunk,
+                   int64_t samples_per_session) {
+  serve::InferenceEngineOptions eopts;
+  eopts.num_workers = 2;
+  eopts.max_micro_batch = std::max(8, sessions);
+  eopts.context = rig.context;
+  eopts.cache_bytes = 0;  // context carry bypasses the cache anyway
+  serve::InferenceEngine engine(rig.frozen, eopts);
+  stream::StreamManager manager(&engine);
+
+  stream::StreamOptions sopts;
+  sopts.task = stream::StreamTask::kClassify;
+  sopts.window_length = rig.config.input_length;
+  sopts.hop = rig.config.input_length / 2;  // 50% overlap
+  sopts.carry_context = true;
+
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(sessions);
+  for (int s = 0; s < sessions; ++s) {
+    threads.emplace_back([&, s] {
+      const Tensor feed =
+          FeedFor(samples_per_session, rig.config.input_channels, 5000 + s);
+      const int64_t id = manager.Open(sopts).ValueOrDie();
+      for (int64_t at = 0; at < samples_per_session; at += chunk) {
+        const int64_t len = std::min(chunk, samples_per_session - at);
+        RITA_CHECK(manager.Append(id, SliceRows(feed, at, len)).ok());
+      }
+      RITA_CHECK(manager.Close(id).ok());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  CellResult result;
+  result.seconds = watch.ElapsedSeconds();
+  const stream::StreamStats stats = manager.stats();
+  result.windows = stats.windows_emitted;
+  result.windows_per_sec =
+      static_cast<double>(stats.windows_emitted) / result.seconds;
+  result.p50_ms = stats.latency_p50_ms;
+  result.p99_ms = stats.latency_p99_ms;
+  return result;
+}
+
+void RunThroughputSweep(const StreamRig& rig, const BenchScale& scale,
+                        BenchJsonWriter* json) {
+  const std::vector<int> session_sweep = scale.quick ? std::vector<int>{1, 4}
+                                                     : std::vector<int>{1, 2, 4, 8};
+  const int64_t window = rig.config.input_length;
+  const std::vector<int64_t> chunk_sweep = {16, 64, window};
+  const int64_t samples_per_session = scale.quick ? 12 * window : 40 * window;
+
+  auto csv_open = CsvWriter::Open("bench_stream_throughput.csv");
+  RITA_CHECK(csv_open.ok());
+  CsvWriter csv = csv_open.MoveValueOrDie();
+  csv.WriteRow({"sessions", "chunk", "windows", "seconds", "windows_per_sec",
+                "latency_p50_ms", "latency_p99_ms"});
+
+  // Unmeasured warmup: first-touch pool/arena/model allocations.
+  RunCell(rig, 2, window, 4 * window);
+
+  std::printf("%9s %8s %9s %9s %12s %10s %10s\n", "sessions", "chunk", "windows",
+              "seconds", "windows/s", "p50-ms", "p99-ms");
+  PrintRule(74);
+  for (int sessions : session_sweep) {
+    for (int64_t chunk : chunk_sweep) {
+      const CellResult cell = RunCell(rig, sessions, chunk, samples_per_session);
+      std::printf("%9d %8lld %9llu %9.3f %12.1f %10.3f %10.3f\n", sessions,
+                  static_cast<long long>(chunk),
+                  static_cast<unsigned long long>(cell.windows), cell.seconds,
+                  cell.windows_per_sec, cell.p50_ms, cell.p99_ms);
+      csv.WriteValues(sessions, chunk, static_cast<int64_t>(cell.windows),
+                      cell.seconds, cell.windows_per_sec, cell.p50_ms,
+                      cell.p99_ms);
+      const std::string name =
+          "sessions" + std::to_string(sessions) + "/chunk" + std::to_string(chunk);
+      json->Add(name + "/windows_per_sec", cell.windows_per_sec, "win/s");
+      json->Add(name + "/latency_p50_ms", cell.p50_ms, "ms");
+      json->Add(name + "/latency_p99_ms", cell.p99_ms, "ms");
+    }
+    std::printf("\n");
+  }
+  RITA_CHECK(csv.Close().ok());
+}
+
+/// CI gate: chunked streaming must be bit-identical to (a) other chunkings
+/// and (b) the one-shot request path. RITA_CHECK aborts on divergence.
+void RunDivergenceGate(const StreamRig& rig, const BenchScale& scale,
+                       BenchJsonWriter* json) {
+  const int64_t window = rig.config.input_length;
+  const int64_t c = rig.config.input_channels;
+  const int64_t total = (scale.quick ? 6 : 12) * window;
+  const Tensor feed = FeedFor(total, c, 77);
+
+  serve::InferenceEngineOptions eopts;
+  eopts.num_workers = 2;
+  eopts.context = rig.context;
+  // Cache OFF: gate (b) replays the streamed windows' exact series bytes as
+  // one-shot requests, and a cache hit would compare the streamed output to
+  // itself — the gate must exercise a genuine cold forward.
+  eopts.cache_bytes = 0;
+  serve::InferenceEngine engine(rig.frozen, eopts);
+  stream::StreamManager manager(&engine);
+
+  // (a) Chunk-size invariance with overlap + context carry (reconstruction).
+  stream::StreamOptions carried;
+  carried.task = stream::StreamTask::kReconstruct;
+  carried.window_length = window;
+  carried.hop = window / 2;
+  carried.carry_context = true;
+  Tensor reference;
+  for (int64_t chunk : {int64_t{1}, int64_t{7}, window}) {
+    const int64_t id = manager.Open(carried).ValueOrDie();
+    for (int64_t at = 0; at < total; at += chunk) {
+      RITA_CHECK(
+          manager.Append(id, SliceRows(feed, at, std::min(chunk, total - at))).ok());
+    }
+    RITA_CHECK(manager.Close(id).ok());
+    Tensor timeline = manager.Find(id)->TakeTimeline(nullptr);
+    RITA_CHECK(manager.Release(id).ok());
+    RITA_CHECK(timeline.defined());
+    RITA_CHECK_EQ(timeline.size(0), total);
+    if (!reference.defined()) {
+      reference = timeline;
+      continue;
+    }
+    RITA_CHECK(std::memcmp(timeline.data(), reference.data(),
+                           sizeof(float) * reference.numel()) == 0)
+        << "stitched output diverged for ingestion chunk " << chunk;
+  }
+
+  // (b) Streamed windows vs the one-shot request path (tumbling, no carry —
+  // each window must be indistinguishable from a standalone request).
+  stream::StreamOptions tumbling;
+  tumbling.task = stream::StreamTask::kClassify;
+  tumbling.window_length = window;
+  tumbling.hop = window;
+  tumbling.carry_context = false;
+  const int64_t id = manager.Open(tumbling).ValueOrDie();
+  for (int64_t at = 0; at < total; at += 7) {
+    RITA_CHECK(manager.Append(id, SliceRows(feed, at, std::min<int64_t>(7, total - at))).ok());
+  }
+  RITA_CHECK(manager.Close(id).ok());
+  std::vector<stream::StreamWindowResult> results =
+      manager.Find(id)->TakeResults();
+  RITA_CHECK(manager.Release(id).ok());
+  RITA_CHECK_EQ(static_cast<int64_t>(results.size()), total / window);
+  for (const stream::StreamWindowResult& result : results) {
+    serve::InferenceRequest request;
+    request.series = SliceRows(feed, result.start, window);
+    request.task = serve::ServeTask::kClassify;
+    serve::InferenceResponse one_shot = engine.Run(std::move(request));
+    RITA_CHECK(one_shot.status.ok());
+    RITA_CHECK_EQ(one_shot.output.numel(), result.logits.numel());
+    RITA_CHECK(std::memcmp(one_shot.output.data(), result.logits.data(),
+                           sizeof(float) * result.logits.numel()) == 0)
+        << "streamed window " << result.window_index
+        << " diverged from the one-shot path";
+  }
+
+  std::printf("=== Divergence gate ===\n");
+  std::printf("%-40s %10s\n", "chunk {1,7,window} stitched output", "bit-identical");
+  std::printf("%-40s %10s\n\n", "streamed windows vs one-shot path", "bit-identical");
+  json->Add("gate/chunked_bit_identical", 1.0, "bool");
+  json->Add("gate/one_shot_bit_identical", 1.0, "bool");
+}
+
+void Run(const BenchScale& scale) {
+  std::printf("=== Streaming: sessions x chunk-size sweep + divergence gate ===\n\n");
+
+  model::RitaConfig config;
+  config.input_channels = 3;
+  config.input_length = scale.quick ? 100 : 200;
+  config.window = 5;
+  config.stride = 5;
+  config.num_classes = 6;
+  config.encoder.dim = scale.dim;
+  config.encoder.num_layers = scale.layers;
+  config.encoder.num_heads = scale.heads;
+  config.encoder.ffn_hidden = 2 * scale.dim;
+  config.encoder.attention.kind = attn::AttentionKind::kGroup;
+  config.encoder.attention.group.num_groups = DefaultGroups(config.NumTokens());
+
+  Rng rng(6100);
+  model::RitaModel model(config, &rng);
+  serve::FrozenModel frozen(model);
+  ExecutionContext context;  // over ThreadPool::Global()
+
+  StreamRig rig;
+  rig.frozen = &frozen;
+  rig.context = &context;
+  rig.config = config;
+
+  BenchJsonWriter json("stream_throughput");
+  RunThroughputSweep(rig, scale, &json);
+  RunDivergenceGate(rig, scale, &json);
+
+  RITA_CHECK(json.WriteTo(scale.json_path)) << "failed to write " << scale.json_path;
+  std::printf("series written to bench_stream_throughput.csv\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rita
+
+int main(int argc, char** argv) {
+  rita::bench::Run(rita::bench::ParseScale(argc, argv));
+  return 0;
+}

@@ -29,6 +29,11 @@ RitaModel::RitaModel(const RitaConfig& config, Rng* rng)
 }
 
 ag::Variable RitaModel::Encode(const Tensor& batch, attn::ForwardState* state) {
+  return Encode(batch, state, /*context=*/nullptr);
+}
+
+ag::Variable RitaModel::Encode(const Tensor& batch, attn::ForwardState* state,
+                               const Tensor* context) {
   RITA_CHECK_EQ(batch.dim(), 3);
   RITA_CHECK_GE(batch.size(1), config_.window)
       << "series shorter than the conv window";
@@ -45,7 +50,18 @@ ag::Variable RitaModel::Encode(const Tensor& batch, attn::ForwardState* state) {
                              ag::Reshape(cls_token_, {1, 1, d}));
   ag::Variable tokens = ag::Concat({cls, windows}, 1);  // [B, 1 + n_win, d]
   tokens = ag::Add(tokens, pos_.Forward(tokens.size(1)));
-  return encoder_.Forward(tokens, state);
+  if (context == nullptr) return encoder_.Forward(tokens, state);
+
+  // Streaming context carry: prepend the summary embedding as one extra
+  // token with no positional entry (it has no timeline position), run the
+  // encoder over [ctx, CLS, windows], and drop the summary row so the heads
+  // see the usual [CLS]-first layout.
+  RITA_CHECK_EQ(context->dim(), 2) << "context must be [B, dim]";
+  RITA_CHECK_EQ(context->size(0), b);
+  RITA_CHECK_EQ(context->size(1), d);
+  ag::Variable ctx(context->Reshape({b, 1, d}));
+  ag::Variable encoded = encoder_.Forward(ag::Concat({ctx, tokens}, 1), state);
+  return ag::Slice(encoded, 1, 1, encoded.size(1) - 1);
 }
 
 ag::Variable RitaModel::ClassLogits(const Tensor& batch) {
@@ -53,14 +69,18 @@ ag::Variable RitaModel::ClassLogits(const Tensor& batch) {
 }
 
 ag::Variable RitaModel::ClassLogits(const Tensor& batch, attn::ForwardState* state) {
+  return ClassLogitsFromEncoded(Encode(batch, state));
+}
+
+ag::Variable RitaModel::ClassLogitsFromEncoded(const ag::Variable& encoded) {
   RITA_CHECK_GT(config_.num_classes, 0) << "model built without a classification head";
-  ag::Variable encoded = Encode(batch, state);
+  const int64_t b = encoded.size(0);
   const int64_t n_win = encoded.size(1) - 1;  // actual windows (var-length safe)
   ag::Variable cls = ag::Reshape(ag::Slice(encoded, 1, 0, 1),
-                                 {batch.size(0), config_.encoder.dim});
+                                 {b, config_.encoder.dim});
   ag::Variable windows = ag::Slice(encoded, 1, 1, n_win);
   ag::Variable pooled = ag::Reshape(ag::Mean(windows, 1, /*keepdim=*/false),
-                                    {batch.size(0), config_.encoder.dim});
+                                    {b, config_.encoder.dim});
   return cls_head_.Forward(ag::Concat({cls, pooled}, 1));
 }
 
@@ -69,11 +89,15 @@ ag::Variable RitaModel::Reconstruct(const Tensor& batch) {
 }
 
 ag::Variable RitaModel::Reconstruct(const Tensor& batch, attn::ForwardState* state) {
-  ag::Variable encoded = Encode(batch, state);
+  return ReconstructFromEncoded(Encode(batch, state), batch.size(1));
+}
+
+ag::Variable RitaModel::ReconstructFromEncoded(const ag::Variable& encoded,
+                                               int64_t raw_length) {
   ag::Variable windows = ag::Slice(encoded, 1, 1, encoded.size(1) - 1);
   // Fold back to the full input length; when the length is not a stride
   // multiple the uncovered tail (< stride timestamps) is zero-filled.
-  return recon_head_.Forward(windows, batch.size(1));  // [B, T, C]
+  return recon_head_.Forward(windows, raw_length);  // [B, T, C]
 }
 
 Tensor RitaModel::Embed(const Tensor& batch) {

@@ -42,6 +42,23 @@ class RitaModel : public SequenceModel {
   /// Reentrant variant: per-call state owned by the caller (null = legacy
   /// path through each mechanism's internal default state).
   ag::Variable Encode(const Tensor& batch, attn::ForwardState* state);
+  /// Context-conditioned encode for windowed streaming: `context` (null or
+  /// [B, dim], e.g. the previous window's [CLS]) is prepended as a
+  /// position-free summary token — it attends and is attended to, but holds
+  /// no positional-table slot (the table covers exactly NumTokens()) and no
+  /// learned weight of its own. The summary row is sliced off again after the
+  /// encoder, so the result is [B, 1 + n_win, dim] with [CLS] at row 0
+  /// either way and every head consumes it unchanged.
+  ag::Variable Encode(const Tensor& batch, attn::ForwardState* state,
+                      const Tensor* context);
+
+  /// Applies the classification head to an Encode() output — lets callers
+  /// that need both the logits and the [CLS] embedding (streaming context
+  /// carry) run a single encoder forward.
+  ag::Variable ClassLogitsFromEncoded(const ag::Variable& encoded);
+  /// Applies the reconstruction head to an Encode() output; `raw_length` is
+  /// the original series length the windows are folded back to.
+  ag::Variable ReconstructFromEncoded(const ag::Variable& encoded, int64_t raw_length);
 
   using SequenceModel::ClassLogits;
   using SequenceModel::Reconstruct;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tensor/tensor_ops.h"
 #include "util/hash.h"
 
 namespace rita {
@@ -126,6 +127,47 @@ Tensor FrozenModel::Reconstruct(const Tensor& batch, ExecutionContext* context) 
   ag::NoGradGuard guard;
   attn::ForwardState state = MakeState(context);
   return model_->Reconstruct(batch, &state).data();
+}
+
+namespace {
+
+/// Row 0 of an encoded [B, 1 + n_win, dim] tensor as [B, dim].
+Tensor ClsRows(const Tensor& encoded) {
+  return ops::Slice(encoded, 1, 0, 1).Reshape({encoded.size(0), encoded.size(2)});
+}
+
+}  // namespace
+
+Tensor FrozenModel::EncodeWithContext(const Tensor& batch, const Tensor* context,
+                                      ExecutionContext* exec) const {
+  ag::NoGradGuard guard;
+  attn::ForwardState state = MakeState(exec);
+  return model_->Encode(batch, &state, context).data();
+}
+
+Tensor FrozenModel::ClassLogitsWithContext(const Tensor& batch, const Tensor* context,
+                                           Tensor* cls, ExecutionContext* exec) const {
+  ag::NoGradGuard guard;
+  attn::ForwardState state = MakeState(exec);
+  ag::Variable encoded = model_->Encode(batch, &state, context);
+  if (cls != nullptr) *cls = ClsRows(encoded.data());
+  return model_->ClassLogitsFromEncoded(encoded).data();
+}
+
+Tensor FrozenModel::ReconstructWithContext(const Tensor& batch, const Tensor* context,
+                                           Tensor* cls, ExecutionContext* exec) const {
+  ag::NoGradGuard guard;
+  attn::ForwardState state = MakeState(exec);
+  ag::Variable encoded = model_->Encode(batch, &state, context);
+  if (cls != nullptr) *cls = ClsRows(encoded.data());
+  return model_->ReconstructFromEncoded(encoded, batch.size(1)).data();
+}
+
+Tensor FrozenModel::EmbedWithContext(const Tensor& batch, const Tensor* context,
+                                     ExecutionContext* exec) const {
+  ag::NoGradGuard guard;
+  attn::ForwardState state = MakeState(exec);
+  return ClsRows(model_->Encode(batch, &state, context).data());
 }
 
 }  // namespace serve

@@ -112,6 +112,22 @@ Status InferenceEngine::Validate(const InferenceRequest& request,
   if (request.task == ServeTask::kClassify && config.num_classes <= 0) {
     return Status::InvalidArgument("model has no classification head");
   }
+  if (request.context.defined()) {
+    if (request.context.dim() != 1 ||
+        request.context.size(0) != config.encoder.dim) {
+      return Status::InvalidArgument(
+          "request context must be a [dim] embedding (dim " +
+          std::to_string(config.encoder.dim) + "), got " +
+          ShapeToString(request.context.shape()));
+    }
+    // The context token raises the encoder's sequence length by one, which
+    // Linformer's locked length projection cannot absorb.
+    if (config.encoder.attention.kind == attn::AttentionKind::kLinformer) {
+      return Status::NotSupported(
+          "Linformer models cannot serve context-conditioned requests "
+          "(the extra token exceeds the locked token count)");
+    }
+  }
   return Status::OK();
 }
 
@@ -146,9 +162,12 @@ std::future<InferenceResponse> InferenceEngine::Submit(InferenceRequest request)
 
   // Result cache, in front of admission: deterministic, batch-invariant
   // forwards make a replay bit-identical to a cold compute, so a hit skips
-  // the queue entirely.
+  // the queue entirely. Streaming requests bypass it: a context-bearing
+  // output is keyed on more than (model, task, series), and a want_context
+  // hit would have no [CLS] embedding to return.
   ResultCache::Key key;
-  if (invalid.ok() && cache_ != nullptr) {
+  const bool cacheable = !request.context.defined() && !request.want_context;
+  if (invalid.ok() && cache_ != nullptr && cacheable) {
     key = ResultCache::MakeKey(model->Fingerprint(), request.task, request.series);
     Tensor cached;
     if (cache_->Lookup(key, &cached)) {
@@ -251,31 +270,55 @@ void InferenceEngine::ExecuteBatch(std::vector<ScheduledRequest> batch) {
   const int64_t c = batch[0].request.series.size(1);
   const ServeTask task = batch[0].request.task;
 
-  // Stack [T, C] requests into one [B, T, C] micro-batch.
+  // Stack [T, C] requests into one [B, T, C] micro-batch; context-bearing
+  // buckets additionally stack their per-request summaries into [B, dim]
+  // (admission splits buckets on context presence, so it is all-or-none).
   Tensor stacked({b, t, c});
   float* dst = stacked.data();
   for (int64_t i = 0; i < b; ++i) {
     const Tensor& series = batch[i].request.series;
     std::copy(series.data(), series.data() + t * c, dst + i * t * c);
   }
+  const bool with_context = batch[0].request.context.defined();
+  const int64_t dim = model->config().encoder.dim;
+  Tensor stacked_context;
+  if (with_context) {
+    stacked_context = Tensor({b, dim});
+    float* ctx_dst = stacked_context.data();
+    for (int64_t i = 0; i < b; ++i) {
+      const Tensor& context = batch[i].request.context;
+      std::copy(context.data(), context.data() + dim, ctx_dst + i * dim);
+    }
+  }
+  bool want_cls = false;
+  for (int64_t i = 0; i < b; ++i) want_cls |= batch[i].request.want_context;
+  const Tensor* context_ptr = with_context ? &stacked_context : nullptr;
 
   Stopwatch compute;
   Tensor output;  // rows are per-request results
+  Tensor cls;     // [B, dim] when any rider wants its [CLS] back
   switch (task) {
     case ServeTask::kClassify:
-      output = model->ClassLogits(stacked, options_.context);
+      output = model->ClassLogitsWithContext(stacked, context_ptr,
+                                             want_cls ? &cls : nullptr,
+                                             options_.context);
       break;
     case ServeTask::kEmbed:
-      output = model->Embed(stacked, options_.context);
+      output = model->EmbedWithContext(stacked, context_ptr, options_.context);
+      if (want_cls) cls = output;  // the embedding IS the [CLS] row
       break;
     case ServeTask::kReconstruct:
-      output = model->Reconstruct(stacked, options_.context);
+      output = model->ReconstructWithContext(stacked, context_ptr,
+                                             want_cls ? &cls : nullptr,
+                                             options_.context);
       break;
   }
   const double compute_ms = compute.ElapsedMillis();
+  const ServeClock::time_point resolved_at = ServeClock::now();
 
   std::vector<InferenceResponse> responses(static_cast<size_t>(b));
   double batch_queue_ms = 0.0;
+  uint64_t missed_deadlines = 0;
   for (int64_t i = 0; i < b; ++i) {
     InferenceResponse& response = responses[static_cast<size_t>(i)];
     response.status = Status::OK();
@@ -283,11 +326,18 @@ void InferenceEngine::ExecuteBatch(std::vector<ScheduledRequest> batch) {
     Tensor row = ops::Slice(output, 0, i, 1);
     Shape row_shape(output.shape().begin() + 1, output.shape().end());
     response.output = row.Reshape(std::move(row_shape));
+    if (batch[i].request.want_context) {
+      response.context = ops::Slice(cls, 0, i, 1).Reshape({dim});
+    }
     response.queue_ms = MsSince(batch[i].enqueued) - compute_ms;
     response.compute_ms = compute_ms;
     response.micro_batch = b;
     response.model_id = model_id;
     batch_queue_ms += response.queue_ms;
+    if (batch[i].request.deadline != kNoDeadline &&
+        resolved_at > batch[i].request.deadline) {
+      ++missed_deadlines;
+    }
 
     // Populate the cache before resolving the promise so a client replaying
     // its own completed request tends to hit. Deterministic forwards make
@@ -310,12 +360,16 @@ void InferenceEngine::ExecuteBatch(std::vector<ScheduledRequest> batch) {
     stats_.max_micro_batch = std::max(stats_.max_micro_batch, b);
     stats_.total_queue_ms += batch_queue_ms;
     stats_.total_compute_ms += compute_ms;
+    stats_.max_compute_ms = std::max(stats_.max_compute_ms, compute_ms);
+    stats_.deadline_missed += missed_deadlines;
     InferenceEngineStats& per_model = model_stats_[static_cast<size_t>(model_id)];
     per_model.completed += static_cast<uint64_t>(b);
     ++per_model.batches;
     per_model.max_micro_batch = std::max(per_model.max_micro_batch, b);
     per_model.total_queue_ms += batch_queue_ms;
     per_model.total_compute_ms += compute_ms;
+    per_model.max_compute_ms = std::max(per_model.max_compute_ms, compute_ms);
+    per_model.deadline_missed += missed_deadlines;
   }
   for (int64_t i = 0; i < b; ++i) {
     batch[i].promise.set_value(std::move(responses[static_cast<size_t>(i)]));

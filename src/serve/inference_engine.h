@@ -83,9 +83,14 @@ struct InferenceEngineStats {
   uint64_t batches = 0;          // model forwards executed
   uint64_t cache_hits = 0;       // answered from the result cache
   uint64_t cache_misses = 0;     // looked up, not found (cache enabled only)
+  uint64_t deadline_missed = 0;  // computed requests resolved past their deadline
   int64_t max_micro_batch = 0;   // largest coalesced batch observed
   double total_queue_ms = 0.0;   // summed over computed requests
+  // Measured per-batch compute telemetry (sum here, count in `batches`; kept
+  // per model too) — the feedback signal a live-telemetry batch planner
+  // recalibrates from, in place of the analytic MemoryModel.
   double total_compute_ms = 0.0; // summed over batches
+  double max_compute_ms = 0.0;   // slowest single batch observed
 
   // Instantaneous load snapshot (consistent: taken under the queue mutex).
   int64_t queue_depth = 0;
@@ -99,6 +104,11 @@ struct InferenceEngineStats {
   double AvgQueueMs() const {
     const uint64_t computed = completed - cache_hits;
     return computed == 0 ? 0.0 : total_queue_ms / static_cast<double>(computed);
+  }
+  /// Mean measured forward time per micro-batch.
+  double AvgComputeMs() const {
+    return batches == 0 ? 0.0
+                        : total_compute_ms / static_cast<double>(batches);
   }
   double AvgBatchSize() const {
     return batches == 0 ? 0.0

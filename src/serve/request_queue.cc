@@ -53,6 +53,7 @@ Status RequestQueue::Admit(ScheduledRequest&& request) {
   key.model_id = request.request.model_id;
   key.task = request.request.task;
   key.length = request.request.series.size(0);
+  key.with_context = request.request.context.defined();
   request.sequence = next_sequence_++;
   ++depth_[static_cast<int>(priority)];
   buckets_[key].push_back(std::move(request));

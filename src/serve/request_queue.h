@@ -68,6 +68,17 @@ struct InferenceRequest {
   ServeClock::time_point deadline = kNoDeadline;
   /// Which registered model serves this request (0 = the first/only model).
   int64_t model_id = 0;
+  /// Optional context summary [dim] — typically the previous window's [CLS]
+  /// from a streaming session, prepended by the model as a position-free
+  /// token (FrozenModel::*WithContext). Context-bearing requests coalesce
+  /// only with other context-bearing requests (the token changes the
+  /// encoder's sequence length) and bypass the result cache.
+  Tensor context;
+  /// When true, the response carries this window's [CLS] embedding
+  /// (`InferenceResponse::context`) extracted from the same forward — the
+  /// streaming session feeds it to the next window. Such requests bypass the
+  /// result cache (a cached entry has no embedding to return).
+  bool want_context = false;
 };
 
 struct InferenceResponse {
@@ -78,6 +89,7 @@ struct InferenceResponse {
   int64_t micro_batch = 0;  // how many requests rode the same forward (0 = hit)
   bool cache_hit = false;   // answered from the result cache, no forward ran
   int64_t model_id = 0;     // which model produced the output
+  Tensor context;           // [CLS] embedding [dim] when want_context was set
 };
 
 /// A request in flight between admission and execution.
@@ -93,14 +105,18 @@ struct ScheduledRequest {
 };
 
 /// Coalescing unit: requests sharing a key can ride one [B, T, C] forward.
+/// Context-bearing requests run the encoder over one extra token, so they
+/// can never share a forward with context-free peers — `with_context` splits
+/// the bucket.
 struct BucketKey {
   int64_t model_id = 0;
   ServeTask task = ServeTask::kClassify;
   int64_t length = 0;
+  bool with_context = false;
 
   bool operator==(const BucketKey& other) const {
     return model_id == other.model_id && task == other.task &&
-           length == other.length;
+           length == other.length && with_context == other.with_context;
   }
 };
 
@@ -108,7 +124,9 @@ struct BucketKeyHash {
   size_t operator()(const BucketKey& key) const {
     uint64_t h = HashCombine(static_cast<uint64_t>(key.model_id),
                              static_cast<uint64_t>(key.task));
-    return static_cast<size_t>(HashCombine(h, static_cast<uint64_t>(key.length)));
+    h = HashCombine(h, static_cast<uint64_t>(key.length));
+    return static_cast<size_t>(
+        HashCombine(h, static_cast<uint64_t>(key.with_context ? 1 : 0)));
   }
 };
 

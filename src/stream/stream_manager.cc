@@ -1,0 +1,218 @@
+#include "stream/stream_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rita {
+namespace stream {
+
+const char* StreamTaskName(StreamTask task) {
+  switch (task) {
+    case StreamTask::kClassify:
+      return "classify";
+    case StreamTask::kReconstruct:
+      return "reconstruct";
+    case StreamTask::kAnomaly:
+      return "anomaly";
+  }
+  return "?";
+}
+
+StreamManager::StreamManager(serve::InferenceEngine* engine)
+    : StreamManager(engine, Options()) {}
+
+StreamManager::StreamManager(serve::InferenceEngine* engine, const Options& options)
+    : engine_(engine), options_(options) {
+  RITA_CHECK(engine_ != nullptr);
+  RITA_CHECK_GT(options_.max_sessions, 0);
+  RITA_CHECK_GE(options_.max_buffered_samples, 0);
+}
+
+Result<int64_t> StreamManager::Open(StreamOptions options) {
+  const serve::FrozenModel* model = engine_->registry().Get(options.model_id);
+  if (model == nullptr) {
+    return Status::InvalidArgument("unknown model_id " +
+                                   std::to_string(options.model_id));
+  }
+  const model::RitaConfig& config = model->config();
+  // Resolve defaults against the model, then validate the window geometry.
+  if (options.window_length == 0) options.window_length = config.input_length;
+  if (options.hop == 0) options.hop = options.window_length;
+  if (options.window_length < config.window ||
+      options.window_length > config.input_length) {
+    return Status::InvalidArgument(
+        "window_length " + std::to_string(options.window_length) +
+        " outside the model's [" + std::to_string(config.window) + ", " +
+        std::to_string(config.input_length) + "] range");
+  }
+  if (options.hop < 1 || options.hop > options.window_length) {
+    return Status::InvalidArgument("hop " + std::to_string(options.hop) +
+                                   " outside [1, window_length]");
+  }
+  if (options.ewma_alpha <= 0.0 || options.ewma_alpha > 1.0) {
+    return Status::InvalidArgument("ewma_alpha must lie in (0, 1]");
+  }
+  if (options.task == StreamTask::kClassify && config.num_classes <= 0) {
+    return Status::InvalidArgument("model has no classification head");
+  }
+  const bool linformer =
+      config.encoder.attention.kind == attn::AttentionKind::kLinformer;
+  if (linformer && options.window_length != config.input_length) {
+    return Status::NotSupported(
+        "Linformer models stream only full-length windows (" +
+        std::to_string(config.input_length) + ")");
+  }
+  if (linformer && options.carry_context) {
+    return Status::NotSupported(
+        "Linformer models cannot carry [CLS] context (the extra token "
+        "exceeds the locked token count)");
+  }
+  if (options_.max_buffered_samples > 0 &&
+      options_.max_buffered_samples < options.window_length) {
+    // Such a session could never assemble a window: it would fill to the
+    // budget and wedge in permanent backpressure.
+    return Status::InvalidArgument(
+        "max_buffered_samples " + std::to_string(options_.max_buffered_samples) +
+        " cannot hold one window of " + std::to_string(options.window_length));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t open = 0;
+  for (const auto& entry : sessions_) {
+    // closed() is an atomic read, so this sweep never blocks behind a
+    // session busy inside an engine forward.
+    if (!entry.second->closed()) ++open;
+  }
+  if (open >= options_.max_sessions) {
+    ++sessions_rejected_;
+    return Status::OutOfMemory(
+        "stream session cap reached (backpressure): " + std::to_string(open) +
+        " open / " + std::to_string(options_.max_sessions) + " max");
+  }
+  const int64_t id = next_id_++;
+  sessions_.emplace(id, std::make_shared<StreamSession>(
+                            engine_, options, config.input_channels,
+                            options_.max_buffered_samples));
+  ++sessions_opened_;
+  return id;
+}
+
+std::shared_ptr<StreamSession> StreamManager::Get(int64_t session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+StreamSession* StreamManager::Find(int64_t session_id) {
+  return Get(session_id).get();
+}
+
+Status StreamManager::Append(int64_t session_id, const Tensor& samples) {
+  std::shared_ptr<StreamSession> session = Get(session_id);
+  if (session == nullptr) {
+    return Status::NotFound("unknown stream session " + std::to_string(session_id));
+  }
+  return session->Append(samples);
+}
+
+Status StreamManager::Close(int64_t session_id) {
+  std::shared_ptr<StreamSession> session = Get(session_id);
+  if (session == nullptr) {
+    return Status::NotFound("unknown stream session " + std::to_string(session_id));
+  }
+  const bool was_closed = session->closed();
+  Status status = session->Close();
+  // Post-state, not status: a sticky-failed session closes (freeing its cap
+  // slot) while returning its error; a backpressure reject leaves it open.
+  if (!was_closed && session->closed()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++sessions_closed_;
+  }
+  return status;
+}
+
+Status StreamManager::Release(int64_t session_id) {
+  std::shared_ptr<StreamSession> session = Get(session_id);
+  if (session == nullptr) {
+    return Status::NotFound("unknown stream session " + std::to_string(session_id));
+  }
+  const bool was_closed = session->closed();
+  // Flush the tail before retiring. A sticky engine failure does not block
+  // release — nothing more can be done with the session either way.
+  (void)session->Close();
+  const StreamStats finals = session->stats();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("stream session " + std::to_string(session_id) +
+                            " released concurrently");
+  }
+  if (!was_closed) ++sessions_closed_;
+  retired_.windows_emitted += finals.windows_emitted;
+  retired_.samples_ingested += finals.samples_ingested;
+  retired_.late_windows += finals.late_windows;
+  retired_.rejected_backpressure += finals.rejected_backpressure;
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+int64_t StreamManager::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(sessions_.size());
+}
+
+int64_t StreamManager::open_sessions() const {
+  std::vector<std::shared_ptr<StreamSession>> held;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    held.reserve(sessions_.size());
+    for (const auto& entry : sessions_) held.push_back(entry.second);
+  }
+  int64_t open = 0;
+  for (const auto& session : held) {
+    if (!session->closed()) ++open;
+  }
+  return open;
+}
+
+StreamStats StreamManager::stats() const {
+  std::vector<std::shared_ptr<StreamSession>> held;
+  StreamStats aggregate;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    held.reserve(sessions_.size());
+    for (const auto& entry : sessions_) held.push_back(entry.second);
+    aggregate = retired_;
+    aggregate.sessions_opened = sessions_opened_;
+    aggregate.sessions_closed = sessions_closed_;
+    aggregate.sessions_rejected = sessions_rejected_;
+  }
+  std::vector<double> latencies;
+  for (const auto& session : held) {
+    const StreamStats s = session->stats();
+    aggregate.windows_emitted += s.windows_emitted;
+    aggregate.samples_ingested += s.samples_ingested;
+    aggregate.late_windows += s.late_windows;
+    aggregate.rejected_backpressure += s.rejected_backpressure;
+    aggregate.samples_buffered += s.samples_buffered;
+    aggregate.samples_in_flight += s.samples_in_flight;
+    session->SampleLatencies(&latencies);
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    aggregate.latency_p50_ms = latencies[latencies.size() / 2];
+    aggregate.latency_p99_ms = latencies[(latencies.size() * 99) / 100];
+  }
+  return aggregate;
+}
+
+Result<StreamStats> StreamManager::session_stats(int64_t session_id) const {
+  std::shared_ptr<StreamSession> session = Get(session_id);
+  if (session == nullptr) {
+    return Status::NotFound("unknown stream session " + std::to_string(session_id));
+  }
+  return session->stats();
+}
+
+}  // namespace stream
+}  // namespace rita

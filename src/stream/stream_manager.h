@@ -1,0 +1,95 @@
+// Front door of rita::stream: owns many concurrent StreamSessions over one
+// borrowed InferenceEngine, validates stream options against the target
+// model at Open(), enforces the per-manager session cap and hands each
+// session its per-session buffered-sample budget — both surface to the
+// caller as typed kOutOfMemory rejects, mirroring the engine's split
+// backpressure accounting — and aggregates per-session StreamStats.
+//
+// Session ids are dense, never reused, and stay queryable after Close()
+// (results/stats remain takeable) until Release() drops the state. All
+// methods are thread-safe; per-session calls serialize on the session's own
+// lock, so distinct streams ingest fully in parallel and their same-length
+// windows coalesce inside the engine.
+#ifndef RITA_STREAM_STREAM_MANAGER_H_
+#define RITA_STREAM_STREAM_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/inference_engine.h"
+#include "stream/stream.h"
+#include "stream/stream_session.h"
+
+namespace rita {
+namespace stream {
+
+class StreamManager {
+ public:
+  struct Options {
+    /// Concurrently open sessions; Open() past the cap is a typed reject.
+    int64_t max_sessions = 64;
+    /// Per-session buffered-sample budget (WindowAssembler backpressure);
+    /// 0 = unbounded.
+    int64_t max_buffered_samples = 1 << 16;
+  };
+
+  /// `engine` is borrowed and must outlive the manager.
+  explicit StreamManager(serve::InferenceEngine* engine);
+  StreamManager(serve::InferenceEngine* engine, const Options& options);
+
+  StreamManager(const StreamManager&) = delete;
+  StreamManager& operator=(const StreamManager&) = delete;
+
+  /// Opens a stream. Typed rejects: kOutOfMemory at the session cap,
+  /// kInvalidArgument / kNotSupported for options the target model cannot
+  /// serve (unknown model, window outside [config.window, input_length],
+  /// Linformer with partial windows or context carry, classify without a
+  /// head). On OK returns the new session id.
+  Result<int64_t> Open(StreamOptions options);
+
+  /// The session for `id`, or nullptr when unknown/released. The returned
+  /// pointer stays valid while the manager lives and the session is not
+  /// Released (shared ownership is held internally during calls).
+  StreamSession* Find(int64_t session_id);
+
+  // Convenience forwards (status kNotFound for unknown ids).
+  Status Append(int64_t session_id, const Tensor& samples);
+  /// Flushes the ragged tail as a final padded window and closes the
+  /// session; it stays queryable until Release().
+  Status Close(int64_t session_id);
+  /// Drops a session's state entirely. Closes it first if still open.
+  Status Release(int64_t session_id);
+
+  /// Sessions currently held (open or closed-but-unreleased).
+  int64_t size() const;
+  /// Sessions still accepting appends.
+  int64_t open_sessions() const;
+
+  /// Sum of per-session counters over held sessions plus everything retired
+  /// through Release(), with manager lifecycle counters and latency
+  /// percentiles pooled over the held sessions' reservoirs.
+  StreamStats stats() const;
+  Result<StreamStats> session_stats(int64_t session_id) const;
+
+ private:
+  std::shared_ptr<StreamSession> Get(int64_t session_id) const;
+
+  serve::InferenceEngine* engine_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<int64_t, std::shared_ptr<StreamSession>> sessions_;
+  int64_t next_id_ = 0;
+  uint64_t sessions_opened_ = 0;
+  uint64_t sessions_closed_ = 0;
+  uint64_t sessions_rejected_ = 0;
+  StreamStats retired_;  // counter sums of Released sessions
+};
+
+}  // namespace stream
+}  // namespace rita
+
+#endif  // RITA_STREAM_STREAM_MANAGER_H_

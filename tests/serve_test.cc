@@ -366,6 +366,173 @@ TEST(InferenceEngineTest, PlannerCapsMicroBatches) {
   }
 }
 
+// Pins the deprecated rejected() aggregate to the split fields with BOTH
+// kinds of rejection present, so the compatibility shim cannot drift.
+TEST(InferenceEngineTest, RejectedAggregateEqualsSplitSum) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
+  Rng rng(43);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+  InferenceEngineOptions options;
+  options.max_queue = 2;       // third valid submission hits backpressure
+  options.cache_bytes = 0;     // identical series must not short-circuit
+  options.start_paused = true;  // keep the queue full until we resume
+  InferenceEngine engine(&frozen, options);
+
+  std::vector<std::future<InferenceResponse>> admitted;
+  int backpressure = 0;
+  for (int i = 0; i < 5; ++i) {
+    InferenceRequest request;
+    request.series = MakeSeries(60, 2, 700 + i);
+    auto future = engine.Submit(std::move(request));
+    if (future.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      EXPECT_EQ(future.get().status.code(), StatusCode::kOutOfMemory);
+      ++backpressure;
+    } else {
+      admitted.push_back(std::move(future));
+    }
+  }
+  EXPECT_EQ(backpressure, 3);
+  for (int i = 0; i < 2; ++i) {
+    InferenceRequest invalid;
+    invalid.series = MakeSeries(60, 5, 800 + i);  // wrong channel count
+    EXPECT_FALSE(engine.Run(std::move(invalid)).status.ok());
+  }
+
+  const InferenceEngineStats stats = engine.stats();
+  EXPECT_EQ(stats.rejected_backpressure, 3u);
+  EXPECT_EQ(stats.rejected_invalid, 2u);
+  EXPECT_EQ(stats.rejected(), stats.rejected_invalid + stats.rejected_backpressure);
+  EXPECT_EQ(stats.rejected(), 5u);
+
+  engine.Resume();
+  for (auto& future : admitted) EXPECT_TRUE(future.get().status.ok());
+}
+
+// Deadlines are scheduling hints, but missing one is now counted: a request
+// resolved past its deadline increments deadline_missed (aggregate and
+// per-model), while on-time requests leave it untouched.
+TEST(InferenceEngineTest, CountsDeadlineMisses) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
+  Rng rng(47);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+  InferenceEngineOptions options;
+  options.start_paused = true;
+  InferenceEngine engine(&frozen, options);
+
+  InferenceRequest hopeless;
+  hopeless.series = MakeSeries(60, 2, 900);
+  hopeless.deadline = ServeClock::now() - std::chrono::milliseconds(1);
+  auto late = engine.Submit(std::move(hopeless));
+  InferenceRequest relaxed;
+  relaxed.series = MakeSeries(60, 2, 901);
+  relaxed.deadline = ServeClock::now() + std::chrono::hours(1);
+  auto on_time = engine.Submit(std::move(relaxed));
+  engine.Resume();
+  EXPECT_TRUE(late.get().status.ok());  // late, not dropped
+  EXPECT_TRUE(on_time.get().status.ok());
+
+  EXPECT_EQ(engine.stats().deadline_missed, 1u);
+  EXPECT_EQ(engine.model_stats(0).deadline_missed, 1u);
+}
+
+// Context-conditioned forwards: null context reproduces the plain forward
+// bit-for-bit (and hands back the same [CLS] Embed() computes); a real
+// context changes the output deterministically.
+TEST(FrozenModelTest, ContextConditionedForwards) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
+  Rng rng(53);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+  Tensor batch = MakeSeries(60, 2, 30).Reshape({1, 60, 2});
+
+  Tensor cls;
+  Tensor plain = frozen.ClassLogitsWithContext(batch, nullptr, &cls);
+  EXPECT_TRUE(BitEqual(plain, frozen.ClassLogits(batch)));
+  EXPECT_TRUE(BitEqual(cls.Reshape({1, 16}), frozen.Embed(batch)));
+
+  Rng ctx_rng(31);
+  Tensor context = Tensor::RandNormal({1, 16}, &ctx_rng);
+  Tensor conditioned = frozen.ClassLogitsWithContext(batch, &context, nullptr);
+  EXPECT_FALSE(BitEqual(conditioned, plain)) << "context token had no effect";
+  Tensor again = frozen.ClassLogitsWithContext(batch, &context, nullptr);
+  EXPECT_TRUE(BitEqual(conditioned, again));
+
+  Tensor recon_cls;
+  Tensor recon = frozen.ReconstructWithContext(batch, &context, &recon_cls);
+  EXPECT_EQ(recon.shape(), Shape({1, 60, 2}));
+  EXPECT_EQ(recon_cls.shape(), Shape({1, 16}));
+  EXPECT_FALSE(BitEqual(recon, frozen.Reconstruct(batch)));
+}
+
+// Engine-level context routing: want_context returns the [CLS] embedding,
+// context-bearing requests compute (never cached) and match the direct
+// FrozenModel path bit-for-bit.
+TEST(InferenceEngineTest, RoutesContextRequestsAndBypassesCache) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
+  Rng rng(59);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+  InferenceEngineOptions options;  // cache on (default budget)
+  InferenceEngine engine(&frozen, options);
+  Tensor series = MakeSeries(60, 2, 31);
+
+  InferenceRequest first;
+  first.series = series;
+  first.want_context = true;
+  InferenceResponse r1 = engine.Run(std::move(first));
+  ASSERT_TRUE(r1.status.ok()) << r1.status.ToString();
+  ASSERT_TRUE(r1.context.defined());
+  EXPECT_EQ(r1.context.shape(), Shape({16}));
+  EXPECT_TRUE(BitEqual(r1.context.Reshape({1, 16}),
+                       frozen.Embed(series.Reshape({1, 60, 2}))));
+
+  InferenceRequest second;
+  second.series = series;
+  second.context = r1.context;
+  second.want_context = true;
+  InferenceResponse r2 = engine.Run(std::move(second));
+  ASSERT_TRUE(r2.status.ok());
+  EXPECT_FALSE(r2.cache_hit) << "context-bearing requests must bypass the cache";
+  Tensor ctx_batch = r1.context.Reshape({1, 16});
+  Tensor want = frozen.ClassLogitsWithContext(series.Reshape({1, 60, 2}),
+                                              &ctx_batch, nullptr);
+  EXPECT_TRUE(BitEqual(r2.output.Reshape({1, 4}), want));
+
+  // Replaying an identical context request recomputes instead of hitting.
+  InferenceRequest replay;
+  replay.series = series;
+  replay.context = r1.context;
+  InferenceResponse r3 = engine.Run(std::move(replay));
+  ASSERT_TRUE(r3.status.ok());
+  EXPECT_FALSE(r3.cache_hit);
+  EXPECT_TRUE(BitEqual(r3.output.Reshape({1, 4}), want));
+
+  InferenceRequest bad_context;
+  bad_context.series = series;
+  bad_context.context = Tensor::Zeros({7});  // wrong dim
+  EXPECT_EQ(engine.Run(std::move(bad_context)).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(InferenceEngineTest, RejectsContextForLinformerModels) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kLinformer);
+  config.encoder.attention.linformer_k = 8;
+  config.encoder.attention.seq_len = config.NumTokens();
+  Rng rng(61);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+  InferenceEngineOptions options;
+  InferenceEngine engine(&frozen, options);
+
+  InferenceRequest request;
+  request.series = MakeSeries(60, 2, 32);
+  request.context = Tensor::Zeros({16});
+  EXPECT_EQ(engine.Run(std::move(request)).status.code(),
+            StatusCode::kNotSupported);
+}
+
 TEST(InferenceEngineTest, ShutdownDrainsQueueAndRejectsAfter) {
   model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
   Rng rng(37);
