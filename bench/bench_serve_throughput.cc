@@ -1,4 +1,4 @@
-// Serving benchmarks for the layered engine, three parts:
+// Serving benchmarks for the layered engine, four parts:
 //
 // 1. Throughput sweep (unchanged shape): requests/sec through the engine as
 //    a function of (client threads) x (micro-batch cap). One frozen group-
@@ -18,6 +18,19 @@
 //    exit => CI gate) if any cached replay is not bit-identical to the cold
 //    output.
 //
+// 4. Adaptive planner sweep: the same workload behind (a) the analytic
+//    batch planner on a deliberately tight simulated device — its
+//    training-accounted plan caps micro-batches conservatively — and (b) the
+//    telemetry-driven AdaptivePlanner seeded from that same analytic
+//    planner. Passes of live traffic feed measured compute/RSS back into
+//    the planner, whose plan climbs toward the forward-only memory ceiling;
+//    the sweep reports per-pass throughput against the analytic baseline.
+//    CI gates (RITA_CHECK, non-zero exit): the recalibrated plan never
+//    exceeds the safety ceiling, rises above the analytic seed, and
+//    converged adaptive throughput does not collapse below the baseline
+//    (the plan gates are deterministic; the throughput gate is loose
+//    because quick-scale timing on shared runners is noisy).
+//
 // Every part lands in the --json document; the priority cell also samples
 // stats() mid-burst to report instantaneous queue depth / in-flight batches
 // (the snapshot is taken under the queue mutex, so it is consistent).
@@ -28,7 +41,9 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "serve/adaptive_planner.h"
 #include "serve/inference_engine.h"
+#include "serve/telemetry.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 
@@ -283,6 +298,129 @@ void RunCacheSweep(const Workload& workload, const BenchScale& scale,
   json->Add("cache/replay_bit_identical", 1.0, "bool");
 }
 
+/// One pass of the workload through `engine` from `clients` threads;
+/// returns requests/sec.
+double RunEnginePass(const Workload& workload, serve::InferenceEngine& engine,
+                     int clients) {
+  const int64_t total = static_cast<int64_t>(workload.requests.size());
+  std::vector<std::future<serve::InferenceResponse>> futures(total);
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int64_t i = c; i < total; i += clients) {
+        serve::InferenceRequest request;
+        request.series = workload.requests[i];
+        request.task = serve::ServeTask::kClassify;
+        futures[i] = engine.Submit(std::move(request));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& f : futures) RITA_CHECK(f.get().status.ok());
+  return static_cast<double>(total) / watch.ElapsedSeconds();
+}
+
+void RunAdaptiveSweep(const Workload& workload, const BenchScale& scale,
+                      BenchJsonWriter* json) {
+  const model::RitaConfig& config = workload.frozen->config();
+  const core::EncoderShape shape = config.MemoryShape();
+  const int64_t length = config.input_length;
+  const int64_t groups = std::max<int64_t>(1, workload.frozen->num_groups());
+  const int64_t bucket = serve::LengthBucket(length);
+
+  // Simulated device sized so the training-accounted analytic plan at the
+  // serving length is a conservative 4 — while every point the analytic
+  // planner calibrates over still fits at batch 1.
+  core::MemoryModel probe(shape);
+  core::MemoryModelOptions mm;
+  mm.capacity_bytes =
+      std::max(probe.PeakBytes(4, length, groups) / 0.9 * 1.01,
+               probe.PeakBytes(1, bucket, shape.Tokens(bucket)) / 0.9 * 1.05);
+  core::MemoryModel memory(shape, mm);
+  core::BatchPlannerOptions planner_options;
+  planner_options.max_length = bucket;
+  planner_options.num_samples = 48;
+  core::BatchPlanner analytic(memory, planner_options);
+  Rng planner_rng(4300);
+  analytic.Calibrate(&planner_rng);
+  serve::AdaptivePlanner adaptive(&analytic);
+
+  const int64_t analytic_plan = analytic.PredictBatchSize(length, groups);
+  const int64_t ceiling = adaptive.SafetyCeiling(bucket, groups);
+  std::printf("=== Adaptive planner sweep: analytic plan %lld, ceiling %lld ===\n",
+              static_cast<long long>(analytic_plan),
+              static_cast<long long>(ceiling));
+
+  const int kClients = 8;
+  serve::InferenceEngineOptions options;
+  options.num_workers = 2;
+  options.max_micro_batch = 32;  // the planner, not this cap, is the binder
+  options.context = workload.context;
+  options.cache_bytes = 0;  // every request computes => telemetry every batch
+
+  // Analytic baseline: the static plan caps every micro-batch for the whole
+  // run. Averaged over two passes (fresh engine each) to tame jitter.
+  double analytic_rps = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    serve::InferenceEngineOptions analytic_options = options;
+    analytic_options.planner = &analytic;
+    serve::InferenceEngine engine(workload.frozen, analytic_options);
+    analytic_rps += RunEnginePass(workload, engine, kClients);
+  }
+  analytic_rps /= 2.0;
+
+  // Adaptive: ONE engine across passes, so the telemetry the early passes
+  // feed back recalibrates the plan the later passes run under.
+  serve::InferenceEngineOptions adaptive_options = options;
+  adaptive_options.planner = &adaptive;
+  serve::InferenceEngine engine(workload.frozen, adaptive_options);
+  const int passes = scale.quick ? 4 : 6;
+  std::printf("%8s %12s %14s %12s\n", "pass", "req/s", "planned-batch", "vs-analytic");
+  PrintRule(52);
+  double last_rps = 0.0;
+  for (int pass = 0; pass < passes; ++pass) {
+    last_rps = RunEnginePass(workload, engine, kClients);
+    const serve::InferenceEngineStats stats = engine.stats();
+    std::printf("%8d %12.1f %14lld %11.2fx\n", pass, last_rps,
+                static_cast<long long>(stats.planner_batch),
+                last_rps / analytic_rps);
+    json->Add("adaptive/pass" + std::to_string(pass) + "/requests_per_sec",
+              last_rps, "req/s");
+  }
+  const serve::InferenceEngineStats stats = engine.stats();
+  const double ratio = last_rps / analytic_rps;
+  std::printf("%-34s %12.1f\n", "analytic req/s", analytic_rps);
+  std::printf("%-34s %12.1f (%.2fx)\n", "adaptive req/s (converged)", last_rps, ratio);
+  std::printf("%-34s %12lld -> %lld (ceiling %lld)\n\n", "plan seed -> converged",
+              static_cast<long long>(stats.planner_seed_batch),
+              static_cast<long long>(stats.planner_batch),
+              static_cast<long long>(stats.planner_ceiling));
+
+  // CI gates. The plan checks are deterministic and exact. The throughput
+  // check is a timing measurement on whatever hardware CI lands on: at quick
+  // scale the tiny model leaves little batching headroom (the ratio hovers
+  // around 1.0-1.1x locally), so the hard gate only catches an egregious
+  // regression; the bench-regression baseline gates the tracked ratio.
+  RITA_CHECK_GT(stats.planner_batch, 0);
+  RITA_CHECK_LE(stats.planner_batch, stats.planner_ceiling)
+      << "recalibrated plan exceeded the memory safety ceiling";
+  RITA_CHECK_GT(stats.planner_batch, analytic_plan)
+      << "telemetry did not lift the plan above the analytic seed";
+  RITA_CHECK_GE(ratio, 0.75)
+      << "converged adaptive throughput fell far below the analytic baseline";
+
+  json->Add("adaptive/analytic_requests_per_sec", analytic_rps, "req/s");
+  json->Add("adaptive/converged_requests_per_sec", last_rps, "req/s");
+  json->Add("adaptive/throughput_ratio", ratio, "x");
+  json->Add("adaptive/planned_batch", static_cast<double>(stats.planner_batch),
+            "batch");
+  json->Add("adaptive/safety_ceiling",
+            static_cast<double>(stats.planner_ceiling), "batch");
+  json->Add("adaptive/plan_within_ceiling", 1.0, "bool");
+}
+
 void Run(const BenchScale& scale) {
   std::printf("=== Serving: throughput, priority mix, result cache ===\n\n");
 
@@ -319,6 +457,7 @@ void Run(const BenchScale& scale) {
   RunThroughputSweep(workload, num_requests, scale, &json);
   RunPriorityMix(workload, scale, &json);
   RunCacheSweep(workload, scale, &json);
+  RunAdaptiveSweep(workload, scale, &json);
 
   RITA_CHECK(json.WriteTo(scale.json_path)) << "failed to write " << scale.json_path;
   std::printf("series written to bench_serve_throughput.csv\n");

@@ -1,15 +1,26 @@
 // Batch-planner ablation (beyond the paper's tables; supports Sec. 5.2 and
-// Appendix A.3): prediction quality of (a) a single global curve fit vs
-// (b) the DP plane division, against ground-truth Alg. 2 probes on a held-out
-// grid, plus the speedup of predicting over probing.
+// Appendix A.3), two parts:
 //
-// Expected shape: the DP division's SSE is never worse than the global fit's
-// (the paper proves the DP optimal over guillotine divisions) and held-out
-// relative error stays in single-digit percents.
+// 1. Prediction quality of (a) a single global curve fit vs (b) the DP plane
+//    division, against ground-truth Alg. 2 probes on a held-out grid, plus
+//    the speedup of predicting over probing. Expected shape: the DP
+//    division's SSE is never worse than the global fit's (the paper proves
+//    the DP optimal over guillotine divisions) and held-out relative error
+//    stays in single-digit percents.
+//
+// 2. Analytic vs adaptive serving plans: the analytic planner charges every
+//    activation the training backward multiplier, so its serving plan is
+//    conservative; the telemetry-driven AdaptivePlanner recalibrates from
+//    synthetic measured-cost samples and converges toward the forward-only
+//    safety ceiling. Hard gates (RITA_CHECK, non-zero exit => CI): the
+//    adaptive plan never exceeds the ceiling and never falls below the
+//    analytic plan on confirming telemetry.
 #include <cmath>
 
 #include "bench_common.h"
 #include "core/batch_planner.h"
+#include "serve/adaptive_planner.h"
+#include "serve/telemetry.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 
@@ -17,9 +28,7 @@ namespace rita {
 namespace bench {
 namespace {
 
-void Run(const BenchScale& scale) {
-  (void)scale;
-  std::printf("=== Batch planner ablation (Sec. 5.2 / Appendix A.3) ===\n\n");
+void RunFitAblation(BenchJsonWriter* json) {
   auto csv_open = CsvWriter::Open("bench_table8_batch_planner.csv");
   RITA_CHECK(csv_open.ok());
   CsvWriter csv = csv_open.MoveValueOrDie();
@@ -70,6 +79,9 @@ void Run(const BenchScale& scale) {
                     err_global);
     csv.WriteValues(attn::AttentionKindName(kind), "dp_division", division.total_sse,
                     division.regions.size(), err_dp);
+    const std::string prefix = std::string(attn::AttentionKindName(kind));
+    json->Add(prefix + "/heldout_rel_err/global", err_global, "ratio");
+    json->Add(prefix + "/heldout_rel_err/dp_division", err_dp, "ratio");
 
     // Probe vs predict latency (why the learned function exists at all).
     Stopwatch probe_watch;
@@ -81,6 +93,90 @@ void Run(const BenchScale& scale) {
     std::printf("  probe %.1fus vs predict %.1fus per query\n\n", probe_us, predict_us);
   }
   RITA_CHECK(csv.Close().ok());
+}
+
+// Part 2: what live telemetry buys at serving time. The analytic planner's
+// backward multiplier (2.0: grads + optimiser state) is correct for training
+// and pessimistic for grad-free serving; synthetic telemetry consistent with
+// a linear serving cost model lets the AdaptivePlanner climb toward the
+// forward-only ceiling on the same simulated 16 GB device.
+void RunAdaptiveComparison(const BenchScale& scale, BenchJsonWriter* json) {
+  std::printf("=== Analytic vs adaptive serving plans ===\n\n");
+  core::EncoderShape shape;  // paper-sized group-attention encoder
+  shape.kind = attn::AttentionKind::kGroup;
+  core::MemoryModel model(shape);
+  core::BatchPlannerOptions options;
+  options.max_length = 10000;
+  options.num_samples = scale.quick ? 48 : 64;
+  core::BatchPlanner analytic(model, options);
+  Rng rng(31);
+  analytic.Calibrate(&rng);
+
+  serve::AdaptivePlanner adaptive(&analytic);
+
+  std::printf("%8s %8s %14s %14s %10s %8s\n", "length", "groups", "analytic-plan",
+              "adaptive-plan", "ceiling", "ratio");
+  PrintRule(68);
+  double worst_ratio = 1e9;
+  Rng noise(83);
+  for (int64_t length : {1000, 4000, 8000}) {
+    const int64_t groups = 64;
+    const int64_t analytic_plan = analytic.PredictBatchSize(length, groups);
+    const int64_t ceiling = adaptive.SafetyCeiling(length, groups);
+
+    // Synthetic measured costs: latency linear in batch, RSS well under the
+    // budget — telemetry that a healthy serving host would produce.
+    const int samples = scale.quick ? 60 : 120;
+    for (int i = 0; i < samples; ++i) {
+      const int64_t plan = adaptive.PlanBatch(0, 0, length, groups);
+      core::BatchTelemetry sample;
+      sample.model_id = 0;
+      sample.task = 0;
+      sample.length = length;
+      sample.groups = groups;
+      sample.batch = std::max<int64_t>(1, plan - (i % 3));
+      sample.compute_ms = 1.5 + 0.4 * static_cast<double>(sample.batch) +
+                          0.05 * (noise.Uniform() - 0.5);
+      sample.peak_rss_bytes = serve::CurrentRssBytes();
+      adaptive.Observe(sample);
+    }
+    const int64_t adaptive_plan = adaptive.PlanBatch(0, 0, length, groups);
+    const double ratio = static_cast<double>(adaptive_plan) /
+                         static_cast<double>(analytic_plan);
+    worst_ratio = std::min(worst_ratio, ratio);
+    std::printf("%8lld %8lld %14lld %14lld %10lld %7.2fx\n",
+                static_cast<long long>(length), static_cast<long long>(groups),
+                static_cast<long long>(analytic_plan),
+                static_cast<long long>(adaptive_plan),
+                static_cast<long long>(ceiling), ratio);
+
+    // CI gates: conservatism is non-negotiable; and with confirming
+    // telemetry the adaptive plan must not fall below the analytic seed.
+    RITA_CHECK_LE(adaptive_plan, ceiling)
+        << "adaptive plan exceeds the memory safety ceiling at length " << length;
+    RITA_CHECK_GE(adaptive_plan, analytic_plan)
+        << "adaptive plan regressed below the analytic seed at length " << length;
+
+    const std::string prefix = "adaptive/length" + std::to_string(length);
+    json->Add(prefix + "/analytic_plan", static_cast<double>(analytic_plan), "batch");
+    json->Add(prefix + "/adaptive_plan", static_cast<double>(adaptive_plan), "batch");
+    json->Add(prefix + "/ceiling", static_cast<double>(ceiling), "batch");
+  }
+  const serve::AdaptivePlanner::Snapshot snapshot = adaptive.ModelSnapshot(0);
+  std::printf("\nplanner: %llu samples, %llu plan updates, %llu outliers clamped\n\n",
+              static_cast<unsigned long long>(snapshot.samples),
+              static_cast<unsigned long long>(snapshot.plan_updates),
+              static_cast<unsigned long long>(snapshot.outliers));
+  json->Add("adaptive/min_plan_ratio", worst_ratio, "x");
+  json->Add("adaptive/within_ceiling", 1.0, "bool");
+}
+
+void Run(const BenchScale& scale) {
+  std::printf("=== Batch planner ablation (Sec. 5.2 / Appendix A.3) ===\n\n");
+  BenchJsonWriter json("table8_batch_planner");
+  RunFitAblation(&json);
+  RunAdaptiveComparison(scale, &json);
+  RITA_CHECK(json.WriteTo(scale.json_path)) << "failed to write " << scale.json_path;
   std::printf("series written to bench_table8_batch_planner.csv\n");
 }
 

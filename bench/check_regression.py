@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Bench regression gate for CI.
+
+Compares the BENCH_*.json documents a CI run just produced against committed
+baselines in bench/baselines/. Every baseline file mirrors the bench JSON
+format ({"bench": ..., "metrics": [{"name", "value", "unit"}]}) with one
+optional extra field per metric:
+
+    "direction": "higher" | "lower"   (default: "higher")
+
+"higher" means larger is better (throughput, ratios, boolean gates): the run
+fails when value < baseline * (1 - threshold). "lower" means smaller is
+better (latency, error): the run fails when value > baseline * (1 + threshold).
+
+Baselines are intentionally a curated SUBSET of what the benches emit —
+machine-portable ratios, determinism booleans and deterministic model-quality
+numbers — not raw req/s, which varies across runner hardware. A baseline
+metric missing from the fresh run is a hard failure: a silently renamed
+metric must not turn the gate into a no-op.
+
+Exit code 0 = all gates pass, 1 = regression (or missing data).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_metrics(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return doc.get("metrics", [])
+
+
+def check_file(baseline_path, run_path, threshold):
+    """Returns a list of (level, message) findings; level is PASS/FAIL."""
+    findings = []
+    if not os.path.exists(run_path):
+        return [("FAIL", f"run document {run_path} missing "
+                         f"(did the bench step fail or rename its --json?)")]
+    run_values = {m["name"]: m["value"] for m in load_metrics(run_path)}
+    for metric in load_metrics(baseline_path):
+        name = metric["name"]
+        base = float(metric["value"])
+        direction = metric.get("direction", "higher")
+        if name not in run_values:
+            findings.append(("FAIL", f"{name}: missing from {run_path}"))
+            continue
+        if direction not in ("higher", "lower"):
+            # A typo'd direction must not silently flip the gate's logic.
+            findings.append(("FAIL", f"{name}: invalid direction {direction!r} "
+                                     f"in {baseline_path} (use 'higher' or 'lower')"))
+            continue
+        got = float(run_values[name])
+        if direction == "lower":
+            limit = base * (1.0 + threshold)
+            ok = got <= limit
+            verdict = f"{got:.6g} <= {limit:.6g} (baseline {base:.6g}, lower-is-better)"
+        else:
+            limit = base * (1.0 - threshold)
+            ok = got >= limit
+            verdict = f"{got:.6g} >= {limit:.6g} (baseline {base:.6g}, higher-is-better)"
+        findings.append(("PASS" if ok else "FAIL", f"{name}: {verdict}"))
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory of committed baseline JSON documents")
+    parser.add_argument("--run-dir", default=".",
+                        help="directory holding the fresh BENCH_*.json documents")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative regression tolerance (0.25 = 25%%)")
+    args = parser.parse_args()
+
+    baseline_files = sorted(
+        f for f in os.listdir(args.baselines) if f.endswith(".json"))
+    if not baseline_files:
+        print(f"error: no baseline documents under {args.baselines}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for name in baseline_files:
+        print(f"== {name}")
+        findings = check_file(os.path.join(args.baselines, name),
+                              os.path.join(args.run_dir, name), args.threshold)
+        for level, message in findings:
+            print(f"  [{level}] {message}")
+            if level == "FAIL":
+                failures += 1
+    if failures:
+        print(f"\n{failures} bench regression gate(s) FAILED "
+              f"(threshold {args.threshold:.0%})")
+        return 1
+    print(f"\nall bench regression gates passed (threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,10 @@ BatchPlanner::BatchPlanner(const MemoryModel& model, const BatchPlannerOptions& 
   RITA_CHECK_GT(options_.num_samples, 0);
 }
 
-namespace {
 // Alg. 2: classic lo/hi binary search over feasible batch size.
-int64_t BinarySearchBatch(const MemoryModel& model, int64_t length, int64_t groups,
-                          double fraction, int64_t hi) {
-  int64_t lo = 1, best = 1;
+int64_t MaxFeasibleBatch(const MemoryModel& model, int64_t length, int64_t groups,
+                         double fraction, int64_t max_batch) {
+  int64_t lo = 1, hi = max_batch, best = 1;
   while (lo <= hi) {
     const int64_t mid = lo + (hi - lo) / 2;
     if (model.Fits(mid, length, groups, fraction)) {
@@ -28,13 +27,12 @@ int64_t BinarySearchBatch(const MemoryModel& model, int64_t length, int64_t grou
   }
   return best;
 }
-}  // namespace
 
 int64_t BatchPlanner::ProbeBatchSize(int64_t length, int64_t groups) const {
   RITA_CHECK(model_.Fits(1, length, groups, options_.memory_fraction))
       << "even batch size 1 exceeds the memory budget at length " << length;
-  return BinarySearchBatch(model_, length, groups, options_.memory_fraction,
-                           options_.max_batch);
+  return MaxFeasibleBatch(model_, length, groups, options_.memory_fraction,
+                          options_.max_batch);
 }
 
 void BatchPlanner::Calibrate(Rng* rng) {
@@ -65,8 +63,8 @@ int64_t BatchPlanner::PredictBatchSize(int64_t length, int64_t groups) const {
   // OOM guard: a fit overshoot is clipped to the exact feasible maximum below
   // the prediction (cheap: the oracle is the analytic memory model).
   if (!model_.Fits(predicted, length, groups, options_.memory_fraction)) {
-    predicted = BinarySearchBatch(model_, length, groups, options_.memory_fraction,
-                                  predicted);
+    predicted = MaxFeasibleBatch(model_, length, groups, options_.memory_fraction,
+                                 predicted);
   }
   return std::max<int64_t>(1, predicted);
 }

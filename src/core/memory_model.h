@@ -54,6 +54,7 @@ class MemoryModel {
 
   double capacity_bytes() const { return options_.capacity_bytes; }
   const EncoderShape& shape() const { return shape_; }
+  const MemoryModelOptions& options() const { return options_; }
 
  private:
   EncoderShape shape_;

@@ -8,6 +8,7 @@
 #ifndef RITA_MODEL_RITA_MODEL_H_
 #define RITA_MODEL_RITA_MODEL_H_
 
+#include "core/memory_model.h"
 #include "model/sequence_model.h"
 #include "model/transformer_encoder.h"
 #include "nn/layers.h"
@@ -28,6 +29,23 @@ struct RitaConfig {
   int64_t NumWindows() const { return (input_length - window) / stride + 1; }
   /// Encoder sequence length (windows + [CLS]).
   int64_t NumTokens() const { return NumWindows() + 1; }
+  /// The architecture facts the analytic MemoryModel (and hence the batch
+  /// planners) needs — the one place this mapping lives, so a new
+  /// EncoderShape field cannot silently go unmapped in some caller.
+  core::EncoderShape MemoryShape() const {
+    core::EncoderShape shape;
+    shape.layers = encoder.num_layers;
+    shape.dim = encoder.dim;
+    shape.heads = encoder.num_heads;
+    shape.ffn_hidden = encoder.ffn_hidden;
+    shape.window = window;
+    shape.stride = stride;
+    shape.channels = input_channels;
+    shape.kind = encoder.attention.kind;
+    shape.performer_features = encoder.attention.performer_features;
+    shape.linformer_k = encoder.attention.linformer_k;
+    return shape;
+  }
 };
 
 class RitaModel : public SequenceModel {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "serve/telemetry.h"
 #include "tensor/tensor_ops.h"
 #include "util/stopwatch.h"
 
@@ -59,6 +60,9 @@ InferenceEngine::InferenceEngine(const FrozenModel* model,
 void InferenceEngine::Start() {
   RITA_CHECK_GT(registry_->size(), 0) << "registry has no models";
   RITA_CHECK_GT(options_.num_workers, 0);
+  // An adaptive planner closes the telemetry loop (Observe after every batch)
+  // and exposes per-model state for stats(); analytic planners only cap.
+  adaptive_planner_ = dynamic_cast<AdaptivePlanner*>(options_.planner);
   registry_->Freeze();
   if (options_.cache_bytes > 0) {
     ResultCache::Options cache_options;
@@ -131,23 +135,27 @@ Status InferenceEngine::Validate(const InferenceRequest& request,
   return Status::OK();
 }
 
-void InferenceEngine::CountRejection(int64_t model_id, bool backpressure) {
+void InferenceEngine::CountRejection(int64_t model_id, RejectKind kind) {
+  const auto bump = [kind](InferenceEngineStats& stats) {
+    switch (kind) {
+      case RejectKind::kInvalid:
+        ++stats.rejected_invalid;
+        break;
+      case RejectKind::kBackpressure:
+        ++stats.rejected_backpressure;
+        break;
+      case RejectKind::kHopeless:
+        ++stats.rejected_hopeless;
+        break;
+    }
+  };
   // Count BEFORE resolving the promise (same invariant as ExecuteBatch): a
   // client reading stats() after its future resolves must see its own
   // request counted.
   std::lock_guard<std::mutex> lock(stats_mu_);
-  if (backpressure) {
-    ++stats_.rejected_backpressure;
-  } else {
-    ++stats_.rejected_invalid;
-  }
+  bump(stats_);
   if (model_id >= 0 && model_id < static_cast<int64_t>(model_stats_.size())) {
-    InferenceEngineStats& per_model = model_stats_[static_cast<size_t>(model_id)];
-    if (backpressure) {
-      ++per_model.rejected_backpressure;
-    } else {
-      ++per_model.rejected_invalid;
-    }
+    bump(model_stats_[static_cast<size_t>(model_id)]);
   }
 }
 
@@ -158,7 +166,7 @@ std::future<InferenceResponse> InferenceEngine::Submit(InferenceRequest request)
 
   const FrozenModel* model = nullptr;
   Status invalid = Validate(request, &model);
-  bool backpressure = false;
+  RejectKind reject_kind = RejectKind::kInvalid;
 
   // Result cache, in front of admission: deterministic, batch-invariant
   // forwards make a replay bit-identical to a cold compute, so a hit skips
@@ -193,6 +201,30 @@ std::future<InferenceResponse> InferenceEngine::Submit(InferenceRequest request)
     ++model_stats_[static_cast<size_t>(model_id)].cache_misses;
   }
 
+  // Shed hopeless deadlines at admission (after the cache, which answers in
+  // microseconds and can still save them): when the planner's recalibrated
+  // latency estimate says even an immediate SOLO forward lands past the
+  // deadline, executing the request would burn a batch slot to produce a
+  // certainly-late answer. Sheds count under rejected_hopeless, not the
+  // invalid/backpressure splits. Estimate 0 (cold planner, no telemetry for
+  // this bucket yet) never sheds — cold-start behavior is unchanged.
+  if (invalid.ok() && request.deadline != kNoDeadline &&
+      options_.planner != nullptr) {
+    const double eta_ms = options_.planner->EstimateComputeMs(
+        model_id, static_cast<int64_t>(request.task), request.series.size(0),
+        /*batch=*/1);
+    if (eta_ms > 0.0) {
+      const auto eta = std::chrono::duration_cast<ServeClock::duration>(
+          std::chrono::duration<double, std::milli>(eta_ms));
+      if (ServeClock::now() + eta > request.deadline) {
+        invalid = Status::DeadlineUnmeetable(
+            "deadline precedes the planner's " + std::to_string(eta_ms) +
+            "ms minimum compute estimate; shed at admission");
+        reject_kind = RejectKind::kHopeless;
+      }
+    }
+  }
+
   if (invalid.ok()) {
     std::unique_lock<std::mutex> lock(mu_);
     if (stopping_) {
@@ -214,11 +246,11 @@ std::future<InferenceResponse> InferenceEngine::Submit(InferenceRequest request)
       // promise is still ours to resolve.
       promise = std::move(pending.promise);
       invalid = std::move(admitted);
-      backpressure = true;
+      reject_kind = RejectKind::kBackpressure;
     }
   }
 
-  CountRejection(model_id, backpressure);
+  CountRejection(model_id, reject_kind);
   InferenceResponse response;
   response.status = std::move(invalid);
   response.model_id = model_id;
@@ -233,8 +265,7 @@ InferenceResponse InferenceEngine::Run(InferenceRequest request) {
 void InferenceEngine::WorkerLoop() {
   // The planner's micro-batch cap depends on the carrier model's group count.
   const Scheduler::GroupsFn groups = [this](int64_t model_id) {
-    const FrozenModel* model = registry_->Get(model_id);
-    return model == nullptr ? int64_t{0} : model->num_groups();
+    return registry_->NumGroups(model_id);
   };
   for (;;) {
     std::vector<ScheduledRequest> batch;
@@ -315,6 +346,21 @@ void InferenceEngine::ExecuteBatch(std::vector<ScheduledRequest> batch) {
   }
   const double compute_ms = compute.ElapsedMillis();
   const ServeClock::time_point resolved_at = ServeClock::now();
+
+  // Close the planner feedback loop: measured compute time + an RSS probe
+  // for this (model, task, length, batch) point. Analytic planners ignore
+  // the sample (Observe is a no-op); the adaptive planner recalibrates.
+  if (options_.planner != nullptr) {
+    core::BatchTelemetry sample;
+    sample.model_id = model_id;
+    sample.task = static_cast<int64_t>(task);
+    sample.length = t;
+    sample.groups = model->num_groups();
+    sample.batch = b;
+    sample.compute_ms = compute_ms;
+    sample.peak_rss_bytes = CurrentRssBytes();
+    options_.planner->Observe(sample);
+  }
 
   std::vector<InferenceResponse> responses(static_cast<size_t>(b));
   double batch_queue_ms = 0.0;
@@ -433,6 +479,16 @@ InferenceEngineStats InferenceEngine::stats() const {
   snapshot.queue_depth_interactive = queue_.depth(Priority::kInteractive);
   snapshot.queue_depth_batch = queue_.depth(Priority::kBatch);
   snapshot.in_flight_batches = in_flight_batches_;
+  if (adaptive_planner_ != nullptr) {
+    const AdaptivePlanner::Snapshot planner =
+        adaptive_planner_->ModelSnapshot(/*model_id=*/-1);
+    snapshot.planner_samples = planner.samples;
+    snapshot.planner_outliers = planner.outliers;
+    snapshot.planner_plan_updates = planner.plan_updates;
+    snapshot.planner_batch = planner.plan;
+    snapshot.planner_ceiling = planner.ceiling;
+    snapshot.planner_seed_batch = planner.seed_plan;
+  }
   return snapshot;
 }
 
@@ -444,6 +500,16 @@ InferenceEngineStats InferenceEngine::model_stats(int64_t model_id) const {
     snapshot = model_stats_[static_cast<size_t>(model_id)];
   }
   snapshot.queue_depth = queue_.DepthForModel(model_id);
+  if (adaptive_planner_ != nullptr) {
+    const AdaptivePlanner::Snapshot planner =
+        adaptive_planner_->ModelSnapshot(model_id);
+    snapshot.planner_samples = planner.samples;
+    snapshot.planner_outliers = planner.outliers;
+    snapshot.planner_plan_updates = planner.plan_updates;
+    snapshot.planner_batch = planner.plan;
+    snapshot.planner_ceiling = planner.ceiling;
+    snapshot.planner_seed_batch = planner.seed_plan;
+  }
   return snapshot;
 }
 

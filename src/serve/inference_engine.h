@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/batch_planner.h"
+#include "serve/adaptive_planner.h"
 #include "serve/frozen_model.h"
 #include "serve/model_registry.h"
 #include "serve/request_queue.h"
@@ -60,9 +61,13 @@ struct InferenceEngineOptions {
   /// Result-cache shards (each its own mutex + LRU).
   int cache_shards = 8;
   /// Optional calibrated planner; caps each micro-batch at
-  /// PredictBatchSize(length, model.num_groups()) so coalescing can never
-  /// exceed the memory budget the planner was calibrated for.
-  core::BatchPlanner* planner = nullptr;
+  /// PlanBatch(model, task, length, model.num_groups()) so coalescing can
+  /// never exceed the memory budget the planner was calibrated for. Pass a
+  /// serve::AdaptivePlanner to close the feedback loop: the executor reports
+  /// every batch's measured compute time and RSS back via
+  /// PlannerInterface::Observe, and the planner recalibrates its plan from
+  /// that live telemetry (analytic planners ignore the feedback).
+  core::PlannerInterface* planner = nullptr;
   /// Execution resources for the forwards (null = ExecutionContext::Default()).
   ExecutionContext* context = nullptr;
   /// Start with the executors paused: requests queue but nothing runs until
@@ -80,6 +85,9 @@ struct InferenceEngineStats {
   uint64_t rejected_invalid = 0;       // failed validation / unknown model /
                                        // submitted after shutdown
   uint64_t rejected_backpressure = 0;  // admission refused: queue caps hit
+  uint64_t rejected_hopeless = 0;      // shed at admission: the deadline could
+                                       // not be met even by an immediate solo
+                                       // forward (planner latency estimate)
   uint64_t batches = 0;          // model forwards executed
   uint64_t cache_hits = 0;       // answered from the result cache
   uint64_t cache_misses = 0;     // looked up, not found (cache enabled only)
@@ -98,8 +106,22 @@ struct InferenceEngineStats {
   int64_t queue_depth_batch = 0;
   int64_t in_flight_batches = 0;  // micro-batches currently executing
 
+  // Adaptive-planner state (all zero unless an AdaptivePlanner is attached;
+  // snapshotted from the planner at stats() time). `planner_batch` /
+  // `planner_ceiling` / `planner_seed_batch` describe the busiest
+  // (task, length-bucket) cost model: the published plan, its hard memory
+  // safety ceiling, and the analytic cold-start plan it departed from.
+  uint64_t planner_samples = 0;       // telemetry samples ingested
+  uint64_t planner_outliers = 0;      // samples clamped by the robust fits
+  uint64_t planner_plan_updates = 0;  // published plan movements
+  int64_t planner_batch = 0;
+  int64_t planner_ceiling = 0;
+  int64_t planner_seed_batch = 0;
+
   /// Deprecated aggregate of the rejection split; prefer the split fields.
-  uint64_t rejected() const { return rejected_invalid + rejected_backpressure; }
+  uint64_t rejected() const {
+    return rejected_invalid + rejected_backpressure + rejected_hopeless;
+  }
 
   double AvgQueueMs() const {
     const uint64_t computed = completed - cache_hits;
@@ -168,6 +190,8 @@ class InferenceEngine {
   const ModelRegistry& registry() const { return *registry_; }
 
  private:
+  enum class RejectKind { kInvalid, kBackpressure, kHopeless };
+
   /// Shared constructor tail: checks, freezes the registry, builds the
   /// cache, spawns the workers.
   void Start();
@@ -175,11 +199,14 @@ class InferenceEngine {
                   const FrozenModel** model) const;
   void WorkerLoop();
   void ExecuteBatch(std::vector<ScheduledRequest> batch);
-  void CountRejection(int64_t model_id, bool backpressure);
+  void CountRejection(int64_t model_id, RejectKind kind);
 
   const ModelRegistry* registry_;  // set before Start(); fixed afterwards
   ModelRegistry own_registry_;     // backs the single-model constructor
   InferenceEngineOptions options_;
+  // Non-null when options_.planner is adaptive: the executor feeds it
+  // telemetry and stats() surfaces its per-model state.
+  AdaptivePlanner* adaptive_planner_ = nullptr;
   Scheduler scheduler_;
   std::unique_ptr<ResultCache> cache_;  // null when cache_bytes == 0
 

@@ -30,6 +30,11 @@ int64_t ModelRegistry::Find(const std::string& name) const {
   return -1;
 }
 
+int64_t ModelRegistry::NumGroups(int64_t id) const {
+  const FrozenModel* model = Get(id);
+  return model == nullptr ? 0 : model->num_groups();
+}
+
 const std::string& ModelRegistry::name(int64_t id) const {
   RITA_CHECK_GE(id, 0);
   RITA_CHECK_LT(id, size());

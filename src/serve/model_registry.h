@@ -42,6 +42,10 @@ class ModelRegistry {
   /// The id registered under `name`, or -1.
   int64_t Find(const std::string& name) const;
 
+  /// Group count of `id`'s model for the batch planner's (length, groups)
+  /// plan key; 0 for unknown ids and non-group attention kinds.
+  int64_t NumGroups(int64_t id) const;
+
   const std::string& name(int64_t id) const;
   int64_t size() const { return static_cast<int64_t>(entries_.size()); }
 

@@ -12,18 +12,8 @@ RitaPipeline::RitaPipeline(const PipelineOptions& options)
 
   TrainOptions train_options = options_.train;
   if (options_.plan_batches) {
-    core::EncoderShape shape;
-    shape.layers = options_.model.encoder.num_layers;
-    shape.dim = options_.model.encoder.dim;
-    shape.heads = options_.model.encoder.num_heads;
-    shape.ffn_hidden = options_.model.encoder.ffn_hidden;
-    shape.window = options_.model.window;
-    shape.stride = options_.model.stride;
-    shape.channels = options_.model.input_channels;
-    shape.kind = options_.model.encoder.attention.kind;
-    shape.performer_features = options_.model.encoder.attention.performer_features;
-    shape.linformer_k = options_.model.encoder.attention.linformer_k;
-    memory_model_ = std::make_unique<core::MemoryModel>(shape, options_.memory);
+    memory_model_ = std::make_unique<core::MemoryModel>(
+        options_.model.MemoryShape(), options_.memory);
 
     core::BatchPlannerOptions planner_options;
     planner_options.max_length = options_.model.input_length;

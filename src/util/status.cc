@@ -19,6 +19,8 @@ const char* CodeName(StatusCode code) {
       return "NotSupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineUnmeetable:
+      return "DeadlineUnmeetable";
   }
   return "Unknown";
 }

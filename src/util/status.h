@@ -20,6 +20,7 @@ enum class StatusCode {
   kIoError,
   kNotSupported,
   kInternal,
+  kDeadlineUnmeetable,
 };
 
 /// Value-semantic status object; cheap to copy in the OK case.
@@ -45,6 +46,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// The request's deadline already cannot be met (admission shedding).
+  /// Retryable with a later deadline, unlike kInvalidArgument.
+  static Status DeadlineUnmeetable(std::string msg) {
+    return Status(StatusCode::kDeadlineUnmeetable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
