@@ -1,18 +1,32 @@
-// Micro-benchmark (google-benchmark): one multi-head attention layer,
-// forward + backward, as a function of sequence length for all four kernels —
-// the mechanism behind the paper's headline 63X claim (Sec. 6.3.2). Also
-// sweeps the group count N and the number of k-means iterations (the paper's
-// "a few iterations suffice" observation, Sec. 4.4), and the thread count of
-// the ExecutionContext pool driving the per-(batch*head) slice loops (the
-// "speedup" counter is wall-time relative to the 1-thread run of the same n).
+// Micro-benchmark: one multi-head attention layer, forward + backward, as a
+// function of sequence length for all four kernels — the mechanism behind the
+// paper's headline 63X claim (Sec. 6.3.2). Also sweeps the group count N, the
+// number of k-means iterations (the paper's "a few iterations suffice"
+// observation, Sec. 4.4), and the thread count of the ExecutionContext pool
+// driving the per-(batch*head) slice loops.
+//
+// Two modes:
+//   (default)      google-benchmark suite over the sweeps above.
+//   --json PATH    kernel-backend x fusion sweep: the PR-5 unfused scalar
+//                  attention core (materialized scores + three-pass softmax)
+//                  vs the fused scalar and fused SIMD kernel pipelines,
+//                  single-threaded, written as a BENCH_*.json document for
+//                  the CI regression gate and trajectory tracking. Hard-fails
+//                  (non-zero exit) if the fused scalar core is not bitwise
+//                  identical to the unfused legacy pipeline.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <map>
 #include <thread>
+#include <vector>
 
 #include "attention/multi_head.h"
 #include "core/attention_factory.h"
+#include "linalg/kernels/kernels.h"
 
 namespace rita {
 namespace bench {
@@ -144,8 +158,270 @@ void RegisterThreadSweep(benchmark::internal::Benchmark* b) {
 BENCHMARK(BM_GroupAttentionByThreads)->Apply(RegisterThreadSweep)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// ---------------------------------------------------------------------------
+// --json mode: kernel-backend x fusion sweep over the group-attention core.
+// ---------------------------------------------------------------------------
+
+// Minimal local JSON writer mirroring bench_common.h's BenchJsonWriter (this
+// TU cannot include bench_common.h: it drags in the model/train stack the
+// micro bench does not need).
+class JsonWriter {
+ public:
+  void Add(const char* name, double value, const char* unit) {
+    records_.push_back({name, value, unit});
+  }
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"micro_attention\",\n  \"metrics\": [");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"value\": %.17g, \"unit\": \"%s\"}",
+                   i == 0 ? "" : ",", records_[i].name.c_str(), records_[i].value,
+                   records_[i].unit.c_str());
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::vector<Record> records_;
+};
+
+// The PR-5 group-attention inference core, replicated verbatim: a materialized
+// [n, ng] score matrix filled by the scalar GEMM, the historical three-pass
+// group softmax (max / exp+weighted-sum / normalize), then the output GEMM.
+// This is the fixed baseline the fused kernels are measured against — it must
+// NOT route through the dispatched kernel table.
+void LegacyUnfusedCore(const float* q, const float* keys, const float* values,
+                       float* scores, float* out, int64_t n, int64_t ng,
+                       int64_t d, float scale, const float* weights) {
+  const kernels::KernelTable* scalar = kernels::internal::ScalarTable();
+  scalar->gemm(q, keys, scores, n, ng, d, /*trans_a=*/false, /*trans_b=*/true,
+               0, n);
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = scores + i * ng;
+    float mx = row[0] * scale;
+    for (int64_t j = 1; j < ng; ++j) mx = std::max(mx, row[j] * scale);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < ng; ++j) {
+      const float e = std::exp(row[j] * scale - mx);
+      row[j] = e;
+      denom += weights[j] * e;
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t j = 0; j < ng; ++j) row[j] *= inv;
+  }
+  scalar->gemm(scores, values, out, n, d, ng, /*trans_a=*/false,
+               /*trans_b=*/false, 0, n);
+}
+
+// Best-of-reps mean seconds per call, with the iteration count calibrated so
+// one rep runs at least min_seconds.
+template <typename F>
+double TimeSecondsPerCall(F&& fn, double min_seconds, int reps) {
+  using Clock = std::chrono::steady_clock;
+  int64_t iters = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (int64_t i = 0; i < iters; ++i) fn();
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (s >= min_seconds || iters >= (int64_t{1} << 30)) break;
+    const double want = min_seconds * 1.2;
+    int64_t next =
+        s > 0.0 ? static_cast<int64_t>(iters * (want / s)) + 1 : iters * 8;
+    iters = std::max(iters + 1, next);
+  }
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    for (int64_t i = 0; i < iters; ++i) fn();
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    best = std::min(best, s / static_cast<double>(iters));
+  }
+  return best;
+}
+
+double MaxRelErr(const std::vector<float>& a, const std::vector<float>& b) {
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double denom = std::max(1e-6, std::fabs(static_cast<double>(a[i])));
+    worst = std::max(worst, std::fabs(static_cast<double>(a[i]) - b[i]) / denom);
+  }
+  return worst;
+}
+
+// Full mechanism forward (k-means grouping + attention core) in inference
+// mode, single-threaded, under the currently active kernel backend.
+double TimeMechanismForward(int64_t n, double min_seconds) {
+  ThreadPool pool(1);
+  ExecutionContext context(&pool);
+  Rng rng(7);
+  core::GroupAttentionOptions options;
+  options.num_groups = 16;
+  options.kmeans_iters = 2;
+  options.collect_snapshots = false;
+  core::GroupAttentionMechanism mech(kDim / kHeads, options, &rng);
+  mech.set_execution_context(&context);
+  const int64_t bh = kBatch * kHeads;
+  Tensor q0 = Tensor::RandNormal({bh, n, kDim / kHeads}, &rng);
+  Tensor k0 = Tensor::RandNormal({bh, n, kDim / kHeads}, &rng);
+  Tensor v0 = Tensor::RandNormal({bh, n, kDim / kHeads}, &rng);
+  ag::NoGradGuard no_grad;
+  return TimeSecondsPerCall(
+      [&] {
+        ag::Variable q(q0), k(k0), v(v0);
+        ag::Variable out = mech.Forward(q, k, v);
+        benchmark::DoNotOptimize(out.data().data());
+      },
+      min_seconds, /*reps=*/3);
+}
+
+int RunKernelSweep(const std::string& json_path, bool quick) {
+  const int64_t n = quick ? 256 : 1024;
+  const int64_t ng = 16;
+  const int64_t d = 16;
+  const double min_seconds = quick ? 0.05 : 0.25;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+  Rng rng(42);
+  Tensor q = Tensor::RandNormal({n, d}, &rng);
+  Tensor keys = Tensor::RandNormal({ng, d}, &rng);
+  Tensor values = Tensor::RandNormal({ng, d}, &rng);
+  std::vector<float> weights(ng);
+  for (int64_t j = 0; j < ng; ++j) {
+    // Group sizes: positive integers of roughly n/ng, like real counts.
+    weights[j] = static_cast<float>(1 + (rng.NextU64() % (2 * n / ng)));
+  }
+
+  std::vector<float> scores(n * ng);
+  std::vector<float> out_unfused(n * d), out_scalar(n * d), out_simd(n * d);
+  ExecutionContext context;  // scratch arena host for the fused driver
+  ScratchArena::Lease scratch = context.arena()->Acquire();
+
+  auto run_fused = [&](float* out) {
+    scratch.Reset();
+    kernels::FusedScoreSoftmaxWeightedSum(q.data(), keys.data(), values.data(),
+                                          out, n, ng, d, scale, weights.data(),
+                                          &scratch);
+  };
+
+  JsonWriter json;
+  std::printf("micro_attention kernel sweep: n=%lld ng=%lld d=%lld (1 thread)\n",
+              static_cast<long long>(n), static_cast<long long>(ng),
+              static_cast<long long>(d));
+
+  // --- Attention core: PR-5 unfused scalar baseline. ---
+  const double t_unfused = TimeSecondsPerCall(
+      [&] {
+        LegacyUnfusedCore(q.data(), keys.data(), values.data(), scores.data(),
+                          out_unfused.data(), n, ng, d, scale, weights.data());
+        benchmark::DoNotOptimize(out_unfused.data());
+      },
+      min_seconds, /*reps=*/3);
+
+  // --- Fused pipeline per backend. ---
+  kernels::SetBackendForTesting(kernels::Backend::kScalar);
+  run_fused(out_scalar.data());
+  const double t_fused_scalar = TimeSecondsPerCall(
+      [&] {
+        run_fused(out_scalar.data());
+        benchmark::DoNotOptimize(out_scalar.data());
+      },
+      min_seconds, /*reps=*/3);
+  const bool bit_identical =
+      std::memcmp(out_unfused.data(), out_scalar.data(),
+                  out_scalar.size() * sizeof(float)) == 0;
+
+  const bool simd = kernels::SimdAvailable();
+  double t_fused_simd = 0.0, simd_rel_err = 0.0;
+  if (simd) {
+    kernels::SetBackendForTesting(kernels::Backend::kSimd);
+    run_fused(out_simd.data());
+    simd_rel_err = MaxRelErr(out_unfused, out_simd);
+    t_fused_simd = TimeSecondsPerCall(
+        [&] {
+          run_fused(out_simd.data());
+          benchmark::DoNotOptimize(out_simd.data());
+        },
+        min_seconds, /*reps=*/3);
+  }
+
+  const double ns_per_row = 1e9 / static_cast<double>(n);
+  json.Add("core/scalar_unfused/ns_per_row", t_unfused * ns_per_row, "ns");
+  json.Add("core/fused_scalar/ns_per_row", t_fused_scalar * ns_per_row, "ns");
+  json.Add("core/fused_scalar_vs_scalar_unfused", t_unfused / t_fused_scalar, "x");
+  json.Add("gate/fused_scalar_bit_identical", bit_identical ? 1.0 : 0.0, "bool");
+  std::printf("  core scalar_unfused : %9.1f ns/row\n", t_unfused * ns_per_row);
+  std::printf("  core fused_scalar   : %9.1f ns/row  (%.2fx, bit-identical=%d)\n",
+              t_fused_scalar * ns_per_row, t_unfused / t_fused_scalar,
+              bit_identical ? 1 : 0);
+  if (simd) {
+    json.Add("core/fused_simd/ns_per_row", t_fused_simd * ns_per_row, "ns");
+    json.Add("core/fused_simd_vs_scalar_unfused", t_unfused / t_fused_simd, "x");
+    json.Add("core/fused_simd_vs_fused_scalar", t_fused_scalar / t_fused_simd, "x");
+    json.Add("core/fused_simd_max_rel_err", simd_rel_err, "ratio");
+    std::printf("  core fused_simd     : %9.1f ns/row  (%.2fx vs unfused, "
+                "max rel err %.2e)\n",
+                t_fused_simd * ns_per_row, t_unfused / t_fused_simd, simd_rel_err);
+  } else {
+    std::printf("  core fused_simd     : SKIPPED (no AVX2+FMA)\n");
+  }
+
+  // --- Whole mechanism forward (grouping + core), inference, per backend. ---
+  kernels::SetBackendForTesting(kernels::Backend::kScalar);
+  const double mech_scalar = TimeMechanismForward(n, min_seconds);
+  json.Add("mech_forward/scalar_ms", mech_scalar * 1e3, "ms");
+  std::printf("  mech  scalar        : %9.3f ms/forward\n", mech_scalar * 1e3);
+  if (simd) {
+    kernels::SetBackendForTesting(kernels::Backend::kSimd);
+    const double mech_simd = TimeMechanismForward(n, min_seconds);
+    json.Add("mech_forward/simd_ms", mech_simd * 1e3, "ms");
+    json.Add("mech_forward/simd_vs_scalar", mech_scalar / mech_simd, "x");
+    std::printf("  mech  simd          : %9.3f ms/forward  (%.2fx)\n",
+                mech_simd * 1e3, mech_scalar / mech_simd);
+  }
+  kernels::SetBackendForTesting(kernels::Backend::kScalar);
+
+  if (!json.WriteTo(json_path)) {
+    std::fprintf(stderr, "FAILED to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  if (!bit_identical) {
+    std::fprintf(stderr, "GATE FAILURE: fused scalar core is not bitwise "
+                         "identical to the PR-5 unfused pipeline\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace rita
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  if (!json_path.empty()) {
+    return rita::bench::RunKernelSweep(json_path, quick);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

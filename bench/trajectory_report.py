@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Cross-run bench trajectory report for CI job summaries.
+
+Diffs the BENCH_*.json documents a CI run just produced against the same
+documents downloaded from the previous successful run's `bench-json` artifact,
+and prints a GitHub-flavored-markdown table of per-metric deltas (one section
+per bench document). The table is purely informational — the hard gate is
+bench/check_regression.py against the committed baselines; this report is the
+trend line between consecutive runs that the curated baselines deliberately
+don't pin (raw ns/row, req/s, ms/forward all drift with runner hardware, but
+a step change between adjacent runs on the same runner pool is worth seeing).
+
+Usage: trajectory_report.py --prev DIR --curr DIR [--highlight 0.10]
+Writes markdown to stdout (CI appends it to $GITHUB_STEP_SUMMARY).
+Exit code is always 0: a missing previous artifact (first run, expired
+retention) degrades to a current-values-only table, never a failure.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_doc(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        return {m["name"]: (float(m["value"]), m.get("unit", ""))
+                for m in doc.get("metrics", [])}
+    except (OSError, ValueError, KeyError, TypeError) as err:
+        print(f"<!-- unreadable {path}: {err} -->")
+        return {}
+
+
+def fmt(value):
+    return f"{value:.6g}"
+
+
+def delta_cell(prev, curr, highlight):
+    if prev == 0.0:
+        return "n/a" if curr != 0.0 else "+0.00%"
+    rel = (curr - prev) / abs(prev)
+    text = f"{rel:+.2%}"
+    return f"**{text}**" if abs(rel) >= highlight else text
+
+
+def report(prev_dir, curr_dir, highlight):
+    curr_files = sorted(glob.glob(os.path.join(curr_dir, "BENCH_*.json")))
+    print("## Bench trajectory (vs previous run)")
+    if not curr_files:
+        print()
+        print(f"_No BENCH_*.json documents found in `{curr_dir}`._")
+        return
+    have_prev = os.path.isdir(prev_dir) and glob.glob(
+        os.path.join(prev_dir, "BENCH_*.json"))
+    if not have_prev:
+        print()
+        print("_No previous-run artifact available (first run or expired "
+              "retention); showing current values only._")
+    for curr_path in curr_files:
+        name = os.path.basename(curr_path)
+        curr = load_doc(curr_path)
+        prev = load_doc(os.path.join(prev_dir, name)) if have_prev else {}
+        print()
+        print(f"### {name}")
+        print()
+        print("| metric | previous | current | delta |")
+        print("|---|---:|---:|---:|")
+        for metric in sorted(set(curr) | set(prev)):
+            p = prev.get(metric)
+            c = curr.get(metric)
+            if c is None:
+                print(f"| {metric} | {fmt(p[0])} {p[1]} | _gone_ | |")
+            elif p is None:
+                print(f"| {metric} | _new_ | {fmt(c[0])} {c[1]} | |")
+            else:
+                print(f"| {metric} | {fmt(p[0])} {p[1]} | {fmt(c[0])} {c[1]} "
+                      f"| {delta_cell(p[0], c[0], highlight)} |")
+    print()
+    print(f"_Deltas at or beyond {highlight:.0%} are bolded. Timing metrics "
+          "vary with runner hardware; the committed baselines in "
+          "`bench/baselines/` remain the authoritative gate._")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--prev", required=True,
+                        help="directory with the previous run's BENCH_*.json")
+    parser.add_argument("--curr", required=True,
+                        help="directory with this run's BENCH_*.json")
+    parser.add_argument("--highlight", type=float, default=0.10,
+                        help="relative delta at which a cell is bolded")
+    args = parser.parse_args()
+    report(args.prev, args.curr, args.highlight)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,9 +40,10 @@ VanillaAttention::VanillaAttention(int64_t head_dim, float dropout, Rng* rng)
 
 ag::Variable VanillaAttention::Forward(const ag::Variable& q, const ag::Variable& k,
                                        const ag::Variable& v, ForwardState* state) {
-  // scores [BH, n, n] -- the O(n^2) object group attention avoids.
-  ag::Variable scores = ag::MulScalar(ag::Bmm(q, k, false, true), scale_);
-  ag::Variable probs = ag::SoftmaxLastDim(scores);
+  // scores [BH, n, n] -- the O(n^2) object group attention avoids. The scale
+  // folds into the fused softmax pass instead of a materialized MulScalar.
+  ag::Variable scores = ag::Bmm(q, k, false, true);
+  ag::Variable probs = ag::SoftmaxLastDimScaled(scores, scale_);
   if (training() && state->stochastic && dropout_ > 0.0f) {
     // Inverted-dropout mask over the O(n^2) probs: the one serial hot loop
     // left in this kernel, so build it per (batch*head) slice across the
@@ -153,8 +154,8 @@ ag::Variable LinformerAttention::Forward(const ag::Variable& q, const ag::Variab
       ag::TransposeLast2(ag::Bmm(ag::TransposeLast2(k), e_, false, true));  // [BH,kp,d]
   ag::Variable v_proj =
       ag::TransposeLast2(ag::Bmm(ag::TransposeLast2(v), f_, false, true));  // [BH,kp,d]
-  ag::Variable scores = ag::MulScalar(ag::Bmm(q, k_proj, false, true), scale_);
-  ag::Variable probs = ag::SoftmaxLastDim(scores);  // [BH, n, kp]
+  ag::Variable scores = ag::Bmm(q, k_proj, false, true);
+  ag::Variable probs = ag::SoftmaxLastDimScaled(scores, scale_);  // [BH, n, kp]
   return ag::Bmm(probs, v_proj);
 }
 

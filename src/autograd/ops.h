@@ -55,6 +55,10 @@ Variable Slice(const Variable& a, int64_t axis, int64_t start, int64_t len);
 
 // -- Softmax family ---------------------------------------------------------
 Variable SoftmaxLastDim(const Variable& a);
+/// softmax(scale * a) fused into one streaming pass per row — equivalent to
+/// SoftmaxLastDim(MulScalar(a, scale)) without materializing the scaled
+/// scores (the attention score path).
+Variable SoftmaxLastDimScaled(const Variable& a, float scale);
 Variable LogSoftmaxLastDim(const Variable& a);
 
 // -- Regularisation / normalisation -------------------------------------------

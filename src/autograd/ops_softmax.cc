@@ -1,8 +1,12 @@
-// Softmax family with fused backward rules.
+// Softmax family with fused backward rules. Forward and backward both run
+// through the dispatched kernel layer: one streaming pass per row instead of
+// the materializing Mul/Sum/Sub tensor-op compositions these used to be (the
+// scalar backend reproduces those compositions bit for bit).
 #include <cmath>
 
 #include "autograd/function.h"
 #include "autograd/ops.h"
+#include "linalg/kernels/kernels.h"
 #include "tensor/tensor_ops.h"
 
 namespace rita {
@@ -10,21 +14,24 @@ namespace ag {
 
 namespace {
 
+// Backward of y = softmax(scale * x): dx = scale * y * (g - sum(g * y, last)).
+// scale = 1 is plain softmax.
 class SoftmaxFunction : public Function {
  public:
-  explicit SoftmaxFunction(Tensor y) : y_(std::move(y)) {}
+  SoftmaxFunction(Tensor y, float scale) : y_(std::move(y)), scale_(scale) {}
   std::string name() const override { return "SoftmaxLastDim"; }
 
   std::vector<Tensor> Backward(const Tensor& g) override {
-    // dx = y * (g - sum(g * y, last))
-    Tensor gy = ops::Mul(g, y_);
-    Tensor s = ops::Sum(gy, -1, /*keepdim=*/true);
-    Tensor dx = ops::Mul(y_, ops::Sub(g, s));
+    const int64_t last = y_.size(-1);
+    const int64_t rows = y_.numel() / last;
+    Tensor dx(y_.shape());
+    kernels::SoftmaxBackwardRows(y_.data(), g.data(), dx.data(), rows, last, scale_);
     return {dx};
   }
 
  private:
   Tensor y_;
+  float scale_;
 };
 
 class LogSoftmaxFunction : public Function {
@@ -34,9 +41,10 @@ class LogSoftmaxFunction : public Function {
 
   std::vector<Tensor> Backward(const Tensor& g) override {
     // dx = g - softmax(x) * sum(g, last)
-    Tensor probs = ops::Exp(log_y_);
-    Tensor s = ops::Sum(g, -1, /*keepdim=*/true);
-    Tensor dx = ops::Sub(g, ops::Mul(probs, s));
+    const int64_t last = log_y_.size(-1);
+    const int64_t rows = log_y_.numel() / last;
+    Tensor dx(log_y_.shape());
+    kernels::LogSoftmaxBackwardRows(log_y_.data(), g.data(), dx.data(), rows, last);
     return {dx};
   }
 
@@ -49,7 +57,22 @@ class LogSoftmaxFunction : public Function {
 Variable SoftmaxLastDim(const Variable& a) {
   Tensor y = ops::SoftmaxLastDim(a.data());
   Variable out(y);
-  Function::Connect(std::make_shared<SoftmaxFunction>(y), {a}, &out);
+  Function::Connect(std::make_shared<SoftmaxFunction>(y, 1.0f), {a}, &out);
+  return out;
+}
+
+Variable SoftmaxLastDimScaled(const Variable& a, float scale) {
+  // Fused softmax(scale * a): the scale folds into the kernel's single pass
+  // instead of materializing a scaled score tensor first. Bit-identical to
+  // SoftmaxLastDim(MulScalar(a, scale)) on the scalar backend, forward and
+  // backward, because the kernel rounds scale*x at exactly the same points.
+  const Tensor& x = a.data();
+  const int64_t last = x.size(-1);
+  const int64_t rows = x.numel() / last;
+  Tensor y(x.shape());
+  kernels::FusedSoftmaxRows(x.data(), y.data(), rows, last, scale);
+  Variable out(y);
+  Function::Connect(std::make_shared<SoftmaxFunction>(y, scale), {a}, &out);
   return out;
 }
 

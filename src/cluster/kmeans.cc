@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "linalg/kernels/kernels.h"
 #include "tensor/tensor_ops.h"
 
 namespace rita {
@@ -27,24 +28,16 @@ Tensor PairwiseSqDistMatmul(const Tensor& a, const Tensor& b,
   const float* pa = a.data();
   const float* pb = b.data();
   std::vector<float> b2(m);
-  for (int64_t j = 0; j < m; ++j) {
-    float s = 0.0f;
-    const float* row = pb + j * d;
-    for (int64_t k = 0; k < d; ++k) s += row[k] * row[k];
-    b2[j] = s;
-  }
+  kernels::RowSqNorms(pb, b2.data(), m, d);
   auto rows = [&](int64_t r0, int64_t r1) {
     ops::Gemm2D(pa + r0 * d, pb, pd + r0 * m, r1 - r0, m, d,
                 /*trans_a=*/false, /*trans_b=*/true, /*parallel=*/false);
     for (int64_t i = r0; i < r1; ++i) {
       const float* arow = pa + i * d;
-      float a2 = 0.0f;
-      for (int64_t k = 0; k < d; ++k) a2 += arow[k] * arow[k];
-      float* row = pd + i * m;
-      for (int64_t j = 0; j < m; ++j) {
-        // Clamp: floating-point cancellation can produce tiny negatives.
-        row[j] = std::max(0.0f, a2 + b2[j] - 2.0f * row[j]);
-      }
+      float a2;
+      kernels::RowSqNorms(arow, &a2, 1, d);
+      // Clamp: floating-point cancellation can produce tiny negatives.
+      kernels::SqDistCombine(pd + i * m, b2.data(), a2, m);
     }
   };
   if (parallel) {
@@ -89,17 +82,13 @@ Tensor InitCentroids(const Tensor& points, int64_t k, bool plus_plus, Rng* rng) 
   chosen.push_back(rng->UniformInt(n));
   std::vector<float> min_d2(n, std::numeric_limits<float>::max());
   const float* pp = points.data();
+  std::vector<float> d2(n);
   while (static_cast<int64_t>(chosen.size()) < k) {
     const float* c = pp + chosen.back() * d;
+    kernels::SqDistToPoint(pp, c, d2.data(), n, d);
     double total = 0.0;
     for (int64_t i = 0; i < n; ++i) {
-      float s = 0.0f;
-      const float* row = pp + i * d;
-      for (int64_t j = 0; j < d; ++j) {
-        const float diff = row[j] - c[j];
-        s += diff * diff;
-      }
-      min_d2[i] = std::min(min_d2[i], s);
+      min_d2[i] = std::min(min_d2[i], d2[i]);
       total += min_d2[i];
     }
     if (total <= 0.0) {
@@ -233,9 +222,7 @@ KMeansResult RunKMeans(const Tensor& points, const KMeansOptions& options, Rng* 
               for (int64_t i = lo; i < hi; ++i) {
                 const int64_t c = assignment[i];
                 ++bcount[c];
-                const float* row = pp + i * d;
-                float* dst = bsum + c * d;
-                for (int64_t j = 0; j < d; ++j) dst[j] += row[j];
+                kernels::Add(bsum + c * d, pp + i * d, d);
               }
             }
           },
@@ -244,15 +231,13 @@ KMeansResult RunKMeans(const Tensor& points, const KMeansOptions& options, Rng* 
         const float* bsum = block_sums.data() + b * kc * d;
         const int64_t* bcount = block_counts.data() + b * kc;
         for (int64_t c = 0; c < kc; ++c) counts[c] += bcount[c];
-        for (int64_t i = 0; i < kc * d; ++i) ps[i] += bsum[i];
+        kernels::Add(ps, bsum, kc * d);
       }
     } else {
       for (int64_t i = 0; i < n; ++i) {
         const int64_t c = assignment[i];
         ++counts[c];
-        const float* row = pp + i * d;
-        float* dst = ps + c * d;
-        for (int64_t j = 0; j < d; ++j) dst[j] += row[j];
+        kernels::Add(ps + c * d, pp + i * d, d);
       }
     }
     float* pc = centroids.data();

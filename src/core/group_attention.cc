@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/function.h"
+#include "linalg/kernels/kernels.h"
 #include "tensor/tensor_ops.h"
 
 namespace rita {
@@ -100,7 +101,7 @@ class GroupAttentionFunction : public ag::Function {
         // dQ = scale * dP~ R : [n, d]
         float* dq_s = pdq + s * n * d;
         ops::Gemm2D(dpt, r, dq_s, n, d, ng, false, false, /*parallel=*/false);
-        for (int64_t i = 0; i < n * d; ++i) dq_s[i] *= scale_;
+        kernels::Scale(dq_s, n * d, scale_);
 
         // dR = scale * dP~^T Q : [ng, d]; then dK_x = dR_{g(x)} / counts.
         float* dr = scratch.Floats(ng * d);
@@ -173,6 +174,16 @@ ag::Variable GroupAttentionMechanism::Forward(const ag::Variable& q,
   const float* pv = v.data().data();
   float* po = out.data();
 
+  // Inference (no grad recording) runs the fused score→softmax→weighted-sum
+  // tile kernel and never materialises A~ or per-slice backward state; the
+  // training path keeps the unfused pipeline because backward needs A~/V~.
+  // On the scalar backend both paths are bit-identical (the fused driver tiles
+  // over rows of per-row-independent kernels).
+  const bool need_grad =
+      ag::GradModeEnabled() &&
+      (q.requires_grad() || q.grad_fn() != nullptr || k.requires_grad() ||
+       k.grad_fn() != nullptr || v.requires_grad() || v.grad_fn() != nullptr);
+
   // One independent unit of Alg. 1 per (batch*head) slice: group the keys,
   // score against the N representatives, group-softmax, aggregate values.
   // Slices share nothing mutable — each has its own SliceState, snapshot slot
@@ -190,29 +201,10 @@ ag::Variable GroupAttentionMechanism::Forward(const ag::Variable& q,
       cluster::KMeansResult grouping = cluster::RunKMeans(keys, km, &slice_rng, context);
       const int64_t ng = grouping.num_clusters();
 
-      // P~ = scale * Q R^T : [n, ng]
-      float* p_tilde = scratch.Floats(n * ng);
-      ops::Gemm2D(pq + s * n * d, grouping.centroids.data(), p_tilde, n, ng, d,
-                  /*trans_a=*/false, /*trans_b=*/true, /*parallel=*/false);
-
-      // Group softmax (Eq. 3), stabilised by the row max (shift-invariant).
-      Tensor a_tilde({n, ng});
-      {
-        float* pa = a_tilde.data();
-        for (int64_t i = 0; i < n; ++i) {
-          const float* row = p_tilde + i * ng;
-          float* arow = pa + i * ng;
-          float mx = row[0] * scale;
-          for (int64_t j = 1; j < ng; ++j) mx = std::max(mx, row[j] * scale);
-          float denom = 0.0f;
-          for (int64_t j = 0; j < ng; ++j) {
-            const float w = std::exp(row[j] * scale - mx);
-            arow[j] = w;
-            denom += static_cast<float>(grouping.counts[j]) * w;
-          }
-          const float inv = 1.0f / denom;
-          for (int64_t j = 0; j < ng; ++j) arow[j] *= inv;
-        }
+      // Group sizes as the softmax denominator weights (Eq. 3).
+      float* weights = scratch.Floats(ng);
+      for (int64_t j = 0; j < ng; ++j) {
+        weights[j] = static_cast<float>(grouping.counts[j]);
       }
 
       // Embedding aggregation: V~_j = sum_{g(x) = j} V_x : [ng, d]
@@ -221,15 +213,29 @@ ag::Variable GroupAttentionMechanism::Forward(const ag::Variable& q,
         float* pvt = v_tilde.data();
         const float* v_s = pv + s * n * d;
         for (int64_t i = 0; i < n; ++i) {
-          float* dst = pvt + grouping.assignment[i] * d;
-          const float* src = v_s + i * d;
-          for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+          kernels::Add(pvt + grouping.assignment[i] * d, v_s + i * d, d);
         }
       }
 
-      // O = A~ V~ : [n, d]
-      ops::Gemm2D(a_tilde.data(), v_tilde.data(), po + s * n * d, n, d, ng, false,
-                  false, /*parallel=*/false);
+      Tensor a_tilde;
+      if (need_grad) {
+        // P~ = scale * Q R^T : [n, ng]
+        float* p_tilde = scratch.Floats(n * ng);
+        ops::Gemm2D(pq + s * n * d, grouping.centroids.data(), p_tilde, n, ng, d,
+                    /*trans_a=*/false, /*trans_b=*/true, /*parallel=*/false);
+
+        // Group softmax (Eq. 3), stabilised by the row max (shift-invariant).
+        a_tilde = Tensor({n, ng});
+        kernels::FusedSoftmaxRows(p_tilde, a_tilde.data(), n, ng, scale, weights);
+
+        // O = A~ V~ : [n, d]
+        ops::Gemm2D(a_tilde.data(), v_tilde.data(), po + s * n * d, n, d, ng, false,
+                    false, /*parallel=*/false);
+      } else {
+        kernels::FusedScoreSoftmaxWeightedSum(
+            pq + s * n * d, grouping.centroids.data(), v_tilde.data(),
+            po + s * n * d, n, ng, d, scale, weights, &scratch);
+      }
 
       if (snapshots != nullptr) {
         GroupingSnapshot& snap = (*snapshots)[s];
@@ -242,20 +248,24 @@ ag::Variable GroupAttentionMechanism::Forward(const ag::Variable& q,
         snap.query_ball_radius = cluster::PointBallRadius(queries);
       }
 
-      SliceState& st = states[s];
-      st.assignment = std::move(grouping.assignment);
-      st.counts = std::move(grouping.counts);
-      st.centroids = std::move(grouping.centroids);
-      st.a_tilde = std::move(a_tilde);
-      st.v_tilde = std::move(v_tilde);
+      if (need_grad) {
+        SliceState& st = states[s];
+        st.assignment = std::move(grouping.assignment);
+        st.counts = std::move(grouping.counts);
+        st.centroids = std::move(grouping.centroids);
+        st.a_tilde = std::move(a_tilde);
+        st.v_tilde = std::move(v_tilde);
+      }
     }
   });
 
   ag::Variable result(out);
-  ag::Function::Connect(
-      std::make_shared<GroupAttentionFunction>(std::move(states), q.data(), scale,
-                                               execution_context_cell()),
-      {q, k, v}, &result);
+  if (need_grad) {
+    ag::Function::Connect(
+        std::make_shared<GroupAttentionFunction>(std::move(states), q.data(), scale,
+                                                 execution_context_cell()),
+        {q, k, v}, &result);
+  }
   return result;
 }
 

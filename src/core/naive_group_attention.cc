@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/function.h"
+#include "linalg/kernels/kernels.h"
 #include "tensor/tensor_ops.h"
 
 namespace rita {
@@ -163,19 +164,7 @@ ag::Variable NaiveGroupAttention::Forward(const ag::Variable& q, const ag::Varia
       float* p_s = probs.data() + s * n * n;
       ops::Gemm2D(pq + s * n * d, kr_s, p_s, n, n, d, false, true,
                   /*parallel=*/false);
-      for (int64_t i = 0; i < n; ++i) {
-        float* row = p_s + i * n;
-        float mx = row[0] * scale;
-        for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j] * scale);
-        float denom = 0.0f;
-        for (int64_t j = 0; j < n; ++j) {
-          const float e = std::exp(row[j] * scale - mx);
-          row[j] = e;
-          denom += e;
-        }
-        const float inv = 1.0f / denom;
-        for (int64_t j = 0; j < n; ++j) row[j] *= inv;
-      }
+      kernels::FusedSoftmaxRows(p_s, p_s, n, n, scale);
       ops::Gemm2D(p_s, pv + s * n * d, out.data() + s * n * d, n, d, n, false,
                   false, /*parallel=*/false);
 

@@ -1,0 +1,111 @@
+// Backend selection and the fused attention tile driver.
+//
+// The active table is resolved exactly once (std::call_once): the
+// RITA_KERNEL_BACKEND env var ("scalar" | "simd") wins, otherwise the SIMD
+// table is used whenever the build target and CPU both support it. Tests and
+// benches can re-point the table in-process with SetBackendForTesting.
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "linalg/kernels/kernels.h"
+#include "util/check.h"
+
+namespace rita {
+namespace kernels {
+namespace {
+
+std::once_flag g_dispatch_once;
+std::atomic<const KernelTable*> g_active{nullptr};
+std::atomic<Backend> g_active_backend{Backend::kScalar};
+
+void ResolveBackend() {
+  Backend backend =
+      internal::SimdTable() != nullptr && internal::CpuSupportsSimd()
+          ? Backend::kSimd
+          : Backend::kScalar;
+  const char* env = std::getenv("RITA_KERNEL_BACKEND");
+  if (env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "scalar") == 0) {
+      backend = Backend::kScalar;
+    } else if (std::strcmp(env, "simd") == 0) {
+      RITA_CHECK(internal::SimdTable() != nullptr && internal::CpuSupportsSimd())
+          << "RITA_KERNEL_BACKEND=simd but this build/CPU has no SIMD backend";
+      backend = Backend::kSimd;
+    } else {
+      RITA_CHECK(false) << "Unknown RITA_KERNEL_BACKEND value: " << env
+                        << " (expected scalar|simd)";
+    }
+  }
+  g_active_backend.store(backend, std::memory_order_relaxed);
+  g_active.store(&Table(backend), std::memory_order_release);
+}
+
+}  // namespace
+
+const char* BackendName(Backend backend) {
+  return backend == Backend::kSimd ? "simd" : "scalar";
+}
+
+bool SimdAvailable() {
+  return internal::SimdTable() != nullptr && internal::CpuSupportsSimd();
+}
+
+const KernelTable& Table(Backend backend) {
+  if (backend == Backend::kSimd && SimdAvailable()) {
+    return *internal::SimdTable();
+  }
+  return *internal::ScalarTable();
+}
+
+const KernelTable& Active() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    std::call_once(g_dispatch_once, ResolveBackend);
+    table = g_active.load(std::memory_order_acquire);
+  }
+  return *table;
+}
+
+Backend ActiveBackend() {
+  Active();  // force resolution
+  return g_active_backend.load(std::memory_order_relaxed);
+}
+
+void SetBackendForTesting(Backend backend) {
+  if (backend == Backend::kSimd) {
+    RITA_CHECK(SimdAvailable()) << "SIMD backend unavailable on this build/CPU";
+  }
+  std::call_once(g_dispatch_once, ResolveBackend);  // keep once-flag consumed
+  g_active_backend.store(backend, std::memory_order_relaxed);
+  g_active.store(&Table(backend), std::memory_order_release);
+}
+
+void FusedScoreSoftmaxWeightedSum(const float* q, const float* keys,
+                                  const float* values, float* out, int64_t n,
+                                  int64_t ng, int64_t d, float scale,
+                                  const float* weights,
+                                  ScratchArena::Lease* scratch) {
+  const KernelTable& t = Active();
+  // Tile query rows so the [tile, ng] score block stays cache/arena resident.
+  // Both the gemm and softmax primitives are row-independent, so tiling does
+  // not change any row's arithmetic vs the unfused full-matrix pipeline.
+  constexpr int64_t kRowTile = 64;
+  float* tile = scratch->Floats(std::min(kRowTile, n) * ng);
+  for (int64_t r0 = 0; r0 < n; r0 += kRowTile) {
+    const int64_t rows = std::min(kRowTile, n - r0);
+    // scores = Q_tile K^T  (K is [ng, d] row-major, used transposed).
+    t.gemm(q + r0 * d, keys, tile, rows, ng, d, /*trans_a=*/false,
+           /*trans_b=*/true, 0, rows);
+    // softmax(scale * scores) with group-count-weighted denominators, in place.
+    t.softmax_rows(tile, tile, rows, ng, scale, weights);
+    // O_tile = probs V.
+    t.gemm(tile, values, out + r0 * d, rows, d, ng, /*trans_a=*/false,
+           /*trans_b=*/false, 0, rows);
+  }
+}
+
+}  // namespace kernels
+}  // namespace rita

@@ -1,0 +1,594 @@
+// AVX2+FMA backend. This TU is the only one compiled with -mavx2 -mfma (see
+// CMakeLists); everything else in the library stays at the baseline ISA so
+// the scalar backend can never silently pick up FMA contraction. On non-x86
+// builds the table factory returns null and dispatch stays on scalar.
+//
+// Numerics: vectorized reductions (horizontal sums, 4-way dot accumulators)
+// reorder float additions, and exp/tanh/sigmoid/gelu use polynomial
+// approximations (Cephes-derived, a few ULP from libm). This backend is
+// therefore gated by relative-tolerance checks, not bit-identity; within the
+// backend every kernel is a pure deterministic function of its inputs.
+#include "linalg/kernels/kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace rita {
+namespace kernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vector math: fast exp / tanh and friends
+// ---------------------------------------------------------------------------
+
+// exp(x) via Cody-Waite range reduction + degree-6 polynomial (Cephes
+// coefficients): ~2 ULP over the finite range, exact at 0, flushes true
+// underflow (x < -87.34, including -inf) to 0 instead of returning denormals.
+inline __m256 Exp8(__m256 x) {
+  const __m256 kLog2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 kLn2Hi = _mm256_set1_ps(0.693359375f);
+  const __m256 kLn2Lo = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 kMaxX = _mm256_set1_ps(88.3762626647950f);
+  const __m256 kMinX = _mm256_set1_ps(-87.3365478515625f);
+
+  const __m256 clamped = _mm256_min_ps(_mm256_max_ps(x, kMinX), kMaxX);
+  const __m256 m = _mm256_round_ps(_mm256_mul_ps(clamped, kLog2e),
+                                   _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256 r = _mm256_fnmadd_ps(m, kLn2Hi, clamped);
+  r = _mm256_fnmadd_ps(m, kLn2Lo, r);
+
+  __m256 p = _mm256_set1_ps(1.9875691500e-4f);
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.3981999507e-3f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(8.3334519073e-3f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(4.1665795894e-2f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.6666665459e-1f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(5.0000001201e-1f));
+  const __m256 r2 = _mm256_mul_ps(r, r);
+  p = _mm256_fmadd_ps(p, r2, _mm256_add_ps(r, _mm256_set1_ps(1.0f)));
+
+  const __m256i mi = _mm256_cvtps_epi32(m);
+  const __m256i pow2 =
+      _mm256_slli_epi32(_mm256_add_epi32(mi, _mm256_set1_epi32(127)), 23);
+  __m256 result = _mm256_mul_ps(p, _mm256_castsi256_ps(pow2));
+  // True underflow (and -inf) -> exactly 0.
+  const __m256 under = _mm256_cmp_ps(x, kMinX, _CMP_LT_OQ);
+  return _mm256_andnot_ps(under, result);
+}
+
+// Scalar replica of Exp8 (same constants, fmaf mirrors the vector FMAs) for
+// loop tails, so a value gets the same result whether it lands in a vector
+// lane or the remainder.
+inline float Exp1(float x) {
+  const float clamped = std::min(std::max(x, -87.3365478515625f), 88.3762626647950f);
+  const float m = std::nearbyintf(clamped * 1.44269504088896341f);
+  float r = std::fmaf(m, -0.693359375f, clamped);
+  r = std::fmaf(m, 2.12194440e-4f, r);
+  float p = 1.9875691500e-4f;
+  p = std::fmaf(p, r, 1.3981999507e-3f);
+  p = std::fmaf(p, r, 8.3334519073e-3f);
+  p = std::fmaf(p, r, 4.1665795894e-2f);
+  p = std::fmaf(p, r, 1.6666665459e-1f);
+  p = std::fmaf(p, r, 5.0000001201e-1f);
+  p = std::fmaf(p, r * r, r + 1.0f);
+  union {
+    int32_t i;
+    float f;
+  } pow2;
+  pow2.i = (static_cast<int32_t>(m) + 127) << 23;
+  const float result = p * pow2.f;
+  return x < -87.3365478515625f ? 0.0f : result;
+}
+
+// tanh via Cephes: odd polynomial for |x| < 0.625, exp-based tail otherwise.
+inline __m256 Tanh8(__m256 x) {
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+  const __m256 sign = _mm256_and_ps(x, sign_mask);
+  const __m256 z = _mm256_andnot_ps(sign_mask, x);
+
+  // Small branch: tanh(x) = x + x^3 P(x^2).
+  const __m256 s = _mm256_mul_ps(x, x);
+  __m256 p = _mm256_set1_ps(-5.70498872745e-3f);
+  p = _mm256_fmadd_ps(p, s, _mm256_set1_ps(2.06390887954e-2f));
+  p = _mm256_fmadd_ps(p, s, _mm256_set1_ps(-5.37397155531e-2f));
+  p = _mm256_fmadd_ps(p, s, _mm256_set1_ps(1.33314422036e-1f));
+  p = _mm256_fmadd_ps(p, s, _mm256_set1_ps(-3.33332819422e-1f));
+  const __m256 small = _mm256_fmadd_ps(_mm256_mul_ps(x, s), p, x);
+
+  // Large branch: 1 - 2/(exp(2|x|)+1), sign restored.
+  const __m256 e2z = Exp8(_mm256_add_ps(z, z));
+  const __m256 big = _mm256_sub_ps(
+      _mm256_set1_ps(1.0f),
+      _mm256_div_ps(_mm256_set1_ps(2.0f),
+                    _mm256_add_ps(e2z, _mm256_set1_ps(1.0f))));
+  const __m256 big_signed = _mm256_or_ps(big, sign);
+
+  const __m256 use_small = _mm256_cmp_ps(z, _mm256_set1_ps(0.625f), _CMP_LT_OQ);
+  return _mm256_blendv_ps(big_signed, small, use_small);
+}
+
+inline float Tanh1(float x) {
+  const float z = std::fabs(x);
+  if (z < 0.625f) {
+    const float s = x * x;
+    float p = -5.70498872745e-3f;
+    p = std::fmaf(p, s, 2.06390887954e-2f);
+    p = std::fmaf(p, s, -5.37397155531e-2f);
+    p = std::fmaf(p, s, 1.33314422036e-1f);
+    p = std::fmaf(p, s, -3.33332819422e-1f);
+    return std::fmaf(x * s, p, x);
+  }
+  const float big = 1.0f - 2.0f / (Exp1(z + z) + 1.0f);
+  return x < 0.0f ? -big : big;
+}
+
+inline __m256 Sigmoid8(__m256 x) {
+  const __m256 e = Exp8(_mm256_sub_ps(_mm256_setzero_ps(), x));
+  return _mm256_div_ps(_mm256_set1_ps(1.0f),
+                       _mm256_add_ps(_mm256_set1_ps(1.0f), e));
+}
+inline float Sigmoid1(float x) { return 1.0f / (1.0f + Exp1(-x)); }
+
+inline __m256 Gelu8(__m256 x) {
+  const __m256 kC = _mm256_set1_ps(0.7978845608f);  // sqrt(2/pi)
+  const __m256 kA = _mm256_set1_ps(0.044715f);
+  const __m256 x2 = _mm256_mul_ps(x, x);
+  const __m256 inner =
+      _mm256_mul_ps(kC, _mm256_fmadd_ps(_mm256_mul_ps(kA, x2), x, x));
+  const __m256 t = Tanh8(inner);
+  return _mm256_mul_ps(_mm256_mul_ps(_mm256_set1_ps(0.5f), x),
+                       _mm256_add_ps(_mm256_set1_ps(1.0f), t));
+}
+inline float Gelu1(float x) {
+  constexpr float kC = 0.7978845608f;
+  const float inner = kC * std::fmaf(0.044715f * x * x, x, x);
+  return 0.5f * x * (1.0f + Tanh1(inner));
+}
+
+inline float HorizontalSum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+inline float HorizontalMax(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_max_ps(lo, hi);
+  s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+// ---------------------------------------------------------------------------
+// Fused softmax
+// ---------------------------------------------------------------------------
+
+void SoftmaxRowsAvx2(const float* in, float* out, int64_t rows, int64_t len,
+                     float scale, const float* weights) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = in + r * len;
+    float* orow = out + r * len;
+
+    // Streaming max of scale * x.
+    float mx;
+    int64_t j = 0;
+    if (len >= 8) {
+      __m256 vmax = _mm256_mul_ps(_mm256_loadu_ps(row), vscale);
+      for (j = 8; j + 8 <= len; j += 8) {
+        vmax = _mm256_max_ps(vmax, _mm256_mul_ps(_mm256_loadu_ps(row + j), vscale));
+      }
+      mx = HorizontalMax(vmax);
+    } else {
+      mx = row[0] * scale;
+      j = 1;
+    }
+    for (; j < len; ++j) mx = std::max(mx, row[j] * scale);
+
+    // exp(scale * x - mx), storing the weights-weighted denominator on the fly.
+    const __m256 vmx = _mm256_set1_ps(mx);
+    __m256 vsum = _mm256_setzero_ps();
+    float tail_sum = 0.0f;
+    for (j = 0; j + 8 <= len; j += 8) {
+      const __m256 e = Exp8(_mm256_fmsub_ps(_mm256_loadu_ps(row + j), vscale, vmx));
+      _mm256_storeu_ps(orow + j, e);
+      if (weights != nullptr) {
+        vsum = _mm256_fmadd_ps(_mm256_loadu_ps(weights + j), e, vsum);
+      } else {
+        vsum = _mm256_add_ps(vsum, e);
+      }
+    }
+    for (; j < len; ++j) {
+      const float e = Exp1(std::fmaf(row[j], scale, -mx));
+      orow[j] = e;
+      tail_sum += weights != nullptr ? weights[j] * e : e;
+    }
+    const float denom = HorizontalSum(vsum) + tail_sum;
+
+    const float inv = 1.0f / denom;
+    const __m256 vinv = _mm256_set1_ps(inv);
+    for (j = 0; j + 8 <= len; j += 8) {
+      _mm256_storeu_ps(orow + j, _mm256_mul_ps(_mm256_loadu_ps(orow + j), vinv));
+    }
+    for (; j < len; ++j) orow[j] *= inv;
+  }
+}
+
+void SoftmaxBackwardRowsAvx2(const float* y, const float* g, float* dx,
+                             int64_t rows, int64_t len, float scale) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yrow = y + r * len;
+    const float* grow = g + r * len;
+    float* drow = dx + r * len;
+    // Row dot in 4 double lanes (deterministic fixed order).
+    __m256d acc = _mm256_setzero_pd();
+    int64_t j = 0;
+    for (; j + 4 <= len; j += 4) {
+      const __m128 yv = _mm_loadu_ps(yrow + j);
+      const __m128 gv = _mm_loadu_ps(grow + j);
+      acc = _mm256_add_pd(acc, _mm256_cvtps_pd(_mm_mul_ps(gv, yv)));
+    }
+    double tail = 0.0;
+    for (; j < len; ++j) tail += static_cast<double>(grow[j] * yrow[j]);
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    const float t =
+        static_cast<float>(((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail);
+
+    const __m256 vt = _mm256_set1_ps(t);
+    const __m256 vscale = _mm256_set1_ps(scale);
+    for (j = 0; j + 8 <= len; j += 8) {
+      const __m256 d = _mm256_mul_ps(_mm256_loadu_ps(yrow + j),
+                                     _mm256_sub_ps(_mm256_loadu_ps(grow + j), vt));
+      _mm256_storeu_ps(drow + j, _mm256_mul_ps(d, vscale));
+    }
+    for (; j < len; ++j) drow[j] = yrow[j] * (grow[j] - t) * scale;
+  }
+}
+
+void LogSoftmaxBackwardRowsAvx2(const float* log_y, const float* g, float* dx,
+                                int64_t rows, int64_t len) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* lrow = log_y + r * len;
+    const float* grow = g + r * len;
+    float* drow = dx + r * len;
+    __m256d acc = _mm256_setzero_pd();
+    int64_t j = 0;
+    for (; j + 4 <= len; j += 4) {
+      acc = _mm256_add_pd(acc, _mm256_cvtps_pd(_mm_loadu_ps(grow + j)));
+    }
+    double tail = 0.0;
+    for (; j < len; ++j) tail += static_cast<double>(grow[j]);
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    const float t =
+        static_cast<float>(((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail);
+
+    const __m256 vt = _mm256_set1_ps(t);
+    for (j = 0; j + 8 <= len; j += 8) {
+      const __m256 probs = Exp8(_mm256_loadu_ps(lrow + j));
+      _mm256_storeu_ps(drow + j,
+                       _mm256_fnmadd_ps(probs, vt, _mm256_loadu_ps(grow + j)));
+    }
+    for (; j < len; ++j) drow[j] = grow[j] - Exp1(lrow[j]) * t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+// 4x16 register-tiled micro-kernel for C[i0..i0+4) x C[:, j0..j0+16), shared
+// by the NN and TN cases (they differ only in how A is strided): 8 FMA
+// accumulators stay in registers across the whole k loop, B is streamed row
+// by row (so the B panel [k, 16] is the only cache-resident working set), and
+// 4 A values per k step amortize each B load 4x.
+template <int kRows>
+inline void MicroKernelNx16(const float* a, int64_t a_row_stride,
+                            int64_t a_k_stride, const float* b, int64_t ldb,
+                            float* c, int64_t ldc, int64_t k) {
+  __m256 acc0[kRows], acc1[kRows];
+  for (int i = 0; i < kRows; ++i) {
+    acc0[i] = _mm256_setzero_ps();
+    acc1[i] = _mm256_setzero_ps();
+  }
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* brow = b + kk * ldb;
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    for (int i = 0; i < kRows; ++i) {
+      const __m256 av = _mm256_set1_ps(a[i * a_row_stride + kk * a_k_stride]);
+      acc0[i] = _mm256_fmadd_ps(av, b0, acc0[i]);
+      acc1[i] = _mm256_fmadd_ps(av, b1, acc1[i]);
+    }
+  }
+  for (int i = 0; i < kRows; ++i) {
+    _mm256_storeu_ps(c + i * ldc, acc0[i]);
+    _mm256_storeu_ps(c + i * ldc + 8, acc1[i]);
+  }
+}
+
+template <int kRows>
+inline void MicroKernelNx8(const float* a, int64_t a_row_stride, int64_t a_k_stride,
+                           const float* b, int64_t ldb, float* c, int64_t ldc,
+                           int64_t k) {
+  __m256 acc[kRows];
+  for (int i = 0; i < kRows; ++i) acc[i] = _mm256_setzero_ps();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const __m256 b0 = _mm256_loadu_ps(b + kk * ldb);
+    for (int i = 0; i < kRows; ++i) {
+      const __m256 av = _mm256_set1_ps(a[i * a_row_stride + kk * a_k_stride]);
+      acc[i] = _mm256_fmadd_ps(av, b0, acc[i]);
+    }
+  }
+  for (int i = 0; i < kRows; ++i) _mm256_storeu_ps(c + i * ldc, acc[i]);
+}
+
+// C rows [r0, r1) for the B-not-transposed cases (NN and TN). a_row_stride /
+// a_k_stride express op(A): NN is (k, 1), TN is (1, m).
+void GemmBNotTransposed(const float* a, int64_t a_row_stride, int64_t a_k_stride,
+                        const float* b, float* c, int64_t n, int64_t k,
+                        int64_t r0, int64_t r1) {
+  int64_t i = r0;
+  for (; i + 4 <= r1; i += 4) {
+    const float* arow = a + i * a_row_stride;
+    float* crow = c + i * n;
+    int64_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      MicroKernelNx16<4>(arow, a_row_stride, a_k_stride, b + j, n, crow + j, n, k);
+    }
+    for (; j + 8 <= n; j += 8) {
+      MicroKernelNx8<4>(arow, a_row_stride, a_k_stride, b + j, n, crow + j, n, k);
+    }
+    for (; j < n; ++j) {
+      for (int ii = 0; ii < 4; ++ii) {
+        const float* ai = arow + ii * a_row_stride;
+        float s = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) s = std::fmaf(ai[kk * a_k_stride], b[kk * n + j], s);
+        crow[ii * n + j] = s;
+      }
+    }
+  }
+  for (; i < r1; ++i) {
+    const float* arow = a + i * a_row_stride;
+    float* crow = c + i * n;
+    int64_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      MicroKernelNx16<1>(arow, a_row_stride, a_k_stride, b + j, n, crow + j, n, k);
+    }
+    for (; j + 8 <= n; j += 8) {
+      MicroKernelNx8<1>(arow, a_row_stride, a_k_stride, b + j, n, crow + j, n, k);
+    }
+    for (; j < n; ++j) {
+      float s = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) s = std::fmaf(arow[kk * a_k_stride], b[kk * n + j], s);
+      crow[j] = s;
+    }
+  }
+}
+
+// NT case: C[i,j] = dot(A_i, B_j), both contiguous. 4 columns share one pass
+// over A's row; 8-wide FMA dot with horizontal reduction at the end.
+void GemmNT(const float* a, const float* b, float* c, int64_t n, int64_t k,
+            int64_t r0, int64_t r1) {
+  for (int64_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      __m256 s0 = _mm256_setzero_ps(), s1 = _mm256_setzero_ps();
+      __m256 s2 = _mm256_setzero_ps(), s3 = _mm256_setzero_ps();
+      int64_t kk = 0;
+      for (; kk + 8 <= k; kk += 8) {
+        const __m256 av = _mm256_loadu_ps(arow + kk);
+        s0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0 + kk), s0);
+        s1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1 + kk), s1);
+        s2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2 + kk), s2);
+        s3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3 + kk), s3);
+      }
+      float t0 = HorizontalSum(s0), t1 = HorizontalSum(s1);
+      float t2 = HorizontalSum(s2), t3 = HorizontalSum(s3);
+      for (; kk < k; ++kk) {
+        const float av = arow[kk];
+        t0 = std::fmaf(av, b0[kk], t0);
+        t1 = std::fmaf(av, b1[kk], t1);
+        t2 = std::fmaf(av, b2[kk], t2);
+        t3 = std::fmaf(av, b3[kk], t3);
+      }
+      crow[j] = t0;
+      crow[j + 1] = t1;
+      crow[j + 2] = t2;
+      crow[j + 3] = t3;
+    }
+    for (; j < n; ++j) {
+      const float* brow = b + j * k;
+      __m256 s = _mm256_setzero_ps();
+      int64_t kk = 0;
+      for (; kk + 8 <= k; kk += 8) {
+        s = _mm256_fmadd_ps(_mm256_loadu_ps(arow + kk), _mm256_loadu_ps(brow + kk), s);
+      }
+      float t = HorizontalSum(s);
+      for (; kk < k; ++kk) t = std::fmaf(arow[kk], brow[kk], t);
+      crow[j] = t;
+    }
+  }
+}
+
+void GemmAvx2(const float* a, const float* b, float* c, int64_t m, int64_t n,
+              int64_t k, bool trans_a, bool trans_b, int64_t r0, int64_t r1) {
+  if (!trans_b) {
+    if (!trans_a) {
+      GemmBNotTransposed(a, /*a_row_stride=*/k, /*a_k_stride=*/1, b, c, n, k, r0, r1);
+    } else {
+      GemmBNotTransposed(a, /*a_row_stride=*/1, /*a_k_stride=*/m, b, c, n, k, r0, r1);
+    }
+    return;
+  }
+  if (!trans_a) {
+    GemmNT(a, b, c, n, k, r0, r1);
+    return;
+  }
+  // TT is rare (tests only): defer to the scalar reference.
+  internal::ScalarTable()->gemm(a, b, c, m, n, k, trans_a, trans_b, r0, r1);
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise
+// ---------------------------------------------------------------------------
+
+template <__m256 (*VecF)(__m256), float (*ScalarF)(float)>
+void MapArray(const float* x, float* y, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) _mm256_storeu_ps(y + i, VecF(_mm256_loadu_ps(x + i)));
+  for (; i < n; ++i) y[i] = ScalarF(x[i]);
+}
+
+void ExpArrayAvx2(const float* x, float* y, int64_t n) { MapArray<Exp8, Exp1>(x, y, n); }
+void TanhArrayAvx2(const float* x, float* y, int64_t n) {
+  MapArray<Tanh8, Tanh1>(x, y, n);
+}
+void SigmoidArrayAvx2(const float* x, float* y, int64_t n) {
+  MapArray<Sigmoid8, Sigmoid1>(x, y, n);
+}
+void GeluArrayAvx2(const float* x, float* y, int64_t n) {
+  MapArray<Gelu8, Gelu1>(x, y, n);
+}
+
+void AxpyAvx2(float* y, const float* x, int64_t n, float alpha) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i,
+                     _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] = std::fmaf(alpha, x[i], y[i]);
+}
+
+void ScaleAvx2(float* y, int64_t n, float alpha) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(va, _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] *= alpha;
+}
+
+void AddAvx2(float* y, const float* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void AccumulateF64Avx2(double* dst, const float* src, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d s = _mm256_cvtps_pd(_mm_loadu_ps(src + i));
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i), s));
+  }
+  for (; i < n; ++i) dst[i] += static_cast<double>(src[i]);
+}
+
+void RowSqNormsAvx2(const float* a, float* out, int64_t rows, int64_t d) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = a + r * d;
+    __m256 acc = _mm256_setzero_ps();
+    int64_t j = 0;
+    for (; j + 8 <= d; j += 8) {
+      const __m256 v = _mm256_loadu_ps(row + j);
+      acc = _mm256_fmadd_ps(v, v, acc);
+    }
+    float s = HorizontalSum(acc);
+    for (; j < d; ++j) s = std::fmaf(row[j], row[j], s);
+    out[r] = s;
+  }
+}
+
+void SqDistToPointAvx2(const float* points, const float* center, float* d2,
+                       int64_t n, int64_t d) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = points + i * d;
+    __m256 acc = _mm256_setzero_ps();
+    int64_t j = 0;
+    for (; j + 8 <= d; j += 8) {
+      const __m256 diff =
+          _mm256_sub_ps(_mm256_loadu_ps(row + j), _mm256_loadu_ps(center + j));
+      acc = _mm256_fmadd_ps(diff, diff, acc);
+    }
+    float s = HorizontalSum(acc);
+    for (; j < d; ++j) {
+      const float diff = row[j] - center[j];
+      s = std::fmaf(diff, diff, s);
+    }
+    d2[i] = s;
+  }
+}
+
+void SqDistCombineAvx2(float* row, const float* b2, float a2, int64_t m) {
+  const __m256 va2 = _mm256_set1_ps(a2);
+  const __m256 vzero = _mm256_setzero_ps();
+  const __m256 vtwo = _mm256_set1_ps(2.0f);
+  int64_t j = 0;
+  for (; j + 8 <= m; j += 8) {
+    const __m256 v = _mm256_fnmadd_ps(vtwo, _mm256_loadu_ps(row + j),
+                                      _mm256_add_ps(va2, _mm256_loadu_ps(b2 + j)));
+    _mm256_storeu_ps(row + j, _mm256_max_ps(vzero, v));
+  }
+  for (; j < m; ++j) {
+    row[j] = std::max(0.0f, std::fmaf(-2.0f, row[j], a2 + b2[j]));
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelTable* SimdTable() {
+  static const KernelTable table = {
+      SoftmaxRowsAvx2,   SoftmaxBackwardRowsAvx2, LogSoftmaxBackwardRowsAvx2,
+      GemmAvx2,          ExpArrayAvx2,            TanhArrayAvx2,
+      SigmoidArrayAvx2,  GeluArrayAvx2,           AxpyAvx2,
+      ScaleAvx2,         AddAvx2,                 AccumulateF64Avx2,
+      RowSqNormsAvx2,    SqDistToPointAvx2,       SqDistCombineAvx2,
+  };
+  return &table;
+}
+
+bool CpuSupportsSimd() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace rita
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace rita {
+namespace kernels {
+namespace internal {
+
+const KernelTable* SimdTable() { return nullptr; }
+bool CpuSupportsSimd() { return false; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace rita
+
+#endif

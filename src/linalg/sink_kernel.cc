@@ -50,9 +50,20 @@ double MaxNcc(const std::vector<double>& x, const std::vector<double>& y) {
 
 double SinkUnnormalized(const std::vector<double>& x, const std::vector<double>& y,
                         double gamma) {
-  const std::vector<double> ncc = NccAllShifts(x, y);
+  // Fused normalize/exp/accumulate: one streaming pass over the raw
+  // cross-correlation instead of materializing the normalized NCC vector and
+  // walking it again (the softmax-denominator composition this used to be).
+  // Arithmetic per element is unchanged — v/denom then exp(gamma * ·) — so
+  // the result is bitwise identical to the two-pass version; it stays in f64
+  // because GRAIL's Nystrom algebra is double end to end.
+  double nx = 0.0, ny = 0.0;
+  for (double v : x) nx += v * v;
+  for (double v : y) ny += v * v;
+  const double denom = std::sqrt(nx * ny);
+  const std::vector<double> cc = CrossCorrelationFft(x, y);
+  if (denom <= 1e-12) return static_cast<double>(cc.size());  // exp(0) each
   double acc = 0.0;
-  for (double v : ncc) acc += std::exp(gamma * v);
+  for (double v : cc) acc += std::exp(gamma * (v / denom));
   return acc;
 }
 

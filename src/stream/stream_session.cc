@@ -5,6 +5,8 @@
 #include <cmath>
 #include <utility>
 
+#include "linalg/kernels/kernels.h"
+
 namespace rita {
 namespace stream {
 
@@ -236,16 +238,13 @@ void StreamSession::Stitch(const Tensor& reconstruction, int64_t start,
       stitch_sum_.resize((end - stitch_base_) * channels_, 0.0);
       stitch_count_.resize(end - stitch_base_, 0);
     }
+    // The [valid, channels] source block and its destination rows are both
+    // contiguous, so the whole accumulation is one vectorizable sweep; the
+    // per-element add order is unchanged (element-independent f64 adds).
     const float* src = reconstruction.data();
-    for (int64_t row = start; row < end; ++row) {
-      const int64_t src_row = row - start;
-      const int64_t dst_row = row - stitch_base_;
-      for (int64_t ch = 0; ch < channels_; ++ch) {
-        stitch_sum_[dst_row * channels_ + ch] +=
-            static_cast<double>(src[src_row * channels_ + ch]);
-      }
-      ++stitch_count_[dst_row];
-    }
+    kernels::AccumulateF64(stitch_sum_.data() + (start - stitch_base_) * channels_,
+                           src, valid * channels_);
+    for (int64_t row = start; row < end; ++row) ++stitch_count_[row - stitch_base_];
   }
   // Finalize rows no future window can cover (before the next window start).
   const int64_t pending = static_cast<int64_t>(stitch_count_.size());

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "linalg/kernels/kernels.h"
 #include "util/thread_pool.h"
 
 namespace rita {
@@ -191,8 +192,13 @@ Tensor PowScalar(const Tensor& a, float exponent) {
 Tensor Neg(const Tensor& a) {
   return UnaryOp(a, [](float x) { return -x; });
 }
+// Exp/Tanh/Sigmoid/Gelu run over the flat contiguous buffer through the
+// kernel layer: the scalar backend is the same per-element libm loop as
+// before, the SIMD backend a vectorized polynomial approximation.
 Tensor Exp(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::exp(x); });
+  Tensor out(a.shape());
+  kernels::ExpArray(a.data(), out.data(), a.numel());
+  return out;
 }
 Tensor Log(const Tensor& a) {
   return UnaryOp(a, [](float x) { return std::log(x); });
@@ -204,20 +210,22 @@ Tensor Abs(const Tensor& a) {
   return UnaryOp(a, [](float x) { return std::fabs(x); });
 }
 Tensor Tanh(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::tanh(x); });
+  Tensor out(a.shape());
+  kernels::TanhArray(a.data(), out.data(), a.numel());
+  return out;
 }
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  Tensor out(a.shape());
+  kernels::SigmoidArray(a.data(), out.data(), a.numel());
+  return out;
 }
 Tensor Relu(const Tensor& a) {
   return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
 }
 Tensor Gelu(const Tensor& a) {
-  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
-  return UnaryOp(a, [](float x) {
-    const float inner = kC * (x + 0.044715f * x * x * x);
-    return 0.5f * x * (1.0f + std::tanh(inner));
-  });
+  Tensor out(a.shape());
+  kernels::GeluArray(a.data(), out.data(), a.numel());
+  return out;
 }
 Tensor Square(const Tensor& a) {
   return UnaryOp(a, [](float x) { return x * x; });
@@ -225,101 +233,38 @@ Tensor Square(const Tensor& a) {
 
 void AxpyInPlace(Tensor* y, const Tensor& x, float alpha) {
   RITA_CHECK_EQ(y->numel(), x.numel());
-  float* py = y->data();
-  const float* px = x.data();
-  const int64_t n = y->numel();
-  for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+  kernels::Axpy(y->data(), x.data(), y->numel(), alpha);
 }
 
 void ScaleInPlace(Tensor* y, float alpha) {
-  float* py = y->data();
-  const int64_t n = y->numel();
-  for (int64_t i = 0; i < n; ++i) py[i] *= alpha;
+  kernels::Scale(y->data(), y->numel(), alpha);
 }
 
-void AddInPlace(Tensor* y, const Tensor& x) { AxpyInPlace(y, x, 1.0f); }
+void AddInPlace(Tensor* y, const Tensor& x) {
+  RITA_CHECK_EQ(y->numel(), x.numel());
+  kernels::Add(y->data(), x.data(), y->numel());
+}
 
 // ---------------------------------------------------------------------------
 // GEMM
 // ---------------------------------------------------------------------------
 
-namespace {
-
-// Row range [r0, r1) of C = op(A) op(B). Row-major everywhere.
-void GemmRows(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
-              bool trans_a, bool trans_b, int64_t r0, int64_t r1) {
-  if (!trans_a && !trans_b) {
-    // C[i,j] = sum_k A[i,k] B[k,j]; ikj loop, axpy inner (vectorises).
-    for (int64_t i = r0; i < r1; ++i) {
-      float* crow = c + i * n;
-      std::fill(crow, crow + n, 0.0f);
-      const float* arow = a + i * k;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = b + kk * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  } else if (!trans_a && trans_b) {
-    // C[i,j] = sum_k A[i,k] B[j,k]; both rows contiguous -> unrolled dot.
-    for (int64_t i = r0; i < r1; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-        int64_t kk = 0;
-        for (; kk + 4 <= k; kk += 4) {
-          s0 += arow[kk] * brow[kk];
-          s1 += arow[kk + 1] * brow[kk + 1];
-          s2 += arow[kk + 2] * brow[kk + 2];
-          s3 += arow[kk + 3] * brow[kk + 3];
-        }
-        float s = (s0 + s1) + (s2 + s3);
-        for (; kk < k; ++kk) s += arow[kk] * brow[kk];
-        crow[j] = s;
-      }
-    }
-  } else if (trans_a && !trans_b) {
-    // C[i,j] = sum_k A[k,i] B[k,j]; A column access is strided, amortised over
-    // the contiguous B row axpy.
-    for (int64_t i = r0; i < r1; ++i) {
-      float* crow = c + i * n;
-      std::fill(crow, crow + n, 0.0f);
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = a[kk * m + i];
-        if (av == 0.0f) continue;
-        const float* brow = b + kk * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  } else {
-    // C[i,j] = sum_k A[k,i] B[j,k]; rare (only in tests).
-    for (int64_t i = r0; i < r1; ++i) {
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float s = 0.0f;
-        for (int64_t kk = 0; kk < k; ++kk) s += a[kk * m + i] * brow[kk];
-        crow[j] = s;
-      }
-    }
-  }
-}
-
-}  // namespace
-
+// The per-row-range micro-kernels live in the dispatched kernel layer
+// (src/linalg/kernels/): the scalar backend is the historical GemmRows code
+// verbatim, the SIMD backend a register-tiled AVX2 kernel. This layer only
+// keeps the ThreadPool sharding policy.
 void Gemm2D(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
             bool trans_a, bool trans_b, bool parallel) {
   const int64_t flops_per_row = n * k;
   if (!parallel || m * flops_per_row < kParallelGrain) {
-    GemmRows(a, b, c, m, n, k, trans_a, trans_b, 0, m);
+    kernels::GemmRowRange(a, b, c, m, n, k, trans_a, trans_b, 0, m);
     return;
   }
   ThreadPool::Global()->ParallelFor(
       0, m,
-      [&](int64_t r0, int64_t r1) { GemmRows(a, b, c, m, n, k, trans_a, trans_b, r0, r1); },
+      [&](int64_t r0, int64_t r1) {
+        kernels::GemmRowRange(a, b, c, m, n, k, trans_a, trans_b, r0, r1);
+      },
       std::max<int64_t>(1, kParallelGrain / std::max<int64_t>(1, flops_per_row)));
 }
 
@@ -365,8 +310,8 @@ Tensor Bmm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   if (batch > 1 && work_per_batch >= kParallelGrain / 4) {
     ThreadPool::Global()->ParallelFor(0, batch, [&](int64_t b0, int64_t b1) {
       for (int64_t bi = b0; bi < b1; ++bi) {
-        GemmRows(pa + bi * a_stride, pb + bi * b_stride, pc + bi * c_stride, m, n, ka,
-                 trans_a, trans_b, 0, m);
+        kernels::GemmRowRange(pa + bi * a_stride, pb + bi * b_stride, pc + bi * c_stride,
+                              m, n, ka, trans_a, trans_b, 0, m);
       }
     });
   } else {
@@ -472,20 +417,7 @@ Tensor SoftmaxLastDim(const Tensor& a) {
   const float* pa = a.data();
   float* po = out.data();
   auto body = [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const float* row = pa + r * last;
-      float* orow = po + r * last;
-      float mx = row[0];
-      for (int64_t i = 1; i < last; ++i) mx = std::max(mx, row[i]);
-      float denom = 0.0f;
-      for (int64_t i = 0; i < last; ++i) {
-        const float e = std::exp(row[i] - mx);
-        orow[i] = e;
-        denom += e;
-      }
-      const float inv = 1.0f / denom;
-      for (int64_t i = 0; i < last; ++i) orow[i] *= inv;
-    }
+    kernels::FusedSoftmaxRows(pa + r0 * last, po + r0 * last, r1 - r0, last);
   };
   if (rows * last >= kParallelGrain) {
     ThreadPool::Global()->ParallelFor(0, rows, body,

@@ -1,0 +1,479 @@
+// Kernel-layer tests: scalar-vs-SIMD equivalence for every dispatched
+// primitive across adversarial shapes (n=1, odd lengths, non-multiple-of-
+// vector-width dims, -inf / denormal-heavy rows), bitwise fused-vs-unfused
+// identity on the scalar backend, per-backend determinism across ThreadPool
+// widths, and ULP pinning of the transcendental fast paths against libm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/group_attention.h"
+#include "linalg/kernels/kernels.h"
+#include "tensor/tensor.h"
+#include "util/execution_context.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace rita {
+namespace kernels {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+// Distance in representable floats, sign-aware (0 means bit-identical).
+int64_t UlpDiff(float a, float b) {
+  if (a == b) return 0;
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<int64_t>::max();
+  int32_t ia, ib;
+  std::memcpy(&ia, &a, 4);
+  std::memcpy(&ib, &b, 4);
+  // Map to a monotone integer line.
+  if (ia < 0) ia = std::numeric_limits<int32_t>::min() - ia;
+  if (ib < 0) ib = std::numeric_limits<int32_t>::min() - ib;
+  return std::abs(static_cast<int64_t>(ia) - static_cast<int64_t>(ib));
+}
+
+void ExpectClose(const std::vector<float>& a, const std::vector<float>& b,
+                 float rel_tol, const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const float tol = rel_tol * std::max({1.0f, std::fabs(a[i]), std::fabs(b[i])});
+    EXPECT_NEAR(a[i], b[i], tol) << what << " at " << i;
+  }
+}
+
+// Adversarial row lengths: scalar tail only, exactly one vector, vector+tail,
+// odd, prime, large non-multiple.
+const int64_t kLens[] = {1, 2, 3, 7, 8, 9, 13, 16, 17, 31, 64, 100, 257};
+
+std::vector<float> RandomVec(int64_t n, Rng* rng, float lo = -4.0f, float hi = 4.0f) {
+  std::vector<float> v(n);
+  for (int64_t i = 0; i < n; ++i) {
+    v[i] = lo + (hi - lo) * static_cast<float>(rng->Uniform());
+  }
+  return v;
+}
+
+class KernelBackendsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!SimdAvailable()) GTEST_SKIP() << "no SIMD backend on this CPU/build";
+  }
+  void TearDown() override { SetBackendForTesting(Backend::kScalar); }
+  const KernelTable& scalar() { return Table(Backend::kScalar); }
+  const KernelTable& simd() { return Table(Backend::kSimd); }
+};
+
+TEST(KernelDispatchTest, BackendNamesAndTables) {
+  EXPECT_STREQ(BackendName(Backend::kScalar), "scalar");
+  EXPECT_STREQ(BackendName(Backend::kSimd), "simd");
+  // The active table is one of the two backend tables.
+  const KernelTable* active = &Active();
+  EXPECT_TRUE(active == &Table(Backend::kScalar) || active == &Table(Backend::kSimd));
+  if (!SimdAvailable()) {
+    // kSimd falls back to scalar rather than crashing.
+    EXPECT_EQ(&Table(Backend::kSimd), &Table(Backend::kScalar));
+  }
+}
+
+TEST(KernelDispatchTest, SetBackendForTestingSwitchesActive) {
+  SetBackendForTesting(Backend::kScalar);
+  EXPECT_EQ(ActiveBackend(), Backend::kScalar);
+  EXPECT_EQ(&Active(), &Table(Backend::kScalar));
+  if (SimdAvailable()) {
+    SetBackendForTesting(Backend::kSimd);
+    EXPECT_EQ(ActiveBackend(), Backend::kSimd);
+    EXPECT_EQ(&Active(), &Table(Backend::kSimd));
+  }
+  SetBackendForTesting(Backend::kScalar);
+}
+
+// --------------------------------------------------------------------------
+// Scalar bit-identity pin: the scalar kernels ARE the historical loops.
+// --------------------------------------------------------------------------
+
+TEST(KernelScalarPinTest, SoftmaxMatchesHistoricalThreePass) {
+  Rng rng(7);
+  for (int64_t len : kLens) {
+    const int64_t rows = 3;
+    std::vector<float> in = RandomVec(rows * len, &rng);
+    std::vector<float> got(rows * len), want(rows * len);
+    Table(Backend::kScalar).softmax_rows(in.data(), got.data(), rows, len, 1.0f,
+                                         nullptr);
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* row = in.data() + r * len;
+      float* orow = want.data() + r * len;
+      float mx = row[0];
+      for (int64_t i = 1; i < len; ++i) mx = std::max(mx, row[i]);
+      float denom = 0.0f;
+      for (int64_t i = 0; i < len; ++i) {
+        const float e = std::exp(row[i] - mx);
+        orow[i] = e;
+        denom += e;
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t i = 0; i < len; ++i) orow[i] *= inv;
+    }
+    for (int64_t i = 0; i < rows * len; ++i) {
+      EXPECT_EQ(got[i], want[i]) << "len=" << len << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelScalarPinTest, TranscendentalsAreExactlyLibm) {
+  Rng rng(11);
+  std::vector<float> x = RandomVec(257, &rng, -10.0f, 10.0f);
+  std::vector<float> y(x.size());
+  const KernelTable& t = Table(Backend::kScalar);
+  t.exp_array(x.data(), y.data(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_EQ(y[i], std::exp(x[i]));
+  t.tanh_array(x.data(), y.data(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_EQ(y[i], std::tanh(x[i]));
+  t.sigmoid_array(x.data(), y.data(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(y[i], 1.0f / (1.0f + std::exp(-x[i])));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Scalar vs SIMD equivalence, adversarial shapes
+// --------------------------------------------------------------------------
+
+TEST_F(KernelBackendsTest, SoftmaxRowsEquivalence) {
+  Rng rng(21);
+  for (int64_t len : kLens) {
+    for (float scale : {1.0f, 0.25f}) {
+      const int64_t rows = 5;
+      std::vector<float> in = RandomVec(rows * len, &rng, -30.0f, 30.0f);
+      // Adversarial rows: -inf-masked entries (softmax over a partial row) and
+      // denormal-scale inputs. Row 0 keeps index 0 finite, rest -inf.
+      if (len > 1) {
+        for (int64_t j = 1; j < len; j += 2) in[j] = -kInf;
+        for (int64_t j = 0; j < len; ++j) {
+          in[3 * len + j] = 1e-40f * static_cast<float>(j);  // denormals
+        }
+      }
+      std::vector<float> a(rows * len), b(rows * len);
+      std::vector<float> w = RandomVec(len, &rng, 1.0f, 5.0f);  // group counts
+      const float* weight_cases[] = {nullptr, w.data()};
+      for (const float* weights : weight_cases) {
+        scalar().softmax_rows(in.data(), a.data(), rows, len, scale, weights);
+        simd().softmax_rows(in.data(), b.data(), rows, len, scale, weights);
+        ExpectClose(a, b, 2e-5f, "softmax_rows");
+        // Each row sums to ~1 under unit weights.
+      }
+    }
+  }
+}
+
+TEST_F(KernelBackendsTest, SoftmaxRowsInPlaceMatchesOutOfPlace) {
+  Rng rng(22);
+  for (const Backend backend : {Backend::kScalar, Backend::kSimd}) {
+    const KernelTable& t = Table(backend);
+    for (int64_t len : {1LL, 9LL, 64LL, 100LL}) {
+      std::vector<float> in = RandomVec(4 * len, &rng);
+      std::vector<float> out(4 * len);
+      std::vector<float> inplace = in;
+      t.softmax_rows(in.data(), out.data(), 4, len, 0.5f, nullptr);
+      t.softmax_rows(inplace.data(), inplace.data(), 4, len, 0.5f, nullptr);
+      for (int64_t i = 0; i < 4 * len; ++i) EXPECT_EQ(out[i], inplace[i]);
+    }
+  }
+}
+
+TEST_F(KernelBackendsTest, SoftmaxBackwardEquivalence) {
+  Rng rng(23);
+  for (int64_t len : kLens) {
+    const int64_t rows = 4;
+    std::vector<float> logits = RandomVec(rows * len, &rng);
+    std::vector<float> y(rows * len), g = RandomVec(rows * len, &rng);
+    scalar().softmax_rows(logits.data(), y.data(), rows, len, 1.0f, nullptr);
+    std::vector<float> a(rows * len), b(rows * len);
+    for (float scale : {1.0f, 0.125f}) {
+      scalar().softmax_backward_rows(y.data(), g.data(), a.data(), rows, len, scale);
+      simd().softmax_backward_rows(y.data(), g.data(), b.data(), rows, len, scale);
+      ExpectClose(a, b, 2e-5f, "softmax_backward_rows");
+    }
+  }
+}
+
+TEST_F(KernelBackendsTest, LogSoftmaxBackwardEquivalence) {
+  Rng rng(24);
+  for (int64_t len : kLens) {
+    const int64_t rows = 4;
+    std::vector<float> log_y = RandomVec(rows * len, &rng, -12.0f, 0.0f);
+    std::vector<float> g = RandomVec(rows * len, &rng);
+    std::vector<float> a(rows * len), b(rows * len);
+    scalar().logsoftmax_backward_rows(log_y.data(), g.data(), a.data(), rows, len);
+    simd().logsoftmax_backward_rows(log_y.data(), g.data(), b.data(), rows, len);
+    ExpectClose(a, b, 2e-5f, "logsoftmax_backward_rows");
+  }
+}
+
+TEST_F(KernelBackendsTest, GemmEquivalenceAllTransposes) {
+  Rng rng(25);
+  // Shapes chosen to hit every micro-kernel branch: full 4x16 tiles, 8-wide
+  // column tails, scalar column tails, single rows/cols, k tails.
+  const int64_t shapes[][3] = {{1, 1, 1},   {1, 16, 8},  {3, 5, 7},  {4, 16, 32},
+                               {5, 17, 9},  {7, 33, 13}, {8, 24, 1}, {13, 40, 19},
+                               {16, 64, 64}};
+  for (const auto& s : shapes) {
+    const int64_t m = s[0], n = s[1], k = s[2];
+    for (bool ta : {false, true}) {
+      for (bool tb : {false, true}) {
+        std::vector<float> a =
+            RandomVec(ta ? k * m : m * k, &rng, -1.5f, 1.5f);
+        std::vector<float> b =
+            RandomVec(tb ? n * k : k * n, &rng, -1.5f, 1.5f);
+        std::vector<float> c1(m * n), c2(m * n);
+        scalar().gemm(a.data(), b.data(), c1.data(), m, n, k, ta, tb, 0, m);
+        simd().gemm(a.data(), b.data(), c2.data(), m, n, k, ta, tb, 0, m);
+        ExpectClose(c1, c2, 1e-4f, "gemm");
+        // Row-range sharding must agree with the full call.
+        if (m > 2) {
+          std::vector<float> c3(m * n);
+          simd().gemm(a.data(), b.data(), c3.data(), m, n, k, ta, tb, 0, 2);
+          simd().gemm(a.data(), b.data(), c3.data(), m, n, k, ta, tb, 2, m);
+          for (int64_t i = 0; i < m * n; ++i) EXPECT_EQ(c2[i], c3[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(KernelBackendsTest, ElementwiseVectorKernelsEquivalence) {
+  Rng rng(26);
+  for (int64_t n : kLens) {
+    std::vector<float> x = RandomVec(n, &rng);
+    std::vector<float> y1 = RandomVec(n, &rng), y2 = y1;
+    scalar().axpy(y1.data(), x.data(), n, 1.75f);
+    simd().axpy(y2.data(), x.data(), n, 1.75f);
+    ExpectClose(y1, y2, 1e-6f, "axpy");
+
+    y2 = y1;
+    scalar().scale(y1.data(), n, 0.37f);
+    simd().scale(y2.data(), n, 0.37f);
+    for (int64_t i = 0; i < n; ++i) EXPECT_EQ(y1[i], y2[i]);  // mul is exact
+
+    y2 = y1;
+    scalar().add(y1.data(), x.data(), n);
+    simd().add(y2.data(), x.data(), n);
+    for (int64_t i = 0; i < n; ++i) EXPECT_EQ(y1[i], y2[i]);  // add is exact
+
+    std::vector<double> d1(n, 0.5), d2(n, 0.5);
+    scalar().accumulate_f64(d1.data(), x.data(), n);
+    simd().accumulate_f64(d2.data(), x.data(), n);
+    for (int64_t i = 0; i < n; ++i) EXPECT_EQ(d1[i], d2[i]);  // f64 add exact
+  }
+}
+
+TEST_F(KernelBackendsTest, DistanceKernelsEquivalence) {
+  Rng rng(27);
+  for (int64_t d : {1LL, 3LL, 8LL, 15LL, 16LL, 33LL}) {
+    const int64_t rows = 9;
+    std::vector<float> pts = RandomVec(rows * d, &rng);
+    std::vector<float> n1(rows), n2(rows);
+    scalar().row_sqnorms(pts.data(), n1.data(), rows, d);
+    simd().row_sqnorms(pts.data(), n2.data(), rows, d);
+    ExpectClose(n1, n2, 1e-5f, "row_sqnorms");
+
+    std::vector<float> center = RandomVec(d, &rng);
+    std::vector<float> d1(rows), d2(rows);
+    scalar().sqdist_to_point(pts.data(), center.data(), d1.data(), rows, d);
+    simd().sqdist_to_point(pts.data(), center.data(), d2.data(), rows, d);
+    ExpectClose(d1, d2, 1e-5f, "sqdist_to_point");
+
+    std::vector<float> row1 = RandomVec(rows, &rng), row2 = row1;
+    std::vector<float> b2 = RandomVec(rows, &rng, 0.0f, 4.0f);
+    scalar().sqdist_combine(row1.data(), b2.data(), 1.3f, rows);
+    simd().sqdist_combine(row2.data(), b2.data(), 1.3f, rows);
+    ExpectClose(row1, row2, 1e-5f, "sqdist_combine");
+  }
+}
+
+// --------------------------------------------------------------------------
+// Fused attention chain
+// --------------------------------------------------------------------------
+
+// On ONE backend, the fused tile driver must reproduce the unfused
+// full-matrix pipeline exactly: row tiling only regroups calls to per-row-
+// independent kernels. On the scalar backend this is the bit-identity
+// guarantee that lets inference take the fused path.
+TEST_F(KernelBackendsTest, FusedChainBitwiseMatchesUnfusedPerBackend) {
+  Rng rng(31);
+  ExecutionContext context;
+  for (const Backend backend : {Backend::kScalar, Backend::kSimd}) {
+    SetBackendForTesting(backend);
+    const KernelTable& t = Table(backend);
+    // n spans below/at/above the 64-row tile; ng/d off vector widths.
+    for (int64_t n : {1LL, 63LL, 64LL, 65LL, 200LL}) {
+      const int64_t ng = 11, d = 19;
+      std::vector<float> q = RandomVec(n * d, &rng);
+      std::vector<float> keys = RandomVec(ng * d, &rng);
+      std::vector<float> values = RandomVec(ng * d, &rng);
+      std::vector<float> w = RandomVec(ng, &rng, 1.0f, 6.0f);
+      const float scale = 0.31f;
+
+      std::vector<float> scores(n * ng), want(n * d), got(n * d);
+      t.gemm(q.data(), keys.data(), scores.data(), n, ng, d, false, true, 0, n);
+      t.softmax_rows(scores.data(), scores.data(), n, ng, scale, w.data());
+      t.gemm(scores.data(), values.data(), want.data(), n, d, ng, false, false, 0, n);
+
+      ScratchArena::Lease scratch = context.arena()->Acquire();
+      FusedScoreSoftmaxWeightedSum(q.data(), keys.data(), values.data(), got.data(),
+                                   n, ng, d, scale, w.data(), &scratch);
+      for (int64_t i = 0; i < n * d; ++i) {
+        ASSERT_EQ(want[i], got[i])
+            << BackendName(backend) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+// Group attention forward: inference output must be identical whether the
+// backward graph is recorded (unfused training path) or not (fused inference
+// path), per backend; and bit-identical across ThreadPool widths.
+TEST_F(KernelBackendsTest, GroupAttentionFusedInferenceMatchesTrainingForward) {
+  for (const Backend backend : {Backend::kScalar, Backend::kSimd}) {
+    SetBackendForTesting(backend);
+    const int64_t bh = 3, n = 70, d = 16;
+    Rng data_rng(5);
+    Tensor q = Tensor::RandNormal({bh, n, d}, &data_rng);
+    Tensor k = Tensor::RandNormal({bh, n, d}, &data_rng);
+    Tensor v = Tensor::RandNormal({bh, n, d}, &data_rng);
+    core::GroupAttentionOptions opts;
+    opts.num_groups = 12;
+    opts.kmeans_iters = 2;
+
+    auto run = [&](bool with_grad) {
+      Rng mech_rng(99);
+      core::GroupAttentionMechanism mech(d, opts, &mech_rng);
+      ag::Variable vq(q, with_grad), vk(k, with_grad), vv(v, with_grad);
+      if (!with_grad) {
+        ag::NoGradGuard guard;
+        return mech.Forward(vq, vk, vv).data();
+      }
+      return mech.Forward(vq, vk, vv).data();
+    };
+    const Tensor trained = run(true);
+    const Tensor inferred = run(false);
+    for (int64_t i = 0; i < trained.numel(); ++i) {
+      ASSERT_EQ(trained.data()[i], inferred.data()[i])
+          << BackendName(backend) << " i=" << i;
+    }
+  }
+}
+
+TEST_F(KernelBackendsTest, GroupAttentionDeterministicAcrossPoolWidths) {
+  for (const Backend backend : {Backend::kScalar, Backend::kSimd}) {
+    SetBackendForTesting(backend);
+    const int64_t bh = 4, n = 96, d = 16;
+    Rng data_rng(17);
+    Tensor q = Tensor::RandNormal({bh, n, d}, &data_rng);
+    Tensor k = Tensor::RandNormal({bh, n, d}, &data_rng);
+    Tensor v = Tensor::RandNormal({bh, n, d}, &data_rng);
+    core::GroupAttentionOptions opts;
+    opts.num_groups = 10;
+    opts.kmeans_iters = 2;
+
+    Tensor reference;
+    for (int width : {1, 2, 4}) {
+      ThreadPool pool(width);
+      ExecutionContext context(&pool);
+      Rng mech_rng(42);
+      core::GroupAttentionMechanism mech(d, opts, &mech_rng);
+      mech.set_execution_context(&context);
+      ag::NoGradGuard guard;
+      Tensor out = mech.Forward(ag::Variable(q), ag::Variable(k), ag::Variable(v)).data();
+      if (width == 1) {
+        reference = out;
+        continue;
+      }
+      for (int64_t i = 0; i < out.numel(); ++i) {
+        ASSERT_EQ(reference.data()[i], out.data()[i])
+            << BackendName(backend) << " width=" << width << " i=" << i;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// ULP pinning of the SIMD transcendental fast paths vs libm
+// --------------------------------------------------------------------------
+
+TEST_F(KernelBackendsTest, SimdTranscendentalUlpDrift) {
+  // Dense sweep over the numerically interesting range plus edge cases.
+  std::vector<float> x;
+  for (float v = -20.0f; v <= 20.0f; v += 0.009f) x.push_back(v);
+  x.insert(x.end(), {0.0f, -0.0f, 1e-30f, -1e-30f, 1e-38f, -1e-38f, 80.0f, -80.0f,
+                     100.0f, -100.0f, -kInf});
+  std::vector<float> y(x.size());
+
+  simd().exp_array(x.data(), y.data(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const float want = std::exp(x[i]);
+    if (want > 0.0f && want < std::numeric_limits<float>::max() &&
+        std::fpclassify(want) == FP_NORMAL) {
+      EXPECT_LE(UlpDiff(y[i], want), 8) << "exp(" << x[i] << ")";
+    } else if (std::isinf(want)) {
+      EXPECT_EQ(y[i], want) << "exp(" << x[i] << ") overflow";
+    } else {
+      EXPECT_NEAR(y[i], want, 1e-37f) << "exp(" << x[i] << ")";
+    }
+  }
+  EXPECT_EQ(y.back(), 0.0f) << "exp(-inf) must be exactly 0";
+
+  simd().tanh_array(x.data(), y.data(), x.size());
+  for (size_t i = 0; i + 1 < x.size(); ++i) {
+    EXPECT_LE(UlpDiff(y[i], std::tanh(x[i])), 16) << "tanh(" << x[i] << ")";
+  }
+
+  simd().sigmoid_array(x.data(), y.data(), x.size());
+  for (size_t i = 0; i + 1 < x.size(); ++i) {
+    const float want = 1.0f / (1.0f + std::exp(-x[i]));
+    if (want >= 1e-30f) {
+      EXPECT_LE(UlpDiff(y[i], want), 16) << "sigmoid(" << x[i] << ")";
+    } else {
+      EXPECT_NEAR(y[i], want, 1e-37f) << "sigmoid(" << x[i] << ")";
+    }
+  }
+
+  // Gelu's negative tail cancels catastrophically in ANY single-precision
+  // formula, so pin ULP where the magnitude is sane and absolute error below.
+  simd().gelu_array(x.data(), y.data(), x.size());
+  constexpr float kC = 0.7978845608f;
+  for (size_t i = 0; i + 1 < x.size(); ++i) {
+    const float v = x[i];
+    const float want = 0.5f * v * (1.0f + std::tanh(kC * (v + 0.044715f * v * v * v)));
+    if (std::fabs(want) > 1e-4f) {
+      EXPECT_LE(UlpDiff(y[i], want), 64) << "gelu(" << v << ")";
+    } else {
+      EXPECT_NEAR(y[i], want, 1e-6f) << "gelu(" << v << ")";
+    }
+  }
+}
+
+// Each backend is a pure function: identical inputs give identical outputs
+// across repeated calls (no internal state, threading, or RNG).
+TEST_F(KernelBackendsTest, KernelsAreDeterministic) {
+  Rng rng(41);
+  const int64_t rows = 7, len = 100;
+  std::vector<float> in = RandomVec(rows * len, &rng);
+  for (const Backend backend : {Backend::kScalar, Backend::kSimd}) {
+    const KernelTable& t = Table(backend);
+    std::vector<float> a(rows * len), b(rows * len);
+    t.softmax_rows(in.data(), a.data(), rows, len, 0.7f, nullptr);
+    t.softmax_rows(in.data(), b.data(), rows, len, 0.7f, nullptr);
+    for (int64_t i = 0; i < rows * len; ++i) EXPECT_EQ(a[i], b[i]);
+    t.exp_array(in.data(), a.data(), rows * len);
+    t.exp_array(in.data(), b.data(), rows * len);
+    for (int64_t i = 0; i < rows * len; ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace rita
