@@ -1,0 +1,255 @@
+// Dataflow-executor bench: quantifies what the task-graph forward buys a
+// single request, and what that buys a mixed serving workload.
+//
+//   1. Single-request latency: the sequential forward's only parallel grain
+//      is the per-(batch*head) slice loop, so a 1-head, batch-1 request runs
+//      essentially serially no matter how wide the pool is. The graph
+//      lowering splits the SAME request into QKV / per-slice grouping
+//      (pool-parallel k-means) / row-tiled attention nodes — this sweep
+//      measures the forward at pool widths 1/2/4/8, graph vs sequential.
+//   2. Mixed load: one big reconstruct (head-of-line blocker) + a burst of
+//      small interactive classifies through a 1-worker engine. The graph
+//      executor shortens the blocker, so interactive p99 must not regress.
+//   3. Bit-identity hard gates (RITA_CHECK, non-zero exit on violation):
+//      graph output == sequential output, bytewise, for every task with and
+//      without a context token at widths 1 and 8.
+//
+// Gated metrics (bench/baselines/BENCH_graph.json): single/speedup_8t,
+// mixed/p99_ratio, identity/bitwise. The speedup floor assumes a >=4-core
+// runner (GitHub ubuntu-latest); on fewer cores the graph and sequential
+// paths cost the same and the floor is not meaningful.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/model_graph.h"
+#include "serve/frozen_model.h"
+#include "serve/inference_engine.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace rita {
+namespace bench {
+namespace {
+
+// One head, batch 1: bh == 1, so the sequential forward's slice loop — its
+// only parallel grain in the attention mechanism — degenerates to a serial
+// run and the graph's intra-slice nodes are the sole source of parallelism.
+// Many groups + extra Lloyd iterations weight the forward toward the
+// pool-parallel k-means so the sweep measures the executor, not the (serial,
+// shared-by-both-paths) FFN tail.
+model::RitaConfig BenchConfig(const BenchScale& scale) {
+  model::RitaConfig config;
+  config.input_channels = 2;
+  config.input_length = scale.quick ? 1024 : 2048;
+  config.window = 4;
+  config.stride = 4;
+  config.num_classes = 4;
+  config.encoder.dim = 32;
+  config.encoder.num_layers = 2;
+  config.encoder.num_heads = 1;
+  config.encoder.ffn_hidden = 32;
+  config.encoder.attention.kind = attn::AttentionKind::kGroup;
+  config.encoder.attention.group.num_groups = 64;
+  config.encoder.attention.group.kmeans_iters = 8;
+  return config;
+}
+
+bool BitEqual(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), sizeof(float) * a.numel()) == 0;
+}
+
+double MinMillis(int reps, const std::function<void()>& body) {
+  body();  // warm the arena / ccache-cold code paths out of the timing
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch timer;
+    body();
+    const double ms = timer.ElapsedMillis();
+    if (best < 0.0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  RITA_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(values.size() - 1));
+  return values[idx];
+}
+
+// -- 1. Single-request latency across pool widths ---------------------------
+
+void RunSingleRequestSweep(const serve::FrozenModel& frozen, const Tensor& batch,
+                           const BenchScale& scale, BenchJsonWriter* json) {
+  const int reps = scale.quick ? 3 : 6;
+  const std::vector<int> widths = {1, 2, 4, 8};
+
+  std::printf("single-request reconstruct forward (B=1, heads=1, %lld tokens)\n",
+              static_cast<long long>(frozen.config().NumTokens()));
+  std::printf("%8s %14s %14s %10s\n", "threads", "sequential/ms", "graph/ms",
+              "speedup");
+  PrintRule(50);
+
+  double speedup_8t = 0.0;
+  for (int width : widths) {
+    ThreadPool pool(width);
+    ExecutionContext exec(&pool);
+    const double seq_ms = MinMillis(
+        reps, [&frozen, &batch, &exec] { frozen.Reconstruct(batch, &exec); });
+    const double graph_ms = MinMillis(reps, [&frozen, &batch, &exec] {
+      frozen.ForwardGraph(graph::ForwardTask::kReconstruct, batch, nullptr,
+                          nullptr, &exec);
+    });
+    const double speedup = graph_ms > 0.0 ? seq_ms / graph_ms : 0.0;
+    std::printf("%8d %14.3f %14.3f %9.2fx\n", width, seq_ms, graph_ms, speedup);
+    char name[64];
+    std::snprintf(name, sizeof(name), "single/graph_ms_%dt", width);
+    json->Add(name, graph_ms, "ms");
+    if (width == 8) {
+      json->Add("single/seq_ms_8t", seq_ms, "ms");
+      speedup_8t = speedup;
+    }
+  }
+  json->Add("single/speedup_8t", speedup_8t, "x");
+  std::printf("\n");
+}
+
+// -- 2. Mixed-load interactive p99 ------------------------------------------
+
+double RunMixedLoad(const serve::FrozenModel& frozen, bool use_graph,
+                    const BenchScale& scale) {
+  ThreadPool pool(8);
+  ExecutionContext exec(&pool);
+  serve::InferenceEngineOptions options;
+  options.num_workers = 1;  // the big request is a true head-of-line blocker
+  options.cache_bytes = 0;  // measure forwards, not cache hits
+  options.context = &exec;
+  options.use_graph_executor = use_graph;
+  serve::InferenceEngine engine(&frozen, options);
+
+  const model::RitaConfig& config = frozen.config();
+  Rng data_rng(8200);
+  const Tensor big = Tensor::RandNormal(
+      {config.input_length, config.input_channels}, &data_rng);
+  const Tensor small =
+      Tensor::RandNormal({64, config.input_channels}, &data_rng);
+
+  const int rounds = scale.quick ? 6 : 12;
+  const int burst = 4;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<size_t>(rounds) * burst);
+  for (int round = 0; round < rounds; ++round) {
+    serve::InferenceRequest blocker;
+    blocker.series = big;
+    blocker.task = serve::ServeTask::kReconstruct;
+    blocker.priority = serve::Priority::kBatch;
+    std::future<serve::InferenceResponse> big_future =
+        engine.Submit(std::move(blocker));
+
+    std::vector<Stopwatch> submitted(burst);
+    std::vector<std::future<serve::InferenceResponse>> futures;
+    futures.reserve(burst);
+    for (int i = 0; i < burst; ++i) {
+      serve::InferenceRequest request;
+      request.series = small;
+      request.task = serve::ServeTask::kClassify;
+      submitted[static_cast<size_t>(i)].Restart();
+      futures.push_back(engine.Submit(std::move(request)));
+    }
+    for (int i = 0; i < burst; ++i) {
+      const serve::InferenceResponse response = futures[static_cast<size_t>(i)].get();
+      RITA_CHECK(response.status.ok()) << response.status.ToString();
+      latencies_ms.push_back(submitted[static_cast<size_t>(i)].ElapsedMillis());
+    }
+    RITA_CHECK(big_future.get().status.ok());
+  }
+  engine.Shutdown();
+  return Percentile(latencies_ms, 0.99);
+}
+
+void RunMixedLoadComparison(const serve::FrozenModel& frozen,
+                            const BenchScale& scale, BenchJsonWriter* json) {
+  const double seq_p99 = RunMixedLoad(frozen, /*use_graph=*/false, scale);
+  const double graph_p99 = RunMixedLoad(frozen, /*use_graph=*/true, scale);
+  const double ratio = graph_p99 > 0.0 ? seq_p99 / graph_p99 : 0.0;
+  std::printf("mixed load (1 worker, big reconstruct + interactive classify burst)\n");
+  std::printf("  sequential interactive p99: %8.3f ms\n", seq_p99);
+  std::printf("  graph      interactive p99: %8.3f ms\n", graph_p99);
+  std::printf("  p99 ratio (seq/graph):      %8.2fx\n\n", ratio);
+  json->Add("mixed/seq_p99_ms", seq_p99, "ms");
+  json->Add("mixed/graph_p99_ms", graph_p99, "ms");
+  json->Add("mixed/p99_ratio", ratio, "x");
+}
+
+// -- 3. Bit-identity hard gates ---------------------------------------------
+
+void RunIdentityGates(const serve::FrozenModel& frozen, const Tensor& batch,
+                      BenchJsonWriter* json) {
+  const Tensor context_rows = frozen.Embed(batch);
+  struct TaskCase {
+    graph::ForwardTask task;
+    const char* name;
+  };
+  const TaskCase kTasks[] = {{graph::ForwardTask::kClassLogits, "classify"},
+                             {graph::ForwardTask::kReconstruct, "reconstruct"},
+                             {graph::ForwardTask::kEmbed, "embed"}};
+  for (int width : {1, 8}) {
+    ThreadPool pool(width);
+    ExecutionContext exec(&pool);
+    for (const Tensor* ctx : {static_cast<const Tensor*>(nullptr),
+                              static_cast<const Tensor*>(&context_rows)}) {
+      for (const TaskCase& tc : kTasks) {
+        Tensor want;
+        switch (tc.task) {
+          case graph::ForwardTask::kClassLogits:
+            want = frozen.ClassLogitsWithContext(batch, ctx, nullptr, &exec);
+            break;
+          case graph::ForwardTask::kReconstruct:
+            want = frozen.ReconstructWithContext(batch, ctx, nullptr, &exec);
+            break;
+          case graph::ForwardTask::kEmbed:
+            want = frozen.EmbedWithContext(batch, ctx, &exec);
+            break;
+        }
+        const Tensor got = frozen.ForwardGraph(tc.task, batch, ctx, nullptr, &exec);
+        RITA_CHECK(BitEqual(want, got))
+            << "graph forward diverged from sequential: task=" << tc.name
+            << " ctx=" << (ctx != nullptr) << " width=" << width;
+      }
+    }
+  }
+  std::printf("bit-identity: graph == sequential for 3 tasks x {no ctx, ctx} "
+              "x widths {1, 8}\n\n");
+  json->Add("identity/bitwise", 1.0, "bool");
+}
+
+void Run(const BenchScale& scale) {
+  const model::RitaConfig config = BenchConfig(scale);
+  Rng rng(8100);
+  model::RitaModel model(config, &rng);
+  serve::FrozenModel frozen(model);
+
+  Rng data_rng(8150);
+  const Tensor batch = Tensor::RandNormal(
+      {1, config.input_length, config.input_channels}, &data_rng);
+
+  BenchJsonWriter json("graph_executor");
+  RunSingleRequestSweep(frozen, batch, scale, &json);
+  RunMixedLoadComparison(frozen, scale, &json);
+  RunIdentityGates(frozen, batch, &json);
+  RITA_CHECK(json.WriteTo(scale.json_path)) << "failed to write " << scale.json_path;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rita
+
+int main(int argc, char** argv) {
+  rita::bench::Run(rita::bench::ParseScale(argc, argv));
+  return 0;
+}

@@ -62,6 +62,7 @@ struct CellResult {
   double requests_per_sec = 0.0;
   double avg_batch = 0.0;
   double avg_queue_ms = 0.0;
+  serve::InferenceEngineStats stats;  // incl. graph-executor observability
 };
 
 double Percentile50(std::vector<double> values) {
@@ -104,6 +105,7 @@ CellResult RunCell(const Workload& workload, int clients, int64_t max_micro_batc
   const serve::InferenceEngineStats stats = engine.stats();
   result.avg_batch = stats.AvgBatchSize();
   result.avg_queue_ms = stats.AvgQueueMs();
+  result.stats = stats;
   return result;
 }
 
@@ -138,6 +140,18 @@ void RunThroughputSweep(const Workload& workload, int64_t num_requests,
       const std::string name = "clients" + std::to_string(clients) + "/cap" +
                                std::to_string(cap) + "/requests_per_sec";
       json->Add(name, result.requests_per_sec, "req/s");
+      // Dataflow-executor observability for the busiest cell: per-batch node
+      // count / critical path / idle capacity and the ready-queue high-water
+      // mark (all zero when RITA_GRAPH_EXECUTOR=off).
+      if (clients == client_sweep.back() && cap == cap_sweep.back()) {
+        json->Add("graph/avg_nodes", result.stats.AvgGraphNodes(), "nodes");
+        json->Add("graph/avg_critical_path_ms", result.stats.AvgCriticalPathMs(),
+                  "ms");
+        json->Add("graph/avg_idle_ms", result.stats.AvgGraphIdleMs(), "ms");
+        json->Add("graph/ready_high_water",
+                  static_cast<double>(result.stats.graph_ready_high_water),
+                  "nodes");
+      }
     }
     std::printf("\n");
   }

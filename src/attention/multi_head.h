@@ -26,6 +26,21 @@ class MultiHeadAttention : public nn::Module {
   ag::Variable Forward(const ag::Variable& x);
   ag::Variable Forward(const ag::Variable& x, ForwardState* state);
 
+  /// Stage-level pieces of Forward, exposed so the dataflow graph executor
+  /// can schedule them as independent nodes. Forward() is literally composed
+  /// of these calls, so the staged path is bit-identical by construction.
+  ///
+  /// Projects x through wq/wk/wv (`which` = 0/1/2) and splits heads:
+  /// [B, n, dim] -> [B*H, n, head_dim].
+  ag::Variable ProjectHeads(int which, const ag::Variable& x);
+  /// Runs the attention mechanism over pre-projected heads, installing the
+  /// head-count RNG period exactly as Forward does.
+  ag::Variable MechanismForward(const ag::Variable& q, const ag::Variable& k,
+                                const ag::Variable& v, ForwardState* state);
+  /// Merges heads and applies the output projection:
+  /// [B*H, n, head_dim] -> [B, n, dim].
+  ag::Variable MergeHeads(const ag::Variable& o, int64_t b, int64_t n);
+
   AttentionMechanism* mechanism() { return mechanism_.get(); }
   int64_t num_heads() const { return num_heads_; }
   int64_t head_dim() const { return head_dim_; }

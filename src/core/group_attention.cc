@@ -129,6 +129,50 @@ class GroupAttentionFunction : public ag::Function {
 
 }  // namespace
 
+InferenceGrouping GroupSliceForInference(const Tensor& keys, const float* v_slice,
+                                         const cluster::KMeansOptions& km, Rng* rng,
+                                         ExecutionContext* context) {
+  RITA_CHECK_EQ(keys.dim(), 2);
+  const int64_t n = keys.size(0), d = keys.size(1);
+  InferenceGrouping out;
+  out.grouping = cluster::RunKMeans(keys, km, rng, context);
+  const int64_t ng = out.grouping.num_clusters();
+
+  // Group sizes as the softmax denominator weights (Eq. 3).
+  out.weights.resize(ng);
+  for (int64_t j = 0; j < ng; ++j) {
+    out.weights[j] = static_cast<float>(out.grouping.counts[j]);
+  }
+
+  // Embedding aggregation: V~_j = sum_{g(x) = j} V_x : [ng, d]
+  out.v_tilde = Tensor::Zeros({ng, d});
+  float* pvt = out.v_tilde.data();
+  for (int64_t i = 0; i < n; ++i) {
+    kernels::Add(pvt + out.grouping.assignment[i] * d, v_slice + i * d, d);
+  }
+  return out;
+}
+
+void GroupAttendRows(const float* q_rows, const InferenceGrouping& grouping,
+                     float* out_rows, int64_t rows, int64_t d, float scale,
+                     ScratchArena::Lease* scratch) {
+  kernels::FusedScoreSoftmaxWeightedSum(
+      q_rows, grouping.grouping.centroids.data(), grouping.v_tilde.data(), out_rows,
+      rows, grouping.num_groups(), d, scale, grouping.weights.data(), scratch);
+}
+
+cluster::KMeansOptions GroupAttentionMechanism::InferenceKMeans(int64_t n) const {
+  cluster::KMeansOptions km;
+  km.num_clusters = std::min<int64_t>(num_groups_, n);
+  km.max_iters = options_.kmeans_iters;
+  km.kmeanspp_init = options_.kmeanspp_init;
+  // The per-slice loop is the parallel grain in the sequential forward; each
+  // slice's k-means and GEMMs run inline on that slice's thread. (The graph
+  // lowering flips this to true — bit-identical by RunKMeans' contract.)
+  km.parallel = false;
+  return km;
+}
+
 GroupAttentionMechanism::GroupAttentionMechanism(int64_t head_dim,
                                                  const GroupAttentionOptions& options,
                                                  Rng* rng)
@@ -155,13 +199,7 @@ ag::Variable GroupAttentionMechanism::Forward(const ag::Variable& q,
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
   ExecutionContext* context = ResolveContext(*state);
 
-  cluster::KMeansOptions km;
-  km.num_clusters = std::min<int64_t>(num_groups_, n);
-  km.max_iters = options_.kmeans_iters;
-  km.kmeanspp_init = options_.kmeanspp_init;
-  // The slice loop below is the parallel grain; each slice's k-means and
-  // GEMMs run inline on that slice's thread rather than fanning out again.
-  km.parallel = false;
+  const cluster::KMeansOptions km = InferenceKMeans(n);
 
   Tensor out({bh, n, d});
   std::vector<SliceState> states(bh);
@@ -198,50 +236,34 @@ ag::Variable GroupAttentionMechanism::Forward(const ag::Variable& q,
       Tensor keys({n, d});
       std::copy(pk + s * n * d, pk + (s + 1) * n * d, keys.data());
 
-      cluster::KMeansResult grouping = cluster::RunKMeans(keys, km, &slice_rng, context);
-      const int64_t ng = grouping.num_clusters();
-
-      // Group sizes as the softmax denominator weights (Eq. 3).
-      float* weights = scratch.Floats(ng);
-      for (int64_t j = 0; j < ng; ++j) {
-        weights[j] = static_cast<float>(grouping.counts[j]);
-      }
-
-      // Embedding aggregation: V~_j = sum_{g(x) = j} V_x : [ng, d]
-      Tensor v_tilde = Tensor::Zeros({ng, d});
-      {
-        float* pvt = v_tilde.data();
-        const float* v_s = pv + s * n * d;
-        for (int64_t i = 0; i < n; ++i) {
-          kernels::Add(pvt + grouping.assignment[i] * d, v_s + i * d, d);
-        }
-      }
+      InferenceGrouping ig =
+          GroupSliceForInference(keys, pv + s * n * d, km, &slice_rng, context);
+      const int64_t ng = ig.num_groups();
 
       Tensor a_tilde;
       if (need_grad) {
         // P~ = scale * Q R^T : [n, ng]
         float* p_tilde = scratch.Floats(n * ng);
-        ops::Gemm2D(pq + s * n * d, grouping.centroids.data(), p_tilde, n, ng, d,
+        ops::Gemm2D(pq + s * n * d, ig.grouping.centroids.data(), p_tilde, n, ng, d,
                     /*trans_a=*/false, /*trans_b=*/true, /*parallel=*/false);
 
         // Group softmax (Eq. 3), stabilised by the row max (shift-invariant).
         a_tilde = Tensor({n, ng});
-        kernels::FusedSoftmaxRows(p_tilde, a_tilde.data(), n, ng, scale, weights);
+        kernels::FusedSoftmaxRows(p_tilde, a_tilde.data(), n, ng, scale,
+                                  ig.weights.data());
 
         // O = A~ V~ : [n, d]
-        ops::Gemm2D(a_tilde.data(), v_tilde.data(), po + s * n * d, n, d, ng, false,
-                    false, /*parallel=*/false);
+        ops::Gemm2D(a_tilde.data(), ig.v_tilde.data(), po + s * n * d, n, d, ng,
+                    false, false, /*parallel=*/false);
       } else {
-        kernels::FusedScoreSoftmaxWeightedSum(
-            pq + s * n * d, grouping.centroids.data(), v_tilde.data(),
-            po + s * n * d, n, ng, d, scale, weights, &scratch);
+        GroupAttendRows(pq + s * n * d, ig, po + s * n * d, n, d, scale, &scratch);
       }
 
       if (snapshots != nullptr) {
         GroupingSnapshot& snap = (*snapshots)[s];
-        snap.centroids = grouping.centroids;
-        snap.counts = grouping.counts;
-        snap.radii = cluster::ClusterRadii(keys, grouping);
+        snap.centroids = ig.grouping.centroids;
+        snap.counts = ig.grouping.counts;
+        snap.radii = cluster::ClusterRadii(keys, ig.grouping);
         snap.key_ball_radius = cluster::PointBallRadius(keys);
         Tensor queries({n, d});
         std::copy(pq + s * n * d, pq + (s + 1) * n * d, queries.data());
@@ -250,11 +272,11 @@ ag::Variable GroupAttentionMechanism::Forward(const ag::Variable& q,
 
       if (need_grad) {
         SliceState& st = states[s];
-        st.assignment = std::move(grouping.assignment);
-        st.counts = std::move(grouping.counts);
-        st.centroids = std::move(grouping.centroids);
+        st.assignment = std::move(ig.grouping.assignment);
+        st.counts = std::move(ig.grouping.counts);
+        st.centroids = std::move(ig.grouping.centroids);
         st.a_tilde = std::move(a_tilde);
-        st.v_tilde = std::move(v_tilde);
+        st.v_tilde = std::move(ig.v_tilde);
       }
     }
   });

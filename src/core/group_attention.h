@@ -18,6 +18,38 @@
 namespace rita {
 namespace core {
 
+/// One (batch*head) slice's grouping state for the inference fast path:
+/// everything the fused score->softmax->weighted-sum kernel needs. Produced
+/// by GroupSliceForInference, consumed by GroupAttendRows — both the
+/// sequential forward and the dataflow graph lowering call exactly these two
+/// helpers, so the two paths are bit-identical by construction.
+struct InferenceGrouping {
+  cluster::KMeansResult grouping;  // centroids R, assignment, counts
+  Tensor v_tilde;                  // V~: [ng, d] per-group value sums
+  std::vector<float> weights;      // [ng] group sizes (Eq. 3 denominators)
+
+  int64_t num_groups() const { return grouping.num_clusters(); }
+};
+
+/// Groups one slice's keys and aggregates its values (Alg. 1 steps 1-2).
+/// `keys` is the slice's [n, d] key matrix; `v_slice` points at its n*d
+/// values. k-means runs with `km` as given — the graph path sets
+/// km.parallel=true to spread Lloyd iterations across the pool, which is
+/// bit-identical to the sequential km.parallel=false by RunKMeans' fixed
+/// reduction-block contract.
+InferenceGrouping GroupSliceForInference(const Tensor& keys, const float* v_slice,
+                                         const cluster::KMeansOptions& km, Rng* rng,
+                                         ExecutionContext* context);
+
+/// Scores `rows` query rows against the grouping and writes the attended
+/// output rows (Alg. 1 steps 3-5 via the fused kernel). Row-tiling is exact:
+/// every output row is produced by the same per-row kernel regardless of how
+/// the [0, n) range is split, so per-tile graph nodes match the one-shot call
+/// bit for bit.
+void GroupAttendRows(const float* q_rows, const InferenceGrouping& grouping,
+                     float* out_rows, int64_t rows, int64_t d, float scale,
+                     ScratchArena::Lease* scratch);
+
 struct GroupAttentionOptions {
   /// Initial number of groups N. The adaptive scheduler shrinks this during
   /// training; set_num_groups() applies the update.
@@ -63,6 +95,11 @@ class GroupAttentionMechanism : public attn::AttentionMechanism {
   /// mechanism's grouping exactly.
   uint64_t seed() const { return seed_; }
   void set_seed(uint64_t seed) { seed_ = seed; }
+
+  /// The k-means configuration Forward uses for an n-token slice (with
+  /// km.parallel=false — the slice loop is the parallel grain there). The
+  /// graph lowering reuses this so both paths group identically.
+  cluster::KMeansOptions InferenceKMeans(int64_t n) const;
 
  protected:
   void InitDefaultState(attn::ForwardState* state) override {

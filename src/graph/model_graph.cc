@@ -1,0 +1,218 @@
+#include "graph/model_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/group_attention.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace rita {
+namespace graph {
+
+namespace {
+
+// Mutable slots the nodes of one layer communicate through. Nodes only read
+// slots their dependency edges guarantee are already written.
+struct LayerSlots {
+  ag::Variable in;   // layer input (written by the previous layer / frontend)
+  ag::Variable q, k, v;  // split-head projections [B*H, n, d_head]
+  Tensor attn_out;       // mechanism output buffer (group fine path)
+  std::vector<core::InferenceGrouping> groupings;  // one per (batch*head) slice
+  ag::Variable h;    // after attention residual + norm1
+  ag::Variable out;  // after FFN residual + norm2
+};
+
+// Row-tile count per slice: enough tiles to feed the pool when few slices
+// exist (B=1), without shattering short sequences. Purely a scheduling
+// choice — the fused kernel is row-exact, so any tiling gives the same bits.
+int64_t TilesPerSlice(int64_t slices, int64_t rows, int threads) {
+  const int64_t want = (2 * threads + slices - 1) / slices;
+  const int64_t cap = std::max<int64_t>(1, rows / 16);
+  return std::max<int64_t>(1, std::min(want, cap));
+}
+
+}  // namespace
+
+ForwardGraphResult RunForwardGraph(model::RitaModel* model, ForwardTask task,
+                                   const Tensor& batch, const Tensor* context_token,
+                                   bool want_cls, attn::ForwardState* state) {
+  RITA_CHECK(model != nullptr);
+  RITA_CHECK(state != nullptr);
+  RITA_CHECK(state->stream_counter == nullptr)
+      << "graph forward requires a pinned-stream inference state";
+  RITA_CHECK(state->snapshots == nullptr)
+      << "graph forward does not collect grouping snapshots";
+  RITA_CHECK(!ag::GradModeEnabled()) << "graph forward is inference-only";
+
+  ExecutionContext* exec =
+      state->context != nullptr ? state->context : ExecutionContext::Default();
+  model::TransformerEncoder* encoder = model->encoder();
+  const model::RitaConfig& config = model->config();
+  const int64_t b = batch.size(0);
+  const int64_t heads = config.encoder.num_heads;
+  const int64_t dim = config.encoder.dim;
+  const int64_t head_dim = dim / heads;
+  const int64_t num_layers = encoder->num_layers();
+  // Token count is static given the raw length: windows + [CLS] (+ context).
+  const int64_t n_win = (batch.size(1) - config.window) / config.stride + 1;
+  const int64_t n = n_win + 1 + (context_token != nullptr ? 1 : 0);
+  const int64_t slices = b * heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+
+  TaskGraph g;
+  std::vector<LayerSlots> slots(num_layers);
+  ag::Variable tokens;  // frontend output
+  ForwardGraphResult result;
+
+  const int64_t frontend_node = g.AddNode("frontend", [&tokens, model, &batch,
+                                                       context_token] {
+    tokens = model->FrontendTokens(batch, context_token);
+  });
+
+  int64_t prev_out_node = frontend_node;
+  for (int64_t l = 0; l < num_layers; ++l) {
+    LayerSlots& slot = slots[l];
+    model::TransformerEncoderLayer* layer = encoder->layer(l);
+    attn::MultiHeadAttention* mha = layer->attention();
+    const std::string tag = "L" + std::to_string(l);
+
+    // Layer input: the previous layer's output (or the frontend tokens).
+    // Written by a tiny forwarding node so every in-layer node can simply
+    // depend on its own layer's slots.
+    ag::Variable* prev = l == 0 ? &tokens : &slots[l - 1].out;
+    const int64_t in_node =
+        g.AddNode(tag + ".in", [&slot, prev] { slot.in = *prev; });
+    g.AddEdge(prev_out_node, in_node);
+
+    // QKV projections: three independent GEMM nodes.
+    int64_t proj_node[3];
+    for (int which = 0; which < 3; ++which) {
+      proj_node[which] = g.AddNode(
+          tag + (which == 0 ? ".q" : which == 1 ? ".k" : ".v"),
+          [&slot, mha, which] {
+            ag::Variable* dst =
+                which == 0 ? &slot.q : which == 1 ? &slot.k : &slot.v;
+            *dst = mha->ProjectHeads(which, slot.in);
+          });
+      g.AddEdge(in_node, proj_node[which]);
+    }
+
+    attn::AttentionMechanism* mech = mha->mechanism();
+    int64_t join_node;
+    if (mech->kind() == attn::AttentionKind::kGroup) {
+      // Fine-grained group-attention decomposition: one grouping node per
+      // (batch*head) slice, then row-tiled fused-attention nodes.
+      auto* gmech = static_cast<core::GroupAttentionMechanism*>(mech);
+      slot.attn_out = Tensor({slices, n, head_dim});
+      slot.groupings.resize(slices);
+      cluster::KMeansOptions km = gmech->InferenceKMeans(n);
+      // Spread each slice's Lloyd iterations across the pool — bit-identical
+      // to the sequential inline run (RunKMeans' fixed-block contract).
+      km.parallel = true;
+      // Same per-slice RNG keys as the sequential path: MultiHeadAttention
+      // sets rng_slice_period = heads under batch_invariant, and the slice
+      // key is s % period (the head index) — recomputed here because the
+      // mechanism's Forward never runs.
+      const int64_t period = state->batch_invariant ? heads : 0;
+      const uint64_t stream = state->stream;
+      const uint64_t seed = gmech->seed();
+
+      join_node = g.AddNode(tag + ".join", [&slot, layer, mha, b, n] {
+        slot.h = layer->AttentionResidual(
+            slot.in, mha->MergeHeads(ag::Variable(slot.attn_out), b, n));
+      });
+
+      const int64_t tiles = TilesPerSlice(slices, n, exec->pool()->num_threads());
+      for (int64_t s = 0; s < slices; ++s) {
+        const int64_t group_node = g.AddNode(
+            tag + ".group" + std::to_string(s),
+            [&slot, s, n, head_dim, km, period, stream, seed, exec] {
+              const uint64_t key = period > 0
+                                       ? static_cast<uint64_t>(s % period)
+                                       : static_cast<uint64_t>(s);
+              Rng slice_rng = ExecutionContext::SliceRng(seed, stream, key);
+              const float* pk = slot.k.data().data();
+              Tensor keys({n, head_dim});
+              std::copy(pk + s * n * head_dim, pk + (s + 1) * n * head_dim,
+                        keys.data());
+              const float* pv = slot.v.data().data();
+              slot.groupings[s] = core::GroupSliceForInference(
+                  keys, pv + s * n * head_dim, km, &slice_rng, exec);
+            });
+        g.AddEdge(proj_node[1], group_node);
+        g.AddEdge(proj_node[2], group_node);
+
+        const int64_t rows_per_tile = (n + tiles - 1) / tiles;
+        for (int64_t r0 = 0; r0 < n; r0 += rows_per_tile) {
+          const int64_t r1 = std::min(n, r0 + rows_per_tile);
+          const int64_t attend_node = g.AddNode(
+              tag + ".attend" + std::to_string(s) + "@" + std::to_string(r0),
+              [&slot, s, r0, r1, n, head_dim, scale, exec] {
+                ScratchArena::Lease scratch = exec->arena()->Acquire();
+                const float* pq = slot.q.data().data();
+                float* po = slot.attn_out.data();
+                core::GroupAttendRows(pq + (s * n + r0) * head_dim,
+                                      slot.groupings[s],
+                                      po + (s * n + r0) * head_dim, r1 - r0,
+                                      head_dim, scale, &scratch);
+              });
+          g.AddEdge(proj_node[0], attend_node);
+          g.AddEdge(group_node, attend_node);
+          g.AddEdge(attend_node, join_node);
+        }
+      }
+    } else {
+      // Coarse fallback: one whole-mechanism node. Performer in particular
+      // computes a global stabilisation shift over the whole [B*H, n] batch,
+      // so a per-head split would change bits there.
+      join_node = g.AddNode(tag + ".attn", [&slot, layer, mha, state, b, n] {
+        slot.h = layer->AttentionResidual(
+            slot.in, mha->MergeHeads(
+                         mha->MechanismForward(slot.q, slot.k, slot.v, state),
+                         b, n));
+      });
+      for (int which = 0; which < 3; ++which) g.AddEdge(proj_node[which], join_node);
+    }
+
+    const int64_t ffn_node = g.AddNode(
+        tag + ".ffn", [&slot, layer] { slot.out = layer->FfnResidual(slot.h); });
+    g.AddEdge(join_node, ffn_node);
+    prev_out_node = ffn_node;
+  }
+
+  const int64_t head_node = g.AddNode("head", [&result, &slots, model, task,
+                                               context_token, want_cls, &batch,
+                                               b, dim] {
+    ag::Variable encoded = slots.back().out;
+    if (context_token != nullptr) {
+      // Drop the position-free summary row, exactly as Encode does.
+      encoded = ag::Slice(encoded, 1, 1, encoded.size(1) - 1);
+    }
+    if (want_cls || task == ForwardTask::kEmbed) {
+      result.cls = ops::Slice(encoded.data(), 1, 0, 1).Reshape({b, dim});
+    }
+    switch (task) {
+      case ForwardTask::kClassLogits:
+        result.output = model->ClassLogitsFromEncoded(encoded).data();
+        break;
+      case ForwardTask::kReconstruct:
+        result.output =
+            model->ReconstructFromEncoded(encoded, batch.size(1)).data();
+        break;
+      case ForwardTask::kEmbed:
+        result.output = result.cls;
+        break;
+    }
+  });
+  g.AddEdge(prev_out_node, head_node);
+
+  GraphExecutor executor(exec);
+  result.stats = executor.Run(&g);
+  return result;
+}
+
+}  // namespace graph
+}  // namespace rita

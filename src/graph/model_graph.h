@@ -1,0 +1,54 @@
+// Dataflow lowering of the RITA inference forward: instead of one monolithic
+// call, the forward becomes a TaskGraph of frontend / per-layer QKV
+// projection / per-slice grouping / row-tiled fused-attention / head-join /
+// FFN / task-head nodes, executed by the dependency-counted GraphExecutor.
+//
+// Bit-identity contract: every node body is a call into the SAME stage
+// helpers the sequential forward is composed of (RitaModel::FrontendTokens,
+// MultiHeadAttention::ProjectHeads/MergeHeads, TransformerEncoderLayer::
+// AttentionResidual/FfnResidual, core::GroupSliceForInference/
+// GroupAttendRows), with the same fixed-block reduction discipline
+// underneath, so the graph forward is bitwise identical to the sequential
+// forward at any pool width. The only flags that differ are parallelism
+// flags whose outputs are pool-width-invariant by contract (k-means
+// km.parallel, fused-kernel row tiling).
+#ifndef RITA_GRAPH_MODEL_GRAPH_H_
+#define RITA_GRAPH_MODEL_GRAPH_H_
+
+#include "attention/attention.h"
+#include "graph/task_graph.h"
+#include "model/rita_model.h"
+
+namespace rita {
+namespace graph {
+
+/// Which task head terminates the graph.
+enum class ForwardTask { kClassLogits = 0, kReconstruct = 1, kEmbed = 2 };
+
+struct ForwardGraphResult {
+  Tensor output;  // logits [B, C] / reconstruction [B, T, C] / embedding [B, dim]
+  Tensor cls;     // [B, dim] [CLS] rows from the same encode (when want_cls)
+  GraphRunStats stats;
+};
+
+/// Builds and executes the dataflow forward for one micro-batch.
+/// `context_token` is null or [B, dim] (the streaming summary token);
+/// `state` must be a pinned-stream inference state (no legacy stream
+/// counter, no snapshot sink) with grad mode off — the FrozenModel serving
+/// contract. Throws whatever a node body throws, after the graph drains.
+///
+/// Node granularity: group-attention layers decompose into per-(batch*head)
+/// grouping nodes (k-means runs pool-parallel inside the node — bit-identical
+/// to the sequential inline run by RunKMeans' fixed-block contract) and
+/// row-tiled fused score->softmax->weighted-sum nodes. Other mechanisms
+/// (vanilla/performer/linformer) keep one whole-mechanism node per layer:
+/// Performer's key features share a global stabilisation shift over the whole
+/// [B*H, n] batch, so a per-head split would NOT be bitwise neutral there.
+ForwardGraphResult RunForwardGraph(model::RitaModel* model, ForwardTask task,
+                                   const Tensor& batch, const Tensor* context_token,
+                                   bool want_cls, attn::ForwardState* state);
+
+}  // namespace graph
+}  // namespace rita
+
+#endif  // RITA_GRAPH_MODEL_GRAPH_H_

@@ -1,0 +1,182 @@
+#include "graph/task_graph.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "autograd/variable.h"
+#include "util/check.h"
+
+namespace rita {
+namespace graph {
+
+namespace {
+
+// RAII install of a captured grad mode on this thread (grad mode is
+// thread-local; pool workers default to the training default otherwise).
+class ScopedGradMode {
+ public:
+  explicit ScopedGradMode(bool mode) : prev_(ag::SetGradModeEnabled(mode)) {}
+  ~ScopedGradMode() { ag::SetGradModeEnabled(prev_); }
+  ScopedGradMode(const ScopedGradMode&) = delete;
+  ScopedGradMode& operator=(const ScopedGradMode&) = delete;
+
+ private:
+  bool prev_;
+};
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Shared state of one Run(); lives on the Run frame, outlives every node task
+// because the TaskScope drains before the frame unwinds.
+struct RunState {
+  TaskGraph* graph = nullptr;
+  ThreadPool::TaskScope scope;
+  bool grad_mode = false;
+  std::atomic<bool> cancelled{false};
+  std::atomic<int64_t> ready_now{0};   // submitted or running nodes
+  std::atomic<int64_t> ready_high{0};  // high-water mark of ready_now
+  std::atomic<int64_t> busy_ns{0};
+
+  explicit RunState(ThreadPool* pool) : scope(pool) {}
+};
+
+void ScheduleNode(RunState* run, int64_t id);
+
+void ExecNode(RunState* run, int64_t id) {
+  GraphNode& node = run->graph->mutable_node(id);
+  // Grad mode is thread-local; install the submitting caller's mode for the
+  // body (same contract as ExecutionContext::ParallelFor).
+  ScopedGradMode grad(run->grad_mode);
+
+  const int64_t start = NowNs();
+  std::exception_ptr error;
+  if (!run->cancelled.load(std::memory_order_acquire)) {
+    try {
+      node.fn();
+    } catch (...) {
+      error = std::current_exception();
+      // Later nodes skip their bodies but still propagate counters below, so
+      // the scope always drains and Run() terminates.
+      run->cancelled.store(true, std::memory_order_release);
+    }
+  }
+  node.duration_ns = NowNs() - start;
+  run->busy_ns.fetch_add(node.duration_ns, std::memory_order_relaxed);
+  // Critical path of the chain ending here: own duration plus the longest
+  // predecessor chain (predecessors all completed before this body ran, and
+  // published their path via the atomic max below).
+  node.path_ns =
+      node.duration_ns + node.path_in_ns.load(std::memory_order_relaxed);
+
+  run->ready_now.fetch_sub(1, std::memory_order_relaxed);
+  for (int64_t succ : node.successors) {
+    GraphNode& s = run->graph->mutable_node(succ);
+    // Atomic max: several predecessors may publish concurrently.
+    int64_t cur = s.path_in_ns.load(std::memory_order_relaxed);
+    while (cur < node.path_ns &&
+           !s.path_in_ns.compare_exchange_weak(cur, node.path_ns,
+                                               std::memory_order_relaxed)) {
+    }
+    // acq_rel: the thread that takes the counter to zero observes every
+    // predecessor's writes before it runs (or schedules) the successor.
+    if (s.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ScheduleNode(run, succ);
+    }
+  }
+  if (error) std::rethrow_exception(error);  // recorded by the TaskScope
+}
+
+void ScheduleNode(RunState* run, int64_t id) {
+  const int64_t now = run->ready_now.fetch_add(1, std::memory_order_relaxed) + 1;
+  int64_t high = run->ready_high.load(std::memory_order_relaxed);
+  while (high < now && !run->ready_high.compare_exchange_weak(
+                           high, now, std::memory_order_relaxed)) {
+  }
+  run->scope.Submit([run, id] { ExecNode(run, id); });
+}
+
+}  // namespace
+
+int64_t TaskGraph::AddNode(std::string label, std::function<void()> fn) {
+  RITA_CHECK(!ran_) << "AddNode on an already-executed graph";
+  nodes_.emplace_back();
+  GraphNode& node = nodes_.back();
+  node.label = std::move(label);
+  node.fn = std::move(fn);
+  return static_cast<int64_t>(nodes_.size()) - 1;
+}
+
+void TaskGraph::AddEdge(int64_t from, int64_t to) {
+  RITA_CHECK(!ran_) << "AddEdge on an already-executed graph";
+  RITA_CHECK(from >= 0 && from < num_nodes()) << "bad edge source " << from;
+  RITA_CHECK(to >= 0 && to < num_nodes()) << "bad edge target " << to;
+  RITA_CHECK(from != to) << "self-edge on node " << from;
+  nodes_[from].successors.push_back(to);
+  ++nodes_[to].num_deps;
+}
+
+GraphExecutor::GraphExecutor(ExecutionContext* context)
+    : context_(context != nullptr ? context : ExecutionContext::Default()) {}
+
+GraphRunStats GraphExecutor::Run(TaskGraph* graph) {
+  RITA_CHECK(graph != nullptr);
+  RITA_CHECK(!graph->ran_) << "a TaskGraph can be run at most once";
+  graph->ran_ = true;
+
+  const int64_t n = graph->num_nodes();
+  GraphRunStats stats;
+  stats.nodes = n;
+  if (n == 0) return stats;
+
+  for (int64_t i = 0; i < n; ++i) {
+    GraphNode& node = graph->nodes_[i];
+    node.pending.store(node.num_deps, std::memory_order_relaxed);
+    node.path_in_ns.store(0, std::memory_order_relaxed);
+  }
+
+  RunState run(context_->pool());
+  run.graph = graph;
+  run.grad_mode = ag::GradModeEnabled();
+
+  const int64_t wall_start = NowNs();
+  int64_t sources = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (graph->nodes_[i].num_deps == 0) {
+      ++sources;
+      ScheduleNode(&run, i);
+    }
+  }
+  RITA_CHECK_GT(sources, 0) << "graph has no source node (dependency cycle)";
+
+  // Help-while-waiting: this thread executes queued nodes (of this graph or
+  // any other) until the scope drains; rethrows the first node exception.
+  run.scope.Wait();
+
+  const double wall_ms = static_cast<double>(NowNs() - wall_start) * 1e-6;
+  // Every node ran exactly once, else some counter never reached zero and
+  // Wait() would not have returned — unless edges describe a cycle whose
+  // members were never scheduled. Detect that explicitly.
+  int64_t max_path = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const GraphNode& node = graph->nodes_[i];
+    RITA_CHECK_EQ(node.pending.load(std::memory_order_relaxed), 0)
+        << "node '" << node.label << "' never became ready (dependency cycle)";
+    max_path = std::max(max_path, node.path_ns);
+  }
+  stats.wall_ms = wall_ms;
+  stats.busy_ms =
+      static_cast<double>(run.busy_ns.load(std::memory_order_relaxed)) * 1e-6;
+  stats.critical_path_ms = static_cast<double>(max_path) * 1e-6;
+  const double capacity_ms = wall_ms * context_->pool()->num_threads();
+  stats.worker_idle_ms = std::max(0.0, capacity_ms - stats.busy_ms);
+  stats.ready_high_water = run.ready_high.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace graph
+}  // namespace rita

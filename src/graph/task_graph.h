@@ -1,0 +1,114 @@
+// Dependency-counted task graph executed by a ready-queue engine over the
+// nest-safe ThreadPool (the design of torch's autograd engine: each node
+// carries an atomic count of unmet dependencies; completing a node decrements
+// its successors' counts and pushes the ones that hit zero onto the pool).
+// One big forward decomposed into nodes parallelizes across the pool, and
+// nodes of many concurrent graphs interleave in the shared queue — no
+// request ever owns a worker for its whole forward, so small requests are
+// not head-of-line blocked behind a large one.
+#ifndef RITA_GRAPH_TASK_GRAPH_H_
+#define RITA_GRAPH_TASK_GRAPH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/execution_context.h"
+
+namespace rita {
+namespace graph {
+
+/// One unit of work plus its dependency bookkeeping. Nodes are created via
+/// TaskGraph::AddNode and wired with TaskGraph::AddEdge; the executor owns
+/// the counters at run time.
+struct GraphNode {
+  std::function<void()> fn;
+  std::string label;                // for diagnostics and tests
+  std::vector<int64_t> successors;  // node ids unblocked by this node
+  int64_t num_deps = 0;             // static in-degree
+
+  // Run-time state (owned by GraphExecutor::Run).
+  std::atomic<int64_t> pending{0};   // unmet dependencies remaining
+  std::atomic<int64_t> path_in_ns{0};  // max critical path over predecessors
+  int64_t duration_ns = 0;
+  int64_t path_ns = 0;  // critical path of the chain ending at this node
+
+  GraphNode() = default;
+  GraphNode(const GraphNode&) = delete;
+  GraphNode& operator=(const GraphNode&) = delete;
+};
+
+/// A single-run DAG of tasks. Build once (AddNode/AddEdge), execute once via
+/// GraphExecutor::Run. Not thread-safe during construction; immutable during
+/// execution except for the per-node runtime counters.
+class TaskGraph {
+ public:
+  /// Adds a node and returns its id. `fn` runs on a pool worker (or on the
+  /// thread that called Run, which helps drain the queue while waiting).
+  int64_t AddNode(std::string label, std::function<void()> fn);
+
+  /// Declares that `from` must complete before `to` may start.
+  void AddEdge(int64_t from, int64_t to);
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+  const GraphNode& node(int64_t id) const { return nodes_[id]; }
+  /// Runtime-counter access for the executor; not for graph builders.
+  GraphNode& mutable_node(int64_t id) { return nodes_[id]; }
+
+ private:
+  friend class GraphExecutor;
+  // deque: stable addresses under AddNode (GraphNode holds atomics and is
+  // pinned once created).
+  std::deque<GraphNode> nodes_;
+  bool ran_ = false;
+};
+
+/// Observability counters for one graph execution.
+struct GraphRunStats {
+  int64_t nodes = 0;
+  double wall_ms = 0.0;           // Run() entry to last node completion
+  double busy_ms = 0.0;           // sum of node execution times
+  double critical_path_ms = 0.0;  // longest duration-weighted dependency chain
+  // Idle capacity during this run, approximated as wall * pool_width - busy
+  // (clamped at 0). Concurrent graphs sharing the pool each count the same
+  // idle capacity, so treat this as a per-request utilization hint, not an
+  // exact accounting.
+  double worker_idle_ms = 0.0;
+  int64_t ready_high_water = 0;  // max nodes simultaneously ready or running
+};
+
+/// Ready-queue executor. Seeds the pool with every zero-dependency node, then
+/// lets completions drive scheduling: a finishing node decrements each
+/// successor's atomic counter and submits the ones that reach zero. The
+/// calling thread helps drain the pool queue while waiting (TaskScope), so
+/// executors nest safely inside pool tasks and several graphs can run
+/// concurrently over one pool.
+///
+/// The caller's autograd mode is captured at Run() entry and installed in
+/// every node body (grad mode is thread-local, mirroring
+/// ExecutionContext::ParallelFor).
+///
+/// If a node throws, the run is cancelled: remaining nodes still propagate
+/// their dependency counters (so the run always terminates) but skip their
+/// bodies, and Run rethrows the first exception after the graph has drained —
+/// the pool is left reusable.
+class GraphExecutor {
+ public:
+  /// `context` supplies the pool; nullptr means ExecutionContext::Default().
+  explicit GraphExecutor(ExecutionContext* context = nullptr);
+
+  /// Executes `graph` to completion and returns its run stats. Throws the
+  /// first node exception, if any. A graph can be run at most once.
+  GraphRunStats Run(TaskGraph* graph);
+
+ private:
+  ExecutionContext* context_;
+};
+
+}  // namespace graph
+}  // namespace rita
+
+#endif  // RITA_GRAPH_TASK_GRAPH_H_

@@ -32,8 +32,7 @@ ag::Variable RitaModel::Encode(const Tensor& batch, attn::ForwardState* state) {
   return Encode(batch, state, /*context=*/nullptr);
 }
 
-ag::Variable RitaModel::Encode(const Tensor& batch, attn::ForwardState* state,
-                               const Tensor* context) {
+ag::Variable RitaModel::FrontendTokens(const Tensor& batch, const Tensor* context) {
   RITA_CHECK_EQ(batch.dim(), 3);
   RITA_CHECK_GE(batch.size(1), config_.window)
       << "series shorter than the conv window";
@@ -50,17 +49,23 @@ ag::Variable RitaModel::Encode(const Tensor& batch, attn::ForwardState* state,
                              ag::Reshape(cls_token_, {1, 1, d}));
   ag::Variable tokens = ag::Concat({cls, windows}, 1);  // [B, 1 + n_win, d]
   tokens = ag::Add(tokens, pos_.Forward(tokens.size(1)));
-  if (context == nullptr) return encoder_.Forward(tokens, state);
+  if (context == nullptr) return tokens;
 
   // Streaming context carry: prepend the summary embedding as one extra
-  // token with no positional entry (it has no timeline position), run the
-  // encoder over [ctx, CLS, windows], and drop the summary row so the heads
-  // see the usual [CLS]-first layout.
+  // token with no positional entry (it has no timeline position); the
+  // encoder runs over [ctx, CLS, windows] and Encode drops the summary row
+  // again so the heads see the usual [CLS]-first layout.
   RITA_CHECK_EQ(context->dim(), 2) << "context must be [B, dim]";
   RITA_CHECK_EQ(context->size(0), b);
   RITA_CHECK_EQ(context->size(1), d);
   ag::Variable ctx(context->Reshape({b, 1, d}));
-  ag::Variable encoded = encoder_.Forward(ag::Concat({ctx, tokens}, 1), state);
+  return ag::Concat({ctx, tokens}, 1);
+}
+
+ag::Variable RitaModel::Encode(const Tensor& batch, attn::ForwardState* state,
+                               const Tensor* context) {
+  ag::Variable encoded = encoder_.Forward(FrontendTokens(batch, context), state);
+  if (context == nullptr) return encoded;
   return ag::Slice(encoded, 1, 1, encoded.size(1) - 1);
 }
 

@@ -70,6 +70,15 @@ class RitaModel : public SequenceModel {
   ag::Variable Encode(const Tensor& batch, attn::ForwardState* state,
                       const Tensor* context);
 
+  /// Everything in front of the encoder: conv windows, [CLS] tile,
+  /// positional add, and (when `context` is non-null) the position-free
+  /// summary-token prepend. Encode() is FrontendTokens -> encoder ->
+  /// (summary-row strip); the dataflow graph lowering calls these same
+  /// pieces, so the two paths are bit-identical by construction.
+  ag::Variable FrontendTokens(const Tensor& batch, const Tensor* context);
+  /// Per-layer access for the graph lowering.
+  TransformerEncoder* encoder() { return &encoder_; }
+
   /// Applies the classification head to an Encode() output — lets callers
   /// that need both the logits and the [CLS] embedding (streaming context
   /// carry) run a single encoder forward.

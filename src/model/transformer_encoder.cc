@@ -35,13 +35,19 @@ ag::Variable TransformerEncoderLayer::Normalize(int which, const ag::Variable& x
   return which == 1 ? bn1_.Forward(x) : bn2_.Forward(x);
 }
 
+ag::Variable TransformerEncoderLayer::AttentionResidual(const ag::Variable& x,
+                                                        const ag::Variable& attended) {
+  return Normalize(1, ag::Add(x, drop_.Forward(attended)));
+}
+
+ag::Variable TransformerEncoderLayer::FfnResidual(const ag::Variable& h) {
+  return Normalize(2, ag::Add(h, drop_.Forward(ffn_.Forward(h))));
+}
+
 ag::Variable TransformerEncoderLayer::Forward(const ag::Variable& x,
                                               attn::ForwardState* state) {
   // Post-norm residual blocks, as in the original Transformer (and TST).
-  ag::Variable attended = drop_.Forward(mha_.Forward(x, state));
-  ag::Variable h = Normalize(1, ag::Add(x, attended));
-  ag::Variable ff = drop_.Forward(ffn_.Forward(h));
-  return Normalize(2, ag::Add(h, ff));
+  return FfnResidual(AttentionResidual(x, mha_.Forward(x, state)));
 }
 
 TransformerEncoder::TransformerEncoder(const EncoderConfig& config, Rng* rng)

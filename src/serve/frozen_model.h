@@ -15,6 +15,7 @@
 
 #include <memory>
 
+#include "graph/model_graph.h"
 #include "model/rita_model.h"
 
 namespace rita {
@@ -80,6 +81,20 @@ class FrozenModel {
   /// [CLS] embeddings [B, dim] under carried context.
   Tensor EmbedWithContext(const Tensor& batch, const Tensor* context,
                           ExecutionContext* exec = nullptr) const;
+
+  // -- Dataflow (task-graph) forward ---------------------------------------
+
+  /// Same computation as the task forwards above, lowered onto the
+  /// dependency-counted task graph: per-layer QKV / per-slice grouping /
+  /// row-tiled attention / join / FFN nodes executed by a ready-queue engine
+  /// over the execution context's pool. Outputs are bitwise identical to the
+  /// sequential forwards at any pool width. `context` is null or [B, dim];
+  /// `cls` (optional out) receives the [CLS] rows from the same encode;
+  /// `stats` (optional out) receives the graph run counters.
+  Tensor ForwardGraph(graph::ForwardTask task, const Tensor& batch,
+                      const Tensor* context, Tensor* cls,
+                      ExecutionContext* exec = nullptr,
+                      graph::GraphRunStats* stats = nullptr) const;
 
  private:
   attn::ForwardState MakeState(ExecutionContext* context) const;

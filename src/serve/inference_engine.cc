@@ -1,6 +1,8 @@
 #include "serve/inference_engine.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 #include <utility>
 
 #include "serve/telemetry.h"
@@ -9,6 +11,13 @@
 
 namespace rita {
 namespace serve {
+
+bool DefaultGraphExecutorEnabled() {
+  const char* env = std::getenv("RITA_GRAPH_EXECUTOR");
+  if (env == nullptr) return true;
+  const std::string value(env);
+  return !(value == "off" || value == "OFF" || value == "0" || value == "false");
+}
 
 namespace {
 
@@ -328,21 +337,66 @@ void InferenceEngine::ExecuteBatch(std::vector<ScheduledRequest> batch) {
   Stopwatch compute;
   Tensor output;  // rows are per-request results
   Tensor cls;     // [B, dim] when any rider wants its [CLS] back
-  switch (task) {
-    case ServeTask::kClassify:
-      output = model->ClassLogitsWithContext(stacked, context_ptr,
-                                             want_cls ? &cls : nullptr,
-                                             options_.context);
-      break;
-    case ServeTask::kEmbed:
-      output = model->EmbedWithContext(stacked, context_ptr, options_.context);
-      if (want_cls) cls = output;  // the embedding IS the [CLS] row
-      break;
-    case ServeTask::kReconstruct:
-      output = model->ReconstructWithContext(stacked, context_ptr,
-                                             want_cls ? &cls : nullptr,
-                                             options_.context);
-      break;
+  graph::GraphRunStats graph_stats;
+  bool ran_graph = false;
+  Status forward_status = Status::OK();
+  try {
+    if (options_.forward_fault_for_testing) options_.forward_fault_for_testing();
+    if (options_.use_graph_executor) {
+      // Dataflow path: the forward decomposes into dependency-counted nodes
+      // executed by the ready-queue engine over the shared pool — bitwise
+      // identical to the sequential calls below, but intra-request parallel,
+      // and nodes of concurrent micro-batches interleave in the queue.
+      const graph::ForwardTask graph_task =
+          task == ServeTask::kClassify ? graph::ForwardTask::kClassLogits
+          : task == ServeTask::kEmbed ? graph::ForwardTask::kEmbed
+                                      : graph::ForwardTask::kReconstruct;
+      output = model->ForwardGraph(graph_task, stacked, context_ptr,
+                                   want_cls ? &cls : nullptr, options_.context,
+                                   &graph_stats);
+      ran_graph = true;
+    } else {
+      switch (task) {
+        case ServeTask::kClassify:
+          output = model->ClassLogitsWithContext(stacked, context_ptr,
+                                                 want_cls ? &cls : nullptr,
+                                                 options_.context);
+          break;
+        case ServeTask::kEmbed:
+          output = model->EmbedWithContext(stacked, context_ptr, options_.context);
+          if (want_cls) cls = output;  // the embedding IS the [CLS] row
+          break;
+        case ServeTask::kReconstruct:
+          output = model->ReconstructWithContext(stacked, context_ptr,
+                                                 want_cls ? &cls : nullptr,
+                                                 options_.context);
+          break;
+      }
+    }
+  } catch (const std::exception& e) {
+    forward_status = Status::Internal(std::string("forward failed: ") + e.what());
+  } catch (...) {
+    forward_status = Status::Internal("forward failed with an unknown exception");
+  }
+
+  if (!forward_status.ok()) {
+    // Fail the whole micro-batch cleanly: every rider resolves with the
+    // error, nothing enters the cache, the planner sees no sample, and the
+    // worker slot frees as usual when this frame returns — the engine keeps
+    // serving subsequent requests.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.forward_failures;
+      ++model_stats_[static_cast<size_t>(model_id)].forward_failures;
+    }
+    for (int64_t i = 0; i < b; ++i) {
+      InferenceResponse response;
+      response.status = forward_status;
+      response.micro_batch = b;
+      response.model_id = model_id;
+      batch[i].promise.set_value(std::move(response));
+    }
+    return;
   }
   const double compute_ms = compute.ElapsedMillis();
   const ServeClock::time_point resolved_at = ServeClock::now();
@@ -393,7 +447,7 @@ void InferenceEngine::ExecuteBatch(std::vector<ScheduledRequest> batch) {
       ResultCache::Key key;
       key.lo = batch[i].cache_key_lo;
       key.hi = batch[i].cache_key_hi;
-      cache_->Insert(key, response.output);
+      cache_->Insert(key, batch[i].request.task, response.output);
     }
   }
 
@@ -416,6 +470,18 @@ void InferenceEngine::ExecuteBatch(std::vector<ScheduledRequest> batch) {
     per_model.total_compute_ms += compute_ms;
     per_model.max_compute_ms = std::max(per_model.max_compute_ms, compute_ms);
     per_model.deadline_missed += missed_deadlines;
+    if (ran_graph) {
+      const auto bump_graph = [&graph_stats](InferenceEngineStats& stats) {
+        ++stats.graph_batches;
+        stats.graph_nodes += static_cast<uint64_t>(graph_stats.nodes);
+        stats.total_critical_path_ms += graph_stats.critical_path_ms;
+        stats.total_graph_idle_ms += graph_stats.worker_idle_ms;
+        stats.graph_ready_high_water =
+            std::max(stats.graph_ready_high_water, graph_stats.ready_high_water);
+      };
+      bump_graph(stats_);
+      bump_graph(per_model);
+    }
   }
   for (int64_t i = 0; i < b; ++i) {
     batch[i].promise.set_value(std::move(responses[static_cast<size_t>(i)]));

@@ -25,6 +25,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -42,6 +43,10 @@
 
 namespace rita {
 namespace serve {
+
+/// Resolves the RITA_GRAPH_EXECUTOR environment variable: unset, "on", "1"
+/// -> true (the default); "off", "0", "false" -> false.
+bool DefaultGraphExecutorEnabled();
 
 struct InferenceEngineOptions {
   /// Executor threads draining the request queue. Each runs whole
@@ -74,6 +79,17 @@ struct InferenceEngineOptions {
   /// Resume(). Lets callers pre-fill the queue (warmup, deterministic
   /// batching tests) or delay serving until the model is ready.
   bool start_paused = false;
+  /// Run forwards through the dataflow task-graph executor (per-layer QKV /
+  /// per-slice grouping / row-tiled attention nodes on the shared pool;
+  /// bitwise identical to the sequential forwards — see graph/model_graph.h).
+  /// Defaults from the RITA_GRAPH_EXECUTOR env var; off falls back to the
+  /// monolithic sequential forwards.
+  bool use_graph_executor = DefaultGraphExecutorEnabled();
+  /// Test-only fault injection: when set, invoked immediately before every
+  /// micro-batch forward. A throwing hook exercises the clean-failure path —
+  /// every rider resolves with an Internal status, the worker slot frees,
+  /// and the engine keeps serving.
+  std::function<void()> forward_fault_for_testing;
 };
 
 /// Serving counters. Cumulative since construction, except the
@@ -99,6 +115,17 @@ struct InferenceEngineStats {
   // recalibrates from, in place of the analytic MemoryModel.
   double total_compute_ms = 0.0; // summed over batches
   double max_compute_ms = 0.0;   // slowest single batch observed
+
+  // Dataflow-executor observability (all zero while the sequential path
+  // runs). Idle is the per-run wall*pool_width - busy approximation from
+  // GraphRunStats — a utilization hint, not an exact accounting.
+  uint64_t graph_batches = 0;      // forwards executed as task graphs
+  uint64_t graph_nodes = 0;        // summed node count over graph batches
+  double total_critical_path_ms = 0.0;  // summed critical-path lengths
+  double total_graph_idle_ms = 0.0;     // summed worker-idle approximations
+  int64_t graph_ready_high_water = 0;   // max ready/running nodes observed
+  uint64_t forward_failures = 0;   // micro-batches whose forward threw (all
+                                   // riders resolved with Internal status)
 
   // Instantaneous load snapshot (consistent: taken under the queue mutex).
   int64_t queue_depth = 0;
@@ -136,6 +163,24 @@ struct InferenceEngineStats {
     return batches == 0 ? 0.0
                         : static_cast<double>(completed - cache_hits) /
                               static_cast<double>(batches);
+  }
+  /// Mean node count per graph-executed micro-batch.
+  double AvgGraphNodes() const {
+    return graph_batches == 0 ? 0.0
+                              : static_cast<double>(graph_nodes) /
+                                    static_cast<double>(graph_batches);
+  }
+  /// Mean critical-path length per graph-executed micro-batch.
+  double AvgCriticalPathMs() const {
+    return graph_batches == 0
+               ? 0.0
+               : total_critical_path_ms / static_cast<double>(graph_batches);
+  }
+  /// Mean worker-idle capacity per graph-executed micro-batch.
+  double AvgGraphIdleMs() const {
+    return graph_batches == 0
+               ? 0.0
+               : total_graph_idle_ms / static_cast<double>(graph_batches);
   }
   double CacheHitRatio() const {
     const uint64_t lookups = cache_hits + cache_misses;

@@ -28,7 +28,20 @@ ResultCache::ResultCache(const Options& options) {
   for (int i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
-  shard_budget_ = std::max<int64_t>(1, options.byte_budget / shards);
+  const int64_t shard_budget = std::max<int64_t>(1, options.byte_budget / shards);
+  // Normalize the split so misconfigured fractions degrade gracefully rather
+  // than silently over- or under-committing the budget.
+  double fractions[kNumTasks] = {options.classify_fraction,
+                                 options.embed_fraction,
+                                 options.reconstruct_fraction};
+  double total = 0.0;
+  for (double f : fractions) total += std::max(0.0, f);
+  for (int t = 0; t < kNumTasks; ++t) {
+    const double f =
+        total > 0.0 ? std::max(0.0, fractions[t]) / total : 1.0 / kNumTasks;
+    task_budget_[t] = std::max<int64_t>(
+        1, static_cast<int64_t>(static_cast<double>(shard_budget) * f));
+  }
 }
 
 ResultCache::Key ResultCache::MakeKey(uint64_t model_fingerprint, ServeTask task,
@@ -60,41 +73,50 @@ bool ResultCache::Lookup(const Key& key, Tensor* output) {
     ++shard.stats.misses;
     return false;
   }
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  std::list<Entry>& lru = shard.lru[it->second->task];
+  lru.splice(lru.begin(), lru, it->second);
   *output = it->second->output.Clone();
   ++shard.stats.hits;
   return true;
 }
 
-void ResultCache::Insert(const Key& key, const Tensor& output) {
+void ResultCache::Insert(const Key& key, ServeTask task, const Tensor& output) {
+  const int task_id = static_cast<int>(task);
+  RITA_CHECK(task_id >= 0 && task_id < kNumTasks);
+  const int64_t budget = task_budget_[task_id];
   const int64_t bytes = PayloadBytes(output);
-  if (bytes > shard_budget_) return;  // would evict the whole shard for one entry
+  if (bytes > budget) return;  // would evict the whole slice for one entry
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key.lo);
   if (it != shard.index.end()) {
     // Refresh (or replace a lo-collision victim): deterministic forwards mean
     // same-key payloads are identical, so replacing is always sound.
-    shard.bytes -= it->second->bytes;
-    shard.lru.erase(it->second);
+    shard.bytes[it->second->task] -= it->second->bytes;
+    shard.lru[it->second->task].erase(it->second);
     shard.index.erase(it);
   }
-  while (shard.bytes + bytes > shard_budget_ && !shard.lru.empty()) {
-    const Entry& victim = shard.lru.back();
-    shard.bytes -= victim.bytes;
+  // Admission is per task: evict least-recently-used entries of THIS task
+  // only, so another task's working set is untouchable no matter how large
+  // or hot this task's payloads are.
+  std::list<Entry>& lru = shard.lru[task_id];
+  while (shard.bytes[task_id] + bytes > budget && !lru.empty()) {
+    const Entry& victim = lru.back();
+    shard.bytes[task_id] -= victim.bytes;
     shard.index.erase(victim.lo);
-    shard.lru.pop_back();
+    lru.pop_back();
     ++shard.stats.evictions;
   }
   Entry entry;
   entry.lo = key.lo;
   entry.hi = key.hi;
+  entry.task = task_id;
   // Clone: the cache must not alias executor-owned storage.
   entry.output = output.Clone();
   entry.bytes = bytes;
-  shard.lru.push_front(std::move(entry));
-  shard.index[key.lo] = shard.lru.begin();
-  shard.bytes += bytes;
+  lru.push_front(std::move(entry));
+  shard.index[key.lo] = lru.begin();
+  shard.bytes[task_id] += bytes;
   ++shard.stats.insertions;
 }
 
@@ -106,8 +128,12 @@ ResultCacheStats ResultCache::stats() const {
     total.misses += shard->stats.misses;
     total.insertions += shard->stats.insertions;
     total.evictions += shard->stats.evictions;
-    total.bytes += shard->bytes;
-    total.entries += static_cast<int64_t>(shard->lru.size());
+    for (int t = 0; t < kNumTasks; ++t) {
+      total.bytes += shard->bytes[t];
+      total.entries += static_cast<int64_t>(shard->lru[t].size());
+      total.bytes_by_task[t] += shard->bytes[t];
+      total.entries_by_task[t] += static_cast<int64_t>(shard->lru[t].size());
+    }
   }
   return total;
 }

@@ -9,10 +9,12 @@
 //
 // Sharded LRU under a byte budget: the key's high digest picks a shard (the
 // low digest indexes within it, keeping the two uses decorrelated), each
-// shard has its own mutex and LRU list, and inserts evict least-recently-used
-// entries until the shard fits its slice of the budget. Lookup/Insert are
-// thread-safe and called outside the engine's queue mutex, so cache traffic
-// never contends with admission or scheduling.
+// shard has its own mutex and one LRU list PER TASK, and inserts evict
+// least-recently-used entries of the same task until that task's slice of
+// the budget fits — a burst of large kReconstruct payloads can never flush
+// the many small kClassify/kEmbed entries. Lookup/Insert are thread-safe and
+// called outside the engine's queue mutex, so cache traffic never contends
+// with admission or scheduling.
 #ifndef RITA_SERVE_RESULT_CACHE_H_
 #define RITA_SERVE_RESULT_CACHE_H_
 
@@ -36,6 +38,10 @@ struct ResultCacheStats {
   uint64_t evictions = 0;
   int64_t bytes = 0;    // currently resident payload bytes
   int64_t entries = 0;  // currently resident entries
+  // Residency split by ServeTask (indexed by the enum value): lets tests and
+  // telemetry verify that one task's large payloads never displace another's.
+  int64_t bytes_by_task[3] = {0, 0, 0};
+  int64_t entries_by_task[3] = {0, 0, 0};
 
   double HitRatio() const {
     const uint64_t total = hits + misses;
@@ -51,6 +57,14 @@ class ResultCache {
     int64_t byte_budget = 32 << 20;
     /// Shard count (rounded up to a power of two) — one mutex + LRU each.
     int num_shards = 8;
+    /// Admission split of the byte budget by task (normalized internally).
+    /// Each task evicts only within its own slice, so a burst of large
+    /// kReconstruct outputs ([T, C] floats) can never flush the many small
+    /// kClassify / kEmbed entries sharing the cache — the failure mode of a
+    /// single LRU under a byte budget.
+    double classify_fraction = 0.25;
+    double embed_fraction = 0.25;
+    double reconstruct_fraction = 0.5;
   };
 
   /// 128-bit content key; {0, 0} is reserved as "no key".
@@ -69,24 +83,28 @@ class ResultCache {
   /// caller may mutate it freely) and refreshes recency. Thread-safe.
   bool Lookup(const Key& key, Tensor* output);
 
-  /// Inserts (or refreshes) the output for `key`, evicting LRU entries to
-  /// honor the shard budget. Oversized outputs are skipped. Thread-safe.
-  void Insert(const Key& key, const Tensor& output);
+  /// Inserts (or refreshes) the output for `key` under `task`'s budget
+  /// slice, evicting LRU entries of the SAME task until the slice fits.
+  /// Outputs larger than the slice are skipped. Thread-safe.
+  void Insert(const Key& key, ServeTask task, const Tensor& output);
 
   ResultCacheStats stats() const;
 
  private:
+  static constexpr int kNumTasks = 3;  // ServeTask cardinality
+
   struct Entry {
     uint64_t lo = 0;  // map key, repeated here so eviction can unindex
     uint64_t hi = 0;  // collision guard: the map below keys on `lo` alone
+    int task = 0;     // which per-task LRU owns this entry
     Tensor output;
     int64_t bytes = 0;
   };
   struct Shard {
     std::mutex mu;
-    std::list<Entry> lru;  // front = most recent
+    std::list<Entry> lru[kNumTasks];  // front = most recent, one per task
     std::unordered_map<uint64_t, std::list<Entry>::iterator> index;  // by lo
-    int64_t bytes = 0;
+    int64_t bytes[kNumTasks] = {0, 0, 0};
     ResultCacheStats stats;
   };
 
@@ -94,7 +112,7 @@ class ResultCache {
     return *shards_[key.hi & (shards_.size() - 1)];
   }
 
-  int64_t shard_budget_ = 0;
+  int64_t task_budget_[kNumTasks] = {0, 0, 0};  // per shard, per task
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

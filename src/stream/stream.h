@@ -24,10 +24,12 @@
 // Determinism contract: a session's stitched output is a pure function of
 // the ingested sample sequence — feeding the same samples in chunks of 1, 7
 // or a whole window yields bit-identical results, because window boundaries
-// are hop-aligned from the stream's first sample, windows run sequentially
-// (the context chain forces it), and frozen forwards are deterministic and
-// batch-position-invariant. Concurrency comes from running many sessions:
-// their same-length windows coalesce into shared micro-batches.
+// are hop-aligned from the stream's first sample, windows finalize in
+// emission order (sequentially under the context chain; carry-free sessions
+// may pipeline several windows in flight, harvested strictly in order), and
+// frozen forwards are deterministic and batch-position-invariant.
+// Concurrency comes from running many sessions — their same-length windows
+// coalesce into shared micro-batches — and, carry-free, from pipelining.
 #ifndef RITA_STREAM_STREAM_H_
 #define RITA_STREAM_STREAM_H_
 
@@ -66,6 +68,13 @@ struct StreamOptions {
   /// still complete but count into StreamStats::late_windows (session side)
   /// and InferenceEngineStats::deadline_missed (engine side).
   double deadline_ms = 0.0;
+  /// Windows kept in flight through the engine at once. Depth 1 (default) is
+  /// the strictly sequential path; depths > 1 pipeline carry-free windows —
+  /// window k+1 submits while window k still computes, and the in-order
+  /// harvest keeps stitching (hence the stream's output bits) identical to
+  /// sequential execution. Requires carry_context == false: the [CLS] chain
+  /// forces sequential windows. Validated at StreamManager::Open.
+  int64_t pipeline_depth = 1;
 };
 
 /// One assembled window's finalized result.

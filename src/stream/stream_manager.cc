@@ -52,6 +52,14 @@ Result<int64_t> StreamManager::Open(StreamOptions options) {
   if (options.ewma_alpha <= 0.0 || options.ewma_alpha > 1.0) {
     return Status::InvalidArgument("ewma_alpha must lie in (0, 1]");
   }
+  if (options.pipeline_depth < 1) {
+    return Status::InvalidArgument("pipeline_depth must be >= 1");
+  }
+  if (options.pipeline_depth > 1 && options.carry_context) {
+    return Status::InvalidArgument(
+        "pipeline_depth > 1 requires carry_context == false (the [CLS] "
+        "context chain forces sequential windows)");
+  }
   if (options.task == StreamTask::kClassify && config.num_classes <= 0) {
     return Status::InvalidArgument("model has no classification head");
   }

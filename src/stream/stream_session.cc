@@ -84,14 +84,80 @@ Status StreamSession::Append(const Tensor& samples) {
 }
 
 Status StreamSession::ProcessReady(serve::ServeClock::time_point arrival) {
+  const int64_t depth = options_.pipeline_depth;
   while (assembler_.HasWindow()) {
+    if (depth <= 1) {
+      int64_t start = 0;
+      Tensor window = assembler_.PeekWindow(&start);
+      // Peek-then-advance: engine backpressure leaves the window buffered, so
+      // a retried (possibly empty) Append picks it up again — nothing is lost.
+      RITA_RETURN_NOT_OK(
+          RunWindow(std::move(window), start, options_.window_length, arrival));
+      assembler_.AdvanceWindow();
+      continue;
+    }
+    // Pipelined path (carry-free windows only): keep up to `depth` windows
+    // in flight and harvest strictly in submission order, so the stitch /
+    // EWMA state advances exactly as under sequential execution. In-flight
+    // windows persist across Append calls; Close drains them.
+    if (static_cast<int64_t>(inflight_.size()) >= depth) {
+      RITA_RETURN_NOT_OK(HarvestFront());
+    }
     int64_t start = 0;
     Tensor window = assembler_.PeekWindow(&start);
-    // Peek-then-advance: engine backpressure leaves the window buffered, so
-    // a retried (possibly empty) Append picks it up again — nothing is lost.
-    RITA_RETURN_NOT_OK(
-        RunWindow(std::move(window), start, options_.window_length, arrival));
+    PendingWindow pending;
+    pending.series = window;  // shallow alias for anomaly scoring
+    pending.start = start;
+    pending.valid_length = options_.window_length;
+    pending.arrival = arrival;
+    pending.future =
+        engine_->Submit(BuildRequest(std::move(window), &pending.deadline));
+    // Admission verdicts resolve before Submit returns; peek at them now so
+    // a backpressure reject leaves the window buffered (peek-then-advance),
+    // exactly like the sequential path.
+    if (pending.future.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      pending.response = pending.future.get();
+      pending.resolved = true;
+      if (!pending.response.status.ok()) {
+        if (pending.response.status.code() == StatusCode::kOutOfMemory) {
+          ++rejected_backpressure_;
+          // Drain older windows first (harvest order), then report the
+          // retryable reject with this window still buffered.
+          Status drained = DrainInflight();
+          return drained.ok() ? pending.response.status : drained;
+        }
+        failed_ = pending.response.status;
+        inflight_.clear();  // abandoned futures resolve with the engine
+        return failed_;
+      }
+    }
+    inflight_.push_back(std::move(pending));
     assembler_.AdvanceWindow();
+  }
+  return Status::OK();
+}
+
+Status StreamSession::HarvestFront() {
+  RITA_CHECK(!inflight_.empty());
+  PendingWindow pending = std::move(inflight_.front());
+  inflight_.pop_front();
+  serve::InferenceResponse response =
+      pending.resolved ? std::move(pending.response) : pending.future.get();
+  if (!response.status.ok()) {
+    // Backpressure is decided at admission (handled at submit time); any
+    // failure surfacing here — e.g. engine shutdown — breaks the stream.
+    failed_ = response.status;
+    inflight_.clear();
+    return failed_;
+  }
+  return FinishWindow(std::move(response), pending.series, pending.start,
+                      pending.valid_length, pending.arrival, pending.deadline);
+}
+
+Status StreamSession::DrainInflight() {
+  while (!inflight_.empty()) {
+    RITA_RETURN_NOT_OK(HarvestFront());
   }
   return Status::OK();
 }
@@ -107,8 +173,11 @@ Status StreamSession::Close() {
     return failed_;
   }
   // Appends can leave complete windows behind only after an engine
-  // backpressure reject; run them (and then the ragged tail) now.
+  // backpressure reject; run them (and then the ragged tail) now. The
+  // pipelined path additionally drains its in-flight windows so the tail
+  // flush below observes fully-sequential state.
   Status drained = ProcessReady(arrival);
+  if (drained.ok()) drained = DrainInflight();
   if (!drained.ok()) {
     if (drained.code() == StatusCode::kOutOfMemory) return drained;  // retry
     closed_ = true;
@@ -146,8 +215,8 @@ Status StreamSession::Close() {
   return Status::OK();
 }
 
-Status StreamSession::RunWindow(Tensor window, int64_t start, int64_t valid_length,
-                                serve::ServeClock::time_point arrival) {
+serve::InferenceRequest StreamSession::BuildRequest(
+    Tensor window, serve::ServeClock::time_point* deadline) {
   serve::InferenceRequest request;
   request.series = std::move(window);
   request.task = options_.task == StreamTask::kClassify
@@ -165,10 +234,16 @@ Status StreamSession::RunWindow(Tensor window, int64_t start, int64_t valid_leng
     request.want_context = true;
     if (context_.defined()) request.context = context_;
   }
-  const serve::ServeClock::time_point deadline = request.deadline;
-  const Tensor series = request.series;  // shallow alias for anomaly scoring
+  *deadline = request.deadline;
+  return request;
+}
 
-  serve::InferenceResponse response = engine_->Run(std::move(request));
+Status StreamSession::RunWindow(Tensor window, int64_t start, int64_t valid_length,
+                                serve::ServeClock::time_point arrival) {
+  const Tensor series = window;  // shallow alias for anomaly scoring
+  serve::ServeClock::time_point deadline = serve::kNoDeadline;
+  serve::InferenceResponse response =
+      engine_->Run(BuildRequest(std::move(window), &deadline));
   if (!response.status.ok()) {
     if (response.status.code() == StatusCode::kOutOfMemory) {
       // Engine admission backpressure: the window stays buffered (the caller
@@ -183,7 +258,15 @@ Status StreamSession::RunWindow(Tensor window, int64_t start, int64_t valid_leng
     return failed_;
   }
   if (options_.carry_context) context_ = response.context;
+  return FinishWindow(std::move(response), series, start, valid_length, arrival,
+                      deadline);
+}
 
+Status StreamSession::FinishWindow(serve::InferenceResponse response,
+                                   const Tensor& series, int64_t start,
+                                   int64_t valid_length,
+                                   serve::ServeClock::time_point arrival,
+                                   serve::ServeClock::time_point deadline) {
   StreamWindowResult result;
   result.window_index = windows_emitted_;
   result.start = start;
@@ -303,7 +386,8 @@ StreamStats StreamSession::stats() const {
   stats.rejected_backpressure = rejected_backpressure_;
   stats.samples_buffered = assembler_.buffered();
   stats.samples_in_flight =
-      assembler_.buffered() + static_cast<int64_t>(stitch_count_.size());
+      assembler_.buffered() + static_cast<int64_t>(stitch_count_.size()) +
+      static_cast<int64_t>(inflight_.size()) * options_.window_length;
   if (!latencies_.empty()) {
     std::vector<double> sorted = latencies_;
     std::sort(sorted.begin(), sorted.end());

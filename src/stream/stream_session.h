@@ -12,11 +12,14 @@
 //   kAnomaly     — per-window reconstruction error over the window's valid
 //     samples, EWMA-smoothed into an online anomaly score.
 //
-// Windows run strictly sequentially within a session: the context chain
-// (window k's [CLS] feeds window k+1) makes that the semantics, not just an
-// implementation choice — which is also why Append() processes windows
-// synchronously. Cross-stream throughput comes from many sessions: their
-// same-length windows coalesce into shared engine micro-batches.
+// Windows run strictly sequentially within a session when carry_context is
+// on: the context chain (window k's [CLS] feeds window k+1) makes that the
+// semantics, not just an implementation choice. Carry-free sessions may set
+// pipeline_depth > 1 to keep several windows in flight through the engine at
+// once; the harvest is strictly in submission order, so the stitched output
+// stays bit-identical to sequential execution. Cross-stream throughput comes
+// from many sessions: their same-length windows coalesce into shared engine
+// micro-batches.
 //
 // Errors: an engine failure mid-stream (e.g. shutdown) breaks the context
 // chain, so it is sticky — the session fails closed and every later call
@@ -33,6 +36,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <future>
 #include <mutex>
 #include <vector>
 
@@ -90,12 +95,39 @@ class StreamSession {
   const StreamOptions& options() const { return options_; }
 
  private:
+  /// One submitted-but-unfinished window of the pipelined path
+  /// (pipeline_depth > 1). Finished strictly in submission order so the
+  /// stitch/EWMA state — hence the stream's output bits — matches sequential
+  /// execution.
+  struct PendingWindow {
+    std::future<serve::InferenceResponse> future;
+    bool resolved = false;  // response already harvested (instant cache hit)
+    serve::InferenceResponse response;
+    Tensor series;  // shallow alias of the submitted window (anomaly MSE)
+    int64_t start = 0;
+    int64_t valid_length = 0;
+    serve::ServeClock::time_point arrival;
+    serve::ServeClock::time_point deadline = serve::kNoDeadline;
+  };
+
   /// Runs every complete buffered window; `arrival` stamps their latency.
   Status ProcessReady(serve::ServeClock::time_point arrival);
-  /// One window through the engine + stitching. `valid_length` < length only
-  /// for the flushed tail.
+  /// One window through the engine + stitching, synchronously. `valid_length`
+  /// < length only for the flushed tail.
   Status RunWindow(Tensor window, int64_t start, int64_t valid_length,
                    serve::ServeClock::time_point arrival);
+  /// The engine request for one window (consumes it).
+  serve::InferenceRequest BuildRequest(Tensor window,
+                                       serve::ServeClock::time_point* deadline);
+  /// Post-forward half of a window: scoring, stitching, result emission.
+  Status FinishWindow(serve::InferenceResponse response, const Tensor& series,
+                      int64_t start, int64_t valid_length,
+                      serve::ServeClock::time_point arrival,
+                      serve::ServeClock::time_point deadline);
+  /// Blocks on the oldest in-flight window and finishes it.
+  Status HarvestFront();
+  /// Harvests every in-flight window in order (sticky on the first error).
+  Status DrainInflight();
   /// Overlap-average accumulation for rows [start, start + valid) of
   /// `reconstruction`, then finalization of rows before `final_before`.
   void Stitch(const Tensor& reconstruction, int64_t start, int64_t valid,
@@ -111,6 +143,9 @@ class StreamSession {
   Tensor context_;       // previous window's [CLS]; undefined before window 0
   std::atomic<bool> closed_{false};
   Status failed_;        // sticky first engine error (OK = healthy)
+  // Pipelined path: submitted windows awaiting their in-order harvest,
+  // bounded by options_.pipeline_depth. Always empty at depth 1.
+  std::deque<PendingWindow> inflight_;
 
   // Per-window results pending TakeResults().
   std::vector<StreamWindowResult> results_;

@@ -1,0 +1,375 @@
+// Tests for the task-graph executor and the dataflow forward lowering. The
+// acceptance contract: the graph forward is bitwise identical to the
+// sequential forward for every task (classify / reconstruct / embed), with
+// and without a context token, at pool widths 1 / 4 / 8, under both kernel
+// backends — and a throwing node fails its request cleanly (Internal status,
+// engine slot freed, pool reusable). Run under RITA_SANITIZE=thread in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/task_graph.h"
+#include "linalg/kernels/kernels.h"
+#include "serve/frozen_model.h"
+#include "serve/inference_engine.h"
+#include "util/execution_context.h"
+#include "util/thread_pool.h"
+
+namespace rita {
+namespace graph {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GraphExecutor units
+// ---------------------------------------------------------------------------
+
+TEST(TaskGraphTest, DiamondRespectsDependencyOrder) {
+  ThreadPool pool(4);
+  ExecutionContext context(&pool);
+  for (int trial = 0; trial < 20; ++trial) {
+    TaskGraph g;
+    std::mutex mu;
+    std::vector<int> order;
+    const auto record = [&mu, &order](int id) {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(id);
+    };
+    const int64_t a = g.AddNode("a", [&] { record(0); });
+    const int64_t b = g.AddNode("b", [&] { record(1); });
+    const int64_t c = g.AddNode("c", [&] { record(2); });
+    const int64_t d = g.AddNode("d", [&] { record(3); });
+    g.AddEdge(a, b);
+    g.AddEdge(a, c);
+    g.AddEdge(b, d);
+    g.AddEdge(c, d);
+
+    GraphRunStats stats = GraphExecutor(&context).Run(&g);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order.front(), 0);
+    EXPECT_EQ(order.back(), 3);
+    EXPECT_EQ(stats.nodes, 4);
+    EXPECT_GE(stats.ready_high_water, 1);
+  }
+}
+
+TEST(TaskGraphTest, WideFanOutRunsEveryNodeOnce) {
+  ThreadPool pool(4);
+  ExecutionContext context(&pool);
+  TaskGraph g;
+  std::atomic<int> ran{0};
+  const int64_t src = g.AddNode("src", [&ran] { ran.fetch_add(1); });
+  const int kFan = 64;
+  const int64_t sink = g.AddNode("sink", [&ran] { ran.fetch_add(1); });
+  for (int i = 0; i < kFan; ++i) {
+    const int64_t mid = g.AddNode("mid", [&ran] { ran.fetch_add(1); });
+    g.AddEdge(src, mid);
+    g.AddEdge(mid, sink);
+  }
+  GraphRunStats stats = GraphExecutor(&context).Run(&g);
+  EXPECT_EQ(ran.load(), kFan + 2);
+  EXPECT_EQ(stats.nodes, kFan + 2);
+  // The fan-out makes many nodes simultaneously ready on a 4-wide pool.
+  EXPECT_GT(stats.ready_high_water, 1);
+  EXPECT_GE(stats.critical_path_ms, 0.0);
+  EXPECT_GE(stats.busy_ms, 0.0);
+}
+
+TEST(TaskGraphTest, NodeBodiesRunUnderCallersGradMode) {
+  ThreadPool pool(2);
+  ExecutionContext context(&pool);
+  TaskGraph g;
+  bool mode_in_node = true;
+  g.AddNode("probe", [&mode_in_node] { mode_in_node = ag::GradModeEnabled(); });
+  ag::NoGradGuard guard;
+  GraphExecutor(&context).Run(&g);
+  EXPECT_FALSE(mode_in_node) << "caller's NoGradGuard must reach node bodies";
+}
+
+TEST(TaskGraphTest, ExecutorsNestInsideNodes) {
+  ThreadPool pool(2);
+  ExecutionContext context(&pool);
+  TaskGraph outer;
+  std::atomic<int> inner_ran{0};
+  outer.AddNode("outer", [&context, &inner_ran] {
+    // A node that runs a whole sub-graph on the same pool: TaskScope's
+    // help-while-waiting makes this deadlock-free even at width 1.
+    TaskGraph inner;
+    const int64_t a = inner.AddNode("ia", [&inner_ran] { inner_ran.fetch_add(1); });
+    const int64_t b = inner.AddNode("ib", [&inner_ran] { inner_ran.fetch_add(1); });
+    inner.AddEdge(a, b);
+    GraphExecutor(&context).Run(&inner);
+  });
+  GraphExecutor(&context).Run(&outer);
+  EXPECT_EQ(inner_ran.load(), 2);
+}
+
+TEST(TaskGraphTest, ThrowingNodeCancelsRunAndLeavesPoolReusable) {
+  ThreadPool pool(4);
+  ExecutionContext context(&pool);
+  TaskGraph g;
+  std::atomic<int> downstream_ran{0};
+  const int64_t a = g.AddNode("ok", [] {});
+  const int64_t boom = g.AddNode("boom", [] {
+    throw std::runtime_error("node exploded");
+  });
+  const int64_t after = g.AddNode("after", [&downstream_ran] {
+    downstream_ran.fetch_add(1);
+  });
+  g.AddEdge(a, boom);
+  g.AddEdge(boom, after);
+
+  EXPECT_THROW(GraphExecutor(&context).Run(&g), std::runtime_error);
+  // Cancellation skips successor bodies but still drains the graph.
+  EXPECT_EQ(downstream_ran.load(), 0);
+
+  // The pool must come out healthy: a fresh graph runs to completion.
+  TaskGraph g2;
+  std::atomic<int> ran{0};
+  const int64_t x = g2.AddNode("x", [&ran] { ran.fetch_add(1); });
+  const int64_t y = g2.AddNode("y", [&ran] { ran.fetch_add(1); });
+  g2.AddEdge(x, y);
+  GraphExecutor(&context).Run(&g2);
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(TaskGraphTest, ThrowInsideNestedParallelForPropagates) {
+  ThreadPool pool(4);
+  ExecutionContext context(&pool);
+  TaskGraph g;
+  g.AddNode("nested-throw", [&context] {
+    // Exception raised by a ParallelFor shard inside a node body must
+    // surface through the node, cancel the run, and rethrow from Run().
+    context.ParallelFor(0, 8, [](int64_t begin, int64_t) {
+      if (begin >= 4) throw std::runtime_error("shard exploded");
+    });
+  });
+  EXPECT_THROW(GraphExecutor(&context).Run(&g), std::runtime_error);
+
+  // Both the pool and the context stay usable afterwards.
+  std::atomic<int64_t> sum{0};
+  context.ParallelFor(0, 16, [&sum](int64_t begin, int64_t end) {
+    sum.fetch_add(end - begin);
+  });
+  EXPECT_EQ(sum.load(), 16);
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow forward: bit-identity against the sequential path
+// ---------------------------------------------------------------------------
+
+model::RitaConfig SmallConfig(attn::AttentionKind kind) {
+  model::RitaConfig config;
+  config.input_channels = 2;
+  config.input_length = 60;
+  config.window = 5;
+  config.stride = 5;
+  config.num_classes = 4;
+  config.encoder.dim = 16;
+  config.encoder.num_layers = 2;
+  config.encoder.num_heads = 2;
+  config.encoder.ffn_hidden = 32;
+  config.encoder.attention.kind = kind;
+  config.encoder.attention.group.num_groups = 4;
+  return config;
+}
+
+bool BitEqual(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), sizeof(float) * a.numel()) == 0;
+}
+
+struct TaskCase {
+  ForwardTask task;
+  const char* name;
+};
+
+// The sequential reference for one (task, context) point.
+Tensor SequentialForward(const serve::FrozenModel& frozen, ForwardTask task,
+                         const Tensor& batch, const Tensor* context,
+                         Tensor* cls) {
+  switch (task) {
+    case ForwardTask::kClassLogits:
+      return frozen.ClassLogitsWithContext(batch, context, cls);
+    case ForwardTask::kReconstruct:
+      return frozen.ReconstructWithContext(batch, context, cls);
+    case ForwardTask::kEmbed: {
+      Tensor out = frozen.EmbedWithContext(batch, context);
+      if (cls != nullptr) *cls = out;
+      return out;
+    }
+  }
+  return Tensor();
+}
+
+// Every (kind, task, +-context, pool width, backend) point must match the
+// sequential forward bit for bit — the graph lowering is a scheduling
+// transformation, never a numerical one.
+TEST(ModelGraphTest, BitIdenticalToSequentialForward) {
+  const kernels::Backend restore = kernels::ActiveBackend();
+  std::vector<kernels::Backend> backends = {kernels::Backend::kScalar};
+  if (kernels::SimdAvailable()) backends.push_back(kernels::Backend::kSimd);
+
+  const TaskCase kTasks[] = {{ForwardTask::kClassLogits, "classify"},
+                             {ForwardTask::kReconstruct, "reconstruct"},
+                             {ForwardTask::kEmbed, "embed"}};
+  const int kWidths[] = {1, 4, 8};
+
+  for (attn::AttentionKind kind :
+       {attn::AttentionKind::kGroup, attn::AttentionKind::kVanilla}) {
+    model::RitaConfig config = SmallConfig(kind);
+    Rng rng(42);
+    model::RitaModel source(config, &rng);
+    serve::FrozenModel frozen(source);
+
+    Rng data_rng(7);
+    Tensor batch = Tensor::RandNormal({3, 60, 2}, &data_rng);
+    Tensor context_rows = frozen.Embed(batch);  // a plausible [B, dim] carry
+
+    for (kernels::Backend backend : backends) {
+      kernels::SetBackendForTesting(backend);
+      for (const Tensor* ctx :
+           {static_cast<const Tensor*>(nullptr),
+            static_cast<const Tensor*>(&context_rows)}) {
+        for (const TaskCase& tc : kTasks) {
+          Tensor want_cls;
+          Tensor want =
+              SequentialForward(frozen, tc.task, batch, ctx, &want_cls);
+          for (int width : kWidths) {
+            ThreadPool pool(width);
+            ExecutionContext exec(&pool);
+            Tensor got_cls;
+            GraphRunStats stats;
+            Tensor got = frozen.ForwardGraph(tc.task, batch, ctx, &got_cls,
+                                             &exec, &stats);
+            EXPECT_TRUE(BitEqual(want, got))
+                << tc.name << " kind=" << static_cast<int>(kind)
+                << " ctx=" << (ctx != nullptr) << " width=" << width
+                << " backend=" << kernels::BackendName(backend);
+            EXPECT_TRUE(BitEqual(want_cls, got_cls))
+                << tc.name << " [CLS] diverged at width " << width;
+            EXPECT_GT(stats.nodes, 0);
+            EXPECT_GT(stats.critical_path_ms, 0.0);
+          }
+        }
+      }
+    }
+  }
+  kernels::SetBackendForTesting(restore);
+}
+
+// Same request, same graph output, run to run (the executor must not leak
+// scheduling nondeterminism into the floats).
+TEST(ModelGraphTest, GraphForwardIsDeterministic) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
+  Rng rng(13);
+  model::RitaModel source(config, &rng);
+  serve::FrozenModel frozen(source);
+  Rng data_rng(5);
+  Tensor batch = Tensor::RandNormal({2, 60, 2}, &data_rng);
+
+  ThreadPool pool(4);
+  ExecutionContext exec(&pool);
+  Tensor first = frozen.ForwardGraph(ForwardTask::kReconstruct, batch, nullptr,
+                                     nullptr, &exec);
+  for (int trial = 0; trial < 5; ++trial) {
+    Tensor again = frozen.ForwardGraph(ForwardTask::kReconstruct, batch,
+                                       nullptr, nullptr, &exec);
+    EXPECT_TRUE(BitEqual(first, again)) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine wiring: graph executor behind the serve stack
+// ---------------------------------------------------------------------------
+
+serve::InferenceRequest MakeRequest(const Tensor& batch, serve::ServeTask task) {
+  serve::InferenceRequest request;
+  const int64_t t = batch.size(1), c = batch.size(2);
+  Tensor series({t, c});
+  std::copy(batch.data(), batch.data() + t * c, series.data());
+  request.series = series;
+  request.task = task;
+  return request;
+}
+
+TEST(EngineGraphTest, GraphEngineMatchesSequentialEngineBitwise) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
+  Rng rng(21);
+  model::RitaModel source(config, &rng);
+  serve::FrozenModel frozen(source);
+
+  serve::InferenceEngineOptions graph_options;
+  graph_options.use_graph_executor = true;
+  graph_options.cache_bytes = 0;
+  serve::InferenceEngine graph_engine(&frozen, graph_options);
+
+  serve::InferenceEngineOptions seq_options;
+  seq_options.use_graph_executor = false;
+  seq_options.cache_bytes = 0;
+  serve::InferenceEngine seq_engine(&frozen, seq_options);
+
+  Rng data_rng(3);
+  Tensor batch = Tensor::RandNormal({1, 60, 2}, &data_rng);
+  for (serve::ServeTask task : {serve::ServeTask::kClassify,
+                                serve::ServeTask::kEmbed,
+                                serve::ServeTask::kReconstruct}) {
+    serve::InferenceResponse via_graph =
+        graph_engine.Run(MakeRequest(batch, task));
+    serve::InferenceResponse via_seq = seq_engine.Run(MakeRequest(batch, task));
+    ASSERT_TRUE(via_graph.status.ok()) << via_graph.status.ToString();
+    ASSERT_TRUE(via_seq.status.ok()) << via_seq.status.ToString();
+    EXPECT_TRUE(BitEqual(via_graph.output, via_seq.output))
+        << "task " << static_cast<int>(task);
+  }
+
+  const serve::InferenceEngineStats graph_stats = graph_engine.stats();
+  EXPECT_EQ(graph_stats.graph_batches, 3u);
+  EXPECT_GT(graph_stats.graph_nodes, 0u);
+  EXPECT_GT(graph_stats.AvgGraphNodes(), 0.0);
+  EXPECT_GT(graph_stats.total_critical_path_ms, 0.0);
+  EXPECT_GT(graph_stats.graph_ready_high_water, 0);
+  EXPECT_EQ(seq_engine.stats().graph_batches, 0u);
+}
+
+TEST(EngineGraphTest, ThrowingForwardResolvesInternalAndEngineSurvives) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kGroup);
+  Rng rng(31);
+  model::RitaModel source(config, &rng);
+  serve::FrozenModel frozen(source);
+
+  std::atomic<bool> armed{true};
+  serve::InferenceEngineOptions options;
+  options.forward_fault_for_testing = [&armed] {
+    if (armed.exchange(false)) throw std::runtime_error("injected fault");
+  };
+  serve::InferenceEngine engine(&frozen, options);
+
+  Rng data_rng(17);
+  Tensor batch = Tensor::RandNormal({1, 60, 2}, &data_rng);
+
+  serve::InferenceResponse failed =
+      engine.Run(MakeRequest(batch, serve::ServeTask::kClassify));
+  EXPECT_EQ(failed.status.code(), StatusCode::kInternal);
+  EXPECT_NE(failed.status.ToString().find("injected fault"), std::string::npos);
+
+  // The worker slot freed and nothing was cached: the SAME request now
+  // computes (no stale hit) and succeeds.
+  serve::InferenceResponse retried =
+      engine.Run(MakeRequest(batch, serve::ServeTask::kClassify));
+  ASSERT_TRUE(retried.status.ok()) << retried.status.ToString();
+  EXPECT_FALSE(retried.cache_hit);
+
+  const serve::InferenceEngineStats stats = engine.stats();
+  EXPECT_EQ(stats.forward_failures, 1u);
+  EXPECT_EQ(stats.in_flight_batches, 0);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace rita

@@ -556,6 +556,70 @@ TEST(InferenceEngineTest, ShutdownDrainsQueueAndRejectsAfter) {
   EXPECT_FALSE(engine->Run(std::move(late)).status.ok());
 }
 
+// Per-task cache admission: a flood of large kReconstruct payloads may only
+// evict within its own budget slice — every resident kClassify entry must
+// survive and keep hitting.
+TEST(ResultCacheTest, ReconstructFloodCannotEvictClassifyEntries) {
+  ResultCache::Options options;
+  options.num_shards = 1;  // one LRU per task; makes the split exact
+  options.byte_budget = 64 << 10;
+  options.classify_fraction = 0.5;
+  options.reconstruct_fraction = 0.5;
+  options.embed_fraction = 0.0;  // collapses to a single-entry minimum slice
+  ResultCache cache(options);
+
+  // 16 classify entries of 256 floats = 16 KiB, well inside the 32 KiB slice.
+  std::vector<ResultCache::Key> classify_keys;
+  Rng rng(1);
+  for (int i = 0; i < 16; ++i) {
+    Tensor series = Tensor::RandNormal({8, 4}, &rng);
+    ResultCache::Key key =
+        ResultCache::MakeKey(/*model_fingerprint=*/7, ServeTask::kClassify, series);
+    cache.Insert(key, ServeTask::kClassify, Tensor::RandNormal({256}, &rng));
+    classify_keys.push_back(key);
+  }
+  const ResultCacheStats before = cache.stats();
+  ASSERT_EQ(before.entries_by_task[static_cast<int>(ServeTask::kClassify)], 16);
+
+  // Flood with reconstruct outputs of 4 KiB each: 32 inserts = 4x the whole
+  // reconstruct slice, forcing evictions — all of which must stay in-task.
+  for (int i = 0; i < 32; ++i) {
+    Tensor series = Tensor::RandNormal({16, 4}, &rng);
+    ResultCache::Key key = ResultCache::MakeKey(
+        /*model_fingerprint=*/7, ServeTask::kReconstruct, series);
+    cache.Insert(key, ServeTask::kReconstruct, Tensor::RandNormal({1024}, &rng));
+  }
+
+  const ResultCacheStats after = cache.stats();
+  EXPECT_GT(after.evictions, before.evictions) << "flood must overflow its slice";
+  EXPECT_EQ(after.entries_by_task[static_cast<int>(ServeTask::kClassify)], 16)
+      << "reconstruct evictions leaked into the classify slice";
+  EXPECT_LE(after.bytes_by_task[static_cast<int>(ServeTask::kReconstruct)],
+            options.byte_budget / 2);
+  for (const ResultCache::Key& key : classify_keys) {
+    Tensor out;
+    EXPECT_TRUE(cache.Lookup(key, &out)) << "classify entry evicted by flood";
+  }
+}
+
+// An output larger than its task's slice is refused outright rather than
+// wiping the slice for a single entry.
+TEST(ResultCacheTest, OversizedPayloadSkipsInsertion) {
+  ResultCache::Options options;
+  options.num_shards = 1;
+  options.byte_budget = 8 << 10;
+  ResultCache cache(options);
+  Rng rng(2);
+  Tensor series = Tensor::RandNormal({8, 4}, &rng);
+  ResultCache::Key key =
+      ResultCache::MakeKey(/*model_fingerprint=*/1, ServeTask::kEmbed, series);
+  // 16 KiB payload vs an 8 KiB budget split three ways: cannot fit.
+  cache.Insert(key, ServeTask::kEmbed, Tensor::RandNormal({4096}, &rng));
+  Tensor out;
+  EXPECT_FALSE(cache.Lookup(key, &out));
+  EXPECT_EQ(cache.stats().entries, 0);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace rita

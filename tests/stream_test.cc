@@ -644,6 +644,58 @@ TEST(StreamManagerTest, ComputeTelemetryPopulatedAndMonotone) {
   EXPECT_DOUBLE_EQ(per_model.total_compute_ms, second.total_compute_ms);
 }
 
+// Carry-free pipelining: pipeline_depth > 1 keeps several windows in flight
+// but harvests them in submission order, so results, scores and the stitched
+// timeline are bit-identical to the sequential (depth 1) session — across
+// ingestion chunk sizes, with the cache off so every window truly computes.
+TEST(StreamSessionTest, PipelinedWindowsBitIdenticalToSequential) {
+  Rig rig(/*cache_bytes=*/0, /*num_workers=*/2);
+  const Tensor series = MakeSeries(150, 2, 21);
+  for (StreamTask task : {StreamTask::kReconstruct, StreamTask::kClassify,
+                          StreamTask::kAnomaly}) {
+    StreamOptions options;
+    options.task = task;
+    options.window_length = 60;
+    options.hop = 30;
+    options.carry_context = false;  // pipelining precondition
+
+    options.pipeline_depth = 1;
+    const StreamRun sequential = FeedSeries(rig.manager.get(), options, series, 7);
+
+    options.pipeline_depth = 4;
+    const StreamRun pipelined = FeedSeries(rig.manager.get(), options, series, 7);
+    const StreamRun chunked = FeedSeries(rig.manager.get(), options, series, 150);
+
+    ASSERT_EQ(sequential.results.size(), pipelined.results.size());
+    for (size_t i = 0; i < sequential.results.size(); ++i) {
+      EXPECT_EQ(sequential.results[i].start, pipelined.results[i].start) << i;
+      EXPECT_TRUE(BitEqual(sequential.results[i].logits, pipelined.results[i].logits))
+          << i;
+      EXPECT_EQ(sequential.results[i].raw_score, pipelined.results[i].raw_score) << i;
+      EXPECT_EQ(sequential.results[i].score, chunked.results[i].score) << i;
+    }
+    EXPECT_TRUE(BitEqual(sequential.timeline, pipelined.timeline));
+    EXPECT_TRUE(BitEqual(sequential.timeline, chunked.timeline));
+  }
+}
+
+TEST(StreamManagerTest, PipeliningRequiresCarryFreeSessions) {
+  Rig rig;
+  StreamOptions options;
+  options.carry_context = true;
+  options.pipeline_depth = 4;
+  Result<int64_t> opened = rig.manager->Open(options);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+
+  options.pipeline_depth = 0;
+  options.carry_context = false;
+  EXPECT_FALSE(rig.manager->Open(options).ok());
+
+  options.pipeline_depth = 4;
+  EXPECT_TRUE(rig.manager->Open(options).ok());
+}
+
 }  // namespace
 }  // namespace stream
 }  // namespace rita
