@@ -45,6 +45,21 @@ class MultiHeadAttention : public nn::Module {
   int64_t num_heads() const { return num_heads_; }
   int64_t head_dim() const { return head_dim_; }
 
+  /// The four projections for freeze-time weight quantization:
+  /// 0 = wq, 1 = wk, 2 = wv, 3 = wo.
+  nn::Linear* projection(int which) {
+    switch (which) {
+      case 0:
+        return &wq_;
+      case 1:
+        return &wk_;
+      case 2:
+        return &wv_;
+      default:
+        return &wo_;
+    }
+  }
+
   /// Threads the execution context down to the per-head mechanism.
   void set_execution_context(ExecutionContext* context) {
     mechanism_->set_execution_context(context);

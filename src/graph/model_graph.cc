@@ -17,7 +17,6 @@ namespace {
 // Mutable slots the nodes of one layer communicate through. Nodes only read
 // slots their dependency edges guarantee are already written.
 struct LayerSlots {
-  ag::Variable in;   // layer input (written by the previous layer / frontend)
   ag::Variable q, k, v;  // split-head projections [B*H, n, d_head]
   Tensor attn_out;       // mechanism output buffer (group fine path)
   std::vector<core::InferenceGrouping> groupings;  // one per (batch*head) slice
@@ -79,25 +78,26 @@ ForwardGraphResult RunForwardGraph(model::RitaModel* model, ForwardTask task,
     attn::MultiHeadAttention* mha = layer->attention();
     const std::string tag = "L" + std::to_string(l);
 
-    // Layer input: the previous layer's output (or the frontend tokens).
-    // Written by a tiny forwarding node so every in-layer node can simply
-    // depend on its own layer's slots.
+    // Layer input: the previous layer's output (or the frontend tokens),
+    // read in place. Earlier revisions copied it through a per-layer `.in`
+    // forwarding node; that node is fused away — every consumer captures the
+    // producer's slot directly and depends on `prev_out_node` (transitively
+    // for the residual joins, whose projection inputs already carry the
+    // edge), which shrinks the graph by one node and one scheduling hop per
+    // layer without moving a single byte differently.
     ag::Variable* prev = l == 0 ? &tokens : &slots[l - 1].out;
-    const int64_t in_node =
-        g.AddNode(tag + ".in", [&slot, prev] { slot.in = *prev; });
-    g.AddEdge(prev_out_node, in_node);
 
     // QKV projections: three independent GEMM nodes.
     int64_t proj_node[3];
     for (int which = 0; which < 3; ++which) {
       proj_node[which] = g.AddNode(
           tag + (which == 0 ? ".q" : which == 1 ? ".k" : ".v"),
-          [&slot, mha, which] {
+          [&slot, mha, which, prev] {
             ag::Variable* dst =
                 which == 0 ? &slot.q : which == 1 ? &slot.k : &slot.v;
-            *dst = mha->ProjectHeads(which, slot.in);
+            *dst = mha->ProjectHeads(which, *prev);
           });
-      g.AddEdge(in_node, proj_node[which]);
+      g.AddEdge(prev_out_node, proj_node[which]);
     }
 
     attn::AttentionMechanism* mech = mha->mechanism();
@@ -120,9 +120,9 @@ ForwardGraphResult RunForwardGraph(model::RitaModel* model, ForwardTask task,
       const uint64_t stream = state->stream;
       const uint64_t seed = gmech->seed();
 
-      join_node = g.AddNode(tag + ".join", [&slot, layer, mha, b, n] {
+      join_node = g.AddNode(tag + ".join", [&slot, layer, mha, prev, b, n] {
         slot.h = layer->AttentionResidual(
-            slot.in, mha->MergeHeads(ag::Variable(slot.attn_out), b, n));
+            *prev, mha->MergeHeads(ag::Variable(slot.attn_out), b, n));
       });
 
       const int64_t tiles = TilesPerSlice(slices, n, exec->pool()->num_threads());
@@ -168,11 +168,11 @@ ForwardGraphResult RunForwardGraph(model::RitaModel* model, ForwardTask task,
       // Coarse fallback: one whole-mechanism node. Performer in particular
       // computes a global stabilisation shift over the whole [B*H, n] batch,
       // so a per-head split would change bits there.
-      join_node = g.AddNode(tag + ".attn", [&slot, layer, mha, state, b, n] {
+      join_node = g.AddNode(tag + ".attn", [&slot, layer, mha, state, prev, b, n] {
         slot.h = layer->AttentionResidual(
-            slot.in, mha->MergeHeads(
-                         mha->MechanismForward(slot.q, slot.k, slot.v, state),
-                         b, n));
+            *prev, mha->MergeHeads(
+                       mha->MechanismForward(slot.q, slot.k, slot.v, state),
+                       b, n));
       });
       for (int which = 0; which < 3; ++which) g.AddEdge(proj_node[which], join_node);
     }

@@ -48,6 +48,7 @@ class TransformerEncoderLayer : public nn::Module {
   ag::Variable FfnResidual(const ag::Variable& h);
 
   attn::MultiHeadAttention* attention() { return &mha_; }
+  nn::FeedForward* ffn() { return &ffn_; }
 
   void set_execution_context(ExecutionContext* context) {
     mha_.set_execution_context(context);

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/kernels/kernels.h"
+
 namespace rita {
 namespace nn {
 
@@ -22,8 +24,37 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
   }
 }
 
+void Linear::SetQuantizedWeight(const QuantizedTensor* qweight) {
+  if (qweight != nullptr) {
+    RITA_CHECK_EQ(qweight->rows(), in_features_);
+    RITA_CHECK_EQ(qweight->cols(), out_features_);
+    RITA_CHECK(qweight->precision() != Precision::kFp32)
+        << "attach a quantized weight or detach with null, not an fp32 stub";
+  }
+  qweight_ = qweight;
+}
+
 ag::Variable Linear::Forward(const ag::Variable& x) {
   RITA_CHECK_EQ(x.size(-1), in_features_);
+  if (qweight_ != nullptr && !ag::GradModeEnabled()) {
+    // Quantized serving path: the leading dims flatten to GEMM rows and the
+    // output tensor reuses the same contiguous layout, so no reshape copies.
+    Shape out_shape = x.shape();
+    out_shape.back() = out_features_;
+    const Tensor& in = x.data();
+    const int64_t rows = in.numel() / in_features_;
+    Tensor out_t(std::move(out_shape));
+    if (qweight_->precision() == Precision::kInt8) {
+      kernels::GemmInt8(in.data(), qweight_->int8_data(), qweight_->scales(),
+                        qweight_->col_sums(), out_t.data(), rows, out_features_,
+                        in_features_);
+    } else {
+      kernels::GemmBf16(in.data(), qweight_->bf16_data(), out_t.data(), rows,
+                        out_features_, in_features_);
+    }
+    ag::Variable out(std::move(out_t));
+    return has_bias_ ? ag::Add(out, bias_) : out;
+  }
   ag::Variable out;
   if (x.dim() == 2) {
     out = ag::MatMul(x, weight_);

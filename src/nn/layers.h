@@ -7,6 +7,7 @@
 
 #include "autograd/ops.h"
 #include "nn/module.h"
+#include "tensor/quantized_tensor.h"
 #include "util/rng.h"
 
 namespace rita {
@@ -23,11 +24,20 @@ class Linear : public Module {
   int64_t out_features() const { return out_features_; }
   ag::Variable weight() { return weight_; }
 
+  /// Frozen-serving override: while attached (borrowed; null detaches),
+  /// grad-free forwards run the reduced-precision GEMM kernels against
+  /// `qweight` instead of ag::MatMul against the fp32 parameter. Training
+  /// forwards (grad mode on) always use the fp32 weight, and the bias stays
+  /// fp32 in every mode. FrozenModel attaches these at freeze time.
+  void SetQuantizedWeight(const QuantizedTensor* qweight);
+  const QuantizedTensor* quantized_weight() const { return qweight_; }
+
  private:
   int64_t in_features_, out_features_;
   bool has_bias_;
   ag::Variable weight_;  // [in, out]
   ag::Variable bias_;    // [out]
+  const QuantizedTensor* qweight_ = nullptr;
 };
 
 /// LayerNorm over the last dim with learnable gamma/beta.
@@ -125,6 +135,10 @@ class FeedForward : public Module {
  public:
   FeedForward(int64_t dim, int64_t hidden_dim, float dropout, Rng* rng);
   ag::Variable Forward(const ag::Variable& x);
+
+  /// Projection access for freeze-time weight quantization.
+  Linear* fc1() { return &fc1_; }
+  Linear* fc2() { return &fc2_; }
 
  private:
   Linear fc1_, fc2_;

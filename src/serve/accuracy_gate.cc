@@ -1,0 +1,87 @@
+#include "serve/accuracy_gate.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace rita {
+namespace serve {
+
+namespace {
+
+double Mse(const Tensor& a, const Tensor& b) {
+  RITA_CHECK_EQ(a.numel(), b.numel());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  double sum = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+    sum += d * d;
+  }
+  return a.numel() == 0 ? 0.0 : sum / static_cast<double>(a.numel());
+}
+
+}  // namespace
+
+double ClassificationAgreement(const Tensor& ref_logits,
+                               const Tensor& variant_logits) {
+  RITA_CHECK_EQ(ref_logits.dim(), 2);
+  RITA_CHECK(ref_logits.shape() == variant_logits.shape());
+  const int64_t rows = ref_logits.size(0);
+  const int64_t classes = ref_logits.size(1);
+  if (rows == 0) return 1.0;
+  const float* ref = ref_logits.data();
+  const float* var = variant_logits.data();
+  int64_t matches = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t ref_arg = 0, var_arg = 0;
+    for (int64_t c = 1; c < classes; ++c) {
+      if (ref[r * classes + c] > ref[r * classes + ref_arg]) ref_arg = c;
+      if (var[r * classes + c] > var[r * classes + var_arg]) var_arg = c;
+    }
+    if (ref_arg == var_arg) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(rows);
+}
+
+double ReconstructionMseRatio(const Tensor& ref_out, const Tensor& variant_out,
+                              const Tensor& target) {
+  const double ref_mse = Mse(ref_out, target);
+  const double var_mse = Mse(variant_out, target);
+  if (ref_mse == 0.0) {
+    return var_mse == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return var_mse / ref_mse;
+}
+
+Status CheckAccuracyDelta(const FrozenModel& reference, const FrozenModel& variant,
+                          const Tensor& batch, const AccuracyGateOptions& options,
+                          AccuracyDeltaReport* report) {
+  AccuracyDeltaReport measured;
+  measured.classification_agreement = ClassificationAgreement(
+      reference.ClassLogits(batch), variant.ClassLogits(batch));
+  measured.reconstruction_mse_ratio = ReconstructionMseRatio(
+      reference.Reconstruct(batch), variant.Reconstruct(batch), batch);
+  if (report != nullptr) *report = measured;
+
+  if (measured.classification_agreement < options.min_agreement) {
+    std::ostringstream msg;
+    msg << "accuracy-delta gate: classification agreement "
+        << measured.classification_agreement << " below floor "
+        << options.min_agreement << " for " << PrecisionName(variant.precision())
+        << " variant";
+    return Status::InvalidArgument(msg.str());
+  }
+  if (!(measured.reconstruction_mse_ratio <= options.max_mse_ratio)) {
+    std::ostringstream msg;
+    msg << "accuracy-delta gate: reconstruction MSE ratio "
+        << measured.reconstruction_mse_ratio << " above ceiling "
+        << options.max_mse_ratio << " for " << PrecisionName(variant.precision())
+        << " variant";
+    return Status::InvalidArgument(msg.str());
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace rita

@@ -8,7 +8,8 @@
 namespace rita {
 namespace serve {
 
-FrozenModel::FrozenModel(model::RitaModel& source) : config_(source.config()) {
+FrozenModel::FrozenModel(model::RitaModel& source, Precision precision)
+    : config_(source.config()), precision_(precision) {
   // The replica never trains: no probs dropout, no residual dropout, no
   // snapshot collection (an O(n d) pass per head the scheduler would consume).
   config_.encoder.dropout = 0.0f;
@@ -52,7 +53,56 @@ FrozenModel::FrozenModel(model::RitaModel& source) : config_(source.config()) {
     num_groups_ = std::max(num_groups_, dst_groups[i]->num_groups());
   }
 
+  // Serving byte accounting starts from the full fp32 parameter footprint;
+  // QuantizeProjections subtracts the GEMM matrices it replaces.
+  for (const auto& named : model_->NamedParameters()) {
+    weight_bytes_ +=
+        static_cast<int64_t>(sizeof(float)) * named.second.data().numel();
+  }
+  if (precision_ != Precision::kFp32) QuantizeProjections();
+
   fingerprint_ = ComputeFingerprint();
+}
+
+void FrozenModel::QuantizeProjections() {
+  model::TransformerEncoder* encoder = model_->encoder();
+  for (int64_t l = 0; l < encoder->num_layers(); ++l) {
+    model::TransformerEncoderLayer* layer = encoder->layer(l);
+    nn::Linear* matrices[6] = {
+        layer->attention()->projection(0), layer->attention()->projection(1),
+        layer->attention()->projection(2), layer->attention()->projection(3),
+        layer->ffn()->fc1(),               layer->ffn()->fc2()};
+    for (nn::Linear* linear : matrices) {
+      ag::Variable weight = linear->weight();
+      const Tensor& w = weight.data();
+      auto q = std::make_unique<QuantizedTensor>(
+          precision_ == Precision::kInt8 ? QuantizedTensor::QuantizeInt8(w)
+                                         : QuantizedTensor::QuantizeBf16(w));
+      quantizable_fp32_bytes_ += static_cast<int64_t>(sizeof(float)) * w.numel();
+      quantized_bytes_ += q->WeightBytes();
+      linear->SetQuantizedWeight(q.get());
+      quantized_.push_back(std::move(q));
+    }
+  }
+  weight_bytes_ += quantized_bytes_ - quantizable_fp32_bytes_;
+}
+
+double FrozenModel::QuantizedBytesRatio() const {
+  if (precision_ == Precision::kFp32 || quantizable_fp32_bytes_ == 0) return 1.0;
+  return static_cast<double>(quantized_bytes_) /
+         static_cast<double>(quantizable_fp32_bytes_);
+}
+
+double FrozenModel::MemoryScale() const {
+  switch (precision_) {
+    case Precision::kInt8:
+      return 0.5;
+    case Precision::kBf16:
+      return 2.0 / 3.0;
+    case Precision::kFp32:
+    default:
+      return 1.0;
+  }
 }
 
 uint64_t FrozenModel::ComputeFingerprint() const {
@@ -92,6 +142,24 @@ uint64_t FrozenModel::ComputeFingerprint() const {
   for (const auto* mech : model_->GroupMechanisms()) {
     h = Fnv1a64Value(mech->num_groups(), h);
     h = Fnv1a64Value(mech->seed(), h);
+  }
+  // Serving precision: an int8/bf16 variant computes a (slightly) different
+  // function from the fp32 replica of the same source, so result-cache
+  // entries must never alias across variants. Hash the quantized payloads
+  // too, not just the enum — the bytes the serving GEMMs actually read.
+  h = Fnv1a64Value(static_cast<int32_t>(precision_), h);
+  for (const auto& q : quantized_) {
+    if (q->precision() == Precision::kInt8) {
+      h = Fnv1a64(q->int8_data(),
+                  static_cast<size_t>(q->rows()) * static_cast<size_t>(q->cols()),
+                  h);
+      h = Fnv1a64(q->scales(), sizeof(float) * static_cast<size_t>(q->cols()), h);
+    } else {
+      h = Fnv1a64(q->bf16_data(),
+                  sizeof(uint16_t) * static_cast<size_t>(q->rows()) *
+                      static_cast<size_t>(q->cols()),
+                  h);
+    }
   }
   return h;
 }

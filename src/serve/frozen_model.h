@@ -14,9 +14,11 @@
 #define RITA_SERVE_FROZEN_MODEL_H_
 
 #include <memory>
+#include <vector>
 
 #include "graph/model_graph.h"
 #include "model/rita_model.h"
+#include "tensor/quantized_tensor.h"
 
 namespace rita {
 namespace serve {
@@ -26,12 +28,48 @@ class FrozenModel {
   /// Deep-copies `source`'s parameters, buffers and group-attention runtime
   /// state (seeds, scheduler-adapted group counts) into the frozen replica.
   /// The source is left untouched and may keep training afterwards.
-  explicit FrozenModel(model::RitaModel& source);
+  ///
+  /// `precision` selects the serving weight format: kFp32 is the untouched
+  /// bitwise-gated path; kInt8 / kBf16 quantize the replica's Q/K/V/output
+  /// projections and FFN matrices at freeze time (per-output-channel
+  /// symmetric int8 / bf16 truncation — see tensor/quantized_tensor.h) and
+  /// route every forward, sequential or graph-lowered, through the quantized
+  /// GEMM kernels. Norms, biases, the frontend and the task heads stay fp32.
+  /// Quantized variants trade bit-identity for an accuracy-delta gate
+  /// (serve/accuracy_gate.h); freeze one source at several precisions and
+  /// register them side by side for A/B serving.
+  explicit FrozenModel(model::RitaModel& source,
+                       Precision precision = Precision::kFp32);
 
   FrozenModel(const FrozenModel&) = delete;
   FrozenModel& operator=(const FrozenModel&) = delete;
 
   const model::RitaConfig& config() const { return config_; }
+
+  /// Serving weight format selected at freeze time.
+  Precision precision() const { return precision_; }
+
+  /// Bytes of weight data the serving path actually reads: every parameter
+  /// at fp32 except the quantized GEMM matrices, which are counted at their
+  /// QuantizedTensor footprint (payload + scales + correction sums).
+  int64_t WeightBytes() const { return weight_bytes_; }
+
+  /// Quantized-over-fp32 byte ratio of the GEMM-path matrices alone (the
+  /// Q/K/V/output projections and FFN weights); 1.0 for the fp32 variant.
+  /// This is the footprint metric the BENCH_quant CI gate bounds (~0.28 for
+  /// int8, 0.5 for bf16) — unquantized smalls (norms, biases) are excluded
+  /// so the ratio reflects the quantization itself, not the model mix.
+  double QuantizedBytesRatio() const;
+
+  /// Per-sample working-set charge relative to fp32 for the planner's
+  /// forward-only ceiling probe. Roughly two thirds of a serving forward's
+  /// streamed bytes are GEMM panels (weights + activations) that shrink with
+  /// the weight precision — to ~1/4 for int8 (1-byte weights, u8 dynamic
+  /// activations) and 1/2 for bf16 — while the score/softmax stage stays
+  /// fp32: blended charge 1.0 (fp32), 2/3 (bf16), 1/2 (int8). The
+  /// AdaptivePlanner divides its memory fraction by this, raising the int8
+  /// batch ceiling ~2x over fp32.
+  double MemoryScale() const;
 
   /// Largest group count across the replica's group-attention layers (0 when
   /// the model uses another attention kind). The engine feeds this to the
@@ -101,9 +139,22 @@ class FrozenModel {
 
   uint64_t ComputeFingerprint() const;
 
+  /// Freeze-time pass for kInt8/kBf16: quantizes every encoder layer's
+  /// Q/K/V/output projection and FFN matrices into owned QuantizedTensors and
+  /// attaches them to the replica's Linear layers, accumulating the byte
+  /// accounting that WeightBytes()/QuantizedBytesRatio() report.
+  void QuantizeProjections();
+
   model::RitaConfig config_;
+  Precision precision_ = Precision::kFp32;
   int64_t num_groups_ = 0;
   uint64_t fingerprint_ = 0;
+  int64_t weight_bytes_ = 0;             // serving-path bytes, all params
+  int64_t quantizable_fp32_bytes_ = 0;   // fp32 bytes of the GEMM matrices
+  int64_t quantized_bytes_ = 0;          // their quantized footprint
+  // Owned quantized weights; unique_ptr keeps addresses stable for the
+  // borrowed pointers the replica's Linear layers hold.
+  std::vector<std::unique_ptr<QuantizedTensor>> quantized_;
   // Logically immutable after construction; forwards with explicit state
   // mutate nothing (the reentrancy contract), so const methods are sound.
   mutable std::unique_ptr<model::RitaModel> model_;

@@ -73,6 +73,14 @@ void InferenceEngine::Start() {
   // and exposes per-model state for stats(); analytic planners only cap.
   adaptive_planner_ = dynamic_cast<AdaptivePlanner*>(options_.planner);
   registry_->Freeze();
+  if (adaptive_planner_ != nullptr) {
+    // Reduced-precision variants charge a smaller per-sample working set; the
+    // planner's ceiling probe must see that before the first bucket forms,
+    // or an int8 model would serve under its fp32 sibling's batch ceiling.
+    for (int64_t id = 0; id < registry_->size(); ++id) {
+      adaptive_planner_->SetModelMemoryScale(id, registry_->MemoryScale(id));
+    }
+  }
   if (options_.cache_bytes > 0) {
     ResultCache::Options cache_options;
     cache_options.byte_budget = options_.cache_bytes;
@@ -293,11 +301,10 @@ void InferenceEngine::WorkerLoop() {
       more = !queue_.empty();
     }
     if (more) cv_.notify_one();
+    // ExecuteBatch decrements in_flight_batches_ itself, BEFORE it fulfils
+    // any rider's promise: a client that reads stats() the instant its
+    // future resolves must not see its own finished batch still in flight.
     ExecuteBatch(std::move(batch));
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_batches_;
-    }
   }
 }
 
@@ -388,6 +395,10 @@ void InferenceEngine::ExecuteBatch(std::vector<ScheduledRequest> batch) {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.forward_failures;
       ++model_stats_[static_cast<size_t>(model_id)].forward_failures;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_batches_;
     }
     for (int64_t i = 0; i < b; ++i) {
       InferenceResponse response;
@@ -483,6 +494,10 @@ void InferenceEngine::ExecuteBatch(std::vector<ScheduledRequest> batch) {
       bump_graph(per_model);
     }
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_batches_;
+  }
   for (int64_t i = 0; i < b; ++i) {
     batch[i].promise.set_value(std::move(responses[static_cast<size_t>(i)]));
   }
@@ -566,6 +581,11 @@ InferenceEngineStats InferenceEngine::model_stats(int64_t model_id) const {
     snapshot = model_stats_[static_cast<size_t>(model_id)];
   }
   snapshot.queue_depth = queue_.DepthForModel(model_id);
+  if (const FrozenModel* model = registry_->Get(model_id)) {
+    snapshot.precision = model->precision();
+    snapshot.weight_bytes = model->WeightBytes();
+    snapshot.weight_bytes_ratio = model->QuantizedBytesRatio();
+  }
   if (adaptive_planner_ != nullptr) {
     const AdaptivePlanner::Snapshot planner =
         adaptive_planner_->ModelSnapshot(model_id);

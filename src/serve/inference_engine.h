@@ -145,10 +145,15 @@ struct InferenceEngineStats {
   int64_t planner_ceiling = 0;
   int64_t planner_seed_batch = 0;
 
-  /// Deprecated aggregate of the rejection split; prefer the split fields.
-  uint64_t rejected() const {
-    return rejected_invalid + rejected_backpressure + rejected_hopeless;
-  }
+  // Precision identity of the model (model_stats() only; aggregate stats()
+  // leaves the defaults): the serving weight format, the bytes its weights
+  // actually occupy, and the GEMM-matrix footprint relative to fp32
+  // (FrozenModel::QuantizedBytesRatio — the metric BENCH_quant gates). A
+  // registry serving `m` next to `m@int8` shows the two variants' footprints
+  // side by side here and in bench_table8.
+  Precision precision = Precision::kFp32;
+  int64_t weight_bytes = 0;
+  double weight_bytes_ratio = 1.0;
 
   double AvgQueueMs() const {
     const uint64_t computed = completed - cache_hits;

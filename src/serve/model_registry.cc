@@ -18,6 +18,15 @@ int64_t ModelRegistry::Register(std::string name, const FrozenModel* model) {
   return static_cast<int64_t>(entries_.size()) - 1;
 }
 
+int64_t ModelRegistry::RegisterVariant(const std::string& base_name,
+                                       const FrozenModel* model) {
+  RITA_CHECK(model != nullptr);
+  RITA_CHECK(model->precision() != Precision::kFp32)
+      << "fp32 models register under their base name; @-suffixes are for "
+         "reduced-precision variants";
+  return Register(base_name + "@" + PrecisionName(model->precision()), model);
+}
+
 const FrozenModel* ModelRegistry::Get(int64_t id) const {
   if (id < 0 || id >= size()) return nullptr;
   return entries_[static_cast<size_t>(id)].model;
@@ -33,6 +42,21 @@ int64_t ModelRegistry::Find(const std::string& name) const {
 int64_t ModelRegistry::NumGroups(int64_t id) const {
   const FrozenModel* model = Get(id);
   return model == nullptr ? 0 : model->num_groups();
+}
+
+Precision ModelRegistry::PrecisionOf(int64_t id) const {
+  const FrozenModel* model = Get(id);
+  return model == nullptr ? Precision::kFp32 : model->precision();
+}
+
+int64_t ModelRegistry::WeightBytes(int64_t id) const {
+  const FrozenModel* model = Get(id);
+  return model == nullptr ? 0 : model->WeightBytes();
+}
+
+double ModelRegistry::MemoryScale(int64_t id) const {
+  const FrozenModel* model = Get(id);
+  return model == nullptr ? 1.0 : model->MemoryScale();
 }
 
 const std::string& ModelRegistry::name(int64_t id) const {

@@ -283,6 +283,29 @@ TEST(ModelGraphTest, GraphForwardIsDeterministic) {
   }
 }
 
+// The per-layer `.in` forwarding nodes are fused into their consumers: a
+// vanilla model's graph is exactly frontend + head + 5 nodes per layer
+// (q/k/v projections, attention join, FFN) — one node fewer per layer than
+// the pre-fusion shape — and the fusion is invisible in the bits.
+TEST(ModelGraphTest, InForwardingNodesAreFusedAway) {
+  model::RitaConfig config = SmallConfig(attn::AttentionKind::kVanilla);
+  Rng rng(29);
+  model::RitaModel source(config, &rng);
+  serve::FrozenModel frozen(source);
+  Rng data_rng(11);
+  Tensor batch = Tensor::RandNormal({2, 60, 2}, &data_rng);
+
+  Tensor want = frozen.ClassLogits(batch);
+
+  ThreadPool pool(4);
+  ExecutionContext exec(&pool);
+  GraphRunStats stats;
+  Tensor got = frozen.ForwardGraph(ForwardTask::kClassLogits, batch, nullptr,
+                                   nullptr, &exec, &stats);
+  EXPECT_TRUE(BitEqual(want, got));
+  EXPECT_EQ(stats.nodes, 2 + 5 * config.encoder.num_layers);
+}
+
 // ---------------------------------------------------------------------------
 // Engine wiring: graph executor behind the serve stack
 // ---------------------------------------------------------------------------

@@ -10,8 +10,11 @@
 #include <limits>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/group_attention.h"
 #include "linalg/kernels/kernels.h"
+#include "tensor/quantized_tensor.h"
 #include "tensor/tensor.h"
 #include "util/execution_context.h"
 #include "util/rng.h"
@@ -471,6 +474,222 @@ TEST_F(KernelBackendsTest, KernelsAreDeterministic) {
     t.exp_array(in.data(), a.data(), rows * len);
     t.exp_array(in.data(), b.data(), rows * len);
     for (int64_t i = 0; i < rows * len; ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Quantized weight storage + int8 / bf16 GEMM kernels
+// --------------------------------------------------------------------------
+
+float FloatFromBits(uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, 4);
+  return f;
+}
+
+TEST(QuantizedTensorTest, Int8PerChannelScaleRecoveryAndRoundTrip) {
+  Rng rng(50);
+  const int64_t k = 13, n = 9;
+  Tensor w({k, n});
+  std::vector<float> amax(n, 0.0f);
+  for (int64_t i = 0; i < k * n; ++i) {
+    w.data()[i] = -1.5f + 3.0f * static_cast<float>(rng.Uniform());
+  }
+  for (int64_t kk = 0; kk < k; ++kk) {
+    for (int64_t j = 0; j < n; ++j) {
+      amax[j] = std::max(amax[j], std::fabs(w.data()[kk * n + j]));
+    }
+  }
+
+  QuantizedTensor q = QuantizedTensor::QuantizeInt8(w);
+  EXPECT_EQ(q.precision(), Precision::kInt8);
+  EXPECT_EQ(q.rows(), k);
+  EXPECT_EQ(q.cols(), n);
+  // Per-channel scale recovery: exactly amax / 127 per column.
+  for (int64_t j = 0; j < n; ++j) {
+    EXPECT_EQ(q.scales()[j], amax[j] / 127.0f) << "column " << j;
+  }
+  // Round trip: every entry within half a quantization step of its source,
+  // and col_sums really are the payload column sums.
+  Tensor back = q.Dequantize();
+  std::vector<int32_t> sums(n, 0);
+  for (int64_t kk = 0; kk < k; ++kk) {
+    for (int64_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(back.data()[kk * n + j], w.data()[kk * n + j],
+                  0.5f * q.scales()[j] + 1e-6f);
+      sums[j] += q.int8_data()[kk * n + j];
+    }
+  }
+  for (int64_t j = 0; j < n; ++j) EXPECT_EQ(q.col_sums()[j], sums[j]);
+  // Footprint: 1-byte payload + fp32 scale + int32 col_sum per column.
+  EXPECT_EQ(q.WeightBytes(), k * n + 4 * n + 4 * n);
+}
+
+TEST(QuantizedTensorTest, Int8SaturationEdgesAndZeroColumns) {
+  // Column 0: extremes map to exactly +-127 (never -128). Column 1: all
+  // zeros -> zero scale, zero payload, and the GEMM emits exact 0.0f.
+  const int64_t k = 4, n = 2;
+  Tensor w({k, n});
+  const float col0[k] = {3.0f, -3.0f, 1.5f, -0.75f};
+  for (int64_t kk = 0; kk < k; ++kk) {
+    w.data()[kk * n + 0] = col0[kk];
+    w.data()[kk * n + 1] = 0.0f;
+  }
+  QuantizedTensor q = QuantizedTensor::QuantizeInt8(w);
+  EXPECT_EQ(q.int8_data()[0 * n + 0], 127);
+  EXPECT_EQ(q.int8_data()[1 * n + 0], -127);
+  for (int64_t i = 0; i < k * n; ++i) {
+    EXPECT_GE(q.int8_data()[i], -127) << "-128 must never be emitted";
+    EXPECT_LE(q.int8_data()[i], 127);
+  }
+  EXPECT_EQ(q.scales()[1], 0.0f);
+  EXPECT_EQ(q.col_sums()[1], 0);
+  for (int64_t kk = 0; kk < k; ++kk) EXPECT_EQ(q.int8_data()[kk * n + 1], 0);
+
+  Rng rng(51);
+  std::vector<float> a = RandomVec(3 * k, &rng);
+  std::vector<float> c(3 * n, -1.0f);
+  Table(Backend::kScalar)
+      .gemm_i8(a.data(), q.int8_data(), q.scales(), q.col_sums(), c.data(), 3,
+               n, k, 0, 3);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(c[i * n + 1], 0.0f) << "zero column must dequantize to exact 0";
+  }
+}
+
+TEST(QuantizedTensorTest, Bf16RoundTripIsRoundToNearestEven) {
+  EXPECT_EQ(Bf16FromFloat(1.0f), 0x3F80u);
+  EXPECT_EQ(Bf16ToFloat(0x3F80u), 1.0f);
+  EXPECT_EQ(Bf16FromFloat(0.0f), 0x0000u);
+  EXPECT_EQ(Bf16FromFloat(-2.0f), 0xC000u);
+  // Exactly-halfway mantissas round to the even bf16 neighbour: down when
+  // the kept LSB is already 0, up when it is 1.
+  EXPECT_EQ(Bf16FromFloat(FloatFromBits(0x3F808000u)), 0x3F80u);
+  EXPECT_EQ(Bf16FromFloat(FloatFromBits(0x3F818000u)), 0x3F82u);
+  // Just above halfway always rounds up.
+  EXPECT_EQ(Bf16FromFloat(FloatFromBits(0x3F808001u)), 0x3F81u);
+  // Widening then re-rounding is the identity on every finite bf16 payload.
+  Rng rng(52);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const uint16_t h =
+        static_cast<uint16_t>(rng.Uniform() * 65535.0) & 0x7F7Fu;  // finite
+    EXPECT_EQ(Bf16FromFloat(Bf16ToFloat(h)), h);
+  }
+  // Relative error of one round trip is bounded by the 8-bit mantissa.
+  for (int trial = 0; trial < 1000; ++trial) {
+    const float x = -8.0f + 16.0f * static_cast<float>(rng.Uniform());
+    const float y = Bf16ToFloat(Bf16FromFloat(x));
+    EXPECT_NEAR(y, x, std::fabs(x) / 256.0f + 1e-38f);
+  }
+}
+
+// The int8 GEMM is bit-identical across backends BY DESIGN (shared
+// activation quantizer, exact int32 accumulation, identical epilogue
+// expression), so this gate is EXPECT_EQ, not a tolerance: any maddubs lane
+// mistake, tail mishandling, or epilogue reassociation fails loudly.
+TEST_F(KernelBackendsTest, GemmInt8ScalarVsSimdBitIdentical) {
+  Rng rng(53);
+  // Shapes hit: 16-col blocks, <16 tails, odd k (the zero-padded final
+  // maddubs pair), k=1, single rows, and row sharding.
+  const int64_t shapes[][3] = {{1, 1, 1},   {2, 16, 8},  {3, 17, 7},
+                               {4, 16, 9},  {5, 33, 16}, {3, 5, 3},
+                               {8, 40, 31}, {2, 15, 2},  {7, 64, 24}};
+  for (const auto& s : shapes) {
+    const int64_t m = s[0], n = s[1], k = s[2];
+    Tensor w({k, n});
+    for (int64_t i = 0; i < k * n; ++i) {
+      w.data()[i] = -2.0f + 4.0f * static_cast<float>(rng.Uniform());
+    }
+    QuantizedTensor q = QuantizedTensor::QuantizeInt8(w);
+    // Asymmetric activation range forces a nonzero zero point, exercising
+    // the col_sums correction in both epilogues.
+    std::vector<float> a = RandomVec(m * k, &rng, -1.0f, 5.0f);
+    std::vector<float> c1(m * n), c2(m * n);
+    scalar().gemm_i8(a.data(), q.int8_data(), q.scales(), q.col_sums(),
+                     c1.data(), m, n, k, 0, m);
+    simd().gemm_i8(a.data(), q.int8_data(), q.scales(), q.col_sums(),
+                   c2.data(), m, n, k, 0, m);
+    for (int64_t i = 0; i < m * n; ++i) {
+      EXPECT_EQ(c1[i], c2[i]) << "m=" << m << " n=" << n << " k=" << k
+                              << " at " << i;
+    }
+    if (m > 2) {
+      std::vector<float> c3(m * n);
+      simd().gemm_i8(a.data(), q.int8_data(), q.scales(), q.col_sums(),
+                     c3.data(), m, n, k, 0, 2);
+      simd().gemm_i8(a.data(), q.int8_data(), q.scales(), q.col_sums(),
+                     c3.data(), m, n, k, 2, m);
+      for (int64_t i = 0; i < m * n; ++i) EXPECT_EQ(c2[i], c3[i]);
+    }
+  }
+}
+
+// On an integer lattice the whole pipeline is exact: activations spanning
+// [-64, 63] quantize with inv = 1 (zero point 64), weights with per-column
+// amax 127 quantize with scale 1 — so both backends must produce the exact
+// integer dot products as floats, proving the zero-point correction and the
+// per-channel dequantization epilogue introduce no error of their own.
+TEST_F(KernelBackendsTest, GemmInt8ExactOnIntegerLattice) {
+  Rng rng(54);
+  const int64_t m = 4, n = 19, k = 12;
+  std::vector<float> a(m * k);
+  for (int64_t i = 0; i < m; ++i) {
+    a[i * k] = -64.0f;  // pin the row range to exactly [-64, 63]
+    a[i * k + 1] = 63.0f;
+    for (int64_t kk = 2; kk < k; ++kk) {
+      a[i * k + kk] =
+          static_cast<float>(static_cast<int>(rng.Uniform() * 128.0) - 64);
+    }
+  }
+  Tensor w({k, n});
+  for (int64_t j = 0; j < n; ++j) {
+    w.data()[0 * n + j] = (j % 2 == 0) ? 127.0f : -127.0f;  // pin amax
+    for (int64_t kk = 1; kk < k; ++kk) {
+      w.data()[kk * n + j] =
+          static_cast<float>(static_cast<int>(rng.Uniform() * 255.0) - 127);
+    }
+  }
+  QuantizedTensor q = QuantizedTensor::QuantizeInt8(w);
+  for (const Backend backend : {Backend::kScalar, Backend::kSimd}) {
+    std::vector<float> c(m * n);
+    Table(backend).gemm_i8(a.data(), q.int8_data(), q.scales(), q.col_sums(),
+                           c.data(), m, n, k, 0, m);
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        double want = 0.0;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          want += static_cast<double>(a[i * k + kk]) *
+                  static_cast<double>(w.data()[kk * n + j]);
+        }
+        EXPECT_EQ(c[i * n + j], static_cast<float>(want))
+            << BackendName(backend) << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST_F(KernelBackendsTest, GemmBf16MatchesDequantizedReference) {
+  Rng rng(55);
+  const int64_t shapes[][3] = {{1, 1, 1},  {2, 16, 8},  {3, 17, 7},
+                               {5, 33, 16}, {8, 40, 31}, {4, 15, 9}};
+  for (const auto& s : shapes) {
+    const int64_t m = s[0], n = s[1], k = s[2];
+    Tensor w({k, n});
+    for (int64_t i = 0; i < k * n; ++i) {
+      w.data()[i] = -1.5f + 3.0f * static_cast<float>(rng.Uniform());
+    }
+    QuantizedTensor q = QuantizedTensor::QuantizeBf16(w);
+    Tensor wide = q.Dequantize();
+    std::vector<float> a = RandomVec(m * k, &rng, -1.5f, 1.5f);
+    std::vector<float> ref(m * n), c1(m * n), c2(m * n);
+    // The scalar bf16 kernel mirrors the fp32 NN loop with exact widening,
+    // so it must match an fp32 GEMM over the widened weights bit for bit.
+    scalar().gemm(a.data(), wide.data(), ref.data(), m, n, k, false, false, 0, m);
+    scalar().gemm_bf16(a.data(), q.bf16_data(), c1.data(), m, n, k, 0, m);
+    for (int64_t i = 0; i < m * n; ++i) EXPECT_EQ(ref[i], c1[i]);
+    // The AVX2 kernel uses FMA tiling: tolerance-gated like the fp32 GEMM.
+    simd().gemm_bf16(a.data(), q.bf16_data(), c2.data(), m, n, k, 0, m);
+    ExpectClose(c1, c2, 1e-4f, "gemm_bf16");
   }
 }
 
