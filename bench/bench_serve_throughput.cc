@@ -1,4 +1,4 @@
-// Serving benchmarks for the layered engine, four parts:
+// Serving benchmarks for the layered engine, five parts:
 //
 // 1. Throughput sweep (unchanged shape): requests/sec through the engine as
 //    a function of (client threads) x (micro-batch cap). One frozen group-
@@ -31,16 +31,26 @@
 //    (the plan gates are deterministic; the throughput gate is loose
 //    because quick-scale timing on shared runners is noisy).
 //
+// 5. Observability overhead: the full workload with the metrics registry on
+//    (it always is) and tracing off, versus 1-in-8 sampled tracing. Emits
+//    BENCH_obs.json next to the --json document with the overhead ratio and
+//    hard-fails (RITA_CHECK, non-zero exit => CI gate) if the Prometheus
+//    exposition is missing any engine metric family, the trace dump of the
+//    sampled run is empty, or the latency-histogram percentiles are insane.
+//
 // Every part lands in the --json document; the priority cell also samples
 // stats() mid-burst to report instantaneous queue depth / in-flight batches
 // (the snapshot is taken under the queue mutex, so it is consistent).
 #include <algorithm>
 #include <cstring>
 #include <future>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/adaptive_planner.h"
 #include "serve/inference_engine.h"
 #include "serve/telemetry.h"
@@ -435,6 +445,125 @@ void RunAdaptiveSweep(const Workload& workload, const BenchScale& scale,
   json->Add("adaptive/plan_within_ceiling", 1.0, "bool");
 }
 
+/// Part 5: cost of the observability layer on the hot path. The metrics
+/// registry has no off switch (lock-free counters are the EngineStats
+/// backing store), so the measured split is tracing off — the recommended
+/// production default — against 1-in-8 sampled tracing. Best-of-N passes on
+/// a warmed engine; the ratio is gated by bench/baselines/BENCH_obs.json
+/// (conservative floor — quick-scale timing on shared runners is noisy; the
+/// ~2% tracing-off design target is checked in review, not hard-gated).
+void RunObsOverhead(const Workload& workload, const BenchScale& scale,
+                    const std::string& json_path) {
+  std::printf("=== Observability: tracing off vs 1-in-8 sampled ===\n");
+  BenchJsonWriter json("obs_overhead");
+  const int kClients = 8;
+  const int kPasses = scale.quick ? 2 : 3;
+
+  serve::InferenceEngineOptions options;
+  options.num_workers = 2;
+  options.max_micro_batch = 32;
+  options.context = workload.context;
+  options.cache_bytes = 0;  // every request computes in both modes
+
+  obs::ClearTraceForTesting();
+  double rps_off = 0.0;
+  std::string prometheus;
+  {
+    obs::SetTracingForTesting(0);
+    serve::InferenceEngine engine(workload.frozen, options);
+    RunEnginePass(workload, engine, kClients);  // warmup
+    for (int pass = 0; pass < kPasses; ++pass) {
+      rps_off = std::max(rps_off, RunEnginePass(workload, engine, kClients));
+    }
+    prometheus = engine.PrometheusText();
+    // CI gate: the latency histograms behind the exposition must have seen
+    // the load and report ordered, positive percentiles.
+    const obs::HistogramSnapshot compute =
+        engine.metrics()
+            .GetHistogram("rita_compute_latency_ms", "", {})
+            ->Snapshot();
+    const obs::HistogramSnapshot queue =
+        engine.metrics()
+            .GetHistogram("rita_queue_latency_ms", "", {})
+            ->Snapshot();
+    RITA_CHECK_GT(compute.Count(), 0u);
+    RITA_CHECK_GT(compute.Quantile(0.99), 0.0);
+    RITA_CHECK_LE(compute.Quantile(0.5), compute.Quantile(0.99))
+        << "compute-latency percentiles out of order";
+    RITA_CHECK_LE(queue.Quantile(0.5), queue.Quantile(0.99))
+        << "queue-latency percentiles out of order";
+  }
+  // CI gate: every EngineStats-backed family must appear in the exposition —
+  // a renamed metric must not silently vanish from scrapes.
+  for (const char* family :
+       {"rita_requests_completed_total", "rita_requests_rejected_total",
+        "rita_batches_total", "rita_cache_hits_total",
+        "rita_cache_misses_total", "rita_deadline_missed_total",
+        "rita_forward_failures_total", "rita_graph_batches_total",
+        "rita_graph_nodes_total", "rita_queue_latency_ms",
+        "rita_compute_latency_ms", "rita_micro_batch_size",
+        "rita_graph_critical_path_ms", "rita_graph_idle_ms",
+        "rita_micro_batch_max", "rita_compute_latency_max_ms",
+        "rita_graph_ready_high_water", "rita_queue_depth",
+        "rita_in_flight_batches", "rita_cache_bytes", "rita_cache_entries",
+        "rita_model_weight_bytes", "rita_model_precision"}) {
+    RITA_CHECK(prometheus.find(family) != std::string::npos)
+        << "Prometheus exposition is missing metric family " << family;
+  }
+
+  double rps_sampled = 0.0;
+  {
+    obs::SetTracingForTesting(8);
+    serve::InferenceEngine engine(workload.frozen, options);
+    RunEnginePass(workload, engine, kClients);  // warmup
+    for (int pass = 0; pass < kPasses; ++pass) {
+      rps_sampled =
+          std::max(rps_sampled, RunEnginePass(workload, engine, kClients));
+    }
+  }
+  obs::SetTracingForTesting(obs::kTracingFromEnv);
+
+  // CI gate: the sampled run must actually have traced request lifecycles.
+  RITA_CHECK_GT(obs::TraceEventCount(), 0u)
+      << "sampled tracing recorded no events";
+  std::ostringstream dump;
+  obs::DumpTraceTo(dump);
+  const std::string trace = dump.str();
+  for (const char* needle :
+       {"\"traceEvents\"", "\"admission\"", "\"batch_forward\"",
+        "\"request\""}) {
+    RITA_CHECK(trace.find(needle) != std::string::npos)
+        << "trace dump is missing " << needle;
+  }
+  obs::ClearTraceForTesting();
+
+  const double ratio = rps_sampled / rps_off;
+  std::printf("%-34s %12.1f\n", "req/s (tracing off)", rps_off);
+  std::printf("%-34s %12.1f (%.3fx)\n", "req/s (1-in-8 sampled)", rps_sampled,
+              ratio);
+  std::printf("%-34s %12s\n\n", "exposition / trace dump", "complete");
+  // Loose in-binary floor; the baseline gates the tracked ratio.
+  RITA_CHECK_GE(ratio, 0.7)
+      << "sampled tracing cost more than 30% of throughput";
+
+  json.Add("obs/requests_per_sec_tracing_off", rps_off, "req/s");
+  json.Add("obs/requests_per_sec_tracing_sampled", rps_sampled, "req/s");
+  json.Add("obs/tracing_overhead_ratio", ratio, "x");
+  json.Add("obs/prometheus_complete", 1.0, "bool");
+  json.Add("obs/trace_dump_nonempty", 1.0, "bool");
+  json.Add("obs/percentiles_sane", 1.0, "bool");
+  RITA_CHECK(json.WriteTo(json_path)) << "failed to write " << json_path;
+}
+
+// BENCH_obs.json lands in the same directory as the --json document so the
+// regression gate finds both under --run-dir.
+std::string ObsJsonPath(const std::string& json_path) {
+  if (json_path.empty()) return "";
+  const size_t slash = json_path.find_last_of('/');
+  if (slash == std::string::npos) return "BENCH_obs.json";
+  return json_path.substr(0, slash + 1) + "BENCH_obs.json";
+}
+
 void Run(const BenchScale& scale) {
   std::printf("=== Serving: throughput, priority mix, result cache ===\n\n");
 
@@ -472,6 +601,7 @@ void Run(const BenchScale& scale) {
   RunPriorityMix(workload, scale, &json);
   RunCacheSweep(workload, scale, &json);
   RunAdaptiveSweep(workload, scale, &json);
+  RunObsOverhead(workload, scale, ObsJsonPath(scale.json_path));
 
   RITA_CHECK(json.WriteTo(scale.json_path)) << "failed to write " << scale.json_path;
   std::printf("series written to bench_serve_throughput.csv\n");

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/group_attention.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 
@@ -93,6 +94,9 @@ ForwardGraphResult RunForwardGraph(model::RitaModel* model, ForwardTask task,
       proj_node[which] = g.AddNode(
           tag + (which == 0 ? ".q" : which == 1 ? ".k" : ".v"),
           [&slot, mha, which, prev] {
+            // Kernel span: traced requests see the projection GEMM separately
+            // from the node's scheduling envelope.
+            obs::Span span("qkv_projection_gemm", "kernel");
             ag::Variable* dst =
                 which == 0 ? &slot.q : which == 1 ? &slot.k : &slot.v;
             *dst = mha->ProjectHeads(which, *prev);
@@ -130,6 +134,7 @@ ForwardGraphResult RunForwardGraph(model::RitaModel* model, ForwardTask task,
         const int64_t group_node = g.AddNode(
             tag + ".group" + std::to_string(s),
             [&slot, s, n, head_dim, km, period, stream, seed, exec] {
+              obs::Span span("kmeans_grouping", "kernel");
               const uint64_t key = period > 0
                                        ? static_cast<uint64_t>(s % period)
                                        : static_cast<uint64_t>(s);
@@ -151,6 +156,7 @@ ForwardGraphResult RunForwardGraph(model::RitaModel* model, ForwardTask task,
           const int64_t attend_node = g.AddNode(
               tag + ".attend" + std::to_string(s) + "@" + std::to_string(r0),
               [&slot, s, r0, r1, n, head_dim, scale, exec] {
+                obs::Span span("fused_group_attention", "kernel");
                 ScratchArena::Lease scratch = exec->arena()->Acquire();
                 const float* pq = slot.q.data().data();
                 float* po = slot.attn_out.data();

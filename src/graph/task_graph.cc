@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "autograd/variable.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace rita {
@@ -37,6 +38,7 @@ struct RunState {
   TaskGraph* graph = nullptr;
   ThreadPool::TaskScope scope;
   bool grad_mode = false;
+  uint64_t trace_id = 0;  // submitting thread's trace context, see Run()
   std::atomic<bool> cancelled{false};
   std::atomic<int64_t> ready_now{0};   // submitted or running nodes
   std::atomic<int64_t> ready_high{0};  // high-water mark of ready_now
@@ -49,13 +51,17 @@ void ScheduleNode(RunState* run, int64_t id);
 
 void ExecNode(RunState* run, int64_t id) {
   GraphNode& node = run->graph->mutable_node(id);
-  // Grad mode is thread-local; install the submitting caller's mode for the
-  // body (same contract as ExecutionContext::ParallelFor).
+  // Grad mode and trace context are thread-local; install the submitting
+  // caller's values for the body (same contract as
+  // ExecutionContext::ParallelFor), so kernel call sites inside the node see
+  // the request's trace without any API threading.
   ScopedGradMode grad(run->grad_mode);
+  obs::ScopedTrace trace(run->trace_id);
 
   const int64_t start = NowNs();
   std::exception_ptr error;
   if (!run->cancelled.load(std::memory_order_acquire)) {
+    obs::Span span(run->trace_id, node.label.c_str(), "graph");
     try {
       node.fn();
     } catch (...) {
@@ -142,6 +148,9 @@ GraphRunStats GraphExecutor::Run(TaskGraph* graph) {
   RunState run(context_->pool());
   run.graph = graph;
   run.grad_mode = ag::GradModeEnabled();
+  // Nodes run under the submitting request's trace context (0 = untraced:
+  // spans compile to a thread-local read and nothing else).
+  run.trace_id = obs::CurrentTrace().trace_id;
 
   const int64_t wall_start = NowNs();
   int64_t sources = 0;

@@ -1,0 +1,119 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace rita {
+namespace obs {
+
+namespace {
+
+void AppendEscaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '\\' || c == '"') {
+      os << '\\' << c;
+    } else if (c == '\n') {
+      os << "\\n";
+    } else {
+      os << c;
+    }
+  }
+}
+
+// {a="1",b="2"} — empty label set renders nothing. `extra` appends one more
+// pair (used for the histogram `le` label).
+void AppendLabels(std::ostream& os, const LabelSet& labels,
+                  const std::string& extra_key = "",
+                  const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return;
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << k << "=\"";
+    AppendEscaped(os, v);
+    os << '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) os << ',';
+    os << extra_key << "=\"" << extra_value << '"';
+  }
+  os << '}';
+}
+
+void AppendNumber(std::ostream& os, double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  os << buf;
+}
+
+void AppendEdge(std::ostream& os, double edge) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", edge);
+  os << buf;
+}
+
+}  // namespace
+
+void PrometheusTextTo(const MetricsRegistry& registry, std::ostream& os) {
+  for (const auto& family : registry.Collect()) {
+    os << "# HELP " << family.name << ' ' << family.help << '\n';
+    const char* type =
+        family.type == MetricType::kCounter ? "counter"
+        : family.type == MetricType::kHistogram ? "histogram"
+                                                : "gauge";
+    os << "# TYPE " << family.name << ' ' << type << '\n';
+    for (const auto& inst : family.instances) {
+      if (family.type != MetricType::kHistogram) {
+        os << family.name;
+        AppendLabels(os, inst.labels);
+        os << ' ';
+        AppendNumber(os, inst.value);
+        os << '\n';
+        continue;
+      }
+      // Cumulative buckets; skip empty leading/interior buckets to keep the
+      // exposition compact (cumulative counts remain correct: a scraper sees
+      // the running total at every emitted edge).
+      uint64_t cum = 0;
+      const auto& counts = inst.hist.bucket_counts();
+      for (int i = 0; i < HistogramLayout::kNumBuckets - 1; ++i) {
+        if (counts[i] == 0) continue;
+        cum += counts[i];
+        os << family.name << "_bucket";
+        std::ostringstream edge;
+        AppendEdge(edge, HistogramLayout::UpperEdge(i));
+        AppendLabels(os, inst.labels, "le", edge.str());
+        os << ' ' << cum << '\n';
+      }
+      os << family.name << "_bucket";
+      AppendLabels(os, inst.labels, "le", "+Inf");
+      os << ' ' << inst.hist.Count() << '\n';
+      os << family.name << "_sum";
+      AppendLabels(os, inst.labels);
+      os << ' ';
+      AppendNumber(os, inst.hist.Sum());
+      os << '\n';
+      os << family.name << "_count";
+      AppendLabels(os, inst.labels);
+      os << ' ' << inst.hist.Count() << '\n';
+    }
+  }
+}
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  PrometheusTextTo(registry, os);
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace rita

@@ -1,0 +1,26 @@
+// Prometheus text exposition (version 0.0.4) of a MetricsRegistry.
+//
+// Counters render as `<name> <value>` with `# TYPE <name> counter`; gauges
+// and max-gauges as gauges; histograms as the standard cumulative
+// `<name>_bucket{le="..."}` series (non-empty buckets plus le="+Inf") with
+// `<name>_sum` and `<name>_count`. Label sets render sorted, so output is
+// stable across runs — scrape it from a debug endpoint or dump it to a file.
+
+#ifndef RITA_OBS_PROMETHEUS_H_
+#define RITA_OBS_PROMETHEUS_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace rita {
+namespace obs {
+
+void PrometheusTextTo(const MetricsRegistry& registry, std::ostream& os);
+std::string PrometheusText(const MetricsRegistry& registry);
+
+}  // namespace obs
+}  // namespace rita
+
+#endif  // RITA_OBS_PROMETHEUS_H_

@@ -1,0 +1,240 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace rita {
+namespace obs {
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Sampling.
+
+uint64_t ParseTraceEnv() {
+  const char* env = std::getenv("RITA_TRACE");
+  if (env == nullptr || env[0] == '\0') return 0;
+  std::string v(env);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "0" || v == "off" || v == "false" || v == "no") return 0;
+  if (v == "on" || v == "true" || v == "yes") return 1;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && n > 0) return n;
+  return 1;  // any other non-empty value arms full tracing
+}
+
+// 0 = off, 1 = all, N = one in N. kTracingFromEnv = defer to RITA_TRACE.
+std::atomic<uint64_t> g_sample_override{kTracingFromEnv};
+
+uint64_t SampleEvery() {
+  const uint64_t override_v = g_sample_override.load(std::memory_order_relaxed);
+  if (override_v != kTracingFromEnv) return override_v;
+  static const uint64_t from_env = ParseTraceEnv();
+  return from_env;
+}
+
+std::atomic<uint64_t> g_admissions{0};
+std::atomic<uint64_t> g_next_trace_id{1};
+
+// --------------------------------------------------------------------------
+// Per-thread rings.
+
+struct TraceEvent {
+  char name[48];
+  char cat[16];
+  uint64_t trace_id;
+  double ts_us;
+  double dur_us;
+  uint32_t tid;
+};
+
+struct Ring {
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // ring storage, capacity-bounded
+  size_t next = 0;                 // overwrite cursor once full
+  uint32_t tid = 0;
+};
+
+std::mutex& RingsMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+// shared_ptr so a ring outlives its thread: dump/clear after a worker joined
+// still sees its events.
+std::vector<std::shared_ptr<Ring>>& Rings() {
+  static std::vector<std::shared_ptr<Ring>>* rings =
+      new std::vector<std::shared_ptr<Ring>>();
+  return *rings;
+}
+
+Ring* ThreadRing() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    auto r = std::make_shared<Ring>();
+    r->events.reserve(64);
+    std::lock_guard<std::mutex> lock(RingsMutex());
+    r->tid = static_cast<uint32_t>(Rings().size() + 1);
+    Rings().push_back(r);
+    return r;
+  }();
+  return ring.get();
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void AppendJsonEscaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+bool TracingEnabled() { return SampleEvery() != 0; }
+
+void SetTracingForTesting(uint64_t sample_every) {
+  g_sample_override.store(sample_every, std::memory_order_relaxed);
+}
+
+uint64_t SampleTrace() {
+  const uint64_t every = SampleEvery();
+  if (every == 0) return 0;
+  if (every > 1) {
+    const uint64_t n = g_admissions.fetch_add(1, std::memory_order_relaxed);
+    if (n % every != 0) return 0;
+  }
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+double TraceNowUs() { return TraceUsAt(std::chrono::steady_clock::now()); }
+
+double TraceUsAt(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double, std::micro>(t - TraceEpoch()).count();
+}
+
+namespace {
+thread_local TraceContext t_trace_context;
+}  // namespace
+
+TraceContext CurrentTrace() { return t_trace_context; }
+
+ScopedTrace::ScopedTrace(uint64_t trace_id) : prev_(t_trace_context) {
+  t_trace_context.trace_id = trace_id;
+}
+
+ScopedTrace::~ScopedTrace() { t_trace_context = prev_; }
+
+void RecordSpan(uint64_t trace_id, const char* name, const char* cat,
+                double ts_us, double dur_us) {
+  if (trace_id == 0) return;
+  Ring* ring = ThreadRing();
+  TraceEvent ev;
+  std::strncpy(ev.name, name, sizeof(ev.name) - 1);
+  ev.name[sizeof(ev.name) - 1] = '\0';
+  std::strncpy(ev.cat, cat, sizeof(ev.cat) - 1);
+  ev.cat[sizeof(ev.cat) - 1] = '\0';
+  ev.trace_id = trace_id;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = ring->tid;
+  std::lock_guard<std::mutex> lock(ring->mu);
+  if (ring->events.size() < kTraceRingCapacity) {
+    ring->events.push_back(ev);
+  } else {
+    ring->events[ring->next] = ev;  // bounded: overwrite the oldest
+    ring->next = (ring->next + 1) % kTraceRingCapacity;
+  }
+}
+
+uint64_t TraceEventCount() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(RingsMutex());
+    rings = Rings();
+  }
+  uint64_t total = 0;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    total += ring->events.size();
+  }
+  return total;
+}
+
+void ClearTraceForTesting() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(RingsMutex());
+    rings = Rings();
+  }
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    ring->events.clear();
+    ring->next = 0;
+  }
+}
+
+void DumpTraceTo(std::ostream& os) {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(RingsMutex());
+    rings = Rings();
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    events.insert(events.end(), ring->events.begin(), ring->events.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"";
+    AppendJsonEscaped(os, ev.name);
+    os << "\",\"cat\":\"";
+    AppendJsonEscaped(os, ev.cat);
+    // Fixed 3-decimal microseconds: keeps ns resolution without drifting
+    // into scientific notation on long-uptime timestamps.
+    char times[80];
+    std::snprintf(times, sizeof(times),
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f", ev.ts_us,
+                  ev.dur_us);
+    os << times << ",\"pid\":1,\"tid\":" << ev.tid
+       << ",\"args\":{\"trace_id\":" << ev.trace_id << "}}";
+  }
+  os << "\n]}\n";
+}
+
+bool DumpTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  DumpTraceTo(out);
+  return out.good();
+}
+
+}  // namespace obs
+}  // namespace rita

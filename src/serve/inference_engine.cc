@@ -5,8 +5,11 @@
 #include <string>
 #include <utility>
 
+#include "obs/prometheus.h"
+#include "obs/trace.h"
 #include "serve/telemetry.h"
 #include "tensor/tensor_ops.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace rita {
@@ -87,11 +90,94 @@ void InferenceEngine::Start() {
     cache_options.num_shards = options_.cache_shards;
     cache_ = std::make_unique<ResultCache>(cache_options);
   }
-  model_stats_.resize(static_cast<size_t>(registry_->size()));
+  // Metrics: an engine-owned registry unless the caller supplied one. Every
+  // EngineStats field is backed here; the aggregate scope has no labels, each
+  // model's scope carries {model="<id>"}.
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    own_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = own_metrics_.get();
+  }
+  agg_ = RegisterScope({});
+  per_model_.reserve(static_cast<size_t>(registry_->size()));
+  for (int64_t id = 0; id < registry_->size(); ++id) {
+    per_model_.push_back(RegisterScope({{"model", std::to_string(id)}}));
+  }
+  model_window_base_.resize(static_cast<size_t>(registry_->size()));
   workers_.reserve(options_.num_workers);
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  if (options_.stats_log_interval_ms > 0.0) {
+    logger_ = std::thread([this] { StatsLoggerLoop(); });
+  }
+}
+
+InferenceEngine::ScopeMetrics InferenceEngine::RegisterScope(
+    const obs::LabelSet& labels) {
+  const auto with = [&labels](const char* key, const char* value) {
+    obs::LabelSet extended = labels;
+    extended.emplace_back(key, value);
+    return extended;
+  };
+  ScopeMetrics m;
+  m.completed = metrics_->GetCounter(
+      "rita_requests_completed_total",
+      "Requests answered OK, including cache hits", labels);
+  m.rejected_invalid = metrics_->GetCounter(
+      "rita_requests_rejected_total",
+      "Requests refused at admission, by reason", with("reason", "invalid"));
+  m.rejected_backpressure =
+      metrics_->GetCounter("rita_requests_rejected_total",
+                           "Requests refused at admission, by reason",
+                           with("reason", "backpressure"));
+  m.rejected_hopeless = metrics_->GetCounter(
+      "rita_requests_rejected_total",
+      "Requests refused at admission, by reason", with("reason", "hopeless"));
+  m.batches = metrics_->GetCounter("rita_batches_total",
+                                   "Micro-batch model forwards executed",
+                                   labels);
+  m.cache_hits = metrics_->GetCounter(
+      "rita_cache_hits_total", "Requests answered from the result cache",
+      labels);
+  m.cache_misses = metrics_->GetCounter(
+      "rita_cache_misses_total", "Result-cache lookups that missed", labels);
+  m.deadline_missed = metrics_->GetCounter(
+      "rita_deadline_missed_total",
+      "Computed requests resolved past their deadline", labels);
+  m.forward_failures = metrics_->GetCounter(
+      "rita_forward_failures_total",
+      "Micro-batches whose forward threw (riders resolved Internal)", labels);
+  m.graph_batches = metrics_->GetCounter(
+      "rita_graph_batches_total",
+      "Micro-batches executed through the dataflow task graph", labels);
+  m.graph_nodes = metrics_->GetCounter(
+      "rita_graph_nodes_total", "Task-graph nodes executed, summed over runs",
+      labels);
+  m.queue_ms = metrics_->GetHistogram(
+      "rita_queue_latency_ms",
+      "Per-request wait from Submit() to micro-batch assembly (ms)", labels);
+  m.compute_ms = metrics_->GetHistogram(
+      "rita_compute_latency_ms", "Per-micro-batch forward time (ms)", labels);
+  m.batch_size = metrics_->GetHistogram(
+      "rita_micro_batch_size", "Coalesced micro-batch sizes", labels);
+  m.critical_path_ms = metrics_->GetHistogram(
+      "rita_graph_critical_path_ms",
+      "Per-run critical-path length through the task graph (ms)", labels);
+  m.graph_idle_ms = metrics_->GetHistogram(
+      "rita_graph_idle_ms",
+      "Per-run worker-idle approximation from GraphRunStats (ms)", labels);
+  m.max_micro_batch = metrics_->GetMaxGauge(
+      "rita_micro_batch_max",
+      "Largest coalesced micro-batch this stats window", labels);
+  m.max_compute_ms = metrics_->GetMaxGauge(
+      "rita_compute_latency_max_ms",
+      "Slowest single micro-batch forward this stats window (ms)", labels);
+  m.graph_ready_high_water = metrics_->GetMaxGauge(
+      "rita_graph_ready_high_water",
+      "Max ready+running task-graph nodes this stats window", labels);
+  return m;
 }
 
 InferenceEngine::~InferenceEngine() { Shutdown(); }
@@ -153,26 +239,24 @@ Status InferenceEngine::Validate(const InferenceRequest& request,
 }
 
 void InferenceEngine::CountRejection(int64_t model_id, RejectKind kind) {
-  const auto bump = [kind](InferenceEngineStats& stats) {
+  const auto pick = [kind](const ScopeMetrics& m) {
     switch (kind) {
       case RejectKind::kInvalid:
-        ++stats.rejected_invalid;
-        break;
+        return m.rejected_invalid;
       case RejectKind::kBackpressure:
-        ++stats.rejected_backpressure;
-        break;
+        return m.rejected_backpressure;
       case RejectKind::kHopeless:
-        ++stats.rejected_hopeless;
-        break;
+        return m.rejected_hopeless;
     }
+    return m.rejected_invalid;
   };
   // Count BEFORE resolving the promise (same invariant as ExecuteBatch): a
   // client reading stats() after its future resolves must see its own
-  // request counted.
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  bump(stats_);
-  if (model_id >= 0 && model_id < static_cast<int64_t>(model_stats_.size())) {
-    bump(model_stats_[static_cast<size_t>(model_id)]);
+  // request counted — the relaxed adds are sequenced before the promise's
+  // releasing store, and the client's get() acquires it.
+  pick(agg_)->Add(1);
+  if (model_id >= 0 && model_id < static_cast<int64_t>(per_model_.size())) {
+    pick(per_model_[static_cast<size_t>(model_id)])->Add(1);
   }
 }
 
@@ -185,6 +269,15 @@ std::future<InferenceResponse> InferenceEngine::Submit(InferenceRequest request)
   Status invalid = Validate(request, &model);
   RejectKind reject_kind = RejectKind::kInvalid;
 
+  // Trace sampling at admission: a sampled request carries a non-zero id all
+  // the way through the scheduler, executor, graph nodes and kernel calls.
+  // One relaxed load when tracing is off; never touches request data.
+  if (invalid.ok() && request.trace_id == 0) {
+    request.trace_id = obs::SampleTrace();
+  }
+  const uint64_t trace_id = request.trace_id;
+  const double trace_submit_us = trace_id != 0 ? obs::TraceNowUs() : 0.0;
+
   // Result cache, in front of admission: deterministic, batch-invariant
   // forwards make a replay bit-identical to a cold compute, so a hit skips
   // the queue entirely. Streaming requests bypass it: a context-bearing
@@ -196,15 +289,13 @@ std::future<InferenceResponse> InferenceEngine::Submit(InferenceRequest request)
     key = ResultCache::MakeKey(model->Fingerprint(), request.task, request.series);
     Tensor cached;
     if (cache_->Lookup(key, &cached)) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.completed;
-        ++stats_.cache_hits;
-        InferenceEngineStats& per_model =
-            model_stats_[static_cast<size_t>(model_id)];
-        ++per_model.completed;
-        ++per_model.cache_hits;
-      }
+      const ScopeMetrics& pm = per_model_[static_cast<size_t>(model_id)];
+      agg_.completed->Add(1);
+      agg_.cache_hits->Add(1);
+      pm.completed->Add(1);
+      pm.cache_hits->Add(1);
+      obs::RecordSpan(trace_id, "cache_hit", "serve", trace_submit_us,
+                      obs::TraceNowUs() - trace_submit_us);
       InferenceResponse response;
       response.status = Status::OK();
       response.output = std::move(cached);
@@ -213,9 +304,8 @@ std::future<InferenceResponse> InferenceEngine::Submit(InferenceRequest request)
       promise.set_value(std::move(response));
       return future;
     }
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.cache_misses;
-    ++model_stats_[static_cast<size_t>(model_id)].cache_misses;
+    agg_.cache_misses->Add(1);
+    per_model_[static_cast<size_t>(model_id)].cache_misses->Add(1);
   }
 
   // Shed hopeless deadlines at admission (after the cache, which answers in
@@ -257,6 +347,8 @@ std::future<InferenceResponse> InferenceEngine::Submit(InferenceRequest request)
       if (admitted.ok()) {
         lock.unlock();
         cv_.notify_one();
+        obs::RecordSpan(trace_id, "admission", "serve", trace_submit_us,
+                        obs::TraceNowUs() - trace_submit_us);
         return future;
       }
       // Rejected by backpressure: the queue did not take ownership, so the
@@ -341,12 +433,39 @@ void InferenceEngine::ExecuteBatch(std::vector<ScheduledRequest> batch) {
   for (int64_t i = 0; i < b; ++i) want_cls |= batch[i].request.want_context;
   const Tensor* context_ptr = with_context ? &stacked_context : nullptr;
 
+  // Close the traced riders' queue spans: enqueued -> assembled-here. The
+  // whole batch's forward runs under the first traced rider's context, so
+  // graph-node and kernel spans attach to that id.
+  uint64_t batch_trace = 0;
+  bool any_trace = false;
+  for (int64_t i = 0; i < b; ++i) {
+    const uint64_t id = batch[i].request.trace_id;
+    if (id == 0) continue;
+    any_trace = true;
+    if (batch_trace == 0) batch_trace = id;
+  }
+  if (any_trace) {
+    const double assembled_us = obs::TraceNowUs();
+    for (int64_t i = 0; i < b; ++i) {
+      const uint64_t id = batch[i].request.trace_id;
+      if (id == 0) continue;
+      const double enqueued_us = obs::TraceUsAt(batch[i].enqueued);
+      obs::RecordSpan(id, "queue", "serve", enqueued_us,
+                      assembled_us - enqueued_us);
+    }
+  }
+
   Stopwatch compute;
   Tensor output;  // rows are per-request results
   Tensor cls;     // [B, dim] when any rider wants its [CLS] back
   graph::GraphRunStats graph_stats;
   bool ran_graph = false;
   Status forward_status = Status::OK();
+  {
+    // Install the trace context for the forward: the graph executor captures
+    // it at Run() entry and re-installs it per node on the pool threads.
+    obs::ScopedTrace batch_trace_scope(batch_trace);
+    obs::Span forward_span(batch_trace, "batch_forward", "serve");
   try {
     if (options_.forward_fault_for_testing) options_.forward_fault_for_testing();
     if (options_.use_graph_executor) {
@@ -385,17 +504,15 @@ void InferenceEngine::ExecuteBatch(std::vector<ScheduledRequest> batch) {
   } catch (...) {
     forward_status = Status::Internal("forward failed with an unknown exception");
   }
+  }
 
   if (!forward_status.ok()) {
     // Fail the whole micro-batch cleanly: every rider resolves with the
     // error, nothing enters the cache, the planner sees no sample, and the
     // worker slot frees as usual when this frame returns — the engine keeps
     // serving subsequent requests.
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.forward_failures;
-      ++model_stats_[static_cast<size_t>(model_id)].forward_failures;
-    }
+    agg_.forward_failures->Add(1);
+    per_model_[static_cast<size_t>(model_id)].forward_failures->Add(1);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_batches_;
@@ -428,7 +545,6 @@ void InferenceEngine::ExecuteBatch(std::vector<ScheduledRequest> batch) {
   }
 
   std::vector<InferenceResponse> responses(static_cast<size_t>(b));
-  double batch_queue_ms = 0.0;
   uint64_t missed_deadlines = 0;
   for (int64_t i = 0; i < b; ++i) {
     InferenceResponse& response = responses[static_cast<size_t>(i)];
@@ -444,7 +560,6 @@ void InferenceEngine::ExecuteBatch(std::vector<ScheduledRequest> batch) {
     response.compute_ms = compute_ms;
     response.micro_batch = b;
     response.model_id = model_id;
-    batch_queue_ms += response.queue_ms;
     if (batch[i].request.deadline != kNoDeadline &&
         resolved_at > batch[i].request.deadline) {
       ++missed_deadlines;
@@ -462,41 +577,59 @@ void InferenceEngine::ExecuteBatch(std::vector<ScheduledRequest> batch) {
     }
   }
 
-  // Commit the counters BEFORE fulfilling any promise: a client that reads
-  // stats() right after its future resolves must see its own request counted.
+  // Commit the metrics BEFORE fulfilling any promise: a client that reads
+  // stats() right after its future resolves must see its own request counted
+  // (the relaxed adds are sequenced before the promise's releasing store).
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.completed += static_cast<uint64_t>(b);
-    ++stats_.batches;
-    stats_.max_micro_batch = std::max(stats_.max_micro_batch, b);
-    stats_.total_queue_ms += batch_queue_ms;
-    stats_.total_compute_ms += compute_ms;
-    stats_.max_compute_ms = std::max(stats_.max_compute_ms, compute_ms);
-    stats_.deadline_missed += missed_deadlines;
-    InferenceEngineStats& per_model = model_stats_[static_cast<size_t>(model_id)];
-    per_model.completed += static_cast<uint64_t>(b);
-    ++per_model.batches;
-    per_model.max_micro_batch = std::max(per_model.max_micro_batch, b);
-    per_model.total_queue_ms += batch_queue_ms;
-    per_model.total_compute_ms += compute_ms;
-    per_model.max_compute_ms = std::max(per_model.max_compute_ms, compute_ms);
-    per_model.deadline_missed += missed_deadlines;
+    const ScopeMetrics& pm = per_model_[static_cast<size_t>(model_id)];
+    agg_.completed->Add(static_cast<uint64_t>(b));
+    pm.completed->Add(static_cast<uint64_t>(b));
+    agg_.batches->Add(1);
+    pm.batches->Add(1);
+    for (int64_t i = 0; i < b; ++i) {
+      const double queue_ms = responses[static_cast<size_t>(i)].queue_ms;
+      agg_.queue_ms->Observe(queue_ms);
+      pm.queue_ms->Observe(queue_ms);
+    }
+    agg_.compute_ms->Observe(compute_ms);
+    pm.compute_ms->Observe(compute_ms);
+    agg_.batch_size->Observe(static_cast<double>(b));
+    pm.batch_size->Observe(static_cast<double>(b));
+    agg_.max_micro_batch->Observe(static_cast<double>(b));
+    pm.max_micro_batch->Observe(static_cast<double>(b));
+    agg_.max_compute_ms->Observe(compute_ms);
+    pm.max_compute_ms->Observe(compute_ms);
+    if (missed_deadlines != 0) {
+      agg_.deadline_missed->Add(missed_deadlines);
+      pm.deadline_missed->Add(missed_deadlines);
+    }
     if (ran_graph) {
-      const auto bump_graph = [&graph_stats](InferenceEngineStats& stats) {
-        ++stats.graph_batches;
-        stats.graph_nodes += static_cast<uint64_t>(graph_stats.nodes);
-        stats.total_critical_path_ms += graph_stats.critical_path_ms;
-        stats.total_graph_idle_ms += graph_stats.worker_idle_ms;
-        stats.graph_ready_high_water =
-            std::max(stats.graph_ready_high_water, graph_stats.ready_high_water);
+      const auto bump_graph = [&graph_stats](const ScopeMetrics& m) {
+        m.graph_batches->Add(1);
+        m.graph_nodes->Add(static_cast<uint64_t>(graph_stats.nodes));
+        m.critical_path_ms->Observe(graph_stats.critical_path_ms);
+        m.graph_idle_ms->Observe(graph_stats.worker_idle_ms);
+        m.graph_ready_high_water->Observe(
+            static_cast<double>(graph_stats.ready_high_water));
       };
-      bump_graph(stats_);
-      bump_graph(per_model);
+      bump_graph(agg_);
+      bump_graph(pm);
     }
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     --in_flight_batches_;
+  }
+  if (any_trace) {
+    // Each traced rider's end-to-end span: enqueued -> resolved.
+    const double resolved_us = obs::TraceUsAt(resolved_at);
+    for (int64_t i = 0; i < b; ++i) {
+      const uint64_t id = batch[i].request.trace_id;
+      if (id == 0) continue;
+      const double enqueued_us = obs::TraceUsAt(batch[i].enqueued);
+      obs::RecordSpan(id, "request", "serve", enqueued_us,
+                      resolved_us - enqueued_us);
+    }
   }
   for (int64_t i = 0; i < b; ++i) {
     batch[i].promise.set_value(std::move(responses[static_cast<size_t>(i)]));
@@ -543,23 +676,137 @@ void InferenceEngine::Shutdown() {
       response.model_id = orphan.request.model_id;
       orphan.promise.set_value(std::move(response));
     }
+    if (logger_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(log_mu_);
+        log_stop_ = true;
+      }
+      log_cv_.notify_all();
+      logger_.join();
+      // A final snapshot so short-lived engines still report once.
+      EmitStatsSnapshot();
+    }
   });
 }
 
-InferenceEngineStats InferenceEngine::stats() const {
-  // Lock order mu_ -> stats_mu_: the counters and the queue snapshot land in
-  // one consistent view (satisfying "instantaneous load, not just cumulative
-  // counters" for the bench's --json reporting).
-  std::lock_guard<std::mutex> queue_lock(mu_);
-  InferenceEngineStats snapshot;
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    snapshot = stats_;
+void InferenceEngine::StatsLoggerLoop() {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      options_.stats_log_interval_ms);
+  std::unique_lock<std::mutex> lock(log_mu_);
+  while (!log_stop_) {
+    if (log_cv_.wait_for(lock, interval, [this] { return log_stop_; })) break;
+    lock.unlock();
+    EmitStatsSnapshot();
+    lock.lock();
   }
-  snapshot.queue_depth = queue_.depth();
-  snapshot.queue_depth_interactive = queue_.depth(Priority::kInteractive);
-  snapshot.queue_depth_batch = queue_.depth(Priority::kBatch);
-  snapshot.in_flight_batches = in_flight_batches_;
+}
+
+void InferenceEngine::EmitStatsSnapshot() {
+  const InferenceEngineStats s = stats();
+  if (options_.stats_log_hook) {
+    options_.stats_log_hook(s);
+    return;
+  }
+  RITA_LOG(Info) << "engine stats: completed=" << s.completed
+                 << " batches=" << s.batches << " queue_depth=" << s.queue_depth
+                 << " in_flight=" << s.in_flight_batches
+                 << " avg_queue_ms=" << s.AvgQueueMs()
+                 << " avg_compute_ms=" << s.AvgComputeMs()
+                 << " cache_hit_ratio=" << s.CacheHitRatio()
+                 << " rejected=" << s.rejected_invalid +
+                                        s.rejected_backpressure +
+                                        s.rejected_hopeless;
+}
+
+InferenceEngineStats InferenceEngine::ReadScope(const ScopeMetrics& m) const {
+  InferenceEngineStats s;
+  s.completed = m.completed->Value();
+  s.rejected_invalid = m.rejected_invalid->Value();
+  s.rejected_backpressure = m.rejected_backpressure->Value();
+  s.rejected_hopeless = m.rejected_hopeless->Value();
+  s.batches = m.batches->Value();
+  s.cache_hits = m.cache_hits->Value();
+  s.cache_misses = m.cache_misses->Value();
+  s.deadline_missed = m.deadline_missed->Value();
+  s.forward_failures = m.forward_failures->Value();
+  s.max_micro_batch = static_cast<int64_t>(m.max_micro_batch->Value());
+  s.total_queue_ms = m.queue_ms->Sum();
+  s.total_compute_ms = m.compute_ms->Sum();
+  s.max_compute_ms = m.max_compute_ms->Value();
+  s.graph_batches = m.graph_batches->Value();
+  s.graph_nodes = m.graph_nodes->Value();
+  s.total_critical_path_ms = m.critical_path_ms->Sum();
+  s.total_graph_idle_ms = m.graph_idle_ms->Sum();
+  s.graph_ready_high_water =
+      static_cast<int64_t>(m.graph_ready_high_water->Value());
+  return s;
+}
+
+namespace {
+
+// Windowed view: cumulative reading minus the base captured at the last
+// ResetStatsWindow(). Counters and sums subtract (saturating — relaxed
+// per-shard reads can transiently order across the two snapshots); the
+// high-water marks were physically reset instead and pass through.
+void SubtractWindowBase(InferenceEngineStats* s,
+                        const InferenceEngineStats& base) {
+  const auto sub_u = [](uint64_t a, uint64_t b) { return a - std::min(a, b); };
+  const auto sub_d = [](double a, double b) { return std::max(0.0, a - b); };
+  s->completed = sub_u(s->completed, base.completed);
+  s->rejected_invalid = sub_u(s->rejected_invalid, base.rejected_invalid);
+  s->rejected_backpressure =
+      sub_u(s->rejected_backpressure, base.rejected_backpressure);
+  s->rejected_hopeless = sub_u(s->rejected_hopeless, base.rejected_hopeless);
+  s->batches = sub_u(s->batches, base.batches);
+  s->cache_hits = sub_u(s->cache_hits, base.cache_hits);
+  s->cache_misses = sub_u(s->cache_misses, base.cache_misses);
+  s->deadline_missed = sub_u(s->deadline_missed, base.deadline_missed);
+  s->forward_failures = sub_u(s->forward_failures, base.forward_failures);
+  s->total_queue_ms = sub_d(s->total_queue_ms, base.total_queue_ms);
+  s->total_compute_ms = sub_d(s->total_compute_ms, base.total_compute_ms);
+  s->graph_batches = sub_u(s->graph_batches, base.graph_batches);
+  s->graph_nodes = sub_u(s->graph_nodes, base.graph_nodes);
+  s->total_critical_path_ms =
+      sub_d(s->total_critical_path_ms, base.total_critical_path_ms);
+  s->total_graph_idle_ms =
+      sub_d(s->total_graph_idle_ms, base.total_graph_idle_ms);
+}
+
+}  // namespace
+
+void InferenceEngine::ResetStatsWindow() {
+  std::lock_guard<std::mutex> lock(window_mu_);
+  window_base_ = ReadScope(agg_);
+  for (size_t i = 0; i < per_model_.size(); ++i) {
+    model_window_base_[i] = ReadScope(per_model_[i]);
+  }
+  // High-water marks restart from zero rather than subtracting (a maximum
+  // cannot be windowed by subtraction). A batch completing concurrently may
+  // land its observation on either side of the boundary.
+  const auto reset_marks = [](const ScopeMetrics& m) {
+    m.max_micro_batch->Reset();
+    m.max_compute_ms->Reset();
+    m.graph_ready_high_water->Reset();
+  };
+  reset_marks(agg_);
+  for (const ScopeMetrics& m : per_model_) reset_marks(m);
+}
+
+InferenceEngineStats InferenceEngine::stats() const {
+  InferenceEngineStats snapshot = ReadScope(agg_);
+  {
+    std::lock_guard<std::mutex> window_lock(window_mu_);
+    SubtractWindowBase(&snapshot, window_base_);
+  }
+  // The queue snapshot lands in one consistent view under the queue mutex
+  // (instantaneous load, not counters racing the queue).
+  {
+    std::lock_guard<std::mutex> queue_lock(mu_);
+    snapshot.queue_depth = queue_.depth();
+    snapshot.queue_depth_interactive = queue_.depth(Priority::kInteractive);
+    snapshot.queue_depth_batch = queue_.depth(Priority::kBatch);
+    snapshot.in_flight_batches = in_flight_batches_;
+  }
   if (adaptive_planner_ != nullptr) {
     const AdaptivePlanner::Snapshot planner =
         adaptive_planner_->ModelSnapshot(/*model_id=*/-1);
@@ -574,13 +821,17 @@ InferenceEngineStats InferenceEngine::stats() const {
 }
 
 InferenceEngineStats InferenceEngine::model_stats(int64_t model_id) const {
-  std::lock_guard<std::mutex> queue_lock(mu_);
   InferenceEngineStats snapshot;
-  if (model_id >= 0 && model_id < static_cast<int64_t>(model_stats_.size())) {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    snapshot = model_stats_[static_cast<size_t>(model_id)];
+  if (model_id >= 0 && model_id < static_cast<int64_t>(per_model_.size())) {
+    snapshot = ReadScope(per_model_[static_cast<size_t>(model_id)]);
+    std::lock_guard<std::mutex> window_lock(window_mu_);
+    SubtractWindowBase(&snapshot,
+                       model_window_base_[static_cast<size_t>(model_id)]);
   }
-  snapshot.queue_depth = queue_.DepthForModel(model_id);
+  {
+    std::lock_guard<std::mutex> queue_lock(mu_);
+    snapshot.queue_depth = queue_.DepthForModel(model_id);
+  }
   if (const FrozenModel* model = registry_->Get(model_id)) {
     snapshot.precision = model->precision();
     snapshot.weight_bytes = model->WeightBytes();
@@ -597,6 +848,72 @@ InferenceEngineStats InferenceEngine::model_stats(int64_t model_id) const {
     snapshot.planner_seed_batch = planner.seed_plan;
   }
   return snapshot;
+}
+
+void InferenceEngine::RefreshExportGauges() const {
+  obs::MetricsRegistry* r = metrics_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    r->GetGauge("rita_queue_depth", "Queued requests", {{"class", "all"}})
+        ->Set(static_cast<double>(queue_.depth()));
+    r->GetGauge("rita_queue_depth", "Queued requests",
+                {{"class", "interactive"}})
+        ->Set(static_cast<double>(queue_.depth(Priority::kInteractive)));
+    r->GetGauge("rita_queue_depth", "Queued requests", {{"class", "batch"}})
+        ->Set(static_cast<double>(queue_.depth(Priority::kBatch)));
+    r->GetGauge("rita_in_flight_batches",
+                "Micro-batches currently executing")
+        ->Set(static_cast<double>(in_flight_batches_));
+  }
+  {
+    // Exported even with the cache disabled (all zeros, like EngineStats):
+    // scrape targets must not appear and vanish with a config knob.
+    const ResultCacheStats cs =
+        cache_ != nullptr ? cache_->stats() : ResultCacheStats{};
+    r->GetGauge("rita_cache_bytes", "Result-cache resident payload bytes")
+        ->Set(static_cast<double>(cs.bytes));
+    r->GetGauge("rita_cache_entries", "Result-cache resident entries")
+        ->Set(static_cast<double>(cs.entries));
+    r->GetGauge("rita_cache_insertions", "Result-cache insertions")
+        ->Set(static_cast<double>(cs.insertions));
+    r->GetGauge("rita_cache_evictions", "Result-cache evictions")
+        ->Set(static_cast<double>(cs.evictions));
+  }
+  if (adaptive_planner_ != nullptr) {
+    const AdaptivePlanner::Snapshot p =
+        adaptive_planner_->ModelSnapshot(/*model_id=*/-1);
+    r->GetGauge("rita_planner_samples", "Planner telemetry samples ingested")
+        ->Set(static_cast<double>(p.samples));
+    r->GetGauge("rita_planner_outliers",
+                "Planner samples clamped by the robust fits")
+        ->Set(static_cast<double>(p.outliers));
+    r->GetGauge("rita_planner_plan_updates", "Published plan movements")
+        ->Set(static_cast<double>(p.plan_updates));
+    r->GetGauge("rita_planner_batch", "Busiest bucket's published plan")
+        ->Set(static_cast<double>(p.plan));
+    r->GetGauge("rita_planner_ceiling", "Busiest bucket's memory ceiling")
+        ->Set(static_cast<double>(p.ceiling));
+    r->GetGauge("rita_planner_seed_batch", "Busiest bucket's analytic seed")
+        ->Set(static_cast<double>(p.seed_plan));
+  }
+  for (int64_t id = 0; id < registry_->size(); ++id) {
+    const FrozenModel* model = registry_->Get(id);
+    if (model == nullptr) continue;
+    const obs::LabelSet labels{{"model", std::to_string(id)}};
+    r->GetGauge("rita_model_weight_bytes", "Serving weight footprint", labels)
+        ->Set(static_cast<double>(model->WeightBytes()));
+    r->GetGauge("rita_model_weight_bytes_ratio",
+                "GEMM-matrix bytes relative to fp32", labels)
+        ->Set(model->QuantizedBytesRatio());
+    r->GetGauge("rita_model_precision",
+                "Serving weight format (0=fp32, 1=int8, 2=bf16)", labels)
+        ->Set(static_cast<double>(model->precision()));
+  }
+}
+
+std::string InferenceEngine::PrometheusText() const {
+  RefreshExportGauges();
+  return obs::PrometheusText(*metrics_);
 }
 
 }  // namespace serve

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/batch_planner.h"
+#include "obs/metrics.h"
 #include "serve/adaptive_planner.h"
 #include "serve/frozen_model.h"
 #include "serve/model_registry.h"
@@ -47,6 +48,8 @@ namespace serve {
 /// Resolves the RITA_GRAPH_EXECUTOR environment variable: unset, "on", "1"
 /// -> true (the default); "off", "0", "false" -> false.
 bool DefaultGraphExecutorEnabled();
+
+struct InferenceEngineStats;
 
 struct InferenceEngineOptions {
   /// Executor threads draining the request queue. Each runs whole
@@ -90,9 +93,21 @@ struct InferenceEngineOptions {
   /// every rider resolves with an Internal status, the worker slot frees,
   /// and the engine keeps serving.
   std::function<void()> forward_fault_for_testing;
+  /// Metrics registry backing EngineStats and the Prometheus export. Null =
+  /// the engine owns a private registry (the default, so co-hosted engines
+  /// and tests never alias counters); pass obs::MetricsRegistry::Default()
+  /// to publish into the process-wide registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// > 0 starts a background snapshot logger: every interval it assembles
+  /// stats() and hands the snapshot to `stats_log_hook` (or RITA_LOG(Info)
+  /// when no hook is set). One final snapshot is emitted at Shutdown.
+  double stats_log_interval_ms = 0.0;
+  std::function<void(const InferenceEngineStats&)> stats_log_hook;
 };
 
-/// Serving counters. Cumulative since construction, except the
+/// Serving counters, assembled on demand from the engine's obs metrics
+/// (lock-free sharded counters + log-linear histograms — see obs/metrics.h).
+/// Cumulative since construction or the last ResetStatsWindow(), except the
 /// `queue_depth*` / `in_flight_batches` fields, which are an instantaneous
 /// snapshot taken under the queue mutex — stats() observes a consistent
 /// load picture, not counters racing the queue.
@@ -237,19 +252,67 @@ class InferenceEngine {
   /// in-flight and class-split depths are engine-wide and left 0).
   InferenceEngineStats model_stats(int64_t model_id) const;
 
+  /// Starts a fresh reporting window: subsequent stats()/model_stats() count
+  /// from here (per-interval rates for long-running processes), and the
+  /// high-water marks (max_micro_batch, max_compute_ms,
+  /// graph_ready_high_water) restart from zero instead of sticking at
+  /// lifetime maxima. The underlying metrics stay cumulative for Prometheus.
+  void ResetStatsWindow();
+
+  /// The registry backing this engine's metrics (engine-owned unless
+  /// options.metrics supplied one). Queue/planner/cache gauges are refreshed
+  /// on PrometheusText(); histogram and counter families are always live.
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+  /// Prometheus text exposition of every engine metric (refreshes the
+  /// instantaneous gauges first). Serve it from a debug endpoint or dump it.
+  std::string PrometheusText() const;
+
   const ModelRegistry& registry() const { return *registry_; }
 
  private:
   enum class RejectKind { kInvalid, kBackpressure, kHopeless };
 
+  /// The metric instances one stats scope (aggregate or per-model) writes on
+  /// the hot path. Raw pointers into the registry, resolved once in Start();
+  /// workers never touch the registry mutex.
+  struct ScopeMetrics {
+    obs::Counter* completed = nullptr;
+    obs::Counter* rejected_invalid = nullptr;
+    obs::Counter* rejected_backpressure = nullptr;
+    obs::Counter* rejected_hopeless = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* deadline_missed = nullptr;
+    obs::Counter* forward_failures = nullptr;
+    obs::Counter* graph_batches = nullptr;
+    obs::Counter* graph_nodes = nullptr;
+    obs::Histogram* queue_ms = nullptr;
+    obs::Histogram* compute_ms = nullptr;
+    obs::Histogram* batch_size = nullptr;
+    obs::Histogram* critical_path_ms = nullptr;
+    obs::Histogram* graph_idle_ms = nullptr;
+    obs::MaxGauge* max_micro_batch = nullptr;
+    obs::MaxGauge* max_compute_ms = nullptr;
+    obs::MaxGauge* graph_ready_high_water = nullptr;
+  };
+
   /// Shared constructor tail: checks, freezes the registry, builds the
-  /// cache, spawns the workers.
+  /// cache, registers the metrics, spawns the workers.
   void Start();
   Status Validate(const InferenceRequest& request,
                   const FrozenModel** model) const;
   void WorkerLoop();
   void ExecuteBatch(std::vector<ScheduledRequest> batch);
   void CountRejection(int64_t model_id, RejectKind kind);
+  ScopeMetrics RegisterScope(const obs::LabelSet& labels);
+  /// Cumulative EngineStats view of one scope's metrics (no window applied).
+  InferenceEngineStats ReadScope(const ScopeMetrics& scope) const;
+  /// Pushes the instantaneous queue/planner/cache/model gauges into the
+  /// registry (export-time only; EngineStats reads them directly).
+  void RefreshExportGauges() const;
+  void StatsLoggerLoop();
+  void EmitStatsSnapshot();
 
   const ModelRegistry* registry_;  // set before Start(); fixed afterwards
   ModelRegistry own_registry_;     // backs the single-model constructor
@@ -268,11 +331,26 @@ class InferenceEngine {
   bool paused_ = false;
   std::once_flag shutdown_once_;
 
-  // Lock order: mu_ before stats_mu_ (stats() takes both; workers take only
-  // stats_mu_ when committing counters).
-  mutable std::mutex stats_mu_;
-  InferenceEngineStats stats_;
-  std::vector<InferenceEngineStats> model_stats_;  // indexed by model id
+  // Metrics backing store. Workers write lock-free through the cached
+  // ScopeMetrics pointers; stats()/exporters read. No stats mutex on the
+  // request path anymore.
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  ScopeMetrics agg_;
+  std::vector<ScopeMetrics> per_model_;  // indexed by model id
+
+  // Reporting window: stats() subtracts the base captured at the last
+  // ResetStatsWindow(). Guarded by window_mu_ (independent of mu_; stats()
+  // takes window_mu_ then mu_, never nested the other way).
+  mutable std::mutex window_mu_;
+  InferenceEngineStats window_base_;
+  std::vector<InferenceEngineStats> model_window_base_;
+
+  // Periodic snapshot logger (options_.stats_log_interval_ms > 0).
+  std::thread logger_;
+  std::mutex log_mu_;
+  std::condition_variable log_cv_;
+  bool log_stop_ = false;
 
   std::vector<std::thread> workers_;
 };

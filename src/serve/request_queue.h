@@ -79,6 +79,10 @@ struct InferenceRequest {
   /// streaming session feeds it to the next window. Such requests bypass the
   /// result cache (a cached entry has no embedding to return).
   bool want_context = false;
+  /// Per-request trace id (see obs/trace.h). 0 = untraced; the engine stamps
+  /// sampled requests at admission when RITA_TRACE arms tracing. A caller may
+  /// pre-stamp a non-zero id to force-trace one request.
+  uint64_t trace_id = 0;
 };
 
 struct InferenceResponse {

@@ -160,6 +160,9 @@ Status StreamManager::Release(int64_t session_id) {
   retired_.samples_ingested += finals.samples_ingested;
   retired_.late_windows += finals.late_windows;
   retired_.rejected_backpressure += finals.rejected_backpressure;
+  // Fold the session's latency distribution into the retained aggregate so
+  // manager percentiles keep covering retired traffic.
+  session->MergeLatencies(&retired_latency_);
   sessions_.erase(it);
   return Status::OK();
 }
@@ -195,7 +198,13 @@ StreamStats StreamManager::stats() const {
     aggregate.sessions_closed = sessions_closed_;
     aggregate.sessions_rejected = sessions_rejected_;
   }
-  std::vector<double> latencies;
+  // Histogram merge replaces the old sample pooling: one pass, bounded
+  // memory, and retired sessions keep contributing to the percentiles.
+  obs::Histogram pooled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pooled.MergeFrom(retired_latency_);
+  }
   for (const auto& session : held) {
     const StreamStats s = session->stats();
     aggregate.windows_emitted += s.windows_emitted;
@@ -204,12 +213,12 @@ StreamStats StreamManager::stats() const {
     aggregate.rejected_backpressure += s.rejected_backpressure;
     aggregate.samples_buffered += s.samples_buffered;
     aggregate.samples_in_flight += s.samples_in_flight;
-    session->SampleLatencies(&latencies);
+    session->MergeLatencies(&pooled);
   }
-  if (!latencies.empty()) {
-    std::sort(latencies.begin(), latencies.end());
-    aggregate.latency_p50_ms = latencies[latencies.size() / 2];
-    aggregate.latency_p99_ms = latencies[(latencies.size() * 99) / 100];
+  if (pooled.Count() > 0) {
+    const obs::HistogramSnapshot latency = pooled.Snapshot();
+    aggregate.latency_p50_ms = latency.Quantile(0.5);
+    aggregate.latency_p99_ms = latency.Quantile(0.99);
   }
   return aggregate;
 }

@@ -70,7 +70,9 @@ class StreamManager {
 
   /// Sum of per-session counters over held sessions plus everything retired
   /// through Release(), with manager lifecycle counters and latency
-  /// percentiles pooled over the held sessions' reservoirs.
+  /// percentiles from the merged histograms of held AND retired sessions
+  /// (Release() folds a session's latency distribution into the retained
+  /// aggregate before dropping it).
   StreamStats stats() const;
   Result<StreamStats> session_stats(int64_t session_id) const;
 
@@ -87,6 +89,7 @@ class StreamManager {
   uint64_t sessions_closed_ = 0;
   uint64_t sessions_rejected_ = 0;
   StreamStats retired_;  // counter sums of Released sessions
+  obs::Histogram retired_latency_;  // merged latency of Released sessions
 };
 
 }  // namespace stream

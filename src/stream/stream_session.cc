@@ -12,8 +12,6 @@ namespace stream {
 
 namespace {
 
-constexpr size_t kLatencyReservoir = 4096;
-
 double MsSince(serve::ServeClock::time_point t0) {
   return std::chrono::duration<double, std::milli>(serve::ServeClock::now() - t0)
       .count();
@@ -364,17 +362,11 @@ Tensor StreamSession::TakeTimeline(int64_t* start) {
   return out;
 }
 
-void StreamSession::RecordLatency(double ms) {
-  if (latencies_.size() < kLatencyReservoir) {
-    latencies_.push_back(ms);
-  } else {
-    latencies_[static_cast<size_t>(windows_emitted_) % kLatencyReservoir] = ms;
-  }
-}
+void StreamSession::RecordLatency(double ms) { latency_ms_.Observe(ms); }
 
-void StreamSession::SampleLatencies(std::vector<double>* out) const {
+void StreamSession::MergeLatencies(obs::Histogram* out) const {
   std::lock_guard<std::mutex> lock(mu_);
-  out->insert(out->end(), latencies_.begin(), latencies_.end());
+  out->MergeFrom(latency_ms_);
 }
 
 StreamStats StreamSession::stats() const {
@@ -388,11 +380,10 @@ StreamStats StreamSession::stats() const {
   stats.samples_in_flight =
       assembler_.buffered() + static_cast<int64_t>(stitch_count_.size()) +
       static_cast<int64_t>(inflight_.size()) * options_.window_length;
-  if (!latencies_.empty()) {
-    std::vector<double> sorted = latencies_;
-    std::sort(sorted.begin(), sorted.end());
-    stats.latency_p50_ms = sorted[sorted.size() / 2];
-    stats.latency_p99_ms = sorted[(sorted.size() * 99) / 100];
+  if (latency_ms_.Count() > 0) {
+    const obs::HistogramSnapshot latency = latency_ms_.Snapshot();
+    stats.latency_p50_ms = latency.Quantile(0.5);
+    stats.latency_p99_ms = latency.Quantile(0.99);
   }
   return stats;
 }

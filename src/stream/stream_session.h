@@ -41,6 +41,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/inference_engine.h"
 #include "stream/stream.h"
 #include "stream/window_assembler.h"
@@ -89,8 +90,9 @@ class StreamSession {
   Tensor TakeTimeline(int64_t* start);
 
   StreamStats stats() const;
-  /// Appends the latency reservoir to `out` (manager aggregate percentiles).
-  void SampleLatencies(std::vector<double>* out) const;
+  /// Accumulates this session's latency histogram into `out` (manager
+  /// aggregate percentiles — bucket merge, not sample pooling).
+  void MergeLatencies(obs::Histogram* out) const;
 
   const StreamOptions& options() const { return options_; }
 
@@ -160,10 +162,12 @@ class StreamSession {
   std::vector<float> timeline_;
   int64_t timeline_start_ = 0;
 
-  // Counters + bounded latency reservoir.
+  // Counters + sample->result latency distribution. The obs histogram
+  // replaces the old 4096-sample reservoir: bounded memory, mergeable across
+  // sessions, and the same log-linear quantiles the engine reports.
   uint64_t late_windows_ = 0;
   uint64_t rejected_backpressure_ = 0;
-  std::vector<double> latencies_;  // ring, capacity kLatencyReservoir
+  obs::Histogram latency_ms_;
 };
 
 }  // namespace stream

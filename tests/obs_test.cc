@@ -1,0 +1,547 @@
+// Tests for rita::obs and its integration with the serving stack: histogram
+// quantile accuracy and bucket-boundary behavior, snapshot merge/subtract
+// algebra, lock-free counter convergence under threads, the Prometheus
+// exposition, per-model vs aggregate EngineStats consistency under
+// concurrent multi-model load (run under RITA_SANITIZE=thread in CI),
+// ResetStatsWindow semantics, the periodic stats logger, and the trace
+// layer: sampling, bounded rings, Chrome dump contents, and bitwise
+// neutrality of tracing on the engine's outputs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
+#include "serve/frozen_model.h"
+#include "serve/inference_engine.h"
+#include "serve/model_registry.h"
+
+namespace rita {
+namespace obs {
+namespace {
+
+using serve::FrozenModel;
+using serve::InferenceEngine;
+using serve::InferenceEngineOptions;
+using serve::InferenceEngineStats;
+using serve::InferenceRequest;
+using serve::InferenceResponse;
+using serve::ModelRegistry;
+using serve::ServeTask;
+
+model::RitaConfig SmallConfig() {
+  model::RitaConfig config;
+  config.input_channels = 2;
+  config.input_length = 60;
+  config.window = 5;
+  config.stride = 5;
+  config.num_classes = 4;
+  config.encoder.dim = 16;
+  config.encoder.num_layers = 2;
+  config.encoder.num_heads = 2;
+  config.encoder.ffn_hidden = 32;
+  config.encoder.dropout = 0.1f;
+  config.encoder.attention.kind = attn::AttentionKind::kGroup;
+  config.encoder.attention.group.num_groups = 4;
+  return config;
+}
+
+Tensor MakeSeries(int64_t t, int64_t c, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::RandNormal({t, c}, &rng);
+}
+
+bool BitEqual(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), sizeof(float) * a.numel()) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram core.
+
+TEST(HistogramTest, CountSumAndQuantilesOnUniform) {
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.Observe(static_cast<double>(v));
+  EXPECT_EQ(h.Count(), 1000u);
+  EXPECT_NEAR(h.Sum(), 500500.0, 1e-6);
+  EXPECT_DOUBLE_EQ(h.Max(), 1000.0);
+  // Log-linear buckets bound relative error by the sub-bucket width (6.25%);
+  // interpolation keeps it well inside that on a uniform distribution.
+  EXPECT_NEAR(h.Quantile(0.5), 500.0, 500.0 * 0.08);
+  EXPECT_NEAR(h.Quantile(0.95), 950.0, 950.0 * 0.08);
+  EXPECT_NEAR(h.Quantile(0.99), 990.0, 990.0 * 0.08);
+  EXPECT_LE(h.Quantile(1.0), 1024.0 + 1e-9);  // upper edge of 1000's bucket
+  EXPECT_GE(h.Quantile(1.0), 1000.0 * (1.0 - 1e-9));
+}
+
+TEST(HistogramTest, BucketEdgesContainTheirValues) {
+  // Every representative value must land in a bucket whose [lower, upper)
+  // range contains it — including exact bucket-boundary values, which belong
+  // to the bucket they open.
+  for (int e = -10; e < 21; ++e) {
+    for (int sub = 0; sub < 16; ++sub) {
+      const double edge = std::ldexp(1.0 + sub / 16.0, e);
+      for (double v : {edge, std::nextafter(edge, 1e30), edge * 1.001}) {
+        const int idx = HistogramLayout::Index(v);
+        EXPECT_GE(v, HistogramLayout::LowerEdge(idx))
+            << "v=" << v << " idx=" << idx;
+        EXPECT_LT(v, HistogramLayout::UpperEdge(idx))
+            << "v=" << v << " idx=" << idx;
+      }
+    }
+  }
+  // Zero/negative/NaN land in the zero bucket; tiny underflow clamps into
+  // the first finite bucket; overflow lands in the +Inf bucket.
+  EXPECT_EQ(HistogramLayout::Index(0.0), 0);
+  EXPECT_EQ(HistogramLayout::Index(-3.5), 0);
+  EXPECT_EQ(HistogramLayout::Index(std::nan("")), 0);
+  EXPECT_EQ(HistogramLayout::Index(1e-9), 1);
+  EXPECT_EQ(HistogramLayout::Index(std::ldexp(1.0, 25)),
+            HistogramLayout::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, BoundaryValueQuantileStaysInItsBucket) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Observe(2.0);  // exact octave boundary
+  const double q50 = h.Quantile(0.5);
+  EXPECT_GE(q50, 2.0);
+  EXPECT_LT(q50, 2.0 * (1.0 + 1.0 / 16.0));
+}
+
+TEST(HistogramTest, OverflowAndZeroQuantiles) {
+  Histogram h;
+  h.Observe(0.0);
+  h.Observe(-1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  const double huge = std::ldexp(1.0, 23);  // past the top octave
+  h.Observe(huge);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), huge);  // overflow bucket reports max
+}
+
+TEST(HistogramTest, MergeEqualsCombinedStream) {
+  Histogram odds, evens, combined;
+  for (int v = 1; v <= 2000; ++v) {
+    combined.Observe(0.25 * v);
+    (v % 2 ? odds : evens).Observe(0.25 * v);
+  }
+  Histogram merged;
+  merged.MergeFrom(odds);
+  merged.MergeFrom(evens);
+  const HistogramSnapshot a = merged.Snapshot();
+  const HistogramSnapshot b = combined.Snapshot();
+  ASSERT_EQ(a.Count(), b.Count());
+  EXPECT_EQ(a.bucket_counts(), b.bucket_counts());
+  EXPECT_NEAR(a.Sum(), b.Sum(), 1e-9 * b.Sum());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), b.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, SnapshotMergeAndSubtractAlgebra) {
+  Histogram h;
+  for (int v = 1; v <= 100; ++v) h.Observe(1.0 * v);
+  const HistogramSnapshot base = h.Snapshot();
+  for (int v = 1; v <= 50; ++v) h.Observe(1000.0);
+  HistogramSnapshot now = h.Snapshot();
+  now.SubtractBase(base);
+  EXPECT_EQ(now.Count(), 50u);
+  EXPECT_NEAR(now.Sum(), 50000.0, 1e-6);
+  // The windowed view contains only the 1000ms observations.
+  EXPECT_GE(now.Quantile(0.01), 1000.0 * (1.0 - 1.0 / 16.0));
+
+  HistogramSnapshot merged = now;
+  merged.MergeFrom(base);
+  EXPECT_EQ(merged.Count(), 150u);
+}
+
+TEST(CounterTest, ConvergesUnderConcurrentAdds) {
+  Counter c;
+  Gauge g;
+  MaxGauge m;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &m, t] {
+      for (int i = 0; i < kAdds; ++i) {
+        c.Add(1);
+        m.Observe(static_cast<double>(t * kAdds + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  g.Set(3.5);
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kAdds);
+  EXPECT_DOUBLE_EQ(m.Value(), static_cast<double>(kThreads * kAdds - 1));
+  EXPECT_DOUBLE_EQ(g.Value(), 3.5);
+  m.Reset();
+  EXPECT_DOUBLE_EQ(m.Value(), 0.0);
+}
+
+TEST(RegistryTest, SameNameAndLabelsResolveToOneInstance) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("hits", "h", {{"model", "0"}});
+  Counter* b = registry.GetCounter("hits", "h", {{"model", "0"}});
+  Counter* other = registry.GetCounter("hits", "h", {{"model", "1"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+  a->Add(2);
+  other->Add(5);
+  const auto families = registry.Collect();
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_EQ(families[0].name, "hits");
+  ASSERT_EQ(families[0].instances.size(), 2u);
+  EXPECT_DOUBLE_EQ(families[0].instances[0].value +
+                       families[0].instances[1].value,
+                   7.0);
+}
+
+TEST(PrometheusTest, RendersCountersGaugesAndHistograms) {
+  MetricsRegistry registry;
+  registry.GetCounter("rita_test_total", "a counter", {{"model", "0"}})->Add(4);
+  registry.GetGauge("rita_test_depth", "a gauge")->Set(2.5);
+  Histogram* h = registry.GetHistogram("rita_test_ms", "a histogram");
+  h->Observe(1.0);
+  h->Observe(2.0);
+  h->Observe(1000000.0);  // overflow bucket: only +Inf covers it
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE rita_test_total counter"), std::string::npos);
+  EXPECT_NE(text.find("rita_test_total{model=\"0\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rita_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("rita_test_depth 2.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rita_test_ms histogram"), std::string::npos);
+  // 1.0 opens the [1, 1.0625) bucket, whose upper edge renders as 1.0625.
+  EXPECT_NE(text.find("rita_test_ms_bucket{le=\"1.0625\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("rita_test_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("rita_test_ms_count 3"), std::string::npos);
+  EXPECT_NE(text.find("rita_test_ms_sum 1000003"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration.
+
+// Satellite: sum of model_stats(i) counters equals aggregate stats() under
+// concurrent multi-model load. Exact for integer counters; the double sums
+// only differ by FP summation order.
+TEST(EngineObsTest, PerModelStatsSumToAggregateUnderLoad) {
+  model::RitaConfig config = SmallConfig();
+  Rng rng_a(11), rng_b(12);
+  model::RitaModel source_a(config, &rng_a), source_b(config, &rng_b);
+  FrozenModel frozen_a(source_a), frozen_b(source_b);
+  ModelRegistry registry;
+  registry.Register("a", &frozen_a);
+  registry.Register("b", &frozen_b);
+
+  InferenceEngineOptions options;
+  options.num_workers = 3;
+  options.max_micro_batch = 8;
+  InferenceEngine engine(&registry, options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 24;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&engine, &ok, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        InferenceRequest request;
+        // Some duplicate series (seed modulo) so cache hits are exercised;
+        // every completion path must keep the per-model split consistent.
+        request.series = MakeSeries(60, 2, static_cast<uint64_t>(i % 16));
+        request.task = ServeTask::kClassify;
+        request.model_id = (t + i) % 2;
+        const InferenceResponse response = engine.Run(std::move(request));
+        if (response.status.ok()) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  ASSERT_EQ(ok.load(), kThreads * kPerThread);
+
+  const InferenceEngineStats agg = engine.stats();
+  const InferenceEngineStats m0 = engine.model_stats(0);
+  const InferenceEngineStats m1 = engine.model_stats(1);
+  EXPECT_EQ(agg.completed, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(agg.completed, m0.completed + m1.completed);
+  EXPECT_EQ(agg.batches, m0.batches + m1.batches);
+  EXPECT_EQ(agg.cache_hits, m0.cache_hits + m1.cache_hits);
+  EXPECT_EQ(agg.cache_misses, m0.cache_misses + m1.cache_misses);
+  EXPECT_EQ(agg.deadline_missed, m0.deadline_missed + m1.deadline_missed);
+  EXPECT_EQ(agg.forward_failures, m0.forward_failures + m1.forward_failures);
+  EXPECT_EQ(agg.graph_batches, m0.graph_batches + m1.graph_batches);
+  EXPECT_EQ(agg.graph_nodes, m0.graph_nodes + m1.graph_nodes);
+  EXPECT_GE(agg.max_micro_batch,
+            std::max(m0.max_micro_batch, m1.max_micro_batch));
+  const double sum_compute = m0.total_compute_ms + m1.total_compute_ms;
+  EXPECT_NEAR(agg.total_compute_ms, sum_compute,
+              1e-6 * std::max(1.0, sum_compute));
+  const double sum_queue = m0.total_queue_ms + m1.total_queue_ms;
+  EXPECT_NEAR(agg.total_queue_ms, sum_queue, 1e-6 * std::max(1.0, sum_queue));
+}
+
+TEST(EngineObsTest, PrometheusExportListsEveryEngineMetric) {
+  model::RitaConfig config = SmallConfig();
+  Rng rng(21);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+  InferenceEngineOptions options;
+  options.num_workers = 2;
+  InferenceEngine engine(&frozen, options);
+  for (int i = 0; i < 10; ++i) {
+    InferenceRequest request;
+    request.series = MakeSeries(60, 2, static_cast<uint64_t>(100 + i));
+    request.task = ServeTask::kClassify;
+    ASSERT_TRUE(engine.Run(std::move(request)).status.ok());
+  }
+  const std::string text = engine.PrometheusText();
+  // Every EngineStats counter/sum/max family plus the new latency
+  // histograms and snapshot gauges must appear in the exposition.
+  for (const char* family :
+       {"rita_requests_completed_total", "rita_requests_rejected_total",
+        "rita_batches_total", "rita_cache_hits_total",
+        "rita_cache_misses_total", "rita_deadline_missed_total",
+        "rita_forward_failures_total", "rita_graph_batches_total",
+        "rita_graph_nodes_total", "rita_queue_latency_ms",
+        "rita_compute_latency_ms", "rita_micro_batch_size",
+        "rita_graph_critical_path_ms", "rita_graph_idle_ms",
+        "rita_micro_batch_max", "rita_compute_latency_max_ms",
+        "rita_graph_ready_high_water", "rita_queue_depth",
+        "rita_in_flight_batches", "rita_cache_bytes", "rita_cache_entries",
+        "rita_model_weight_bytes", "rita_model_precision"}) {
+    EXPECT_NE(text.find(family), std::string::npos)
+        << "missing metric family: " << family;
+  }
+  EXPECT_NE(text.find("rita_requests_completed_total 10"), std::string::npos);
+  // Histogram percentiles over the served load are queryable and sane.
+  const HistogramSnapshot compute =
+      engine.metrics()
+          .GetHistogram("rita_compute_latency_ms", "", {})
+          ->Snapshot();
+  EXPECT_EQ(compute.Count(), 10u);  // one solo batch per sequential request
+  EXPECT_GT(compute.Quantile(0.5), 0.0);
+  EXPECT_LE(compute.Quantile(0.5), compute.Quantile(0.99));
+  const HistogramSnapshot queue =
+      engine.metrics()
+          .GetHistogram("rita_queue_latency_ms", "", {})
+          ->Snapshot();
+  EXPECT_EQ(queue.Count(), 10u);
+  EXPECT_LE(queue.Quantile(0.5), queue.Quantile(0.99));
+}
+
+TEST(EngineObsTest, ResetStatsWindowStartsAFreshInterval) {
+  model::RitaConfig config = SmallConfig();
+  Rng rng(31);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+  InferenceEngineOptions options;
+  options.num_workers = 1;
+  InferenceEngine engine(&frozen, options);
+  for (int i = 0; i < 5; ++i) {
+    InferenceRequest request;
+    request.series = MakeSeries(60, 2, static_cast<uint64_t>(200 + i));
+    ASSERT_TRUE(engine.Run(std::move(request)).status.ok());
+  }
+  EXPECT_EQ(engine.stats().completed, 5u);
+  EXPECT_EQ(engine.model_stats(0).completed, 5u);
+  EXPECT_GT(engine.stats().max_micro_batch, 0);
+
+  engine.ResetStatsWindow();
+  const InferenceEngineStats windowed = engine.stats();
+  EXPECT_EQ(windowed.completed, 0u);
+  EXPECT_EQ(windowed.batches, 0u);
+  EXPECT_EQ(windowed.max_micro_batch, 0);  // no longer a lifetime maximum
+  EXPECT_DOUBLE_EQ(windowed.total_compute_ms, 0.0);
+  EXPECT_EQ(engine.model_stats(0).completed, 0u);
+
+  for (int i = 0; i < 2; ++i) {
+    InferenceRequest request;
+    request.series = MakeSeries(60, 2, static_cast<uint64_t>(300 + i));
+    ASSERT_TRUE(engine.Run(std::move(request)).status.ok());
+  }
+  EXPECT_EQ(engine.stats().completed, 2u);
+  EXPECT_EQ(engine.stats().max_micro_batch, 1);
+  // The backing metrics stay cumulative for Prometheus scrapes.
+  EXPECT_NE(engine.PrometheusText().find("rita_requests_completed_total 7"),
+            std::string::npos);
+}
+
+TEST(EngineObsTest, StatsLoggerHookReceivesSnapshots) {
+  model::RitaConfig config = SmallConfig();
+  Rng rng(41);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+
+  std::mutex mu;
+  std::vector<InferenceEngineStats> snapshots;
+  InferenceEngineOptions options;
+  options.num_workers = 1;
+  options.stats_log_interval_ms = 2.0;
+  options.stats_log_hook = [&mu, &snapshots](const InferenceEngineStats& s) {
+    std::lock_guard<std::mutex> lock(mu);
+    snapshots.push_back(s);
+  };
+  {
+    InferenceEngine engine(&frozen, options);
+    for (int i = 0; i < 6; ++i) {
+      InferenceRequest request;
+      request.series = MakeSeries(60, 2, static_cast<uint64_t>(400 + i));
+      ASSERT_TRUE(engine.Run(std::move(request)).status.ok());
+    }
+    engine.Shutdown();  // emits one final snapshot after joining the logger
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_GE(snapshots.size(), 1u);
+  EXPECT_EQ(snapshots.back().completed, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing.
+
+std::vector<Tensor> RunTraceWorkload(const FrozenModel* frozen, int requests) {
+  InferenceEngineOptions options;
+  options.num_workers = 2;
+  options.use_graph_executor = true;  // node + kernel spans ride the graph
+  InferenceEngine engine(frozen, options);
+  std::vector<std::future<InferenceResponse>> futures;
+  futures.reserve(requests);
+  for (int i = 0; i < requests; ++i) {
+    InferenceRequest request;
+    request.series = MakeSeries(60, 2, static_cast<uint64_t>(i));
+    request.task = ServeTask::kClassify;
+    futures.push_back(engine.Submit(std::move(request)));
+  }
+  std::vector<Tensor> outputs;
+  outputs.reserve(requests);
+  for (auto& f : futures) {
+    InferenceResponse response = f.get();
+    EXPECT_TRUE(response.status.ok()) << response.status.message();
+    outputs.push_back(std::move(response.output));
+  }
+  return outputs;
+}
+
+// Satellite: tracing must be bitwise-neutral — identical engine outputs with
+// tracing off and with every request traced.
+TEST(TraceTest, TracingIsBitwiseNeutral) {
+  model::RitaConfig config = SmallConfig();
+  Rng rng(51);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+
+  SetTracingForTesting(0);
+  ClearTraceForTesting();
+  const std::vector<Tensor> untraced = RunTraceWorkload(&frozen, 12);
+  EXPECT_EQ(TraceEventCount(), 0u);
+
+  SetTracingForTesting(1);
+  const std::vector<Tensor> traced = RunTraceWorkload(&frozen, 12);
+  SetTracingForTesting(0);
+  EXPECT_GT(TraceEventCount(), 0u);
+
+  ASSERT_EQ(untraced.size(), traced.size());
+  for (size_t i = 0; i < untraced.size(); ++i) {
+    EXPECT_TRUE(BitEqual(untraced[i], traced[i])) << "request " << i;
+  }
+
+  // The dump shows the whole request lifecycle: admission and queue wait,
+  // the batch forward, per-node graph spans and kernel spans, nested by
+  // containment on their thread tracks.
+  std::ostringstream dump;
+  DumpTraceTo(dump);
+  const std::string json = dump.str();
+  for (const char* needle :
+       {"\"admission\"", "\"queue\"", "\"batch_forward\"", "\"request\"",
+        "\"cat\":\"serve\"", "\"cat\":\"graph\"", "\"cat\":\"kernel\"",
+        "\"kmeans_grouping\"", "\"fused_group_attention\"",
+        "\"qkv_projection_gemm\"", "\"frontend\"", "trace_id"}) {
+    EXPECT_NE(json.find(needle), std::string::npos)
+        << "trace dump missing " << needle;
+  }
+
+  // File dump round-trips.
+  const std::string path = "obs_trace_test.json";
+  ASSERT_TRUE(DumpTrace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream file_contents;
+  file_contents << in.rdbuf();
+  EXPECT_NE(file_contents.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(file_contents.str().find("\"ph\":\"X\""), std::string::npos);
+  ClearTraceForTesting();
+}
+
+TEST(TraceTest, SamplingTracesOneInN) {
+  model::RitaConfig config = SmallConfig();
+  Rng rng(61);
+  model::RitaModel source(config, &rng);
+  FrozenModel frozen(source);
+
+  ClearTraceForTesting();
+  SetTracingForTesting(4);
+  InferenceEngineOptions options;
+  options.num_workers = 1;
+  InferenceEngine engine(&frozen, options);
+  for (int i = 0; i < 8; ++i) {
+    InferenceRequest request;
+    request.series = MakeSeries(60, 2, static_cast<uint64_t>(500 + i));
+    ASSERT_TRUE(engine.Run(std::move(request)).status.ok());
+  }
+  SetTracingForTesting(0);
+
+  std::ostringstream dump;
+  DumpTraceTo(dump);
+  const std::string json = dump.str();
+  // Exactly 2 of the 8 sequential admissions sample at 1-in-4, whatever the
+  // global admission counter's phase was when the test started.
+  size_t request_spans = 0;
+  for (size_t pos = json.find("\"name\":\"request\""); pos != std::string::npos;
+       pos = json.find("\"name\":\"request\"", pos + 1)) {
+    ++request_spans;
+  }
+  EXPECT_EQ(request_spans, 2u);
+  ClearTraceForTesting();
+}
+
+TEST(TraceTest, RingBufferIsBounded) {
+  ClearTraceForTesting();
+  const double now = TraceNowUs();
+  for (uint64_t i = 0; i < kTraceRingCapacity + 1000; ++i) {
+    RecordSpan(/*trace_id=*/1, "spam", "test", now, 1.0);
+  }
+  // This thread's ring saturates at its capacity; the oldest events were
+  // overwritten rather than growing the buffer.
+  EXPECT_EQ(TraceEventCount(), static_cast<uint64_t>(kTraceRingCapacity));
+  ClearTraceForTesting();
+}
+
+TEST(TraceTest, ScopedTraceNestsAndRestores) {
+  EXPECT_EQ(CurrentTrace().trace_id, 0u);
+  {
+    ScopedTrace outer(7);
+    EXPECT_EQ(CurrentTrace().trace_id, 7u);
+    {
+      ScopedTrace inner(9);
+      EXPECT_EQ(CurrentTrace().trace_id, 9u);
+    }
+    EXPECT_EQ(CurrentTrace().trace_id, 7u);
+  }
+  EXPECT_EQ(CurrentTrace().trace_id, 0u);
+  // Spans constructed with an ambient zero context record nothing.
+  ClearTraceForTesting();
+  { Span span("noop", "test"); }
+  EXPECT_EQ(TraceEventCount(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace rita
