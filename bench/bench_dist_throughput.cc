@@ -1,0 +1,270 @@
+// Distributed-serving benchmark: a consistent-hash router over N replica
+// servers (each wrapping its own InferenceEngine over identical weights) on
+// loopback, swept over (replicas) x (client threads). Three parts:
+//
+// 1. Bit-identity gate (RITA_CHECK, non-zero exit => CI gate): every routed
+//    response for a classify / reconstruct / embed sample set must be
+//    byte-for-byte identical to the single-process engine over the same
+//    weights. The wire format (dist/serde.h) round-trips f32 payloads by bit
+//    pattern, so ANY divergence here is a serialization or routing bug, not
+//    numerics.
+//
+// 2. Throughput sweep: requests/sec through the router for each
+//    (replicas, client threads) cell, same offered workload per cell. Raw
+//    req/s tracks runner hardware and is NOT gated; the JSON records it for
+//    trajectory tracking. Each client thread runs its own submit->wait loop,
+//    so concurrency comes from the client count, mirroring the local serving
+//    bench's shape.
+//
+// 3. Failover drill (gated): with 2 replicas under load, one replica server
+//    shuts down mid-burst. Every response must resolve as either OK or typed
+//    kUnavailable (anything else — a hang, a crash, an untyped error — fails
+//    the bench), and after one retry sweep every request must be served by
+//    the survivor.
+//
+//   ./build/bench_dist_throughput --quick --json BENCH_dist.json
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "dist/replica_server.h"
+#include "dist/router.h"
+#include "serve/frozen_model.h"
+#include "serve/inference_engine.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace rita {
+namespace bench {
+namespace {
+
+model::RitaConfig BenchConfig() {
+  model::RitaConfig config;
+  config.input_channels = 2;
+  config.input_length = 60;
+  config.window = 5;
+  config.stride = 5;
+  config.num_classes = 4;
+  config.encoder.dim = 32;
+  config.encoder.num_layers = 2;
+  config.encoder.num_heads = 2;
+  config.encoder.ffn_hidden = 64;
+  config.encoder.attention.kind = attn::AttentionKind::kGroup;
+  config.encoder.attention.group.num_groups = 4;
+  return config;
+}
+
+Tensor MakeSeries(int64_t t, int64_t c, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::RandNormal({t, c}, &rng);
+}
+
+bool BitEqual(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), sizeof(float) * a.numel()) == 0;
+}
+
+// One in-process replica: its own frozen weight copy + engine + server.
+// In-process keeps the bench portable (no fork) while still exercising the
+// full wire path — every request crosses TCP framing + serde both ways.
+struct Replica {
+  std::unique_ptr<serve::FrozenModel> frozen;
+  std::unique_ptr<serve::InferenceEngine> engine;
+  std::unique_ptr<dist::ReplicaServer> server;
+};
+
+Replica MakeReplica(model::RitaModel& source) {
+  Replica r;
+  r.frozen = std::make_unique<serve::FrozenModel>(source);
+  serve::InferenceEngineOptions options;
+  options.num_workers = 2;
+  r.engine = std::make_unique<serve::InferenceEngine>(r.frozen.get(), options);
+  r.server = std::make_unique<dist::ReplicaServer>(
+      r.engine.get(), dist::ReplicaServerOptions{});
+  RITA_CHECK(r.server->Start().ok());
+  return r;
+}
+
+struct Fleet {
+  std::vector<Replica> replicas;
+  std::unique_ptr<dist::Router> router;
+};
+
+Fleet MakeFleet(model::RitaModel& source, int num_replicas) {
+  Fleet fleet;
+  dist::RouterOptions options;
+  options.connections_per_replica = 4;
+  fleet.router = std::make_unique<dist::Router>(options);
+  for (int i = 0; i < num_replicas; ++i) {
+    fleet.replicas.push_back(MakeReplica(source));
+    fleet.router->AddReplica("127.0.0.1", fleet.replicas.back().server->port());
+  }
+  RITA_CHECK(fleet.router->Start().ok());
+  return fleet;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const BenchScale scale = ParseScale(argc, argv);
+  BenchJsonWriter json("dist_throughput");
+
+  model::RitaConfig config = BenchConfig();
+  Rng rng(4242);
+  model::RitaModel source(config, &rng);
+
+  // Single-process reference engine over the same weights.
+  serve::FrozenModel reference_frozen(source);
+  serve::InferenceEngineOptions ref_options;
+  ref_options.num_workers = 2;
+  serve::InferenceEngine reference(&reference_frozen, ref_options);
+
+  // -------------------------------------------------------------------
+  // Part 1: bit-identity across the wire (CI gate).
+  {
+    Fleet fleet = MakeFleet(source, 2);
+    const struct {
+      serve::ServeTask task;
+      int64_t length;
+    } cases[] = {
+        {serve::ServeTask::kClassify, 60},
+        {serve::ServeTask::kReconstruct, 50},
+        {serve::ServeTask::kEmbed, 35},
+    };
+    int compared = 0;
+    for (const auto& c : cases) {
+      for (uint64_t seed = 0; seed < 8; ++seed) {
+        serve::InferenceRequest local_request;
+        local_request.series = MakeSeries(c.length, 2, 100 + seed);
+        local_request.task = c.task;
+        serve::InferenceResponse want = reference.Run(std::move(local_request));
+        RITA_CHECK(want.status.ok()) << want.status.ToString();
+
+        serve::InferenceRequest routed_request;
+        routed_request.series = MakeSeries(c.length, 2, 100 + seed);
+        routed_request.task = c.task;
+        serve::InferenceResponse got =
+            fleet.router->Submit(std::move(routed_request)).get();
+        RITA_CHECK(got.status.ok()) << got.status.ToString();
+        RITA_CHECK(BitEqual(want.output, got.output))
+            << "routed response diverges from the single-process engine "
+            << "(task " << serve::ServeTaskName(c.task) << ", seed " << seed
+            << ")";
+        ++compared;
+      }
+    }
+    std::printf("bit-identity: %d routed responses bitwise-identical to the "
+                "single-process engine\n", compared);
+    json.Add("dist/bit_identical", 1.0, "bool");
+    json.Add("dist/bit_identity_samples", compared, "count");
+    fleet.router->Shutdown();
+  }
+
+  // -------------------------------------------------------------------
+  // Part 2: (replicas x client threads) throughput sweep.
+  const int kRequestsPerCell = scale.quick ? 192 : 768;
+  std::printf("%-10s %-10s %-12s %-10s\n", "replicas", "clients", "req/s",
+              "seconds");
+  for (int num_replicas : {1, 2}) {
+    for (int num_clients : {1, 4, 8}) {
+      Fleet fleet = MakeFleet(source, num_replicas);
+      std::atomic<int> next{0};
+      std::atomic<int> failed{0};
+      Stopwatch watch;
+      std::vector<std::thread> clients;
+      for (int c = 0; c < num_clients; ++c) {
+        clients.emplace_back([&] {
+          for (;;) {
+            const int i = next.fetch_add(1);
+            if (i >= kRequestsPerCell) return;
+            serve::InferenceRequest request;
+            // Distinct series per request: no result-cache shortcut, every
+            // request crosses the wire and runs a forward.
+            request.series = MakeSeries(60, 2, 10000 + i);
+            serve::InferenceResponse response =
+                fleet.router->Submit(std::move(request)).get();
+            if (!response.status.ok()) failed.fetch_add(1);
+          }
+        });
+      }
+      for (auto& t : clients) t.join();
+      const double seconds = watch.ElapsedSeconds();
+      RITA_CHECK(failed.load() == 0)
+          << failed.load() << " requests failed in the throughput sweep";
+      const double rps = kRequestsPerCell / seconds;
+      std::printf("%-10d %-10d %-12.1f %-10.3f\n", num_replicas, num_clients,
+                  rps, seconds);
+      json.Add("dist/replicas_" + std::to_string(num_replicas) + "/clients_" +
+                   std::to_string(num_clients) + "/requests_per_sec",
+               rps, "req/s");
+      fleet.router->Shutdown();
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Part 3: failover drill (CI gate) — kill one of two replicas mid-burst.
+  {
+    Fleet fleet = MakeFleet(source, 2);
+    const int kBurst = scale.quick ? 96 : 384;
+    std::atomic<int> next{0};
+    std::atomic<int> ok{0};
+    std::atomic<int> unavailable{0};
+    std::atomic<int> other_errors{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+      clients.emplace_back([&] {
+        for (;;) {
+          const int i = next.fetch_add(1);
+          if (i >= kBurst) return;
+          if (i == kBurst / 4) fleet.replicas[0].server->Shutdown();
+          serve::InferenceRequest request;
+          request.series = MakeSeries(60, 2, 20000 + i);
+          serve::InferenceResponse response =
+              fleet.router->Submit(std::move(request)).get();
+          if (response.status.ok()) {
+            ok.fetch_add(1);
+          } else if (response.status.code() == StatusCode::kUnavailable) {
+            unavailable.fetch_add(1);
+            // The retry contract: one resubmit re-routes to the survivor.
+            serve::InferenceRequest retry;
+            retry.series = MakeSeries(60, 2, 20000 + i);
+            serve::InferenceResponse retried =
+                fleet.router->Submit(std::move(retry)).get();
+            if (retried.status.ok()) {
+              ok.fetch_add(1);
+            } else {
+              other_errors.fetch_add(1);
+            }
+          } else {
+            other_errors.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    std::printf("failover: %d served, %d typed-unavailable (retried), "
+                "%d other errors\n",
+                ok.load(), unavailable.load(), other_errors.load());
+    RITA_CHECK(other_errors.load() == 0)
+        << "failover produced a non-typed or unretryable failure";
+    RITA_CHECK(ok.load() == kBurst)
+        << "not every request was served after one retry: " << ok.load()
+        << " of " << kBurst;
+    RITA_CHECK(fleet.router->num_live() == 1);
+    json.Add("dist/failover_typed_and_served", 1.0, "bool");
+    json.Add("dist/failover_unavailable_seen", unavailable.load(), "count");
+    fleet.router->Shutdown();
+  }
+
+  RITA_CHECK(json.WriteTo(scale.json_path)) << "failed to write --json";
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace rita
+
+int main(int argc, char** argv) { return rita::bench::Main(argc, argv); }

@@ -2,17 +2,24 @@
 // serve concurrent requests through the layered engine — admission
 // (priorities, deadlines, split backpressure), scheduler (interactive
 // overtakes bulk, EDF within class), content-hash result cache, and
-// multi-model A/B multiplexing over one ModelRegistry. The README "Serving"
-// walkthrough as a runnable program.
+// multi-model A/B multiplexing over one ModelRegistry. All traffic goes
+// through the transport-agnostic serve::Client interface, and the final
+// section swaps the in-process LocalClient for a dist::RemoteClient over a
+// loopback replica server to show the backend is a drop-in choice. The
+// README "Serving" walkthrough as a runnable program.
 //
 //   ./build/example_serving
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <thread>
 #include <vector>
 
 #include "data/generators.h"
+#include "dist/replica_server.h"
+#include "dist/router.h"
+#include "serve/client.h"
 #include "serve/inference_engine.h"
 #include "train/trainer.h"
 #include "util/logging.h"
@@ -78,6 +85,12 @@ int main() {
   options.context = &context;
   serve::InferenceEngine engine(&registry, options);
 
+  // Everything below talks to `client`, the transport-agnostic interface.
+  // Here it is an in-process adapter; section 9 runs the identical request
+  // code against a replica fleet through dist::RemoteClient instead.
+  serve::LocalClient local(&engine);
+  serve::Client& client = local;
+
   // 4. Bulk re-scoring: four client threads fire the whole validation set as
   //    kBatch requests against "prod" — background traffic that yields to
   //    interactive requests but, thanks to aging, is never starved.
@@ -93,7 +106,7 @@ int main() {
         request.task = serve::ServeTask::kClassify;
         request.priority = serve::Priority::kBatch;
         request.model_id = prod_id;
-        futures[i] = engine.Submit(std::move(request));
+        futures[i] = client.Submit(std::move(request));
       }
     });
   }
@@ -107,7 +120,7 @@ int main() {
   alert.priority = serve::Priority::kInteractive;
   alert.deadline = serve::ServeClock::now() + std::chrono::milliseconds(50);
   alert.model_id = canary_id;
-  serve::InferenceResponse alert_response = engine.Run(std::move(alert));
+  serve::InferenceResponse alert_response = client.SubmitAndWait(std::move(alert));
   std::printf("alert answered in %.2f ms queue + %.2f ms compute (batch of %lld)\n",
               alert_response.queue_ms, alert_response.compute_ms,
               static_cast<long long>(alert_response.micro_batch));
@@ -135,7 +148,7 @@ int main() {
   replay.series = split.valid.Sample(0).Reshape(
       {split.valid.length(), split.valid.channels()});
   replay.model_id = canary_id;
-  serve::InferenceResponse replayed = engine.Run(std::move(replay));
+  serve::InferenceResponse replayed = client.SubmitAndWait(std::move(replay));
   std::printf("alert replay: cache_hit=%d (identical logits, zero compute)\n",
               replayed.cache_hit ? 1 : 0);
 
@@ -144,7 +157,7 @@ int main() {
   embed.series = split.valid.Sample(0).Reshape(
       {split.valid.length(), split.valid.channels()});
   embed.task = serve::ServeTask::kEmbed;
-  serve::InferenceResponse embedding = engine.Run(std::move(embed));
+  serve::InferenceResponse embedding = client.SubmitAndWait(std::move(embed));
 
   serve::InferenceRequest impute;
   // Mask a timestamp with the library's sentinel (-1) and ask for the
@@ -155,13 +168,15 @@ int main() {
     impute.series.At({21, ch}) = -1.0f;
   }
   impute.task = serve::ServeTask::kReconstruct;
-  serve::InferenceResponse imputed = engine.Run(std::move(impute));
+  serve::InferenceResponse imputed = client.SubmitAndWait(std::move(impute));
   std::printf("imputed t=21 ch0: %.3f (masked input)\n",
               imputed.output.At({21, 0}));
 
   // 8. Aggregate and per-model stats: the rejection split, cache counters
-  //    and the instantaneous queue/in-flight snapshot.
-  const serve::InferenceEngineStats stats = engine.stats();
+  //    and the instantaneous queue/in-flight snapshot. Client::Stats() is
+  //    the transport-agnostic aggregate; per-model breakdowns stay on the
+  //    engine (they are a backend diagnostic, not part of the client API).
+  const serve::InferenceEngineStats stats = client.Stats();
   std::printf("served %llu requests in %llu micro-batches "
               "(max batch %lld, avg queue %.2f ms, %llu cache hits, "
               "%llu invalid + %llu backpressure rejections, queue depth %lld)\n",
@@ -182,5 +197,37 @@ int main() {
   std::printf("serving accuracy %.3f, embedding dim %lld\n",
               static_cast<double>(correct) / static_cast<double>(total),
               static_cast<long long>(embedding.output.numel()));
-  return 0;
+
+  // 9. The same client code over a replica fleet: wrap this process's engine
+  //    in a ReplicaServer on loopback, route to it through a consistent-hash
+  //    Router, and re-issue the alert through dist::RemoteClient. Every
+  //    request now crosses the framed TCP wire (serde both ways), yet the
+  //    logits come back bit-identical — the wire format round-trips floats
+  //    by bit pattern, so backends are interchangeable without numeric drift.
+  dist::ReplicaServer replica(&engine, dist::ReplicaServerOptions{});
+  if (!replica.Start().ok()) return 1;
+  dist::Router router;
+  router.AddReplica("127.0.0.1", replica.port());
+  if (!router.Start().ok()) return 1;
+  dist::RemoteClient remote(&router);
+  serve::Client& fleet_client = remote;
+
+  serve::InferenceRequest remote_alert;
+  remote_alert.series = split.valid.Sample(0).Reshape(
+      {split.valid.length(), split.valid.channels()});
+  remote_alert.model_id = canary_id;
+  serve::InferenceResponse remote_response =
+      fleet_client.SubmitAndWait(std::move(remote_alert));
+  const bool bit_identical =
+      remote_response.status.ok() &&
+      remote_response.output.shape() == replayed.output.shape() &&
+      std::memcmp(remote_response.output.data(), replayed.output.data(),
+                  sizeof(float) * replayed.output.numel()) == 0;
+  std::printf("remote alert via 1-replica fleet: cache_hit=%d, "
+              "bit-identical to local=%d, fleet completed=%llu\n",
+              remote_response.cache_hit ? 1 : 0, bit_identical ? 1 : 0,
+              static_cast<unsigned long long>(fleet_client.Stats().completed));
+  router.Shutdown();
+  replica.Shutdown();
+  return bit_identical ? 0 : 1;
 }

@@ -95,6 +95,18 @@ void HistogramSnapshot::SubtractBase(const HistogramSnapshot& base) {
   // subtraction. Engines reset their MaxGauges instead.
 }
 
+HistogramSnapshot HistogramSnapshot::FromParts(std::vector<uint64_t> counts,
+                                               double sum, double max) {
+  RITA_CHECK_EQ(static_cast<int>(counts.size()), HistogramLayout::kNumBuckets)
+      << "histogram wire payload has the wrong bucket count";
+  HistogramSnapshot snap;
+  snap.counts_ = std::move(counts);
+  for (uint64_t c : snap.counts_) snap.count_ += c;
+  snap.sum_ = sum;
+  snap.max_ = max;
+  return snap;
+}
+
 // ---------------------------------------------------------------------------
 // Histogram
 

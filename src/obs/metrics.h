@@ -165,6 +165,13 @@ class HistogramSnapshot {
   // as this snapshot's max.
   void SubtractBase(const HistogramSnapshot& base);
 
+  // Rebuilds a snapshot from its parts — the wire-decode hook for fleet
+  // aggregation (a router merging replica snapshots it received over the
+  // transport). `counts` must have kNumBuckets entries; `count` is
+  // recomputed from the buckets when the caller passes the bucket sum.
+  static HistogramSnapshot FromParts(std::vector<uint64_t> counts, double sum,
+                                     double max);
+
  private:
   friend class Histogram;
   std::vector<uint64_t> counts_;

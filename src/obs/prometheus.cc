@@ -63,8 +63,9 @@ void AppendEdge(std::ostream& os, double edge) {
 
 }  // namespace
 
-void PrometheusTextTo(const MetricsRegistry& registry, std::ostream& os) {
-  for (const auto& family : registry.Collect()) {
+void PrometheusTextTo(const std::vector<MetricsRegistry::FamilySnapshot>& families,
+                      std::ostream& os) {
+  for (const auto& family : families) {
     os << "# HELP " << family.name << ' ' << family.help << '\n';
     const char* type =
         family.type == MetricType::kCounter ? "counter"
@@ -107,6 +108,17 @@ void PrometheusTextTo(const MetricsRegistry& registry, std::ostream& os) {
       os << ' ' << inst.hist.Count() << '\n';
     }
   }
+}
+
+std::string PrometheusText(
+    const std::vector<MetricsRegistry::FamilySnapshot>& families) {
+  std::ostringstream os;
+  PrometheusTextTo(families, os);
+  return os.str();
+}
+
+void PrometheusTextTo(const MetricsRegistry& registry, std::ostream& os) {
+  PrometheusTextTo(registry.Collect(), os);
 }
 
 std::string PrometheusText(const MetricsRegistry& registry) {

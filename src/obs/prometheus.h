@@ -20,6 +20,14 @@ namespace obs {
 void PrometheusTextTo(const MetricsRegistry& registry, std::ostream& os);
 std::string PrometheusText(const MetricsRegistry& registry);
 
+/// Renders pre-collected family snapshots — the fleet-aggregation entry
+/// point: a router merges replica registries' snapshots (relabelled with a
+/// `replica` label) into one family list and exposes them as a single view.
+void PrometheusTextTo(const std::vector<MetricsRegistry::FamilySnapshot>& families,
+                      std::ostream& os);
+std::string PrometheusText(
+    const std::vector<MetricsRegistry::FamilySnapshot>& families);
+
 }  // namespace obs
 }  // namespace rita
 

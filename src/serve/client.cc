@@ -1,0 +1,23 @@
+#include "serve/client.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace rita {
+namespace serve {
+
+LocalClient::LocalClient(InferenceEngine* engine) : engine_(engine) {
+  RITA_CHECK(engine != nullptr);
+}
+
+std::future<InferenceResponse> LocalClient::Submit(InferenceRequest request) {
+  return engine_->Submit(std::move(request));
+}
+
+InferenceEngineStats LocalClient::Stats() { return engine_->stats(); }
+
+void LocalClient::Shutdown() { engine_->Shutdown(); }
+
+}  // namespace serve
+}  // namespace rita

@@ -1,0 +1,68 @@
+// Transport-agnostic serving client. Application code (examples, load
+// generators, the conformance tests) programs against this interface and
+// runs unchanged whether the backend is an in-process InferenceEngine
+// (LocalClient, below) or a replica fleet behind a consistent-hash router
+// (dist::RemoteClient) — the same Submit/Stats/Shutdown surface, the same
+// Status taxonomy, the same retryable-vs-sticky error split:
+//
+//   client code ---> serve::Client
+//                      |-- LocalClient  -> InferenceEngine (this process)
+//                      `-- dist::RemoteClient -> Router -> N ReplicaServers
+//
+// Backpressure stays typed end to end: a LocalClient surfaces the engine's
+// kOutOfMemory admission rejections; a RemoteClient surfaces the same code
+// when a replica's outstanding-request cap is hit, and kUnavailable when the
+// fleet has lost a replica mid-request.
+#ifndef RITA_SERVE_CLIENT_H_
+#define RITA_SERVE_CLIENT_H_
+
+#include <future>
+
+#include "serve/inference_engine.h"
+
+namespace rita {
+namespace serve {
+
+class Client {
+ public:
+  virtual ~Client() = default;
+
+  /// Thread-safe. Always returns a valid future; rejections resolve it
+  /// immediately with a non-OK status (never throws).
+  virtual std::future<InferenceResponse> Submit(InferenceRequest request) = 0;
+
+  /// Convenience: Submit and block for the response.
+  virtual InferenceResponse SubmitAndWait(InferenceRequest request) {
+    return Submit(std::move(request)).get();
+  }
+
+  /// Aggregate serving counters. For a local backend this is the engine's
+  /// stats(); for a fleet backend it is the merged view across live replicas.
+  virtual InferenceEngineStats Stats() = 0;
+
+  /// Stops this client's backend: a LocalClient drains and joins its engine;
+  /// a RemoteClient closes its router (replica processes keep running — they
+  /// have their own lifecycle). Idempotent.
+  virtual void Shutdown() = 0;
+};
+
+/// Adapter over a borrowed in-process InferenceEngine (must outlive the
+/// client).
+class LocalClient : public Client {
+ public:
+  explicit LocalClient(InferenceEngine* engine);
+
+  std::future<InferenceResponse> Submit(InferenceRequest request) override;
+  InferenceEngineStats Stats() override;
+  void Shutdown() override;
+
+  InferenceEngine* engine() const { return engine_; }
+
+ private:
+  InferenceEngine* engine_;
+};
+
+}  // namespace serve
+}  // namespace rita
+
+#endif  // RITA_SERVE_CLIENT_H_

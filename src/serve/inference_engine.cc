@@ -916,5 +916,11 @@ std::string InferenceEngine::PrometheusText() const {
   return obs::PrometheusText(*metrics_);
 }
 
+std::vector<obs::MetricsRegistry::FamilySnapshot> InferenceEngine::CollectMetrics()
+    const {
+  RefreshExportGauges();
+  return metrics_->Collect();
+}
+
 }  // namespace serve
 }  // namespace rita

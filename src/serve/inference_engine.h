@@ -266,6 +266,11 @@ class InferenceEngine {
   /// Prometheus text exposition of every engine metric (refreshes the
   /// instantaneous gauges first). Serve it from a debug endpoint or dump it.
   std::string PrometheusText() const;
+  /// Gauge-refreshed family snapshots of every engine metric — the
+  /// structured form PrometheusText() renders. A dist::ReplicaServer ships
+  /// these over the wire so routers can merge replica registries (histogram
+  /// snapshots are mergeable) into one fleet-wide exposition.
+  std::vector<obs::MetricsRegistry::FamilySnapshot> CollectMetrics() const;
 
   const ModelRegistry& registry() const { return *registry_; }
 

@@ -15,7 +15,28 @@ int64_t ModelRegistry::Register(std::string name, const FrozenModel* model) {
   entry.name = std::move(name);
   entry.model = model;
   entries_.push_back(std::move(entry));
+  // Publish a fresh immutable snapshot (copy-on-write): readers holding the
+  // previous pointer keep a coherent view; new readers see the new variant.
+  auto next = std::make_shared<std::vector<ModelInfo>>();
+  next->reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    ModelInfo info;
+    info.name = e.name;
+    info.fingerprint = e.model->Fingerprint();
+    info.precision = e.model->precision();
+    info.weight_bytes = e.model->WeightBytes();
+    info.num_groups = e.model->num_groups();
+    next->push_back(std::move(info));
+  }
+  std::atomic_store_explicit(
+      &snapshot_,
+      std::shared_ptr<const std::vector<ModelInfo>>(std::move(next)),
+      std::memory_order_release);
   return static_cast<int64_t>(entries_.size()) - 1;
+}
+
+std::shared_ptr<const std::vector<ModelInfo>> ModelRegistry::Snapshot() const {
+  return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
 }
 
 int64_t ModelRegistry::RegisterVariant(const std::string& base_name,

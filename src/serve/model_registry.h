@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,18 @@
 
 namespace rita {
 namespace serve {
+
+/// Immutable description of one registered model variant — everything a
+/// remote peer needs to decide whether two replicas serve the same model set
+/// (dist::Router diffs these across the fleet) without touching the
+/// FrozenModel itself.
+struct ModelInfo {
+  std::string name;
+  uint64_t fingerprint = 0;  // FrozenModel::Fingerprint (weights + precision)
+  Precision precision = Precision::kFp32;
+  int64_t weight_bytes = 0;
+  int64_t num_groups = 0;
+};
 
 class ModelRegistry {
  public:
@@ -67,12 +80,22 @@ class ModelRegistry {
   const std::string& name(int64_t id) const;
   int64_t size() const { return static_cast<int64_t>(entries_.size()); }
 
+  /// Immutable point-in-time view of the registered variants, indexed by
+  /// dense id. The vector behind the pointer is never mutated: Register
+  /// publishes a fresh copy (copy-on-write + atomic pointer swap), so a
+  /// reader's view stays coherent for as long as it holds the pointer — the
+  /// RCU shape live register/retire (hot swap) needs, and what lets a
+  /// distributed router diff replica model sets without stopping engines.
+  std::shared_ptr<const std::vector<ModelInfo>> Snapshot() const;
+
  private:
   struct Entry {
     std::string name;
     const FrozenModel* model = nullptr;
   };
   std::vector<Entry> entries_;
+  std::shared_ptr<const std::vector<ModelInfo>> snapshot_ =
+      std::make_shared<const std::vector<ModelInfo>>();
   mutable std::atomic<bool> frozen_{false};
 };
 

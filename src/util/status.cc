@@ -2,8 +2,7 @@
 
 namespace rita {
 
-namespace {
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -21,14 +20,15 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kDeadlineUnmeetable:
       return "DeadlineUnmeetable";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
-}  // namespace
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   out += ": ";
   out += message_;
   return out;

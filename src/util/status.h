@@ -12,16 +12,26 @@
 namespace rita {
 
 /// Error taxonomy for recoverable failures.
+///
+/// The numeric values are STABLE: they are the wire representation of a
+/// Status between distributed-serving processes (dist/serde.{h,cc}), so a
+/// new code must take the next free number and existing numbers must never
+/// be reused or renumbered.
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,
-  kNotFound,
-  kOutOfMemory,
-  kIoError,
-  kNotSupported,
-  kInternal,
-  kDeadlineUnmeetable,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfMemory = 3,
+  kIoError = 4,
+  kNotSupported = 5,
+  kInternal = 6,
+  kDeadlineUnmeetable = 7,
+  kUnavailable = 8,
 };
+
+/// Stable name for a code ("OK", "InvalidArgument", ...); "Unknown" for
+/// values outside the enum (e.g. decoded from a newer peer).
+const char* StatusCodeName(StatusCode code);
 
 /// Value-semantic status object; cheap to copy in the OK case.
 class Status {
@@ -51,6 +61,17 @@ class Status {
   /// Retryable with a later deadline, unlike kInvalidArgument.
   static Status DeadlineUnmeetable(std::string msg) {
     return Status(StatusCode::kDeadlineUnmeetable, std::move(msg));
+  }
+  /// A remote peer (replica, router) is unreachable, timed out, or went away
+  /// mid-request. Retryable: the fleet may have live capacity elsewhere.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Rebuilds a Status from its parts (wire decode); `code` must be a known
+  /// StatusCode value.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return OK();
+    return Status(code, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,312 @@
+// Multi-process integration test for the distributed serving layer: real
+// replica PROCESSES (not threads) on localhost, a router in the test
+// process, and the two acceptance gates from the roadmap:
+//
+//   1. Bit-identity: classify / reconstruct / embed responses served by a
+//      2-replica fleet are byte-for-byte identical to a single-process
+//      InferenceEngine over the same weights.
+//   2. Fault tolerance: SIGKILL-ing one replica mid-load yields typed
+//      kUnavailable (retryable) errors only, no hangs and no crashes, and
+//      the surviving replica keeps serving.
+//
+// The replica processes are this same binary re-exec'ed with --replica
+// (see main() at the bottom): fork immediately followed by exec is safe in
+// a threaded parent, and /proc/self/exe sidesteps argv[0] games. Each child
+// writes its ephemeral port back through an inherited pipe fd.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dist/replica_server.h"
+#include "dist/router.h"
+#include "dist/serde.h"
+#include "serve/client.h"
+#include "serve/frozen_model.h"
+#include "serve/inference_engine.h"
+
+namespace rita {
+namespace dist {
+
+constexpr uint64_t kModelSeed = 20240601;
+
+model::RitaConfig IntegrationConfig() {
+  model::RitaConfig config;
+  config.input_channels = 2;
+  config.input_length = 60;
+  config.window = 5;
+  config.stride = 5;
+  config.num_classes = 4;
+  config.encoder.dim = 16;
+  config.encoder.num_layers = 2;
+  config.encoder.num_heads = 2;
+  config.encoder.ffn_hidden = 32;
+  config.encoder.attention.kind = attn::AttentionKind::kGroup;
+  config.encoder.attention.group.num_groups = 4;
+  return config;
+}
+
+Tensor MakeSeries(int64_t t, int64_t c, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::RandNormal({t, c}, &rng);
+}
+
+bool BitEqual(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), sizeof(float) * a.numel()) == 0;
+}
+
+struct ReplicaProcess {
+  pid_t pid = -1;
+  int port = 0;
+};
+
+// fork + exec /proc/self/exe --replica; the child reports its bound port
+// through an inherited pipe.
+ReplicaProcess LaunchReplica(uint64_t model_seed) {
+  int port_pipe[2];
+  EXPECT_EQ(::pipe(port_pipe), 0);
+  const std::string seed_arg = "--seed=" + std::to_string(model_seed);
+  const std::string fd_arg = "--port-fd=" + std::to_string(port_pipe[1]);
+
+  ReplicaProcess child;
+  child.pid = ::fork();
+  if (child.pid == 0) {
+    // Child: only async-signal-safe calls between fork and exec.
+    ::close(port_pipe[0]);
+    const char* argv[] = {"/proc/self/exe", "--replica", seed_arg.c_str(),
+                          fd_arg.c_str(), nullptr};
+    ::execv("/proc/self/exe", const_cast<char**>(argv));
+    _exit(127);  // exec failed
+  }
+  ::close(port_pipe[1]);
+  EXPECT_GT(child.pid, 0);
+
+  int32_t port = 0;
+  size_t got = 0;
+  while (got < sizeof(port)) {
+    ssize_t n = ::read(port_pipe[0], reinterpret_cast<char*>(&port) + got,
+                       sizeof(port) - got);
+    if (n <= 0) break;
+    got += static_cast<size_t>(n);
+  }
+  ::close(port_pipe[0]);
+  EXPECT_EQ(got, sizeof(port)) << "replica child never reported a port";
+  child.port = port;
+  return child;
+}
+
+// Bounded reap: never lets a wedged child hang the test binary.
+void ReapReplica(ReplicaProcess* child, bool expect_exited) {
+  if (child->pid <= 0) return;
+  int status = 0;
+  for (int spin = 0; spin < 500; ++spin) {  // ~5 s budget
+    const pid_t r = ::waitpid(child->pid, &status, WNOHANG);
+    if (r == child->pid) {
+      child->pid = -1;
+      return;
+    }
+    ::usleep(10 * 1000);
+  }
+  EXPECT_FALSE(expect_exited) << "replica pid " << child->pid
+                              << " did not exit; killing";
+  ::kill(child->pid, SIGKILL);
+  ::waitpid(child->pid, &status, 0);
+  child->pid = -1;
+}
+
+TEST(DistIntegrationTest, TwoProcessFleetIsBitIdenticalToSingleProcess) {
+  // Reference: a single-process engine over the same seed-derived weights.
+  model::RitaConfig config = IntegrationConfig();
+  Rng rng(kModelSeed);
+  model::RitaModel source(config, &rng);
+  serve::FrozenModel frozen(source);
+  serve::InferenceEngineOptions options;
+  options.num_workers = 2;
+  serve::InferenceEngine engine(&frozen, options);
+  serve::LocalClient local(&engine);
+
+  ReplicaProcess p0 = LaunchReplica(kModelSeed);
+  ReplicaProcess p1 = LaunchReplica(kModelSeed);
+  ASSERT_GT(p0.port, 0);
+  ASSERT_GT(p1.port, 0);
+
+  Router router;
+  router.AddReplica("127.0.0.1", p0.port);
+  router.AddReplica("127.0.0.1", p1.port);
+  ASSERT_TRUE(router.Start().ok());
+  RemoteClient remote(&router);
+
+  // The fleet must agree on weights before bit-identity even makes sense.
+  ASSERT_TRUE(router.CheckModelSetsConsistent().ok());
+
+  const struct {
+    serve::ServeTask task;
+    int64_t length;
+  } cases[] = {
+      {serve::ServeTask::kClassify, 60},
+      {serve::ServeTask::kReconstruct, 50},
+      {serve::ServeTask::kEmbed, 35},
+  };
+  int compared = 0;
+  for (const auto& c : cases) {
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      serve::InferenceRequest local_request;
+      local_request.series = MakeSeries(c.length, 2, 6000 + seed);
+      local_request.task = c.task;
+      serve::InferenceRequest remote_request;
+      remote_request.series = MakeSeries(c.length, 2, 6000 + seed);
+      remote_request.task = c.task;
+
+      serve::InferenceResponse want =
+          local.SubmitAndWait(std::move(local_request));
+      serve::InferenceResponse got =
+          remote.SubmitAndWait(std::move(remote_request));
+      ASSERT_TRUE(want.status.ok()) << want.status.ToString();
+      ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+      EXPECT_TRUE(BitEqual(want.output, got.output))
+          << serve::ServeTaskName(c.task) << " seed " << seed
+          << " diverges across the process boundary";
+      ++compared;
+    }
+  }
+  EXPECT_EQ(compared, 24);
+
+  // Fleet stats saw the traffic.
+  EXPECT_GE(remote.Stats().completed, 24u);
+
+  // Orderly teardown: ask both replica processes to drain and exit.
+  router.ShutdownReplicas();
+  router.Shutdown();
+  ReapReplica(&p0, /*expect_exited=*/true);
+  ReapReplica(&p1, /*expect_exited=*/true);
+}
+
+TEST(DistIntegrationTest, KillingOneReplicaMidLoadIsTypedAndSurvivable) {
+  ReplicaProcess p0 = LaunchReplica(kModelSeed);
+  ReplicaProcess p1 = LaunchReplica(kModelSeed);
+  ASSERT_GT(p0.port, 0);
+  ASSERT_GT(p1.port, 0);
+
+  RouterOptions options;
+  options.request_timeout_ms = 10000.0;
+  Router router(options);
+  router.AddReplica("127.0.0.1", p0.port);
+  router.AddReplica("127.0.0.1", p1.port);
+  ASSERT_TRUE(router.Start().ok());
+  EXPECT_EQ(router.num_live(), 2);
+
+  // Warm the fleet, then SIGKILL replica 0 in the middle of a load burst.
+  // Every response must resolve (no hangs), as either OK or a typed
+  // retryable kUnavailable — never another code, never a crash.
+  int ok_before = 0;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    serve::InferenceRequest request;
+    request.series = MakeSeries(60, 2, 7000 + seed);
+    if (router.Submit(std::move(request)).get().status.ok()) ++ok_before;
+  }
+  EXPECT_EQ(ok_before, 8);
+
+  ::kill(p0.pid, SIGKILL);
+
+  int ok_after = 0, unavailable = 0;
+  for (uint64_t seed = 0; seed < 48; ++seed) {
+    serve::InferenceRequest request;
+    request.series = MakeSeries(60, 2, 8000 + seed);
+    serve::InferenceResponse response = router.Submit(std::move(request)).get();
+    if (response.status.ok()) {
+      ++ok_after;
+    } else {
+      ASSERT_EQ(response.status.code(), StatusCode::kUnavailable)
+          << "only typed retryable errors allowed, got: "
+          << response.status.ToString();
+      ++unavailable;
+      // The contract: an immediate retry re-routes to the survivor.
+      serve::InferenceRequest retry;
+      retry.series = MakeSeries(60, 2, 8000 + seed);
+      serve::InferenceResponse retried =
+          router.Submit(std::move(retry)).get();
+      EXPECT_TRUE(retried.status.ok())
+          << "retry after typed failure must land on the survivor: "
+          << retried.status.ToString();
+      if (retried.status.ok()) ++ok_after;
+    }
+  }
+  EXPECT_EQ(ok_after, 48) << "every request (or its retry) must be served";
+  EXPECT_EQ(router.num_live(), 1);
+  EXPECT_FALSE(router.replica_live(0));
+  EXPECT_TRUE(router.replica_live(1));
+
+  // The survivor still answers control-plane pulls and carries the fleet.
+  EXPECT_GE(router.FleetStats().completed, 8u);
+  const std::string text = router.FleetPrometheusText();
+  EXPECT_NE(text.find("rita_fleet_replicas_live 1"), std::string::npos);
+
+  router.ShutdownReplicas();
+  router.Shutdown();
+  ReapReplica(&p0, /*expect_exited=*/true);  // SIGKILLed: reaps instantly
+  ReapReplica(&p1, /*expect_exited=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Replica-process mode.
+
+int RunReplicaProcess(uint64_t model_seed, int port_fd) {
+  model::RitaConfig config = IntegrationConfig();
+  Rng rng(model_seed);
+  model::RitaModel source(config, &rng);
+  serve::FrozenModel frozen(source);
+  serve::InferenceEngineOptions eopts;
+  eopts.num_workers = 2;
+  serve::InferenceEngine engine(&frozen, eopts);
+
+  std::promise<void> drain;
+  ReplicaServerOptions sopts;
+  sopts.on_remote_shutdown = [&drain] { drain.set_value(); };
+  ReplicaServer server(&engine, sopts);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "replica start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const int32_t port = server.port();
+  if (::write(port_fd, &port, sizeof(port)) != sizeof(port)) return 1;
+  ::close(port_fd);
+
+  drain.get_future().wait();  // until the router sends kShutdown
+  server.Shutdown();
+  engine.Shutdown();
+  return 0;
+}
+
+}  // namespace dist
+}  // namespace rita
+
+// Custom main: `--replica` turns this binary into a replica process; anything
+// else runs the gtest suite. (The object file's main wins over gtest_main's.)
+int main(int argc, char** argv) {
+  bool replica = false;
+  uint64_t seed = rita::dist::kModelSeed;
+  int port_fd = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--replica") replica = true;
+    if (arg.rfind("--seed=", 0) == 0) seed = std::stoull(arg.substr(7));
+    if (arg.rfind("--port-fd=", 0) == 0) port_fd = std::stoi(arg.substr(10));
+  }
+  if (replica) {
+    if (port_fd < 0) {
+      std::fprintf(stderr, "--replica requires --port-fd\n");
+      return 2;
+    }
+    return rita::dist::RunReplicaProcess(seed, port_fd);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
